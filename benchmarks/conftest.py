@@ -1,0 +1,48 @@
+"""Benchmark-suite plumbing.
+
+Each benchmark regenerates one paper exhibit (at CI scale by default;
+set ``REPRO_SCALE=paper`` for the full grids), prints it, and writes the
+rendered text under ``results/exhibits/`` so EXPERIMENTS.md can link to
+concrete outputs. Datasets are shared through the on-disk cache.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+os.environ.setdefault("REPRO_CACHE_DIR", "results/datasets")
+
+from repro.experiments.datasets import Scale  # noqa: E402
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "slow: long-running benchmarks"
+    )
+
+
+@pytest.fixture(scope="session")
+def scale() -> Scale:
+    return Scale(os.environ.get("REPRO_SCALE", "ci"))
+
+
+@pytest.fixture(scope="session")
+def exhibit_dir() -> Path:
+    path = Path("results/exhibits")
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+@pytest.fixture
+def record_exhibit(exhibit_dir):
+    """Print a regenerated exhibit and persist its rendering."""
+
+    def _record(name: str, exhibit) -> None:
+        text = exhibit.render()
+        print(f"\n{text}\n")
+        (exhibit_dir / f"{name}.txt").write_text(text + "\n")
+
+    return _record

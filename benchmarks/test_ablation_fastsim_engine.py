@@ -1,0 +1,79 @@
+"""Ablation A1: fast vectorised evaluators vs the exact engine.
+
+Quantifies the documented two-tier approximation (DESIGN.md §5.1): for
+every algorithm family the engine/fast runtime ratio is computed over a
+small instance sample. Tree pipelines at one rank per node must agree
+to numerical precision; contended topologies must stay inside the
+tolerance band the selection results rely on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.collectives.registry import make_algorithm
+from repro.experiments.report import render_table
+from repro.machine.model import NoiseModel
+from repro.machine.topology import Topology
+from repro.machine.zoo import tiny_testbed
+
+QUIET = tiny_testbed.with_noise(NoiseModel(sigma=0.0, spike_prob=0.0, floor=0.0))
+
+SAMPLE = [
+    ("bcast", "binomial", {"segsize": 4096}),
+    ("bcast", "pipeline", {"segsize": 4096}),
+    ("bcast", "chain", {"segsize": 4096, "chains": 2}),
+    ("bcast", "scatter_ring_allgather", {}),
+    ("allreduce", "recursive_doubling", {}),
+    ("allreduce", "ring", {}),
+    ("allreduce", "rabenseifner", {}),
+    ("alltoall", "bruck", {}),
+    ("alltoall", "pairwise", {}),
+]
+
+SHAPES = [(4, 1), (8, 1), (4, 2), (4, 4)]
+MSIZES = [100, 65536, 1 << 20]
+
+
+def _collect():
+    rows = []
+    for kind, name, kw in SAMPLE:
+        ratios = []
+        for shape in SHAPES:
+            topo = Topology(*shape)
+            for m in MSIZES:
+                algo = make_algorithm(kind, name, **kw)
+                if not algo.supported(topo, m):
+                    continue
+                fast = algo.base_time(QUIET, topo, m)
+                exact = algo.run_exact(QUIET, topo, m, verify=False).makespan
+                ratios.append(exact / fast)
+        ratios = np.asarray(ratios)
+        rows.append(
+            (f"{kind}/{name}", float(ratios.min()), float(np.median(ratios)),
+             float(ratios.max()))
+        )
+    return rows
+
+
+def test_ablation_fastsim_engine(benchmark, exhibit_dir):
+    rows = benchmark.pedantic(_collect, rounds=1, iterations=1)
+    text = render_table(
+        ("algorithm", "min_ratio", "median_ratio", "max_ratio"),
+        rows,
+        floatfmt=".3f",
+        title="Ablation A1: engine/fast runtime ratio",
+    )
+    print(f"\n{text}\n")
+    (exhibit_dir / "ablation_a1.txt").write_text(text + "\n")
+    for name, lo, med, hi in rows:
+        assert 0.4 < lo and hi < 2.5, f"{name}: ratio band [{lo:.2f},{hi:.2f}]"
+        assert 0.6 < med < 1.7, f"{name}: median ratio {med:.2f}"
+
+
+@pytest.mark.parametrize("p", [4, 8])
+def test_uncontended_tree_exactness(p):
+    topo = Topology(p, 1)
+    algo = make_algorithm("bcast", "binomial", segsize=4096)
+    fast = algo.base_time(QUIET, topo, 65536)
+    exact = algo.run_exact(QUIET, topo, 65536, verify=False).makespan
+    assert exact == pytest.approx(fast, rel=1e-9)

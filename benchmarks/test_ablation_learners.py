@@ -1,0 +1,73 @@
+"""Ablation A3: learner robustness (paper §III-C).
+
+The paper's claim: the framework works out of the box with any of KNN,
+GAM, XGBoost — while the baselines it rejected (random forest from the
+authors' earlier work, plain/log linear regression) fall behind.
+"""
+
+import numpy as np
+
+from repro.core.evaluation import evaluate_selector
+from repro.core.selector import AlgorithmSelector
+from repro.experiments.cache import dataset_cached
+from repro.experiments.datasets import DATASETS
+from repro.experiments.report import render_table
+from repro.experiments.splits import split_dataset
+from repro.machine.zoo import get_machine
+from repro.ml import (
+    PAPER_LEARNERS,
+    RandomForestRegressor,
+    RidgeRegressor,
+)
+from repro.mpilib import get_library
+
+LEARNERS = {
+    **PAPER_LEARNERS,
+    "RandomForest": lambda: RandomForestRegressor(n_trees=50, rng=0),
+    "Ridge": lambda: RidgeRegressor(),
+    "Ridge-log": lambda: RidgeRegressor(log_target=True),
+}
+
+
+def _run(scale):
+    spec = DATASETS["d1"]
+    dataset = dataset_cached("d1", scale)
+    train, test = split_dataset(dataset, scale)
+    library = get_library(spec.library)
+    machine = get_machine(spec.machine)
+    rows = []
+    for name, factory in LEARNERS.items():
+        selector = AlgorithmSelector(factory).fit(train)
+        result = evaluate_selector(selector, test, library, machine)
+        rows.append(
+            (
+                name,
+                result.mean_speedup,
+                float(np.median(result.normalized_predicted)),
+            )
+        )
+    return rows
+
+
+def test_ablation_learners(benchmark, scale, exhibit_dir):
+    rows = benchmark.pedantic(_run, args=(scale,), rounds=1, iterations=1)
+    text = render_table(
+        ("learner", "mean_speedup_vs_default", "median_norm_runtime"),
+        rows,
+        floatfmt=".3f",
+        title="Ablation A3: learner robustness on d1",
+    )
+    print(f"\n{text}\n")
+    (exhibit_dir / "ablation_a3.txt").write_text(text + "\n")
+    by_name = {name: (speedup, med) for name, speedup, med in rows}
+    # All paper learners deliver out of the box.
+    for name in PAPER_LEARNERS:
+        assert by_name[name][0] > 1.1, f"{name} failed to beat the default"
+    # The paper's robustness claim: the three chosen learners land in a
+    # tight band of each other.
+    chosen = [by_name[n][0] for n in PAPER_LEARNERS]
+    assert max(chosen) / min(chosen) < 1.5
+    # Plain linear regression is not competitive (median selection
+    # quality clearly worse than the chosen learners').
+    best_med = min(by_name[n][1] for n in PAPER_LEARNERS)
+    assert by_name["Ridge"][1] > best_med

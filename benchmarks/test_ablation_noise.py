@@ -1,0 +1,26 @@
+"""Ablation A4: selection quality under growing measurement noise.
+
+The framework must keep beating the default when the training data is
+noisy (real benchmark data always is). Expected: stable gains at
+realistic noise levels (sigma <= 0.1) and graceful degradation beyond.
+"""
+
+from repro.experiments.extensions import noise_sensitivity
+
+
+def test_ablation_noise(benchmark, record_exhibit, scale):
+    exhibit = benchmark.pedantic(
+        noise_sensitivity, args=(scale,), rounds=1, iterations=1
+    )
+    record_exhibit("ablation_a4_noise", exhibit)
+    rows = {row[0]: row for row in exhibit.rows}
+    learners = exhibit.columns[1:-1]
+    # Realistic noise: every learner still clearly beats the default.
+    for sigma in (0.0, 0.03, 0.1):
+        for j, learner in enumerate(learners, start=1):
+            assert rows[sigma][j] > 1.2, (
+                f"{learner} lost its edge already at sigma={sigma}"
+            )
+    # Heavy noise may hurt but must not collapse below the default.
+    for j, learner in enumerate(learners, start=1):
+        assert rows[0.3][j] > 0.9

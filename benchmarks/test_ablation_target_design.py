@@ -1,0 +1,78 @@
+"""Ablation A2: regression-target design (paper §III-A).
+
+Compares the paper's chosen design — one *runtime* regressor per
+configuration — against the two designs it argues against:
+
+* speed-up-ratio regression against the default strategy (the authors'
+  previous work [9]),
+* direct best-label prediction.
+
+Observed shape: on this substrate the three designs land within a few
+percent of each other at paper scale (all ~2.0x over the default on
+d1). The paper's preference for direct runtimes is about *robustness*
+on real, noisy clusters — ratio targets inherit the default strategy's
+discontinuities and label targets are class-imbalanced (verified in
+``tests/core/test_ablations.py``) — failure modes a smooth simulated
+substrate does not manufacture. The bench therefore asserts the paper
+design is never *worse* than the alternatives by a material margin.
+"""
+
+import numpy as np
+
+from repro.core.ablations import BestLabelSelector, SpeedupRatioSelector
+from repro.core.evaluation import evaluate_selector
+from repro.core.selector import AlgorithmSelector
+from repro.experiments.cache import dataset_cached
+from repro.experiments.datasets import DATASETS
+from repro.experiments.report import render_table
+from repro.experiments.splits import split_dataset
+from repro.machine.zoo import get_machine
+from repro.ml import KNNRegressor
+from repro.mpilib import get_library
+
+
+def _run(scale):
+    spec = DATASETS["d1"]
+    dataset = dataset_cached("d1", scale)
+    train, test = split_dataset(dataset, scale)
+    library = get_library(spec.library)
+    machine = get_machine(spec.machine)
+
+    designs = {
+        "runtime-regression (paper)": AlgorithmSelector(
+            lambda: KNNRegressor()
+        ).fit(train),
+        "speedup-ratio regression [9]": SpeedupRatioSelector(
+            lambda: KNNRegressor(), library, machine
+        ).fit(train),
+        "best-label prediction": BestLabelSelector().fit(train),
+    }
+    rows = []
+    for name, selector in designs.items():
+        result = evaluate_selector(selector, test, library, machine)
+        rows.append(
+            (
+                name,
+                result.mean_speedup,
+                float(np.median(result.normalized_predicted)),
+                float(np.quantile(result.normalized_predicted, 0.9)),
+            )
+        )
+    return rows
+
+
+def test_ablation_target_design(benchmark, record_exhibit, scale, exhibit_dir):
+    rows = benchmark.pedantic(_run, args=(scale,), rounds=1, iterations=1)
+    text = render_table(
+        ("design", "mean_speedup_vs_default", "median_norm", "p90_norm"),
+        rows,
+        floatfmt=".3f",
+        title="Ablation A2: regression-target designs on d1",
+    )
+    print(f"\n{text}\n")
+    (exhibit_dir / "ablation_a2.txt").write_text(text + "\n")
+    by_name = {name: speedup for name, speedup, *_ in rows}
+    paper = by_name["runtime-regression (paper)"]
+    assert paper >= by_name["speedup-ratio regression [9]"] * 0.85
+    assert paper >= by_name["best-label prediction"] * 0.85
+    assert paper > 1.0

@@ -1,0 +1,18 @@
+"""Extension E3: the framework on MPI_Reduce and MPI_Allgather.
+
+The paper claims its approach is generic (§II); datasets dx1/dx2 apply
+the unchanged pipeline to two more collectives, where it must again at
+least match the default decision logic.
+"""
+
+from repro.experiments.extensions import extension_speedups
+
+
+def test_ext_collectives(benchmark, record_exhibit, scale):
+    exhibit = benchmark.pedantic(
+        extension_speedups, args=(scale,), rounds=1, iterations=1
+    )
+    record_exhibit("ext_e3_collectives", exhibit)
+    for row in exhibit.rows:
+        learner, *cells, mean = row
+        assert mean > 1.0, f"{learner}: must beat the default on average"

@@ -1,0 +1,21 @@
+"""Extension E2: performance-guideline violations (PGMPITuneLib view).
+
+The hard-coded default logic violates self-consistency guidelines
+(e.g. allreduce slower than reduce+bcast) that the tuned per-instance
+portfolio largely repairs.
+"""
+
+from repro.experiments.extensions import guidelines_exhibit
+
+
+def test_ext_guidelines(benchmark, record_exhibit, scale):
+    exhibit = benchmark.pedantic(
+        guidelines_exhibit, args=(scale,), rounds=1, iterations=1
+    )
+    record_exhibit("ext_e2_guidelines", exhibit)
+    total_default = sum(row[2] for row in exhibit.rows)
+    total_best = sum(row[4] for row in exhibit.rows)
+    assert total_default > 0, "the default should violate some guideline"
+    assert total_best <= total_default, "tuning must not add violations"
+    worst_default = max(row[3] for row in exhibit.rows)
+    assert worst_default > 1.5, "violations should be material (>1.5x)"

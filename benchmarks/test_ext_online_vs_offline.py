@@ -1,0 +1,22 @@
+"""Extension E1: offline ML selection vs online (STAR-MPI) tuning.
+
+Quantifies the paper's §II argument for an *offline* approach: the
+online tuner's exploration calls run inside the application, so its
+per-call cost over a realistic call count stays well above the offline
+selector's, which answers from models before the job starts.
+"""
+
+from repro.experiments.extensions import online_vs_offline
+
+
+def test_ext_online_vs_offline(benchmark, record_exhibit, scale):
+    exhibit = benchmark.pedantic(
+        online_vs_offline, args=(scale,), rounds=1, iterations=1
+    )
+    record_exhibit("ext_e1_online_vs_offline", exhibit)
+    rows = {row[0]: row for row in exhibit.rows}
+    offline = rows["offline ML (paper)"]
+    online = rows["online STAR-MPI"]
+    assert offline[1] < 1.3, "offline selection should track the oracle"
+    assert online[1] > offline[1], "online exploration must cost more"
+    assert online[2] > 60.0, "most wasted time should be the online tuner's"

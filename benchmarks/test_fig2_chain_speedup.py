@@ -1,0 +1,25 @@
+"""Figure 2: chain-broadcast speed-up over linear (Open MPI, Hydra).
+
+Paper finding to reproduce: at 4 MiB the right (segment size, chains)
+configuration is 10-50x faster than the linear broadcast, and the
+spread across configurations is itself an order of magnitude — the
+motivation for folding algorithm parameters into the selection problem.
+"""
+
+import numpy as np
+
+from repro.experiments.figures import figure2
+
+
+def test_fig2_chain_speedup(benchmark, record_exhibit, scale):
+    exhibit = benchmark.pedantic(
+        figure2, args=(scale,), rounds=1, iterations=1
+    )
+    record_exhibit("fig2", exhibit)
+    speedup = exhibit.column("speedup")
+    msize = exhibit.column("msize")
+    at_max = speedup[msize == msize.max()]
+    assert at_max.max() > 8.0, "large-message chain gains missing"
+    assert at_max.max() / at_max.min() > 3.0, "parameter spread missing"
+    # Small messages cannot profit from pipelining this much.
+    assert speedup[msize == msize.min()].max() < at_max.max()

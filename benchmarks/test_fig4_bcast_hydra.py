@@ -1,0 +1,19 @@
+"""Figure 4: best vs default vs predicted — MPI_Bcast, Open MPI, Hydra.
+
+Paper finding: the GAM-predicted algorithm tracks the exhaustive-search
+best closely and clearly outperforms Open MPI's built-in decision
+logic on the held-out (odd) node counts.
+"""
+
+import numpy as np
+
+from repro.experiments.figures import figure4
+
+
+def test_fig4_bcast_hydra(benchmark, record_exhibit, scale):
+    exhibit = benchmark.pedantic(figure4, args=(scale,), rounds=1, iterations=1)
+    record_exhibit("fig4", exhibit)
+    pred = exhibit.column("norm_predicted")
+    default = exhibit.column("norm_default")
+    assert np.median(pred) < 1.3, "prediction should track the oracle"
+    assert np.mean(default) > np.mean(pred), "prediction must beat the default"

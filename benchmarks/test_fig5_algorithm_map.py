@@ -1,0 +1,18 @@
+"""Figure 5: predicted broadcast algorithm per configuration and learner.
+
+Paper finding: KNN, GAM and XGBoost produce genuinely different
+selection maps, and the predictions use the whole algorithm portfolio
+(all ids appear somewhere), not just one or two favourites.
+"""
+
+from repro.experiments.figures import figure5
+
+
+def test_fig5_algorithm_map(benchmark, record_exhibit, scale):
+    exhibit = benchmark.pedantic(figure5, args=(scale,), rounds=1, iterations=1)
+    record_exhibit("fig5", exhibit)
+    algids = {int(a) for a in exhibit.column("algid")}
+    assert len(algids) >= 3, "portfolio collapsed to too few algorithms"
+    assert 8 not in algids, "the excluded broken algorithm must never appear"
+    learners = set(exhibit.column("learner"))
+    assert learners == {"KNN", "GAM", "XGBoost"}

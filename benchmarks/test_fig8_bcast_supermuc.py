@@ -1,0 +1,17 @@
+"""Figure 8: best vs default vs predicted — MPI_Bcast, Open MPI, SuperMUC-NG.
+
+Paper finding: the predictor selects better broadcast algorithms in
+several regions; default and prediction are otherwise comparable.
+"""
+
+import numpy as np
+
+from repro.experiments.figures import figure8
+
+
+def test_fig8_bcast_supermuc(benchmark, record_exhibit, scale):
+    exhibit = benchmark.pedantic(figure8, args=(scale,), rounds=1, iterations=1)
+    record_exhibit("fig8", exhibit)
+    pred = exhibit.column("norm_predicted")
+    assert np.median(pred) < 1.5
+    assert np.mean(pred) <= np.mean(exhibit.column("norm_default")) * 1.05

@@ -1,0 +1,39 @@
+"""Prediction latency (paper §II deployment requirement).
+
+"If predictions can be done in the order of seconds, the approach will
+work seamlessly with SLURM. However, when targeting online approaches,
+the prediction time needs to be in the microsecond range."
+
+This bench measures the trained selector's per-instance query latency
+for each learner — the offline (SLURM) budget must hold with orders of
+magnitude to spare; the microsecond online budget must (as the paper
+implies) NOT hold, motivating the offline design.
+"""
+
+import pytest
+
+from repro.core.selector import AlgorithmSelector
+from repro.experiments.cache import dataset_cached
+from repro.experiments.splits import split_dataset
+from repro.ml import PAPER_LEARNERS
+
+
+@pytest.fixture(scope="module")
+def selectors(scale):
+    dataset = dataset_cached("d1", scale)
+    train, _ = split_dataset(dataset, scale)
+    return {
+        name: AlgorithmSelector(factory).fit(train)
+        for name, factory in PAPER_LEARNERS.items()
+    }
+
+
+@pytest.mark.parametrize("learner", list(PAPER_LEARNERS))
+def test_prediction_latency(benchmark, selectors, learner):
+    selector = selectors[learner]
+    cfg = benchmark(selector.select, 13, 16, 65536)
+    assert cfg is not None
+    # SLURM-style offline deployment: far below one second per query.
+    assert benchmark.stats["mean"] < 1.0, "query too slow for job prolog use"
+    # And (the paper's caveat) far above the microsecond online budget.
+    assert benchmark.stats["mean"] > 1e-6

@@ -1,0 +1,22 @@
+"""The paper's §V randomisation check.
+
+"Of course, we could have fully randomized these datasets … The
+results were very similar to the ones we present here." — both split
+protocols must give comparable mean speed-ups over the default.
+"""
+
+from repro.experiments.extensions import randomized_split
+
+
+def test_randomized_split(benchmark, record_exhibit, scale):
+    exhibit = benchmark.pedantic(
+        randomized_split, args=(scale,), rounds=1, iterations=1
+    )
+    record_exhibit("randomized_split", exhibit)
+    for learner, node_speedup, random_speedup in exhibit.rows:
+        assert node_speedup > 1.1 and random_speedup > 1.1, learner
+        ratio = node_speedup / random_speedup
+        assert 0.7 < ratio < 1.4, (
+            f"{learner}: protocols diverge ({node_speedup:.2f} vs "
+            f"{random_speedup:.2f})"
+        )

@@ -1,0 +1,49 @@
+"""Fast-tier throughput: what makes paper-scale campaigns feasible.
+
+DESIGN.md's claim: the vectorised evaluators compute the same schedule
+recurrences the exact engine resolves event by event, but in
+milliseconds — a 1152-rank, 1024-segment chain broadcast must evaluate
+fast enough that a ~70k-sample campaign takes minutes (>= ~50 evals/s),
+and the exact engine must be >100x slower on the same instance (which
+is why it is reserved for verification).
+"""
+
+import pytest
+
+from repro.collectives.registry import make_algorithm
+from repro.machine.model import NoiseModel
+from repro.machine.topology import Topology
+from repro.machine.zoo import hydra
+
+QUIET = hydra.with_noise(NoiseModel(sigma=0.0, spike_prob=0.0, floor=0.0))
+
+
+def test_fastsim_chain_throughput(benchmark):
+    algo = make_algorithm("bcast", "chain", segsize=4096, chains=4)
+    topo = Topology(36, 32)  # 1152 ranks
+    nbytes = 4 << 20  # 1024 segments of 4 KiB
+    t = benchmark(algo.base_time, QUIET, topo, nbytes)
+    assert t > 0
+    assert benchmark.stats["mean"] < 0.05, "fast tier too slow for campaigns"
+
+
+def test_fastsim_round_pattern_throughput(benchmark):
+    algo = make_algorithm("allreduce", "ring")
+    topo = Topology(36, 32)
+    t = benchmark(algo.base_time, QUIET, topo, 1 << 20)
+    assert t > 0
+    assert benchmark.stats["mean"] < 0.2
+
+
+@pytest.mark.slow
+def test_engine_vs_fastsim_cost_gap(benchmark):
+    # One exact-engine run of a mid-size instance, to document the gap.
+    algo = make_algorithm("bcast", "binomial", segsize=16384)
+    topo = Topology(8, 4)
+    result = benchmark.pedantic(
+        algo.run_exact, args=(QUIET, topo, 1 << 20),
+        kwargs={"verify": False}, rounds=1, iterations=1,
+    )
+    fast_cost_estimate = 1e-3  # the fast tier evaluates this in ~1 ms
+    assert benchmark.stats["mean"] > 10 * fast_cost_estimate
+    assert result.makespan > 0

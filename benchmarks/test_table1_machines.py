@@ -1,0 +1,9 @@
+"""Table I: hardware overview of the simulated machine zoo."""
+
+from repro.experiments.tables import table1
+
+
+def test_table1_machines(benchmark, record_exhibit):
+    exhibit = benchmark(table1)
+    record_exhibit("table1", exhibit)
+    assert len(exhibit.rows) == 3

@@ -1,0 +1,55 @@
+"""Table IV: overall prediction quality across all eight datasets.
+
+Paper findings to reproduce:
+
+* (IVa) all three learners beat Open MPI's default substantially on the
+  Open MPI datasets (paper means: KNN 1.37, GAM 1.48, XGBoost 1.41),
+* Intel MPI datasets sit near 1.0 (nothing to gain over a tuned table),
+* (IVb) the small training split loses almost nothing.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.tables import table4
+
+OMPI_DATASETS = ("d1", "d2", "d3", "d4", "d8")
+INTEL_DATASETS = ("d5", "d6", "d7")
+
+
+@pytest.mark.parametrize("small", [False, True], ids=["IVa-large", "IVb-small"])
+def test_table4_speedups(benchmark, record_exhibit, scale, small):
+    exhibit = benchmark.pedantic(
+        table4, args=(scale,), kwargs={"small": small}, rounds=1, iterations=1
+    )
+    record_exhibit("table4b" if small else "table4a", exhibit)
+    dids = exhibit.columns[1:-1]
+    for row in exhibit.rows:
+        learner, *cells, mean = row
+        per_did = dict(zip(dids, cells))
+        ompi_mean = np.mean([per_did[d] for d in OMPI_DATASETS])
+        intel_mean = np.mean([per_did[d] for d in INTEL_DATASETS])
+        assert ompi_mean > 1.1, (
+            f"{learner}: expected clear gains on Open MPI datasets, "
+            f"got {ompi_mean:.2f}"
+        )
+        # The paper itself dips below 1.0 on Intel datasets (e.g. KNN on
+        # d6: 0.84): keeping up means "no catastrophic loss", not a win.
+        assert intel_mean > 0.75, (
+            f"{learner}: fell too far behind Intel's tuned default "
+            f"({intel_mean:.2f})"
+        )
+        assert min(per_did[d] for d in INTEL_DATASETS) > 0.55, (
+            f"{learner}: catastrophic loss on an Intel dataset"
+        )
+        assert mean > 1.0, f"{learner}: overall mean speed-up must exceed 1"
+
+
+def test_table4_small_split_loses_little(scale):
+    large = table4(scale, dids=("d1", "d4"))
+    small = table4(scale, dids=("d1", "d4"), small=True)
+    for row_l, row_s in zip(large.rows, small.rows):
+        assert row_s[-1] > row_l[-1] * 0.75, (
+            f"{row_l[0]}: small split degraded too much "
+            f"({row_s[-1]:.2f} vs {row_l[-1]:.2f})"
+        )

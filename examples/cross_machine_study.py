@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Why hard-coded defaults fail: the same collective on three machines.
+
+The paper's core premise (§I-II): the best algorithm depends on the
+machine, so thresholds frozen into an MPI library lose somewhere. This
+example evaluates the full Open MPI broadcast tuning space on all three
+simulated testbeds at the same instance and shows (a) the winner is a
+different algorithm on each machine, and (b) how far Open MPI's own
+default is from it.
+"""
+
+from repro.collectives.registry import algorithm_from_config
+from repro.machine import Topology, get_machine
+from repro.mpilib import get_library
+from repro.utils.units import format_bytes, format_time
+
+MACHINES = ("Hydra", "Jupiter", "SuperMUC-NG")
+SHAPES = {"Hydra": (16, 16), "Jupiter": (16, 8), "SuperMUC-NG": (16, 24)}
+MSIZES = (256, 65536, 4 << 20)
+
+
+def main() -> None:
+    library = get_library("Open MPI")
+    space = library.config_space("bcast")
+    algos = [
+        algorithm_from_config(c) for c in space.configs if c.algid != 8
+    ]
+
+    for m in MSIZES:
+        print(f"== MPI_Bcast of {format_bytes(m)} ==")
+        for machine_name in MACHINES:
+            machine = get_machine(machine_name)
+            topo = Topology(*SHAPES[machine_name])
+            times = {
+                a.config: a.base_time(machine, topo, m)
+                for a in algos
+                if a.supported(topo, m)
+            }
+            best_cfg = min(times, key=times.get)
+            default_cfg = library.default_config(machine, topo, "bcast", m)
+            t_best = times[best_cfg]
+            t_default = times.get(default_cfg)
+            gap = t_default / t_best if t_default else float("nan")
+            print(f"  {machine_name:12} ({topo}): "
+                  f"best {best_cfg.label:38} {format_time(t_best):>10}   "
+                  f"default {default_cfg.label:32} {gap:5.2f}x slower")
+        print()
+
+    print("The winning algorithm differs across machines at the same "
+          "instance —\nwhich is exactly why the paper replaces the "
+          "hard-coded logic with per-machine learned models.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Peek inside the trained runtime models, and race offline vs online.
+
+Two extensions around the paper's pipeline:
+
+1. **Which features drive a configuration's runtime model?**
+   Permutation importance and partial dependence on the model of one
+   broadcast configuration — message size should dominate, with the
+   process count shaping the rest (the paper's §IV-B remark that
+   message size "turned out to be the most important factor").
+2. **What does online tuning cost?** The STAR-MPI baseline (related
+   work, §VI) explores inside the application; the offline selector
+   does not. We count the wasted time over a realistic call sequence.
+"""
+
+import numpy as np
+
+from repro.bench import BenchmarkSpec, DatasetRunner, GridSpec
+from repro.core.features import FEATURE_NAMES, instance_features
+from repro.core.online import OnlineSelector
+from repro.machine import Topology, hydra
+from repro.ml import (
+    GradientBoostingRegressor,
+    mape,
+    partial_dependence,
+    permutation_importance,
+)
+from repro.mpilib import get_library
+from repro.utils.units import format_bytes, format_time
+
+
+def feature_importance_demo(dataset) -> None:
+    print("== what drives a configuration's runtime? ==")
+    cid = next(
+        i for i, c in enumerate(dataset.configs)
+        if c.label == "3:pipeline(segsize=16KiB)"
+    )
+    mask = dataset.rows_of_config(cid)
+    X = instance_features(
+        dataset.nodes[mask], dataset.ppn[mask], dataset.msize[mask]
+    )
+    y = dataset.time[mask]
+    model = GradientBoostingRegressor(n_rounds=100).fit(X, y)
+    importance = permutation_importance(model, X, y, mape, rng=0)
+    print(f"model: {dataset.configs[cid].label} "
+          f"({mask.sum()} samples, MAPE {mape(y, model.predict(X)):.1%})")
+    for name, imp in sorted(
+        zip(FEATURE_NAMES, importance), key=lambda kv: -kv[1]
+    ):
+        bar = "#" * int(min(imp * 50, 40))
+        print(f"  {name:12s} {imp:8.3f}  {bar}")
+
+    grid, means = partial_dependence(model, X, feature=0, num_points=8)
+    print("\npartial dependence on log2(msize):")
+    for g, t in zip(grid, means):
+        print(f"  {format_bytes(int(2 ** g)):>8}: {format_time(float(t))}")
+
+
+def online_cost_demo() -> None:
+    print("\n== cost of tuning *inside* the application (STAR-MPI) ==")
+    library = get_library("Open MPI")
+    topo, msize, calls = Topology(13, 16), 65536, 300
+    for policy in ("star", "epsilon", "ucb"):
+        tuner = OnlineSelector(
+            hydra, library, "bcast", policy=policy,
+            exclude_algids=(8,), rng=1,
+        )
+        result = tuner.run(topo, msize, calls)
+        print(f"  {policy:8s}: total {format_time(result.total_time)}, "
+              f"regret {format_time(result.regret)} "
+              f"({100 * result.regret / result.total_time:.1f}% wasted), "
+              f"converged={result.converged_to_best}, "
+              f"final={result.final_config.label}")
+    print("  (the offline selector pays none of this at run time)")
+
+
+def main() -> None:
+    runner = DatasetRunner(
+        hydra, get_library("Open MPI"), BenchmarkSpec(max_nreps=20), seed=5
+    )
+    dataset = runner.run(
+        "bcast",
+        GridSpec(
+            nodes=(4, 8, 16, 24, 32), ppns=(1, 8, 16, 32),
+            msizes=(1, 256, 4096, 65536, 524288, 4 << 20),
+        ),
+        name="diag", exclude_algids=(8,),
+    )
+    feature_importance_demo(dataset)
+    online_cost_demo()
+
+
+if __name__ == "__main__":
+    main()

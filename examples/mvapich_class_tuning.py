@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Tuning MVAPICH's size-class knob with the learned models.
+
+MVAPICH selects algorithms per *message-size class* (small / medium /
+large), not per instance — the paper's §IV-B caveat. The learned
+runtime models still apply: per class, pick the configuration that
+minimises the predicted runtime over the class's message range, then
+install it through the library's MV2-style knob.
+"""
+
+from repro.bench import BenchmarkSpec, DatasetRunner, GridSpec
+from repro.core import AlgorithmSelector
+from repro.core.class_tuner import CLASS_PROBES, apply_class_tuning
+from repro.machine import Topology, hydra
+from repro.mpilib import get_library
+from repro.utils.units import format_bytes
+
+TARGET_NODES, TARGET_PPN = 13, 16  # an allocation we never benchmark
+
+
+def main() -> None:
+    library = get_library("MVAPICH")
+    runner = DatasetRunner(hydra, library, BenchmarkSpec(max_nreps=20), seed=11)
+    print("benchmarking MVAPICH allreduce on Hydra ...")
+    dataset = runner.run(
+        "allreduce",
+        GridSpec(
+            nodes=(4, 8, 16, 24, 32), ppns=(1, 8, 16, 32),
+            msizes=(16, 1024, 4096, 16384, 131072, 1 << 20, 4 << 20),
+        ),
+        name="mvapich-allreduce",
+    )
+    print(f"  {len(dataset)} samples over {len(dataset.configs)} configurations")
+
+    from repro.ml import PAPER_LEARNERS
+
+    selector = AlgorithmSelector(PAPER_LEARNERS["GAM"]).fit(dataset)
+
+    print(f"\nfactory class table vs tuned, allocation "
+          f"{TARGET_NODES} x {TARGET_PPN}:")
+    factory = {
+        cls: library.class_algorithm("allreduce", cls)
+        for cls in CLASS_PROBES
+    }
+    choices = apply_class_tuning(
+        library, "allreduce", selector, TARGET_NODES, TARGET_PPN
+    )
+    for cls in CLASS_PROBES:
+        probes = ", ".join(format_bytes(m) for m in CLASS_PROBES[cls])
+        print(f"  {cls.value:6s} ({probes})")
+        print(f"     factory: {factory[cls].label}")
+        print(f"     tuned:   {choices[cls].label}")
+
+    print("\nthe library's default now serves the tuned table:")
+    topo = Topology(TARGET_NODES, TARGET_PPN)
+    for m in (64, 65536, 4 << 20):
+        cfg = library.default_config(hydra, topo, "allreduce", m)
+        print(f"  default({format_bytes(m):>6}) -> {cfg.label}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Quickstart: tune a collective and ask for the best algorithm.
+
+Runs in well under a minute on a laptop. The flow is the paper's
+Figure 1 pipeline end to end:
+
+1. pick a machine model and an MPI library (simulated),
+2. benchmark the library's broadcast tuning space on a small grid,
+3. fit one regression model per algorithm configuration,
+4. query the selector for an allocation it has never seen,
+5. write an Open MPI dynamic-rules file that forces the choice.
+"""
+
+from repro.bench import BenchmarkSpec, GridSpec
+from repro.core.tuner import AutoTuner
+from repro.machine import tiny_testbed
+from repro.mpilib import get_library
+from repro.utils.units import format_bytes, format_time
+
+
+def main() -> None:
+    tuner = AutoTuner(
+        machine=tiny_testbed,
+        library=get_library("Open MPI"),
+        collective="bcast",
+        learner="GAM",
+        bench_spec=BenchmarkSpec(max_nreps=20, max_seconds=0.5),
+        seed=0,
+    )
+
+    print("== benchmark step (ReproMPI-style, time-budgeted) ==")
+    dataset = tuner.benchmark(
+        GridSpec(
+            nodes=(2, 4, 8),
+            ppns=(1, 2, 4),
+            msizes=(1, 256, 4096, 65536, 1 << 20),
+        ),
+        exclude_algids=(8,),  # the broadcast broken in Open MPI 4.0.2
+    )
+    print(f"measured {len(dataset)} samples "
+          f"({dataset.num_algorithms} algorithms)")
+
+    print("\n== tuning step: one regression model per configuration ==")
+    selector = tuner.train()
+    print(f"trained {selector.num_models} runtime models")
+
+    print("\n== prediction for an unseen allocation (3 nodes x 3 ppn) ==")
+    for msize in (16, 4096, 1 << 20):
+        ranked = selector.ranked(3, 3, msize)
+        best, t_best = ranked[0]
+        print(f"  {format_bytes(msize):>7}: {best.label:40s} "
+              f"predicted {format_time(t_best)}")
+        runner_up, t_ru = ranked[1]
+        print(f"           runner-up: {runner_up.label:34s} "
+              f"predicted {format_time(t_ru)}")
+
+    print("\n== emit a rules file Open MPI could load ==")
+    text = tuner.write_rules("quickstart_rules.conf", nodes=3, ppn=3)
+    print(text)
+    print("wrote quickstart_rules.conf")
+
+
+if __name__ == "__main__":
+    main()

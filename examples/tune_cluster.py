@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Tune MPI_Bcast for the Hydra cluster — the paper's §II scenario.
+
+The motivating failure mode of tools like mpitune (paper §II): a tuning
+run made at 32x32 processes says nothing about a job started on 34x32.
+This example benchmarks the realistic node counts a scientist would
+(powers of two), trains the three paper learners, and then answers for
+the *odd* allocation 34 x 32 that none of them ever measured — plus
+prints how each learner's pick compares to the others.
+
+Takes a few minutes (it benchmarks ~60 broadcast configurations).
+"""
+
+import time
+
+from repro.bench import BenchmarkSpec, DatasetRunner, GridSpec
+from repro.core import AlgorithmSelector, render_ompi_rules, selection_table
+from repro.machine import hydra
+from repro.ml import PAPER_LEARNERS
+from repro.mpilib import get_library
+from repro.utils.units import format_bytes
+
+TRAIN_NODES = (4, 8, 16, 24, 32)
+PPNS = (1, 8, 16, 32)
+MSIZES = (1, 256, 4096, 65536, 524288, 4 << 20)
+TARGET_NODES, TARGET_PPN = 34, 32  # the allocation mpitune cannot answer
+
+
+def main() -> None:
+    library = get_library("Open MPI")
+    runner = DatasetRunner(
+        hydra, library, BenchmarkSpec(max_nreps=25, max_seconds=0.5), seed=7
+    )
+
+    print(f"benchmarking Open MPI bcast on Hydra, nodes={TRAIN_NODES} ...")
+    t0 = time.time()
+    dataset = runner.run(
+        "bcast",
+        GridSpec(nodes=TRAIN_NODES, ppns=PPNS, msizes=MSIZES),
+        name="hydra-bcast",
+        exclude_algids=(8,),
+    )
+    print(f"  {len(dataset)} samples in {time.time() - t0:.1f}s "
+          f"of wall time (simulated campaign)")
+
+    selectors = {}
+    for name, factory in PAPER_LEARNERS.items():
+        t0 = time.time()
+        selectors[name] = AlgorithmSelector(factory).fit(dataset)
+        print(f"  trained {name:8s} ({selectors[name].num_models} models, "
+              f"{time.time() - t0:.1f}s)")
+
+    print(f"\npredictions for the unseen allocation "
+          f"{TARGET_NODES} x {TARGET_PPN}:")
+    header = f"{'msize':>8} | " + " | ".join(f"{n:^28}" for n in selectors)
+    print(header)
+    print("-" * len(header))
+    for m in MSIZES:
+        cells = []
+        for name, sel in selectors.items():
+            cfg = sel.select(TARGET_NODES, TARGET_PPN, m)
+            cells.append(f"{cfg.label:^28}")
+        print(f"{format_bytes(m):>8} | " + " | ".join(cells))
+
+    print("\nOpen MPI dynamic-rules file (GAM selector):")
+    table = selection_table(selectors["GAM"], TARGET_NODES, TARGET_PPN)
+    text = render_ompi_rules("bcast", TARGET_NODES, TARGET_PPN, table)
+    with open("hydra_bcast_rules.conf", "w") as fh:
+        fh.write(text)
+    print(text)
+    print("wrote hydra_bcast_rules.conf — load with\n"
+          "  mpirun --mca coll_tuned_use_dynamic_rules 1 "
+          "--mca coll_tuned_dynamic_rules_filename hydra_bcast_rules.conf ...")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Regenerate every paper exhibit at full (paper) scale.
+
+Writes datasets to results/datasets and rendered exhibits to
+results/exhibits-paper. Expect roughly an hour of compute.
+"""
+
+import logging
+import os
+import time
+from pathlib import Path
+
+os.environ.setdefault("REPRO_CACHE_DIR", "results/datasets")
+
+logging.basicConfig(level=logging.INFO, format="%(asctime)s %(message)s")
+
+from repro.experiments import figures, tables  # noqa: E402
+from repro.experiments.cache import dataset_cached  # noqa: E402
+from repro.experiments.datasets import DATASETS, Scale  # noqa: E402
+
+OUT = Path("results/exhibits-paper")
+OUT.mkdir(parents=True, exist_ok=True)
+
+
+def record(name: str, exhibit) -> None:
+    text = exhibit.render()
+    (OUT / f"{name}.txt").write_text(text + "\n")
+    print(f"--- {name} ---\n{text}\n", flush=True)
+
+
+def main() -> None:
+    t_start = time.time()
+    for did in DATASETS:
+        t0 = time.time()
+        ds = dataset_cached(did, Scale.PAPER)
+        print(f"[{time.time() - t_start:7.0f}s] {did}: {len(ds)} samples "
+              f"({time.time() - t0:.0f}s)", flush=True)
+
+    record("table1", tables.table1())
+    record("table2", tables.table2(Scale.PAPER))
+    record("table3", tables.table3(Scale.PAPER))
+    record("fig2", figures.figure2(Scale.PAPER))
+    for name, driver in (
+        ("fig4", figures.figure4),
+        ("fig6", figures.figure6),
+        ("fig7", figures.figure7),
+        ("fig8", figures.figure8),
+    ):
+        t0 = time.time()
+        record(name, driver(Scale.PAPER))
+        print(f"[{name} done in {time.time() - t0:.0f}s]", flush=True)
+    t0 = time.time()
+    record("fig5", figures.figure5(Scale.PAPER))
+    print(f"[fig5 done in {time.time() - t0:.0f}s]", flush=True)
+    t0 = time.time()
+    record("table4a", tables.table4(Scale.PAPER))
+    record("table4b", tables.table4(Scale.PAPER, small=True))
+    print(f"[table4 done in {time.time() - t0:.0f}s]", flush=True)
+    print(f"ALL DONE in {time.time() - t_start:.0f}s", flush=True)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""mpicollpred — ML-based algorithm selection for MPI collectives.
+
+A faithful, self-contained reproduction of Hunold, Bhatele, Bosilca &
+Knees, *Predicting MPI Collective Communication Performance Using
+Machine Learning* (IEEE CLUSTER 2020), including every substrate the
+paper depends on:
+
+* simulated parallel machines and MPI libraries with their hard-coded
+  default selection logic (:mod:`repro.machine`, :mod:`repro.mpilib`),
+* the collective algorithms themselves, executable both on an exact
+  discrete-event engine and through fast vectorised cost models
+  (:mod:`repro.collectives`, :mod:`repro.simulator`),
+* a ReproMPI-style time-budgeted benchmark harness (:mod:`repro.bench`),
+* from-scratch regression learners — gradient boosting, KNN, GAM — and
+  the selection framework built on them (:mod:`repro.ml`,
+  :mod:`repro.core`),
+* drivers regenerating every table and figure of the paper
+  (:mod:`repro.experiments`).
+
+Quick taste::
+
+    from repro import AutoTuner, GridSpec, get_library, get_machine
+
+    tuner = AutoTuner(get_machine("Hydra"), get_library("Open MPI"), "bcast")
+    tuner.benchmark(GridSpec(nodes=(4, 8, 16), ppns=(1, 16), msizes=(1, 65536)))
+    tuner.train()
+    print(tuner.recommend(nodes=13, ppn=16, msize=65536).label)
+"""
+
+from repro.bench import BenchmarkSpec, DatasetRunner, GridSpec, ReproMPIBenchmark
+from repro.collectives import AlgorithmConfig, CollectiveKind, make_algorithm
+from repro.core import AlgorithmSelector, PerfDataset, evaluate_selector
+from repro.core.tuner import AutoTuner
+from repro.machine import MachineModel, Topology, get_machine
+from repro.mpilib import get_library
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AutoTuner",
+    "AlgorithmSelector",
+    "AlgorithmConfig",
+    "BenchmarkSpec",
+    "CollectiveKind",
+    "DatasetRunner",
+    "GridSpec",
+    "MachineModel",
+    "PerfDataset",
+    "ReproMPIBenchmark",
+    "Topology",
+    "evaluate_selector",
+    "get_library",
+    "get_machine",
+    "make_algorithm",
+    "__version__",
+]

@@ -1,0 +1,20 @@
+"""ReproMPI-like benchmarking of simulated collectives.
+
+Provides the paper's benchmark step (§IV-B): time-budgeted measurement
+of every algorithm configuration over a grid of instances, with a
+modelled clock-synchronisation error and reproducible noise.
+"""
+
+from repro.bench.clock_sync import ClockSync, SyncMethod
+from repro.bench.repro_mpi import BenchmarkSpec, Measurement, ReproMPIBenchmark
+from repro.bench.runner import DatasetRunner, GridSpec
+
+__all__ = [
+    "ClockSync",
+    "SyncMethod",
+    "BenchmarkSpec",
+    "Measurement",
+    "ReproMPIBenchmark",
+    "DatasetRunner",
+    "GridSpec",
+]

@@ -1,0 +1,78 @@
+"""Clock-synchronisation error model.
+
+ReproMPI's distinguishing feature (Hunold & Carpen-Amarie, TPDS'16;
+CLUSTER'18) is measuring collectives under a *time-window* scheme with
+globally synchronised clocks instead of per-rank stopwatches around a
+barrier. We model the consequence rather than the protocol: each
+measurement carries an additive error whose magnitude depends on the
+synchronisation method.
+
+* ``HIERARCHICAL`` — the CLUSTER'18 hierarchical scheme: intra-node
+  clocks are read directly, only one offset estimation per node pair;
+  residual error ~ a fraction of the fabric latency.
+* ``HCA`` — classic linear-regression offset estimation per rank.
+* ``BARRIER`` — no clock sync; an ``MPI_Barrier`` brackets the
+  measurement and its own exit skew pollutes the observation (this is
+  what most benchmark suites do, and why their small-message numbers
+  are noisy).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.machine.model import MachineModel
+from repro.machine.topology import Topology
+from repro.utils.rng import SeedLike, as_generator
+
+
+class SyncMethod(str, enum.Enum):
+    HIERARCHICAL = "hierarchical"
+    HCA = "hca"
+    BARRIER = "barrier"
+
+
+#: residual error, as a multiple of the machine's inter-node latency
+_ERROR_SCALE: dict[SyncMethod, float] = {
+    SyncMethod.HIERARCHICAL: 0.05,
+    SyncMethod.HCA: 0.25,
+    SyncMethod.BARRIER: 1.0,
+}
+
+
+@dataclass(frozen=True)
+class ClockSync:
+    """Synchronisation scheme used when measuring one collective run."""
+
+    method: SyncMethod = SyncMethod.HIERARCHICAL
+
+    def error_scale(self, machine: MachineModel, topo: Topology) -> float:
+        """Standard deviation of the additive measurement error (seconds).
+
+        Barrier-based schemes degrade with the communicator size (the
+        exit skew of a barrier grows ~log p); clock-based schemes do
+        not.
+        """
+        base = _ERROR_SCALE[self.method] * machine.alpha_inter
+        if self.method == SyncMethod.BARRIER:
+            return base * max(1.0, np.log2(max(topo.size, 2)))
+        return base
+
+    def sample_errors(
+        self,
+        machine: MachineModel,
+        topo: Topology,
+        n: int,
+        rng: SeedLike,
+    ) -> np.ndarray:
+        """Draw ``n`` additive measurement errors (always >= 0).
+
+        Sync error can only *inflate* an observed duration: the window
+        start is conservative and skew adds to the max over ranks.
+        """
+        gen = as_generator(rng)
+        scale = self.error_scale(machine, topo)
+        return np.abs(gen.normal(0.0, scale, size=n))

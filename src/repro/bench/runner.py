@@ -1,0 +1,139 @@
+"""Benchmark campaign runner: grids of instances -> PerfDataset.
+
+One campaign measures every configuration of a library's tuning space
+on every instance of a (nodes x ppn x message-size) grid — the paper's
+benchmark step producing datasets d1-d8 (Table II).
+
+Reproducibility: every (configuration, instance) measurement gets its
+own RNG stream derived from the campaign seed and the sample key, so
+datasets are bit-identical regardless of iteration order or of which
+other datasets were generated in the same process.
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.bench.repro_mpi import BenchmarkSpec, ReproMPIBenchmark
+from repro.collectives.base import CollectiveKind
+from repro.collectives.registry import algorithm_from_config
+from repro.core.dataset import PerfDataset
+from repro.machine.model import MachineModel
+from repro.machine.topology import Topology
+from repro.mpilib.base import MPILibrary
+from repro.utils.rng import stable_seed
+
+logger = logging.getLogger(__name__)
+
+
+@dataclass(frozen=True)
+class GridSpec:
+    """The instance grid of one campaign."""
+
+    nodes: tuple[int, ...]
+    ppns: tuple[int, ...]
+    msizes: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        for field_name in ("nodes", "ppns", "msizes"):
+            values = getattr(self, field_name)
+            if not values:
+                raise ValueError(f"{field_name} must be non-empty")
+            if any(v < 0 for v in values):
+                raise ValueError(f"{field_name} must be non-negative")
+
+    @property
+    def num_instances(self) -> int:
+        return len(self.nodes) * len(self.ppns) * len(self.msizes)
+
+
+class DatasetRunner:
+    """Runs benchmark campaigns for one machine + library."""
+
+    def __init__(
+        self,
+        machine: MachineModel,
+        library: MPILibrary,
+        spec: BenchmarkSpec | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.machine = machine
+        self.library = library
+        self.benchmark = ReproMPIBenchmark(machine, spec)
+        self.seed = seed
+
+    def run(
+        self,
+        collective: CollectiveKind | str,
+        grid: GridSpec,
+        *,
+        name: str = "",
+        exclude_algids: tuple[int, ...] = (),
+        progress: Callable[[int, int], None] | None = None,
+    ) -> PerfDataset:
+        """Benchmark the full tuning space over the grid.
+
+        ``exclude_algids`` drops whole algorithm ids (e.g. the broken
+        broadcast 8 of Open MPI 4.0.2 that the paper excluded from d1).
+        Unsupported (config, instance) pairs are skipped, exactly as a
+        real campaign would skip runs that abort.
+        """
+        kind = CollectiveKind(collective)
+        space = self.library.config_space(kind)
+        configs = tuple(
+            c for c in space.configs if c.algid not in exclude_algids
+        )
+        algos = [algorithm_from_config(c) for c in configs]
+        machine = self.machine
+
+        cols_cid: list[int] = []
+        cols_nodes: list[int] = []
+        cols_ppn: list[int] = []
+        cols_msize: list[int] = []
+        cols_time: list[float] = []
+
+        total = len(configs) * grid.num_instances
+        done = 0
+        for n in grid.nodes:
+            for ppn in grid.ppns:
+                machine.validate_shape(n, ppn)
+                topo = Topology(n, ppn)
+                for m in grid.msizes:
+                    for cid, algo in enumerate(algos):
+                        done += 1
+                        if not algo.supported(topo, m):
+                            continue
+                        rng_seed = stable_seed(
+                            self.seed, name, algo.config.label, n, ppn, m
+                        )
+                        measurement = self.benchmark.measure(
+                            algo, topo, m, rng=np.random.default_rng(rng_seed)
+                        )
+                        cols_cid.append(cid)
+                        cols_nodes.append(n)
+                        cols_ppn.append(ppn)
+                        cols_msize.append(m)
+                        cols_time.append(measurement.time)
+                    if progress is not None:
+                        progress(done, total)
+            logger.info(
+                "%s: finished %d-node column (%d/%d samples)",
+                name or str(kind), n, done, total,
+            )
+
+        return PerfDataset(
+            name=name or f"{self.library.name}-{kind}-{machine.name}",
+            collective=kind,
+            library=f"{self.library.name} {self.library.version}",
+            machine=machine.name,
+            configs=configs,
+            config_id=np.asarray(cols_cid, dtype=np.int64),
+            nodes=np.asarray(cols_nodes, dtype=np.int64),
+            ppn=np.asarray(cols_ppn, dtype=np.int64),
+            msize=np.asarray(cols_msize, dtype=np.int64),
+            time=np.asarray(cols_time, dtype=float),
+        )

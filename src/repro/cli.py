@@ -1,0 +1,195 @@
+"""Command-line interface.
+
+::
+
+    mpicollpred machines                      # Table I
+    mpicollpred generate d1 --scale ci        # benchmark one dataset
+    mpicollpred tune --machine Hydra --library "Open MPI" \\
+        --collective bcast --nodes 34 --ppn 32 -o rules.conf
+    mpicollpred experiment fig4 --scale ci    # regenerate an exhibit
+    mpicollpred experiment all --scale ci
+
+(Entry point installed by the package; ``python -m repro.cli`` works
+too.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.datasets import DATASETS, Scale, generate_dataset
+from repro.utils.units import parse_bytes
+
+
+def _cmd_machines(args: argparse.Namespace) -> int:
+    from repro.experiments.tables import table1
+
+    print(table1().render())
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from repro.experiments.cache import cache_dir
+
+    t0 = time.time()
+    dataset = generate_dataset(args.dataset, args.scale, seed=args.seed)
+    stem = cache_dir() / f"{args.dataset}-{args.scale}-s{args.seed}"
+    stem.parent.mkdir(parents=True, exist_ok=True)
+    dataset.save(stem)
+    print(
+        f"{dataset.name}: {len(dataset)} samples in {time.time() - t0:.1f}s "
+        f"-> {stem}.npz"
+    )
+    for key, value in dataset.summary().items():
+        print(f"  {key}: {value}")
+    return 0
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    from repro.bench.runner import GridSpec
+    from repro.core.tuner import AutoTuner
+    from repro.machine.zoo import get_machine
+    from repro.mpilib import get_library
+
+    machine = get_machine(args.machine)
+    library = get_library(args.library)
+    tuner = AutoTuner(machine, library, args.collective, learner=args.learner,
+                      seed=args.seed)
+    # Train on a small practical grid around the target allocation.
+    nodes_grid = sorted(
+        {max(1, args.nodes // 2), args.nodes, min(machine.max_nodes, args.nodes * 2)}
+    )
+    ppns_grid = sorted({1, max(1, args.ppn // 2), args.ppn})
+    msizes = (1, 256, 4096, 65536, 524288, 4194304)
+    print(f"benchmarking {library.name} {args.collective} on {machine.name} ...")
+    tuner.benchmark(GridSpec(tuple(nodes_grid), tuple(ppns_grid), msizes))
+    tuner.train()
+    text = tuner.write_rules(
+        args.output, args.nodes, args.ppn, fmt=args.format
+    )
+    print(f"wrote {args.output}:")
+    print(text)
+    return 0
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    from repro.core.dataset import PerfDataset
+    from repro.core.selector import AlgorithmSelector
+    from repro.ml import PAPER_LEARNERS
+
+    dataset = PerfDataset.load(args.dataset_file)
+    selector = AlgorithmSelector(PAPER_LEARNERS[args.learner]).fit(dataset)
+    cfg = selector.select(args.nodes, args.ppn, parse_bytes(args.msize))
+    print(f"predicted best configuration: {cfg.label}")
+    for rank, (c, t) in enumerate(
+        selector.ranked(args.nodes, args.ppn, parse_bytes(args.msize))[:5], 1
+    ):
+        print(f"  {rank}. {c.label:40s} predicted {t * 1e6:10.1f} us")
+    return 0
+
+
+_EXPERIMENTS = {
+    "table1": ("repro.experiments.tables", "table1", False),
+    "table2": ("repro.experiments.tables", "table2", True),
+    "table3": ("repro.experiments.tables", "table3", False),
+    "table4a": ("repro.experiments.tables", "table4", True),
+    "table4b": ("repro.experiments.tables", "table4", True),
+    "fig2": ("repro.experiments.figures", "figure2", True),
+    "fig4": ("repro.experiments.figures", "figure4", True),
+    "fig5": ("repro.experiments.figures", "figure5", True),
+    "fig6": ("repro.experiments.figures", "figure6", True),
+    "fig7": ("repro.experiments.figures", "figure7", True),
+    "fig8": ("repro.experiments.figures", "figure8", True),
+    "ext-online": ("repro.experiments.extensions", "online_vs_offline", True),
+    "ext-guidelines": ("repro.experiments.extensions", "guidelines_exhibit", True),
+    "ext-collectives": ("repro.experiments.extensions", "extension_speedups", True),
+    "ablation-noise": ("repro.experiments.extensions", "noise_sensitivity", True),
+    "random-split": ("repro.experiments.extensions", "randomized_split", True),
+    "ext-mvapich": ("repro.experiments.extensions", "mvapich_class_tuning", True),
+    "model-errors": ("repro.experiments.model_errors", "model_error_table", True),
+}
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    import importlib
+
+    names = list(_EXPERIMENTS) if args.name == "all" else [args.name]
+    for name in names:
+        module_name, func_name, takes_scale = _EXPERIMENTS[name]
+        func = getattr(importlib.import_module(module_name), func_name)
+        t0 = time.time()
+        kwargs = {}
+        if takes_scale:
+            kwargs["scale"] = args.scale
+        if name == "table4b":
+            kwargs["small"] = True
+        if name == "table3":
+            kwargs = {"scale": args.scale}
+        exhibit = func(**kwargs)
+        print(exhibit.render())
+        print(f"[{name} regenerated in {time.time() - t0:.1f}s]\n")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="mpicollpred",
+        description="ML-based algorithm selection for MPI collectives "
+        "(CLUSTER'20 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("machines", help="show the machine zoo (Table I)")
+
+    p = sub.add_parser("generate", help="benchmark one Table II dataset")
+    p.add_argument(
+        "dataset", choices=sorted([*DATASETS, "dx1", "dx2"])
+    )
+    p.add_argument("--scale", choices=[s.value for s in Scale], default="ci")
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("tune", help="benchmark + train + emit a rules file")
+    p.add_argument("--machine", default="Hydra")
+    p.add_argument("--library", default="Open MPI")
+    p.add_argument("--collective", default="bcast",
+                   choices=["bcast", "allreduce", "alltoall",
+                            "reduce", "allgather"])
+    p.add_argument("--learner", default="GAM")
+    p.add_argument("--nodes", type=int, required=True)
+    p.add_argument("--ppn", type=int, required=True)
+    p.add_argument("--format", choices=["ompi", "json"], default="ompi")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("-o", "--output", default="tuned_rules.conf")
+
+    p = sub.add_parser("predict", help="query a selector trained on a saved dataset")
+    p.add_argument("dataset_file", help="path stem of a saved dataset (.npz/.json)")
+    p.add_argument("--learner", default="GAM")
+    p.add_argument("--nodes", type=int, required=True)
+    p.add_argument("--ppn", type=int, required=True)
+    p.add_argument("--msize", required=True, help="message size, e.g. 64K")
+
+    p = sub.add_parser("experiment", help="regenerate a paper exhibit")
+    p.add_argument("name", choices=["all", *sorted(_EXPERIMENTS)])
+    p.add_argument("--scale", choices=[s.value for s in Scale], default="ci")
+
+    return parser
+
+
+_COMMANDS = {
+    "machines": _cmd_machines,
+    "generate": _cmd_generate,
+    "tune": _cmd_tune,
+    "predict": _cmd_predict,
+    "experiment": _cmd_experiment,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

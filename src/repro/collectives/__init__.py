@@ -1,0 +1,46 @@
+"""MPI collective algorithm implementations (as simulator schedules).
+
+Each algorithm is a :class:`~repro.collectives.base.CollectiveAlgorithm`:
+it can build exact per-rank engine programs (moving real payloads, for
+correctness tests) and evaluate its deterministic base running time via
+the fast vectorised evaluators.
+
+Algorithm ids follow Open MPI 4.0.2's ``coll_tuned`` numbering where one
+exists (e.g. bcast 1=linear ... 9=scatter_ring_allgather).
+"""
+
+from repro.collectives.base import (
+    AlgorithmConfig,
+    CollectiveAlgorithm,
+    CollectiveKind,
+    config_space_size,
+)
+from repro.collectives import (
+    allgather,
+    allreduce,
+    alltoall,
+    bcast,
+    hierarchical,
+    reduce,
+)
+from repro.collectives.registry import (
+    algorithm_from_config,
+    make_algorithm,
+    named_algorithms,
+)
+
+__all__ = [
+    "AlgorithmConfig",
+    "CollectiveAlgorithm",
+    "CollectiveKind",
+    "config_space_size",
+    "algorithm_from_config",
+    "make_algorithm",
+    "named_algorithms",
+    "bcast",
+    "allreduce",
+    "alltoall",
+    "reduce",
+    "allgather",
+    "hierarchical",
+]

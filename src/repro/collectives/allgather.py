@@ -1,0 +1,341 @@
+"""Allgather algorithms (Open MPI ``coll_tuned`` numbering).
+
+====  ==================  ============================================
+id    name                structure
+====  ==================  ============================================
+1     linear              gather to rank 0 + broadcast (basic)
+2     bruck               log2(p) rounds of doubling block trains
+3     recursive_doubling  butterfly with non-power-of-two folding
+4     ring                p-1 neighbour shifts
+5     neighbor_exchange   p/2 rounds of paired 2-block swaps (even p)
+6     two_proc            single exchange (p == 2 only)
+====  ==================  ============================================
+
+Extension beyond the paper's Table II (see ``CollectiveKind``).
+Verification payloads are per-rank blocks; a correct allgather leaves
+``{r: ("blk", r) for all r}`` on every rank. ``nbytes`` is the
+per-rank contribution (so the gathered buffer is ``p * nbytes``).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from typing import Any
+
+import numpy as np
+
+from repro.collectives.base import (
+    AlgorithmConfig,
+    CollectiveAlgorithm,
+    CollectiveKind,
+)
+from repro.collectives.patterns import (
+    allgather_doubling_rounds,
+    exchange,
+    phase_tag,
+    ring_rounds,
+)
+from repro.machine.model import MachineModel
+from repro.machine.topology import Topology
+from repro.simulator.engine import Recv, Send, SimResult
+from repro.simulator.fastsim import Round, linear_time, round_time
+
+
+class _AllgatherBase(CollectiveAlgorithm):
+    """Shared verification: every rank holds every rank's block."""
+
+    def verify_result(self, topo: Topology, nbytes: int, result: SimResult) -> None:
+        expected = {r: ("blk", r) for r in range(topo.size)}
+        for rank, output in enumerate(result.outputs):
+            assert output == expected, (
+                f"{self.config.label}: rank {rank} gathered {output!r}"
+            )
+
+
+def _own(rank: int) -> dict[int, Any]:
+    return {rank: ("blk", rank)}
+
+
+class AllgatherLinear(_AllgatherBase):
+    """Algorithm 1: gather everything to rank 0, broadcast the result."""
+
+    def __init__(self) -> None:
+        super().__init__(
+            AlgorithmConfig.make(CollectiveKind.ALLGATHER, 1, "linear")
+        )
+
+    def base_time(self, machine: MachineModel, topo: Topology, nbytes: int) -> float:
+        peers = list(range(1, topo.size))
+        up = linear_time(machine, topo, 0, peers, nbytes, gather=True)
+        down = linear_time(machine, topo, 0, peers, nbytes * topo.size)
+        return up + down
+
+    def programs(self, topo: Topology, nbytes: int) -> Sequence[Callable[[int], Any]]:
+        p = topo.size
+
+        def factory(rank: int):
+            def prog():
+                if rank == 0:
+                    gathered = _own(0)
+                    for src in range(1, p):
+                        got = yield Recv(src, tag=phase_tag(0))
+                        gathered.update(got)
+                    for dst in range(1, p):
+                        yield Send(dst, p * nbytes, dict(gathered),
+                                   tag=phase_tag(1))
+                    return gathered
+                yield Send(0, nbytes, _own(rank), tag=phase_tag(0))
+                final = yield Recv(0, tag=phase_tag(1))
+                return dict(final)
+
+            return prog()
+
+        return [factory] * p
+
+
+class AllgatherBruck(_AllgatherBase):
+    """Algorithm 2: doubling block trains shifted around the ring."""
+
+    def __init__(self) -> None:
+        super().__init__(
+            AlgorithmConfig.make(CollectiveKind.ALLGATHER, 2, "bruck")
+        )
+
+    def base_time(self, machine: MachineModel, topo: Topology, nbytes: int) -> float:
+        # Invariant: after each round every rank holds a train of
+        # `have` consecutive blocks; it ships min(have, p - have) of
+        # them a distance of `have` backwards.
+        p = topo.size
+        rounds: list[Round] = []
+        ranks = np.arange(p)
+        have = 1
+        while have < p:
+            count = min(have, p - have)
+            rounds.append(
+                Round.make(ranks, (ranks - have) % p, count * nbytes)
+            )
+            have += count
+        return round_time(machine, topo, rounds)
+
+    def programs(self, topo: Topology, nbytes: int) -> Sequence[Callable[[int], Any]]:
+        p = topo.size
+
+        def factory(rank: int):
+            def prog():
+                gathered = _own(rank)
+                have = 1
+                while have < p:
+                    count = min(have, p - have)
+                    # We hold blocks rank..rank+have-1; the peer at
+                    # rank-have needs the first `count` of our train.
+                    payload = {
+                        (rank + i) % p: gathered[(rank + i) % p]
+                        for i in range(count)
+                    }
+                    got = yield from exchange(
+                        (rank - have) % p, (rank + have) % p,
+                        nbytes_send=count * nbytes,
+                        payload=payload, tag=phase_tag(0, have),
+                    )
+                    gathered.update(got)
+                    have += count
+                return gathered
+
+            return prog()
+
+        return [factory] * p
+
+
+class AllgatherRecursiveDoubling(_AllgatherBase):
+    """Algorithm 3: butterfly exchanges with non-power-of-two folding."""
+
+    def __init__(self) -> None:
+        super().__init__(
+            AlgorithmConfig.make(
+                CollectiveKind.ALLGATHER, 3, "recursive_doubling"
+            )
+        )
+
+    def base_time(self, machine: MachineModel, topo: Topology, nbytes: int) -> float:
+        return round_time(
+            machine, topo, allgather_doubling_rounds(topo, nbytes * topo.size)
+        )
+
+    def programs(self, topo: Topology, nbytes: int) -> Sequence[Callable[[int], Any]]:
+        p = topo.size
+        pof2 = 1 << (p.bit_length() - 1)
+        rem = p - pof2
+
+        def factory(rank: int):
+            def prog():
+                gathered = _own(rank)
+                if rem and rank < 2 * rem and rank % 2 == 1:
+                    yield Send(rank - 1, nbytes, gathered, tag=phase_tag(0))
+                    final = yield Recv(rank - 1, tag=phase_tag(2))
+                    return dict(final)
+                if rem and rank < 2 * rem:
+                    extra = yield Recv(rank + 1, tag=phase_tag(0))
+                    gathered.update(extra)
+                vrank = rank // 2 if rank < 2 * rem else rank - rem
+
+                def real(v: int) -> int:
+                    return v * 2 if v < rem else v + rem
+
+                dist = 1
+                while dist < pof2:
+                    peer = real(vrank ^ dist)
+                    got = yield from exchange(
+                        peer, peer,
+                        nbytes_send=len(gathered) * nbytes,
+                        payload=dict(gathered), tag=phase_tag(1, dist),
+                    )
+                    gathered.update(got)
+                    dist <<= 1
+                if rem and rank < 2 * rem:
+                    yield Send(rank + 1, p * nbytes, dict(gathered),
+                               tag=phase_tag(2))
+                return gathered
+
+            return prog()
+
+        return [factory] * p
+
+
+class AllgatherRing(_AllgatherBase):
+    """Algorithm 4: p-1 neighbour shifts of one block each."""
+
+    def __init__(self) -> None:
+        super().__init__(
+            AlgorithmConfig.make(CollectiveKind.ALLGATHER, 4, "ring")
+        )
+
+    def base_time(self, machine: MachineModel, topo: Topology, nbytes: int) -> float:
+        return round_time(
+            machine, topo, ring_rounds(topo, nbytes, topo.size - 1)
+        )
+
+    def programs(self, topo: Topology, nbytes: int) -> Sequence[Callable[[int], Any]]:
+        p = topo.size
+
+        def factory(rank: int):
+            def prog():
+                gathered = _own(rank)
+                nxt, prev = (rank + 1) % p, (rank - 1) % p
+                send_block = rank
+                for step in range(p - 1):
+                    got = yield from exchange(
+                        nxt, prev, nbytes_send=nbytes,
+                        payload={send_block: gathered[send_block]},
+                        tag=phase_tag(0, step),
+                    )
+                    (recv_block, value), = got.items()
+                    gathered[recv_block] = value
+                    send_block = recv_block
+                return gathered
+
+            return prog()
+
+        return [factory] * p
+
+
+class AllgatherNeighborExchange(_AllgatherBase):
+    """Algorithm 5: paired neighbour swaps (requires an even p).
+
+    Ranks pair alternately left/right; after the first single-block
+    swap every round exchanges the two freshest blocks, completing in
+    p/2 rounds — fewer, fatter messages than the ring.
+    """
+
+    def __init__(self) -> None:
+        super().__init__(
+            AlgorithmConfig.make(
+                CollectiveKind.ALLGATHER, 5, "neighbor_exchange"
+            )
+        )
+
+    def supported(self, topo: Topology, nbytes: int) -> bool:
+        return topo.size % 2 == 0 or topo.size == 1
+
+    def base_time(self, machine: MachineModel, topo: Topology, nbytes: int) -> float:
+        p = topo.size
+        if p <= 1:
+            return 0.0
+        ranks = np.arange(p)
+        even = ranks % 2 == 0
+        first_peer = np.where(even, (ranks + 1) % p, (ranks - 1) % p)
+        rounds = [Round.make(ranks, first_peer, nbytes)]
+        for step in range(1, p // 2):
+            if step % 2 == 1:
+                peer = np.where(even, (ranks - 1) % p, (ranks + 1) % p)
+            else:
+                peer = first_peer
+            rounds.append(Round.make(ranks, peer, 2 * nbytes))
+        return round_time(machine, topo, rounds)
+
+    def programs(self, topo: Topology, nbytes: int) -> Sequence[Callable[[int], Any]]:
+        p = topo.size
+
+        def factory(rank: int):
+            def prog():
+                gathered = _own(rank)
+                if p == 1:
+                    return gathered
+                even = rank % 2 == 0
+                right = (rank + 1) % p
+                left = (rank - 1) % p
+                first = right if even else left
+                got = yield from exchange(
+                    first, first, nbytes_send=nbytes,
+                    payload=_own(rank), tag=phase_tag(0),
+                )
+                gathered.update(got)
+                last_two = dict(gathered)
+                for step in range(1, p // 2):
+                    if step % 2 == 1:
+                        peer = left if even else right
+                    else:
+                        peer = first
+                    got = yield from exchange(
+                        peer, peer, nbytes_send=2 * nbytes,
+                        payload=dict(last_two), tag=phase_tag(1, step),
+                    )
+                    gathered.update(got)
+                    last_two = dict(got)
+                return gathered
+
+            return prog()
+
+        return [factory] * p
+
+
+class AllgatherTwoProc(_AllgatherBase):
+    """Algorithm 6: the dedicated two-process exchange."""
+
+    def __init__(self) -> None:
+        super().__init__(
+            AlgorithmConfig.make(CollectiveKind.ALLGATHER, 6, "two_proc")
+        )
+
+    def supported(self, topo: Topology, nbytes: int) -> bool:
+        return topo.size == 2
+
+    def base_time(self, machine: MachineModel, topo: Topology, nbytes: int) -> float:
+        return round_time(
+            machine, topo, [Round.make([0, 1], [1, 0], nbytes)]
+        )
+
+    def programs(self, topo: Topology, nbytes: int) -> Sequence[Callable[[int], Any]]:
+        def factory(rank: int):
+            def prog():
+                peer = 1 - rank
+                got = yield from exchange(
+                    peer, peer, nbytes_send=nbytes, payload=_own(rank),
+                    tag=phase_tag(0),
+                )
+                out = _own(rank)
+                out.update(got)
+                return out
+
+            return prog()
+
+        return [factory] * 2

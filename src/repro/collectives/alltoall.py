@@ -1,0 +1,268 @@
+"""Alltoall algorithms.
+
+====  ============  =====================================================
+id    name          structure
+====  ============  =====================================================
+1     linear        post all receives, issue all sends, wait (flood)
+2     pairwise      p-1 rounds, exchange with rank+k / rank-k
+3     bruck         ceil(log2 p) rounds of aggregated blocks
+4     linear_sync   like pairwise but without duplex overlap (blocking
+                    send then blocking receive per peer)
+5     ring          store-and-forward around the ring (shift algorithm)
+====  ============  =====================================================
+
+Verification payloads are ``(src, dst)`` tuples; a correct alltoall
+leaves ``{src: (src, rank) for all src}`` on every rank.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from typing import Any
+
+import numpy as np
+
+from repro.collectives.base import (
+    AlgorithmConfig,
+    CollectiveAlgorithm,
+    CollectiveKind,
+)
+from repro.collectives.patterns import (
+    bruck_alltoall_rounds,
+    exchange,
+    pairwise_rounds,
+    phase_tag,
+)
+from repro.machine.model import MachineModel
+from repro.machine.topology import Topology
+from repro.simulator.engine import Irecv, Recv, Send, SimResult, Wait
+from repro.simulator.fastsim import Round, round_time
+
+
+class _AlltoallBase(CollectiveAlgorithm):
+    """Shared verification: rank r holds {src: (src, r)} for every src."""
+
+    def verify_result(self, topo: Topology, nbytes: int, result: SimResult) -> None:
+        for rank, output in enumerate(result.outputs):
+            expected = {src: ("blk", src, rank) for src in range(topo.size)}
+            assert output == expected, (
+                f"{self.config.label}: rank {rank} received {output!r}"
+            )
+
+
+def _my_blocks(rank: int, p: int) -> dict[int, Any]:
+    """The p outgoing blocks of ``rank`` (including its own)."""
+    return {dst: ("blk", rank, dst) for dst in range(p)}
+
+
+class AlltoallLinear(_AlltoallBase):
+    """Algorithm 1: fully concurrent isend/irecv flood."""
+
+    def __init__(self) -> None:
+        super().__init__(AlgorithmConfig.make(CollectiveKind.ALLTOALL, 1, "linear"))
+
+    def base_time(self, machine: MachineModel, topo: Topology, nbytes: int) -> float:
+        p = topo.size
+        if p == 1:
+            return 0.0
+        ranks = np.arange(p)
+        srcs = np.repeat(ranks, p - 1)
+        dsts = np.concatenate([np.delete(ranks, r) for r in range(p)])
+        # Every rank issues its p-1 sends back to back; the per-send
+        # software overheads serialise even when the wires do not.
+        flood = Round.make(srcs, dsts, nbytes)
+        return round_time(machine, topo, [flood]) + (p - 2) * machine.cpu_overhead
+
+    def programs(self, topo: Topology, nbytes: int) -> Sequence[Callable[[int], Any]]:
+        p = topo.size
+
+        def factory(rank: int):
+            def prog():
+                mine = _my_blocks(rank, p)
+                handles = {}
+                # Staggered peer order (rank +/- i) avoids the hotspot of
+                # everyone flooding rank 0 first — what real linear
+                # alltoalls do as well.
+                for i in range(1, p):
+                    src = (rank - i) % p
+                    handles[src] = yield Irecv(src, tag=phase_tag(0))
+                for i in range(1, p):
+                    dst = (rank + i) % p
+                    yield Send(dst, nbytes, mine[dst], tag=phase_tag(0))
+                out = {rank: mine[rank]}
+                for src, handle in handles.items():
+                    out[src] = yield Wait(handle)
+                return out
+
+            return prog()
+
+        return [factory] * p
+
+
+class AlltoallPairwise(_AlltoallBase):
+    """Algorithm 2: structured pairwise exchange, one peer per round."""
+
+    def __init__(self) -> None:
+        super().__init__(
+            AlgorithmConfig.make(CollectiveKind.ALLTOALL, 2, "pairwise")
+        )
+
+    def base_time(self, machine: MachineModel, topo: Topology, nbytes: int) -> float:
+        return round_time(machine, topo, pairwise_rounds(topo, nbytes))
+
+    def programs(self, topo: Topology, nbytes: int) -> Sequence[Callable[[int], Any]]:
+        p = topo.size
+
+        def factory(rank: int):
+            def prog():
+                mine = _my_blocks(rank, p)
+                out = {rank: mine[rank]}
+                for k in range(1, p):
+                    send_to = (rank + k) % p
+                    recv_from = (rank - k) % p
+                    got = yield from exchange(
+                        send_to, recv_from, nbytes_send=nbytes,
+                        payload=mine[send_to], tag=phase_tag(0, k),
+                    )
+                    out[recv_from] = got
+                return out
+
+            return prog()
+
+        return [factory] * p
+
+
+class AlltoallLinearSync(_AlltoallBase):
+    """Algorithm 4: pairwise schedule with blocking send *then* receive.
+
+    Under the eager-protocol engine this costs about the same as
+    pairwise plus per-round request bookkeeping; it stays in the
+    portfolio because real libraries keep it for its O(1) request
+    memory (and because redundant near-ties are exactly what the
+    selector must cope with).
+    """
+
+    def __init__(self) -> None:
+        super().__init__(
+            AlgorithmConfig.make(CollectiveKind.ALLTOALL, 4, "linear_sync")
+        )
+
+    def base_time(self, machine: MachineModel, topo: Topology, nbytes: int) -> float:
+        rounds = [
+            Round(
+                srcs=r.srcs, dsts=r.dsts, nbytes=r.nbytes,
+                extra_seconds=2 * machine.cpu_overhead,
+            )
+            for r in pairwise_rounds(topo, nbytes)
+        ]
+        return round_time(machine, topo, rounds)
+
+    def programs(self, topo: Topology, nbytes: int) -> Sequence[Callable[[int], Any]]:
+        p = topo.size
+
+        def factory(rank: int):
+            def prog():
+                mine = _my_blocks(rank, p)
+                out = {rank: mine[rank]}
+                for k in range(1, p):
+                    send_to = (rank + k) % p
+                    recv_from = (rank - k) % p
+                    yield Send(send_to, nbytes, mine[send_to], tag=phase_tag(0, k))
+                    out[recv_from] = yield Recv(recv_from, tag=phase_tag(0, k))
+                return out
+
+            return prog()
+
+        return [factory] * p
+
+
+class AlltoallBruck(_AlltoallBase):
+    """Algorithm 3: Bruck's log-round alltoall with block aggregation."""
+
+    def __init__(self) -> None:
+        super().__init__(AlgorithmConfig.make(CollectiveKind.ALLTOALL, 3, "bruck"))
+
+    def base_time(self, machine: MachineModel, topo: Topology, nbytes: int) -> float:
+        return round_time(machine, topo, bruck_alltoall_rounds(topo, nbytes))
+
+    def programs(self, topo: Topology, nbytes: int) -> Sequence[Callable[[int], Any]]:
+        p = topo.size
+
+        def factory(rank: int):
+            def prog():
+                mine = _my_blocks(rank, p)
+                # Local rotation: slot i holds the block destined for
+                # rank (rank + i) mod p.
+                slots: dict[int, Any] = {
+                    i: mine[(rank + i) % p] for i in range(p)
+                }
+                k = 1
+                while k < p:
+                    send_slots = {i: slots[i] for i in range(p) if i & k}
+                    got = yield from exchange(
+                        (rank + k) % p, (rank - k) % p,
+                        nbytes_send=len(send_slots) * nbytes,
+                        payload=send_slots, tag=phase_tag(0, k),
+                    )
+                    slots.update(got)
+                    k <<= 1
+                # Inverse rotation: slot i now holds the block *for me*
+                # from rank (rank - i) mod p.
+                return {(rank - i) % p: slots[i] for i in range(p)}
+
+            return prog()
+
+        return [factory] * p
+
+
+class AlltoallRing(_AlltoallBase):
+    """Algorithm 5: store-and-forward shift around the ring.
+
+    In round ``k`` every rank forwards its remaining ``p - k`` foreign
+    blocks one hop; each hop peels off the block that has arrived home.
+    Only neighbour links are ever used — friendly to torus-like
+    fabrics, quadratic in traffic otherwise.
+    """
+
+    def __init__(self) -> None:
+        super().__init__(AlgorithmConfig.make(CollectiveKind.ALLTOALL, 5, "ring"))
+
+    def base_time(self, machine: MachineModel, topo: Topology, nbytes: int) -> float:
+        p = topo.size
+        ranks = np.arange(p)
+        nxt = (ranks + 1) % p
+        rounds = [
+            Round.make(ranks, nxt, (p - k) * nbytes) for k in range(1, p)
+        ]
+        return round_time(machine, topo, rounds)
+
+    def programs(self, topo: Topology, nbytes: int) -> Sequence[Callable[[int], Any]]:
+        p = topo.size
+
+        def factory(rank: int):
+            def prog():
+                mine = _my_blocks(rank, p)
+                out = {rank: mine[rank]}
+                # Outbox keyed by destination; travels against rank
+                # order so that rank r's block for dst arrives after
+                # (dst - r) mod p hops... we send forward (to rank+1).
+                outbox = {dst: mine[dst] for dst in range(p) if dst != rank}
+                nxt = (rank + 1) % p
+                prev = (rank - 1) % p
+                for k in range(1, p):
+                    got = yield from exchange(
+                        nxt, prev, nbytes_send=len(outbox) * nbytes,
+                        payload=outbox, tag=phase_tag(0, k),
+                    )
+                    outbox = {}
+                    for dst, payload in got.items():
+                        if dst == rank:
+                            src = payload[1]
+                            out[src] = payload
+                        else:
+                            outbox[dst] = payload
+                return out
+
+            return prog()
+
+        return [factory] * p

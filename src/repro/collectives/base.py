@@ -1,0 +1,164 @@
+"""Common machinery for collective algorithms.
+
+The central concept (paper §III-B) is the *unique configuration id*
+``u_{j,l}``: an algorithm id ``j`` merged with one concrete allocation
+``l`` of its parameters (segment size, number of chains, tree radix).
+:class:`AlgorithmConfig` is that identifier; a library's tuning space is
+a list of them, and the selection framework trains one regression model
+per config.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.machine.model import MachineModel
+from repro.machine.topology import Topology
+from repro.simulator.engine import Engine, SimResult
+from repro.utils.units import format_bytes
+
+
+class CollectiveKind(str, enum.Enum):
+    """Blocking collectives with a tuning space.
+
+    BCAST/ALLREDUCE/ALLTOALL are the paper's Table II subjects;
+    REDUCE and ALLGATHER are implemented as an extension (the paper
+    argues its approach is generic — §II) and exposed through the
+    Open MPI façade.
+    """
+
+    BCAST = "bcast"
+    ALLREDUCE = "allreduce"
+    ALLTOALL = "alltoall"
+    REDUCE = "reduce"
+    ALLGATHER = "allgather"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class AlgorithmConfig:
+    """A unique algorithm configuration ``u_{j,l}``.
+
+    ``params`` is a sorted tuple of ``(name, value)`` pairs so configs
+    are hashable and have a canonical ordering within an algorithm.
+    """
+
+    collective: CollectiveKind
+    algid: int
+    name: str
+    params: tuple[tuple[str, Any], ...] = ()
+
+    @staticmethod
+    def make(
+        collective: CollectiveKind | str,
+        algid: int,
+        name: str,
+        **params: Any,
+    ) -> "AlgorithmConfig":
+        return AlgorithmConfig(
+            collective=CollectiveKind(collective),
+            algid=algid,
+            name=name,
+            params=tuple(sorted(params.items())),
+        )
+
+    @property
+    def param_dict(self) -> dict[str, Any]:
+        return dict(self.params)
+
+    @property
+    def label(self) -> str:
+        """Human-readable id, e.g. ``2:chain(chains=4,seg=16KiB)``."""
+        if not self.params:
+            return f"{self.algid}:{self.name}"
+        rendered = ",".join(
+            f"{k}={format_bytes(v) if k == 'segsize' and v else v}"
+            for k, v in self.params
+        )
+        return f"{self.algid}:{self.name}({rendered})"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.label
+
+
+class CollectiveAlgorithm(abc.ABC):
+    """One algorithm configuration, executable on both simulator tiers."""
+
+    def __init__(self, config: AlgorithmConfig) -> None:
+        self.config = config
+
+    # -- fast tier ------------------------------------------------------
+    @abc.abstractmethod
+    def base_time(self, machine: MachineModel, topo: Topology, nbytes: int) -> float:
+        """Deterministic running time on ``machine`` (no noise)."""
+
+    # -- exact tier ------------------------------------------------------
+    @abc.abstractmethod
+    def programs(
+        self, topo: Topology, nbytes: int
+    ) -> Sequence[Callable[[int], Any]]:
+        """Per-rank engine programs carrying verification payloads."""
+
+    @abc.abstractmethod
+    def verify_result(self, topo: Topology, nbytes: int, result: SimResult) -> None:
+        """Raise ``AssertionError`` if the engine outputs are semantically wrong."""
+
+    # -- applicability ----------------------------------------------------
+    def supported(self, topo: Topology, nbytes: int) -> bool:
+        """Whether this configuration can run the given instance at all."""
+        return topo.size >= 1
+
+    # -- convenience -------------------------------------------------------
+    def run_exact(
+        self,
+        machine: MachineModel,
+        topo: Topology,
+        nbytes: int,
+        rng: Any = None,
+        verify: bool = True,
+    ) -> SimResult:
+        """Execute on the exact engine, optionally verifying semantics."""
+        engine = Engine(machine, topo, rng=rng)
+        result = engine.run(list(self.programs(topo, nbytes)))
+        if verify:
+            self.verify_result(topo, nbytes, result)
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.config.label}>"
+
+
+@dataclass(frozen=True)
+class ConfigSpace:
+    """The full tuning space of one collective in one MPI library."""
+
+    collective: CollectiveKind
+    library: str
+    configs: tuple[AlgorithmConfig, ...] = field(default=())
+
+    def __len__(self) -> int:
+        return len(self.configs)
+
+    def index_of(self, config: AlgorithmConfig) -> int:
+        """Stable integer id of a config within this space (the u id)."""
+        try:
+            return self.configs.index(config)
+        except ValueError:
+            raise KeyError(f"{config.label} not in {self.library}/{self.collective}")
+
+    def algids(self) -> list[int]:
+        return sorted({c.algid for c in self.configs})
+
+
+def config_space_size(configs: Sequence[AlgorithmConfig]) -> dict[int, int]:
+    """Number of parameter allocations per algorithm id (for reports)."""
+    counts: dict[int, int] = {}
+    for c in configs:
+        counts[c.algid] = counts.get(c.algid, 0) + 1
+    return counts

@@ -1,0 +1,553 @@
+"""Broadcast algorithms (Open MPI 4.0.2 ``coll_tuned`` numbering).
+
+====  =======================  ==========================================
+id    name                     parameters
+====  =======================  ==========================================
+1     linear                   —
+2     chain                    segsize, chains (fanout of parallel chains)
+3     pipeline                 segsize
+4     split_binary             segsize
+5     binary                   segsize
+6     binomial                 segsize
+7     knomial                  segsize, radix
+8     scatter_allgather        — (binomial scatter + rec.-doubling allgather)
+9     scatter_ring_allgather   — (binomial scatter + ring allgather)
+====  =======================  ==========================================
+
+``segsize=None`` means unsegmented. Algorithm 8 is the one the paper
+found buggy in Open MPI 4.0.2 and excluded from dataset d1; here it is
+implemented correctly, and datasets exclude it by id to mirror the
+paper (see :mod:`repro.experiments.datasets`).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from typing import Any
+
+import numpy as np
+
+from repro.collectives import trees
+from repro.collectives.base import (
+    AlgorithmConfig,
+    CollectiveAlgorithm,
+    CollectiveKind,
+)
+from repro.collectives.patterns import (
+    block_bytes,
+    exchange,
+    phase_tag,
+    tree_bcast_program,
+)
+from repro.collectives.patterns import (
+    allgather_doubling_rounds,
+    binomial_scatter_rounds,
+    ring_rounds,
+)
+from repro.machine.model import MachineModel
+from repro.machine.topology import Topology
+from repro.simulator.engine import Recv, Send, SimResult
+from repro.simulator.fastsim import (
+    Round,
+    linear_time,
+    pipeline_tree_time,
+    round_time,
+    segment_sizes,
+)
+
+
+def _seg_payloads(sizes: np.ndarray) -> list[Any]:
+    """Distinct verification payloads, one per segment."""
+    return [("seg", s) for s in range(len(sizes))]
+
+
+class _BcastBase(CollectiveAlgorithm):
+    """Shared verification: every rank must end up with every segment."""
+
+    def __init__(self, config: AlgorithmConfig, root: int = 0) -> None:
+        super().__init__(config)
+        self.root = root
+
+    def expected_output(self, topo: Topology, nbytes: int) -> Any:
+        seg = self.config.param_dict.get("segsize")
+        return _seg_payloads(segment_sizes(nbytes, seg))
+
+    def verify_result(self, topo: Topology, nbytes: int, result: SimResult) -> None:
+        expected = self.expected_output(topo, nbytes)
+        for rank, output in enumerate(result.outputs):
+            assert output == expected, (
+                f"{self.config.label}: rank {rank} got {output!r}, "
+                f"expected {expected!r}"
+            )
+
+
+class BcastLinear(_BcastBase):
+    """Algorithm 1: the root sends the full message to every rank in turn."""
+
+    def __init__(self, root: int = 0) -> None:
+        super().__init__(
+            AlgorithmConfig.make(CollectiveKind.BCAST, 1, "linear"), root
+        )
+
+    def base_time(self, machine: MachineModel, topo: Topology, nbytes: int) -> float:
+        peers = [r for r in range(topo.size) if r != self.root]
+        return linear_time(machine, topo, self.root, peers, nbytes)
+
+    def programs(self, topo: Topology, nbytes: int) -> Sequence[Callable[[int], Any]]:
+        root = self.root
+        payload = ("seg", 0)
+
+        def factory(rank: int):
+            def prog():
+                if rank == root:
+                    for dst in range(topo.size):
+                        if dst != root:
+                            yield Send(dst, nbytes, payload)
+                    return [payload]
+                data = yield Recv(root)
+                return [data]
+
+            return prog()
+
+        return [factory] * topo.size
+
+    def expected_output(self, topo: Topology, nbytes: int) -> Any:
+        return [("seg", 0)]
+
+
+class _SegmentedTreeBcast(_BcastBase):
+    """Segmented pipelined broadcast down a rank tree."""
+
+    def __init__(
+        self,
+        config: AlgorithmConfig,
+        tree_builder: Callable[[int, int], trees.Tree],
+        root: int = 0,
+    ) -> None:
+        super().__init__(config, root)
+        self._tree_builder = tree_builder
+
+    def _tree(self, topo: Topology) -> trees.Tree:
+        return self._tree_builder(topo.size, self.root)
+
+    def base_time(self, machine: MachineModel, topo: Topology, nbytes: int) -> float:
+        parent, children = self._tree(topo)
+        seg = self.config.param_dict.get("segsize")
+        return pipeline_tree_time(machine, topo, parent, children, nbytes, seg)
+
+    def programs(self, topo: Topology, nbytes: int) -> Sequence[Callable[[int], Any]]:
+        parent, children = self._tree(topo)
+        seg = self.config.param_dict.get("segsize")
+        sizes = segment_sizes(nbytes, seg)
+        payloads = _seg_payloads(sizes)
+
+        def factory(rank: int):
+            return tree_bcast_program(rank, parent, children, sizes, payloads)
+
+        return [factory] * topo.size
+
+
+def _chain_builder(chains: int) -> Callable[[int, int], trees.Tree]:
+    return lambda p, root: trees.chain_tree(p, chains, root)
+
+
+class BcastChain(_SegmentedTreeBcast):
+    """Algorithm 2: ``chains`` parallel pipelined chains (Figure 2's alg.)."""
+
+    def __init__(self, segsize: int | None, chains: int, root: int = 0) -> None:
+        super().__init__(
+            AlgorithmConfig.make(
+                CollectiveKind.BCAST, 2, "chain", segsize=segsize, chains=chains
+            ),
+            _chain_builder(chains),
+            root,
+        )
+
+
+class BcastPipeline(_SegmentedTreeBcast):
+    """Algorithm 3: one pipelined chain through all ranks."""
+
+    def __init__(self, segsize: int | None, root: int = 0) -> None:
+        super().__init__(
+            AlgorithmConfig.make(
+                CollectiveKind.BCAST, 3, "pipeline", segsize=segsize
+            ),
+            lambda p, r: trees.pipeline_tree(p, r),
+            root,
+        )
+
+
+class BcastBinary(_SegmentedTreeBcast):
+    """Algorithm 5: segmented broadcast down a complete binary tree."""
+
+    def __init__(self, segsize: int | None, root: int = 0) -> None:
+        super().__init__(
+            AlgorithmConfig.make(CollectiveKind.BCAST, 5, "binary", segsize=segsize),
+            lambda p, r: trees.binary_tree(p, r),
+            root,
+        )
+
+
+class BcastBinomial(_SegmentedTreeBcast):
+    """Algorithm 6: segmented broadcast down a binomial tree."""
+
+    def __init__(self, segsize: int | None, root: int = 0) -> None:
+        super().__init__(
+            AlgorithmConfig.make(
+                CollectiveKind.BCAST, 6, "binomial", segsize=segsize
+            ),
+            lambda p, r: trees.binomial_tree(p, r),
+            root,
+        )
+
+
+class BcastKnomial(_SegmentedTreeBcast):
+    """Algorithm 7: segmented broadcast down a k-nomial tree."""
+
+    def __init__(self, segsize: int | None, radix: int, root: int = 0) -> None:
+        super().__init__(
+            AlgorithmConfig.make(
+                CollectiveKind.BCAST, 7, "knomial", segsize=segsize, radix=radix
+            ),
+            lambda p, r: trees.knomial_tree(p, radix, r),
+            root,
+        )
+
+
+class BcastSplitBinary(_BcastBase):
+    """Algorithm 4: split-binary broadcast.
+
+    The message is split in two halves; each half is pipelined down one
+    subtree of a binary tree, and afterwards ranks of opposite subtrees
+    pair up (BFS order) and exchange halves. Ranks without a pair (the
+    subtree sizes can differ by one and the root has no pair) get the
+    missing half directly from the root.
+    """
+
+    def __init__(self, segsize: int | None, root: int = 0) -> None:
+        super().__init__(
+            AlgorithmConfig.make(
+                CollectiveKind.BCAST, 4, "split_binary", segsize=segsize
+            ),
+            root,
+        )
+
+    def supported(self, topo: Topology, nbytes: int) -> bool:
+        return topo.size >= 3
+
+    # -- structure -------------------------------------------------------
+    def _halves(self, topo: Topology) -> tuple[list[int], list[int]]:
+        """BFS orders of the two subtrees hanging off the root."""
+        parent, children = trees.binary_tree(topo.size, self.root)
+        kids = children[self.root]
+        sides: list[list[int]] = []
+        for head in kids[:2]:
+            order = [head]
+            i = 0
+            while i < len(order):
+                order.extend(children[order[i]])
+                i += 1
+            sides.append(order)
+        while len(sides) < 2:
+            sides.append([])
+        return sides[0], sides[1]
+
+    def _side_tree(
+        self, topo: Topology, side: list[int]
+    ) -> tuple[np.ndarray, list[list[int]]]:
+        """Tree over (root + side ranks); others marked absent (-2)."""
+        parent_full, children_full = trees.binary_tree(topo.size, self.root)
+        member = set(side) | {self.root}
+        parent = np.full(topo.size, -2, dtype=np.int64)
+        children: list[list[int]] = [[] for _ in range(topo.size)]
+        parent[self.root] = -1
+        for r in side:
+            parent[r] = parent_full[r]
+        for r in member:
+            children[r] = [c for c in children_full[r] if c in member]
+        return parent, children
+
+    @staticmethod
+    def _split_bytes(nbytes: int) -> tuple[int, int]:
+        return nbytes // 2, nbytes - nbytes // 2
+
+    # -- fast tier --------------------------------------------------------
+    def base_time(self, machine: MachineModel, topo: Topology, nbytes: int) -> float:
+        left, right = self._halves(topo)
+        seg = self.config.param_dict.get("segsize")
+        bytes_a, bytes_b = self._split_bytes(nbytes)
+        t_tree = 0.0
+        for side, part in ((left, bytes_a), (right, bytes_b)):
+            if not side:
+                continue
+            parent, children = self._side_tree(topo, side)
+            t_tree = max(
+                t_tree,
+                pipeline_tree_time(
+                    machine, topo, parent, children, part, seg,
+                    require_spanning=False,
+                ),
+            )
+        npairs = min(len(left), len(right))
+        t_xchg = 0.0
+        if npairs:
+            srcs = left[:npairs] + right[:npairs]
+            dsts = right[:npairs] + left[:npairs]
+            sizes = [bytes_b] * npairs + [bytes_a] * npairs
+            t_xchg = round_time(
+                machine, topo, [Round.make(srcs, dsts, np.asarray(sizes))]
+            )
+        leftovers = left[npairs:] + right[npairs:]
+        t_left = 0.0
+        if leftovers:
+            t_left = linear_time(
+                machine, topo, self.root, leftovers, max(bytes_a, bytes_b)
+            )
+        return t_tree + t_xchg + t_left
+
+    # -- exact tier --------------------------------------------------------
+    def programs(self, topo: Topology, nbytes: int) -> Sequence[Callable[[int], Any]]:
+        left, right = self._halves(topo)
+        seg = self.config.param_dict.get("segsize")
+        bytes_a, bytes_b = self._split_bytes(nbytes)
+        sizes_a = segment_sizes(bytes_a, seg)
+        sizes_b = segment_sizes(bytes_b, seg)
+        payload_a = [("A", s) for s in range(len(sizes_a))]
+        payload_b = [("B", s) for s in range(len(sizes_b))]
+        tree_a = self._side_tree(topo, left)
+        tree_b = self._side_tree(topo, right)
+        npairs = min(len(left), len(right))
+        pair: dict[int, tuple[int, int]] = {}
+        for i in range(npairs):
+            pair[left[i]] = (right[i], bytes_b)
+            pair[right[i]] = (left[i], bytes_a)
+        leftovers = left[npairs:] + right[npairs:]
+        missing = {
+            r: (payload_b, bytes_b) if r in set(left) else (payload_a, bytes_a)
+            for r in leftovers
+        }
+        root = self.root
+        side_of = {r: "A" for r in left}
+        side_of.update({r: "B" for r in right})
+
+        def factory(rank: int):
+            def prog():
+                if rank == root:
+                    # Interleave both subtree pipelines fairly: send
+                    # segment s of A then segment s of B.
+                    kidsa = tree_a[1][root]
+                    kidsb = tree_b[1][root]
+                    for s in range(max(len(sizes_a), len(sizes_b))):
+                        if s < len(sizes_a):
+                            for c in kidsa:
+                                yield Send(
+                                    c, int(sizes_a[s]), payload_a[s],
+                                    tag=phase_tag(0, s),
+                                )
+                        if s < len(sizes_b):
+                            for c in kidsb:
+                                yield Send(
+                                    c, int(sizes_b[s]), payload_b[s],
+                                    tag=phase_tag(1, s),
+                                )
+                    for r in leftovers:
+                        payload, size = missing[r]
+                        yield Send(r, size, tuple(payload), tag=phase_tag(2, r))
+                    return payload_a + payload_b
+
+                side = side_of[rank]
+                phase = 0 if side == "A" else 1
+                parent, children = tree_a if side == "A" else tree_b
+                sizes = sizes_a if side == "A" else sizes_b
+                mine = []
+                for s, size in enumerate(sizes):
+                    data = yield Recv(int(parent[rank]), tag=phase_tag(phase, s))
+                    mine.append(data)
+                    for c in children[rank]:
+                        yield Send(c, int(size), data, tag=phase_tag(phase, s))
+                if rank in pair:
+                    peer, send_bytes_other = pair[rank]
+                    other = yield from exchange(
+                        peer, peer,
+                        nbytes_send=bytes_a if side == "A" else bytes_b,
+                        payload=tuple(mine),
+                        tag=phase_tag(3, min(rank, peer)),
+                    )
+                    other = list(other)
+                else:
+                    other = list((yield Recv(root, tag=phase_tag(2, rank))))
+                got_a = mine if side == "A" else other
+                got_b = other if side == "A" else mine
+                return list(got_a) + list(got_b)
+
+            return prog()
+
+        return [factory] * topo.size
+
+    def expected_output(self, topo: Topology, nbytes: int) -> Any:
+        seg = self.config.param_dict.get("segsize")
+        bytes_a, bytes_b = self._split_bytes(nbytes)
+        return [("A", s) for s in range(len(segment_sizes(bytes_a, seg)))] + [
+            ("B", s) for s in range(len(segment_sizes(bytes_b, seg)))
+        ]
+
+
+class _ScatterAllgatherBase(_BcastBase):
+    """Common scatter phase for algorithms 8 and 9."""
+
+    def _scatter_programs_part(self, topo: Topology, nbytes: int, rank: int):
+        """Generator fragment: binomial scatter; returns my block dict."""
+        p = topo.size
+        root = self.root
+        parent, children = trees.binomial_tree(p, root)
+        block = block_bytes(nbytes, p)
+
+        def vrank(r: int) -> int:
+            return (r - root) % p
+
+        def span(r: int) -> int:
+            return trees.binomial_subtree_span(p, vrank(r))
+
+        def prog():
+            if rank == root:
+                blocks = {b: ("blk", b) for b in range(p)}
+            else:
+                blocks = yield Recv(int(parent[rank]), tag=phase_tag(0))
+                blocks = dict(blocks)
+            for child in children[rank]:
+                # Blocks are keyed by *virtual* rank throughout.
+                child_blocks = {
+                    b: blocks.pop(b)
+                    for b in range(vrank(child), vrank(child) + span(child))
+                }
+                yield Send(
+                    child,
+                    len(child_blocks) * block,
+                    child_blocks,
+                    tag=phase_tag(0),
+                )
+            return blocks
+
+        return prog()
+
+    def verify_result(self, topo: Topology, nbytes: int, result: SimResult) -> None:
+        expected = {b: ("blk", b) for b in range(topo.size)}
+        for rank, output in enumerate(result.outputs):
+            assert output == expected, (
+                f"{self.config.label}: rank {rank} holds blocks "
+                f"{sorted(output)} instead of all {topo.size}"
+            )
+
+    def expected_output(self, topo: Topology, nbytes: int) -> Any:
+        return {b: ("blk", b) for b in range(topo.size)}
+
+
+class BcastScatterAllgather(_ScatterAllgatherBase):
+    """Algorithm 8: binomial scatter + recursive-doubling allgather.
+
+    (The variant the paper found buggy in Open MPI 4.0.2 — implemented
+    correctly here; datasets exclude id 8 to mirror the paper.)
+    """
+
+    def __init__(self, root: int = 0) -> None:
+        super().__init__(
+            AlgorithmConfig.make(CollectiveKind.BCAST, 8, "scatter_allgather"),
+            root,
+        )
+
+    def base_time(self, machine: MachineModel, topo: Topology, nbytes: int) -> float:
+        rounds = binomial_scatter_rounds(topo, self.root, nbytes)
+        rounds += allgather_doubling_rounds(topo, nbytes)
+        return round_time(machine, topo, rounds)
+
+    def programs(self, topo: Topology, nbytes: int) -> Sequence[Callable[[int], Any]]:
+        p = topo.size
+        root = self.root
+        block = block_bytes(nbytes, p)
+        pof2 = 1 << (p.bit_length() - 1)
+        rem = p - pof2
+
+        def factory(rank: int):
+            def prog():
+                blocks = yield from self._scatter_programs_part(topo, nbytes, rank)
+                vr = (rank - root) % p
+
+                def real(v: int) -> int:
+                    return (v + root) % p
+
+                # Fold the tail ranks into the power-of-two core.
+                if vr >= pof2:
+                    partner = real(vr - pof2)
+                    yield Send(partner, len(blocks) * block, blocks, tag=phase_tag(1))
+                    full = yield Recv(partner, tag=phase_tag(2))
+                    return dict(full)
+                if vr < rem:
+                    extra = yield Recv(real(vr + pof2), tag=phase_tag(1))
+                    blocks.update(extra)
+                dist = 1
+                while dist < pof2:
+                    peer = real(vr ^ dist)
+                    got = yield from exchange(
+                        peer, peer,
+                        nbytes_send=len(blocks) * block,
+                        payload=dict(blocks),
+                        tag=phase_tag(3, dist),
+                    )
+                    blocks.update(got)
+                    dist <<= 1
+                if vr < rem:
+                    yield Send(
+                        real(vr + pof2), len(blocks) * block, dict(blocks),
+                        tag=phase_tag(2),
+                    )
+                return blocks
+
+            return prog()
+
+        return [factory] * topo.size
+
+
+class BcastScatterRingAllgather(_ScatterAllgatherBase):
+    """Algorithm 9: binomial scatter + ring allgather (bandwidth-optimal)."""
+
+    def __init__(self, root: int = 0) -> None:
+        super().__init__(
+            AlgorithmConfig.make(
+                CollectiveKind.BCAST, 9, "scatter_ring_allgather"
+            ),
+            root,
+        )
+
+    def base_time(self, machine: MachineModel, topo: Topology, nbytes: int) -> float:
+        rounds = binomial_scatter_rounds(topo, self.root, nbytes)
+        rounds += ring_rounds(
+            topo, block_bytes(nbytes, topo.size), topo.size - 1
+        )
+        return round_time(machine, topo, rounds)
+
+    def programs(self, topo: Topology, nbytes: int) -> Sequence[Callable[[int], Any]]:
+        p = topo.size
+        root = self.root
+        block = block_bytes(nbytes, p)
+
+        def factory(rank: int):
+            def prog():
+                blocks = yield from self._scatter_programs_part(topo, nbytes, rank)
+                # Each rank owns exactly the block of its virtual rank now.
+                send_block = (rank - root) % p
+                nxt = (rank + 1) % p
+                prev = (rank - 1) % p
+                for step in range(p - 1):
+                    payload = {send_block: blocks[send_block]}
+                    got = yield from exchange(
+                        nxt, prev, nbytes_send=block, payload=payload,
+                        tag=phase_tag(4, step),
+                    )
+                    (recv_block, value), = got.items()
+                    blocks[recv_block] = value
+                    send_block = recv_block
+                return blocks
+
+            return prog()
+
+        return [factory] * topo.size

@@ -1,0 +1,242 @@
+"""Two-level (SMP/topology-aware) collective algorithms.
+
+Intel MPI's tuning space is full of "topology-aware" and "SHM-based"
+variants: an intra-node phase over shared memory plus an inter-node
+phase among one leader rank per node. These wrappers reproduce that
+family generically: any flat algorithm can serve as the leader-level
+phase, executed on a virtual ``Topology(num_nodes, 1)`` and translated
+back onto the leader ranks of the real topology for the exact engine.
+
+* :class:`HierarchicalBcast` — leader-level broadcast (any tree-shaped
+  flat bcast) followed by an intra-node binomial broadcast.
+* :class:`HierarchicalAllreduce` — intra-node binomial reduce to the
+  leader, leader-level allreduce (any flat allreduce), intra-node
+  binomial broadcast.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Generator, Sequence
+from typing import Any
+
+import numpy as np
+
+from repro.collectives import trees
+from repro.collectives.base import (
+    AlgorithmConfig,
+    CollectiveAlgorithm,
+    CollectiveKind,
+)
+from repro.collectives.bcast import _BcastBase, _seg_payloads
+from repro.collectives.allreduce import _AllreduceBase, _merge
+from repro.collectives.patterns import (
+    phase_tag,
+    tree_bcast_program,
+    tree_reduce_program,
+)
+from repro.machine.model import MachineModel
+from repro.machine.topology import Topology
+from repro.simulator.engine import Irecv, Isend, Recv, Send, SimResult
+from repro.simulator.fastsim import pipeline_tree_time, segment_sizes
+
+#: tag namespace for the translated leader-level phase
+_INNER_PHASE = 16
+
+
+def translate_program(
+    program: Generator, rank_map: Sequence[int]
+) -> Generator:
+    """Re-address a program written for a sub-communicator.
+
+    ``rank_map[i]`` is the real rank of sub-communicator rank ``i``.
+    Send/Recv targets are rewritten and tags are moved into a reserved
+    namespace so leader-phase traffic never cross-matches intra-phase
+    traffic. Results (request handles, payloads) pass through
+    untouched.
+    """
+    result: Any = None
+    offset = phase_tag(_INNER_PHASE)
+    while True:
+        try:
+            op = program.send(result)
+        except StopIteration as stop:
+            return stop.value
+        if isinstance(op, Send):
+            op = Send(rank_map[op.dst], op.nbytes, op.payload, op.tag + offset)
+        elif isinstance(op, Isend):
+            op = Isend(rank_map[op.dst], op.nbytes, op.payload, op.tag + offset)
+        elif isinstance(op, Recv):
+            op = Recv(rank_map[op.src], op.tag + offset)
+        elif isinstance(op, Irecv):
+            op = Irecv(rank_map[op.src], op.tag + offset)
+        result = yield op
+
+
+def _intra_trees(topo: Topology) -> tuple[np.ndarray, list[list[int]]]:
+    """Per-node binomial trees rooted at each node leader, in global ranks."""
+    parent = np.full(topo.size, -1, dtype=np.int64)
+    children: list[list[int]] = [[] for _ in range(topo.size)]
+    lparent, lchildren = trees.binomial_tree(topo.ppn, 0)
+    for node in range(topo.num_nodes):
+        base = node * topo.ppn
+        for lr in range(topo.ppn):
+            parent[base + lr] = -1 if lparent[lr] < 0 else base + int(lparent[lr])
+            children[base + lr] = [base + c for c in lchildren[lr]]
+    return parent, children
+
+
+class HierarchicalBcast(_BcastBase):
+    """Leader-level broadcast + intra-node binomial broadcast.
+
+    ``inter`` must be a flat broadcast whose engine programs return the
+    received segment list (all tree-shaped bcasts qualify; the
+    scatter-based ones do not).
+    """
+
+    def __init__(self, algid: int, inter: CollectiveAlgorithm) -> None:
+        inter_params = inter.config.param_dict
+        super().__init__(
+            AlgorithmConfig.make(
+                CollectiveKind.BCAST,
+                algid,
+                f"hier_{inter.config.name}",
+                **inter_params,
+            )
+        )
+        self.inter = inter
+
+    def supported(self, topo: Topology, nbytes: int) -> bool:
+        return self.inter.supported(Topology(max(topo.num_nodes, 1), 1), nbytes)
+
+    def base_time(self, machine: MachineModel, topo: Topology, nbytes: int) -> float:
+        leaders = Topology(topo.num_nodes, 1)
+        t_inter = (
+            self.inter.base_time(machine, leaders, nbytes)
+            if topo.num_nodes > 1
+            else 0.0
+        )
+        t_intra = 0.0
+        if topo.ppn > 1:
+            node = Topology(1, topo.ppn)
+            parent, children = trees.binomial_tree(topo.ppn, 0)
+            seg = self.config.param_dict.get("segsize")
+            t_intra = pipeline_tree_time(
+                machine, node, parent, children, nbytes, seg
+            )
+        return t_inter + t_intra
+
+    def programs(self, topo: Topology, nbytes: int) -> Sequence[Callable[[int], Any]]:
+        seg = self.config.param_dict.get("segsize")
+        sizes = segment_sizes(nbytes, seg)
+        payloads = _seg_payloads(sizes)
+        iparent, ichildren = _intra_trees(topo)
+        leaders = list(topo.leaders())
+        leaders_topo = Topology(topo.num_nodes, 1)
+        inter_factories = (
+            list(self.inter.programs(leaders_topo, nbytes))
+            if topo.num_nodes > 1
+            else None
+        )
+
+        def factory(rank: int):
+            def prog():
+                if topo.local_rank(rank) == 0:
+                    if inter_factories is None:
+                        have = payloads
+                    else:
+                        node = topo.node_of(rank)
+                        have = yield from translate_program(
+                            inter_factories[node](node), leaders
+                        )
+                    out = yield from tree_bcast_program(
+                        rank, iparent, ichildren, sizes, have, phase=2
+                    )
+                else:
+                    out = yield from tree_bcast_program(
+                        rank, iparent, ichildren, sizes, [], phase=2
+                    )
+                return out
+
+            return prog()
+
+        return [factory] * topo.size
+
+
+class HierarchicalAllreduce(_AllreduceBase):
+    """Intra reduce -> leader-level allreduce -> intra broadcast."""
+
+    def __init__(self, algid: int, inter: CollectiveAlgorithm) -> None:
+        inter_params = inter.config.param_dict
+        super().__init__(
+            AlgorithmConfig.make(
+                CollectiveKind.ALLREDUCE,
+                algid,
+                f"hier_{inter.config.name}",
+                **inter_params,
+            )
+        )
+        self.inter = inter
+
+    def base_time(self, machine: MachineModel, topo: Topology, nbytes: int) -> float:
+        total = 0.0
+        if topo.ppn > 1:
+            node = Topology(1, topo.ppn)
+            parent, children = trees.binomial_tree(topo.ppn, 0)
+            total += pipeline_tree_time(
+                machine, node, parent, children, nbytes, None, reduce_up=True
+            )
+            total += pipeline_tree_time(
+                machine, node, parent, children, nbytes, None
+            )
+        if topo.num_nodes > 1:
+            leaders = Topology(topo.num_nodes, 1)
+            total += self.inter.base_time(machine, leaders, nbytes)
+        return total
+
+    def programs(
+        self, topo: Topology, nbytes: int, initial=None
+    ) -> Sequence[Callable[[int], Any]]:
+        init = self._init_fn(initial)
+        iparent, ichildren = _intra_trees(topo)
+        sizes = segment_sizes(nbytes, None)
+        leaders = list(topo.leaders())
+        leaders_topo = Topology(topo.num_nodes, 1)
+
+        def factory(rank: int):
+            def prog():
+                acc = yield from tree_reduce_program(
+                    rank, iparent, ichildren, sizes, [init(rank)], _merge,
+                    phase=0,
+                )
+                if topo.local_rank(rank) == 0 and topo.num_nodes > 1:
+                    node = topo.node_of(rank)
+                    node_value = acc[0]
+                    inter_factories = self.inter.programs(
+                        leaders_topo, nbytes,
+                        initial=lambda _leader: node_value,
+                    )
+                    reduced = yield from translate_program(
+                        inter_factories[node](node), leaders
+                    )
+                    if isinstance(reduced, dict):
+                        # Block-based flat algorithms return block dicts;
+                        # the full vector is their union.
+                        value = frozenset()
+                        for block_value in reduced.values():
+                            value = _merge(value, block_value)
+                    else:
+                        value = reduced
+                    acc = [value]
+                if topo.local_rank(rank) == 0:
+                    out = yield from tree_bcast_program(
+                        rank, iparent, ichildren, sizes, acc, phase=3
+                    )
+                else:
+                    out = yield from tree_bcast_program(
+                        rank, iparent, ichildren, sizes, [], phase=3
+                    )
+                return out[0]
+
+            return prog()
+
+        return [factory] * topo.size

@@ -1,0 +1,378 @@
+"""Reduce algorithms (Open MPI ``coll_tuned`` numbering).
+
+====  ===============  ================================================
+id    name             structure
+====  ===============  ================================================
+1     linear           every rank sends to the root, which folds in
+                       rank order
+2     chain            segmented reduction up parallel chains
+3     pipeline         segmented reduction up a single chain
+4     binary           segmented reduction up a complete binary tree
+5     binomial         segmented reduction up a binomial tree
+6     in_order_binary  binary tree honouring rank order (for non-
+                       commutative ops; same cost structure)
+7     rabenseifner     recursive-halving reduce-scatter + binomial
+                       gather of the blocks to the root
+====  ===============  ================================================
+
+Extension beyond the paper's Table II (see ``CollectiveKind``).
+Verification payloads are frozensets of contributing ranks; a correct
+reduce leaves ``frozenset(range(p))`` (per segment/block) on the root.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from typing import Any
+
+import numpy as np
+
+from repro.collectives import trees
+from repro.collectives.base import (
+    AlgorithmConfig,
+    CollectiveAlgorithm,
+    CollectiveKind,
+)
+from repro.collectives.patterns import (
+    block_bytes,
+    exchange,
+    phase_tag,
+    reduce_scatter_halving_rounds,
+    tree_reduce_program,
+)
+from repro.machine.model import MachineModel
+from repro.machine.topology import Topology
+from repro.simulator.engine import Recv, Reduce, Send, SimResult
+from repro.simulator.fastsim import (
+    Round,
+    linear_time,
+    pipeline_tree_time,
+    round_time,
+    segment_sizes,
+)
+
+
+def _merge(a: frozenset, b: frozenset) -> frozenset:
+    return a | b
+
+
+class _ReduceBase(CollectiveAlgorithm):
+    """Shared verification: the root holds the full contributor set."""
+
+    def __init__(self, config: AlgorithmConfig, root: int = 0) -> None:
+        super().__init__(config)
+        self.root = root
+
+    def verify_result(self, topo: Topology, nbytes: int, result: SimResult) -> None:
+        expected = frozenset(range(topo.size))
+        output = result.outputs[self.root]
+        values = (
+            list(output.values()) if isinstance(output, dict) else list(output)
+        )
+        assert values, f"{self.config.label}: root produced no result"
+        for value in values:
+            assert value == expected, (
+                f"{self.config.label}: root reduced {value!r}, expected "
+                f"all of 0..{topo.size - 1}"
+            )
+
+
+class ReduceLinear(_ReduceBase):
+    """Algorithm 1: all ranks send to the root, which folds sequentially."""
+
+    def __init__(self, root: int = 0) -> None:
+        super().__init__(
+            AlgorithmConfig.make(CollectiveKind.REDUCE, 1, "linear"), root
+        )
+
+    def base_time(self, machine: MachineModel, topo: Topology, nbytes: int) -> float:
+        peers = [r for r in range(topo.size) if r != self.root]
+        return linear_time(
+            machine, topo, self.root, peers, nbytes,
+            gather=True, reduce_at_root=True,
+        )
+
+    def programs(self, topo: Topology, nbytes: int) -> Sequence[Callable[[int], Any]]:
+        root = self.root
+        p = topo.size
+
+        def factory(rank: int):
+            def prog():
+                if rank == root:
+                    acc = frozenset({root})
+                    for src in range(p):
+                        if src == root:
+                            continue
+                        value = yield Recv(src, tag=phase_tag(0))
+                        yield Reduce(nbytes)
+                        acc = _merge(acc, value)
+                    return [acc]
+                yield Send(root, nbytes, frozenset({rank}), tag=phase_tag(0))
+                return None
+
+            return prog()
+
+        return [factory] * p
+
+
+class _SegmentedTreeReduce(_ReduceBase):
+    """Segmented reduction up a tree (covers algorithms 2-6)."""
+
+    def __init__(
+        self,
+        config: AlgorithmConfig,
+        tree_builder: Callable[[int, int], trees.Tree],
+        root: int = 0,
+    ) -> None:
+        super().__init__(config, root)
+        self._tree_builder = tree_builder
+
+    def base_time(self, machine: MachineModel, topo: Topology, nbytes: int) -> float:
+        parent, children = self._tree_builder(topo.size, self.root)
+        seg = self.config.param_dict.get("segsize")
+        return pipeline_tree_time(
+            machine, topo, parent, children, nbytes, seg, reduce_up=True
+        )
+
+    def programs(self, topo: Topology, nbytes: int) -> Sequence[Callable[[int], Any]]:
+        parent, children = self._tree_builder(topo.size, self.root)
+        seg = self.config.param_dict.get("segsize")
+        sizes = segment_sizes(nbytes, seg)
+
+        def factory(rank: int):
+            def prog():
+                acc = yield from tree_reduce_program(
+                    rank, parent, children, sizes,
+                    [frozenset({rank})] * len(sizes), _merge,
+                )
+                return acc if rank == self.root else None
+
+            return prog()
+
+        return [factory] * topo.size
+
+
+class ReduceChain(_SegmentedTreeReduce):
+    """Algorithm 2: parallel chains folding toward the root."""
+
+    def __init__(self, segsize: int | None, fanout: int, root: int = 0) -> None:
+        super().__init__(
+            AlgorithmConfig.make(
+                CollectiveKind.REDUCE, 2, "chain", segsize=segsize, fanout=fanout
+            ),
+            lambda p, r: trees.chain_tree(p, fanout, r),
+            root,
+        )
+
+
+class ReducePipeline(_SegmentedTreeReduce):
+    """Algorithm 3: one pipelined chain folding toward the root."""
+
+    def __init__(self, segsize: int | None, root: int = 0) -> None:
+        super().__init__(
+            AlgorithmConfig.make(
+                CollectiveKind.REDUCE, 3, "pipeline", segsize=segsize
+            ),
+            lambda p, r: trees.pipeline_tree(p, r),
+            root,
+        )
+
+
+class ReduceBinary(_SegmentedTreeReduce):
+    """Algorithm 4: complete binary tree reduction."""
+
+    def __init__(self, segsize: int | None, root: int = 0) -> None:
+        super().__init__(
+            AlgorithmConfig.make(
+                CollectiveKind.REDUCE, 4, "binary", segsize=segsize
+            ),
+            lambda p, r: trees.binary_tree(p, r),
+            root,
+        )
+
+
+class ReduceBinomial(_SegmentedTreeReduce):
+    """Algorithm 5: binomial tree reduction."""
+
+    def __init__(self, segsize: int | None, root: int = 0) -> None:
+        super().__init__(
+            AlgorithmConfig.make(
+                CollectiveKind.REDUCE, 5, "binomial", segsize=segsize
+            ),
+            lambda p, r: trees.binomial_tree(p, r),
+            root,
+        )
+
+
+def _in_order_binary(p: int, root: int) -> trees.Tree:
+    """Binary tree whose in-order traversal is rank order.
+
+    Used for non-commutative reductions: every partial result combines
+    a *contiguous* rank range, so operand order is preserved.
+    """
+
+    parent = np.full(p, -2, dtype=np.int64)
+    children: list[list[int]] = [[] for _ in range(p)]
+
+    def build(lo: int, hi: int, par: int) -> None:
+        if lo > hi:
+            return
+        mid = (lo + hi) // 2
+        parent[mid] = par
+        if par >= 0:
+            children[par].append(mid)
+        build(lo, mid - 1, mid)
+        build(mid + 1, hi, mid)
+
+    build(0, p - 1, -1)
+    # The structural root is the middle rank; rotate so the requested
+    # root receives the result (Open MPI instead appends an extra send;
+    # the cost is equivalent, the verification simpler).
+    mid0 = int(np.flatnonzero(parent == -1)[0])
+    if root != mid0:
+        shift = (root - mid0) % p
+        new_parent = np.full(p, -2, dtype=np.int64)
+        new_children: list[list[int]] = [[] for _ in range(p)]
+        for r in range(p):
+            nr = (r + shift) % p
+            new_parent[nr] = -1 if parent[r] == -1 else (parent[r] + shift) % p
+            new_children[nr] = [(c + shift) % p for c in children[r]]
+        return new_parent, new_children
+    return parent, children
+
+
+class ReduceInOrderBinary(_SegmentedTreeReduce):
+    """Algorithm 6: in-order binary tree (non-commutative-safe)."""
+
+    def __init__(self, segsize: int | None, root: int = 0) -> None:
+        super().__init__(
+            AlgorithmConfig.make(
+                CollectiveKind.REDUCE, 6, "in_order_binary", segsize=segsize
+            ),
+            _in_order_binary,
+            root,
+        )
+
+
+class ReduceRabenseifner(_ReduceBase):
+    """Algorithm 7: recursive-halving reduce-scatter + binomial gather."""
+
+    def __init__(self, root: int = 0) -> None:
+        super().__init__(
+            AlgorithmConfig.make(CollectiveKind.REDUCE, 7, "rabenseifner"), root
+        )
+
+    def supported(self, topo: Topology, nbytes: int) -> bool:
+        # The halving/gather pair needs at least two ranks; also the
+        # implementation roots the gather at rank 0 + a final forward.
+        return topo.size >= 1
+
+    def base_time(self, machine: MachineModel, topo: Topology, nbytes: int) -> float:
+        rounds = reduce_scatter_halving_rounds(topo, nbytes)
+        rounds += _binomial_gather_rounds(topo, nbytes)
+        t = round_time(machine, topo, rounds)
+        if self.root != 0:
+            t += float(machine.ptp_time(nbytes, topo.same_node(0, self.root)))
+        return t
+
+    def programs(self, topo: Topology, nbytes: int) -> Sequence[Callable[[int], Any]]:
+        p = topo.size
+        pof2 = 1 << (p.bit_length() - 1)
+        rem = p - pof2
+        block = block_bytes(nbytes, pof2)
+        root = self.root
+
+        def factory(rank: int):
+            def prog():
+                acc = {b: frozenset({rank}) for b in range(pof2)}
+                if rem and rank < 2 * rem:
+                    if rank % 2 == 1:
+                        yield Send(rank - 1, nbytes, acc, tag=phase_tag(0))
+                        if rank == root:
+                            final = yield Recv(0, tag=phase_tag(4))
+                            return final
+                        return None
+                    other = yield Recv(rank + 1, tag=phase_tag(0))
+                    yield Reduce(nbytes)
+                    acc = {b: _merge(acc[b], other[b]) for b in acc}
+                vrank = rank // 2 if rank < 2 * rem else rank - rem
+
+                def real(v: int) -> int:
+                    return v * 2 if v < rem else v + rem
+
+                lo, hi = 0, pof2
+                dist = pof2 // 2
+                while dist >= 1:
+                    peer_v = vrank ^ dist
+                    peer = real(peer_v)
+                    mid = (lo + hi) // 2
+                    if vrank < peer_v:
+                        send_rng, keep = (mid, hi), (lo, mid)
+                    else:
+                        send_rng, keep = (lo, mid), (mid, hi)
+                    send_blocks = {
+                        b: acc[b] for b in range(send_rng[0], send_rng[1])
+                    }
+                    got = yield from exchange(
+                        peer, peer,
+                        nbytes_send=len(send_blocks) * block,
+                        payload=send_blocks, tag=phase_tag(1, dist),
+                    )
+                    yield Reduce(len(got) * block)
+                    for b, value in got.items():
+                        acc[b] = _merge(acc[b], value)
+                    lo, hi = keep
+                    dist //= 2
+                owned = {b: acc[b] for b in range(lo, hi)}
+                # Binomial gather to virtual rank 0: a rank with bit
+                # `dist` set ships its range to vrank ^ dist.
+                dist = 1
+                while dist < pof2:
+                    if vrank & dist:
+                        yield Send(
+                            real(vrank ^ dist), len(owned) * block,
+                            dict(owned), tag=phase_tag(2, dist),
+                        )
+                        break
+                    got = yield Recv(real(vrank | dist), tag=phase_tag(2, dist))
+                    owned.update(got)
+                    dist <<= 1
+                if vrank == 0:
+                    if real(0) == root:
+                        return owned
+                    yield Send(root, nbytes, dict(owned), tag=phase_tag(4))
+                    return None
+                if rank == root:
+                    final = yield Recv(real(0), tag=phase_tag(4))
+                    return final
+                return None
+
+            return prog()
+
+        return [factory] * p
+
+
+def _binomial_gather_rounds(topo: Topology, nbytes: int) -> list[Round]:
+    """Cost rounds of the binomial block gather to virtual rank 0."""
+    p = topo.size
+    if p == 1:
+        return []
+    pof2 = 1 << (p.bit_length() - 1)
+    rem = p - pof2
+    block = block_bytes(nbytes, pof2)
+
+    def real(v: int) -> int:
+        return v * 2 if v < rem else v + rem
+
+    rounds: list[Round] = []
+    dist = 1
+    size = block
+    while dist < pof2:
+        srcs, dsts = [], []
+        for v in range(dist, pof2, 2 * dist):
+            srcs.append(real(v))
+            dsts.append(real(v ^ dist))
+        rounds.append(Round.make(srcs, dsts, size))
+        size *= 2
+        dist <<= 1
+    return rounds

@@ -1,0 +1,124 @@
+"""Instantiate collective algorithms from configuration ids.
+
+The registry is the inverse of :class:`AlgorithmConfig`: given the
+``u_{j,l}`` identifier stored in a dataset (or predicted by a model),
+it reconstructs the runnable algorithm object.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.collectives import allgather, allreduce, alltoall, bcast, reduce
+from repro.collectives.base import AlgorithmConfig, CollectiveAlgorithm, CollectiveKind
+from repro.collectives.hierarchical import HierarchicalAllreduce, HierarchicalBcast
+
+_BCAST: dict[str, Callable[..., CollectiveAlgorithm]] = {
+    "linear": lambda **kw: bcast.BcastLinear(),
+    "chain": lambda **kw: bcast.BcastChain(kw["segsize"], kw["chains"]),
+    "pipeline": lambda **kw: bcast.BcastPipeline(kw["segsize"]),
+    "split_binary": lambda **kw: bcast.BcastSplitBinary(kw["segsize"]),
+    "binary": lambda **kw: bcast.BcastBinary(kw["segsize"]),
+    "binomial": lambda **kw: bcast.BcastBinomial(kw["segsize"]),
+    "knomial": lambda **kw: bcast.BcastKnomial(kw["segsize"], kw["radix"]),
+    "scatter_allgather": lambda **kw: bcast.BcastScatterAllgather(),
+    "scatter_ring_allgather": lambda **kw: bcast.BcastScatterRingAllgather(),
+}
+
+_ALLREDUCE: dict[str, Callable[..., CollectiveAlgorithm]] = {
+    "linear": lambda **kw: allreduce.AllreduceLinear(),
+    "nonoverlapping": lambda **kw: allreduce.AllreduceNonOverlapping(),
+    "recursive_doubling": lambda **kw: allreduce.AllreduceRecursiveDoubling(),
+    "ring": lambda **kw: allreduce.AllreduceRing(),
+    "segmented_ring": lambda **kw: allreduce.AllreduceSegmentedRing(kw["segsize"]),
+    "rabenseifner": lambda **kw: allreduce.AllreduceRabenseifner(),
+    "allgather_reduce": lambda **kw: allreduce.AllreduceAllgatherReduce(),
+    "knomial_reduce_bcast": lambda **kw: allreduce.AllreduceKnomialReduceBcast(
+        kw["radix"]
+    ),
+}
+
+_ALLTOALL: dict[str, Callable[..., CollectiveAlgorithm]] = {
+    "linear": lambda **kw: alltoall.AlltoallLinear(),
+    "pairwise": lambda **kw: alltoall.AlltoallPairwise(),
+    "bruck": lambda **kw: alltoall.AlltoallBruck(),
+    "linear_sync": lambda **kw: alltoall.AlltoallLinearSync(),
+    "ring": lambda **kw: alltoall.AlltoallRing(),
+}
+
+_REDUCE: dict[str, Callable[..., CollectiveAlgorithm]] = {
+    "linear": lambda **kw: reduce.ReduceLinear(),
+    "chain": lambda **kw: reduce.ReduceChain(kw["segsize"], kw["fanout"]),
+    "pipeline": lambda **kw: reduce.ReducePipeline(kw["segsize"]),
+    "binary": lambda **kw: reduce.ReduceBinary(kw["segsize"]),
+    "binomial": lambda **kw: reduce.ReduceBinomial(kw["segsize"]),
+    "in_order_binary": lambda **kw: reduce.ReduceInOrderBinary(kw["segsize"]),
+    "rabenseifner": lambda **kw: reduce.ReduceRabenseifner(),
+}
+
+_ALLGATHER: dict[str, Callable[..., CollectiveAlgorithm]] = {
+    "linear": lambda **kw: allgather.AllgatherLinear(),
+    "bruck": lambda **kw: allgather.AllgatherBruck(),
+    "recursive_doubling": lambda **kw: allgather.AllgatherRecursiveDoubling(),
+    "ring": lambda **kw: allgather.AllgatherRing(),
+    "neighbor_exchange": lambda **kw: allgather.AllgatherNeighborExchange(),
+    "two_proc": lambda **kw: allgather.AllgatherTwoProc(),
+}
+
+_FLAT = {
+    CollectiveKind.BCAST: _BCAST,
+    CollectiveKind.ALLREDUCE: _ALLREDUCE,
+    CollectiveKind.ALLTOALL: _ALLTOALL,
+    CollectiveKind.REDUCE: _REDUCE,
+    CollectiveKind.ALLGATHER: _ALLGATHER,
+}
+
+_HIER_PREFIX = "hier_"
+
+
+def make_algorithm(
+    collective: CollectiveKind | str, name: str, algid: int | None = None, **params
+) -> CollectiveAlgorithm:
+    """Build an algorithm by collective and name.
+
+    Hierarchical variants use the ``hier_<inner-name>`` convention, e.g.
+    ``make_algorithm("allreduce", "hier_ring", algid=12)``. ``algid``
+    overrides the flat algorithm's default id (library numbering
+    differs between Open MPI and Intel MPI).
+    """
+    kind = CollectiveKind(collective)
+    if name.startswith(_HIER_PREFIX):
+        inner = make_algorithm(kind, name[len(_HIER_PREFIX):], **params)
+        if algid is None:
+            raise ValueError("hierarchical algorithms need an explicit algid")
+        if kind == CollectiveKind.BCAST:
+            return HierarchicalBcast(algid, inner)
+        if kind == CollectiveKind.ALLREDUCE:
+            return HierarchicalAllreduce(algid, inner)
+        raise ValueError(f"no hierarchical variant for {kind}")
+    try:
+        builder = _FLAT[kind][name]
+    except KeyError:
+        known = ", ".join(sorted(_FLAT[kind]))
+        raise KeyError(f"unknown {kind} algorithm {name!r}; known: {known}") from None
+    algo = builder(**params)
+    if algid is not None and algid != algo.config.algid:
+        algo.config = AlgorithmConfig(
+            collective=algo.config.collective,
+            algid=algid,
+            name=algo.config.name,
+            params=algo.config.params,
+        )
+    return algo
+
+
+def algorithm_from_config(config: AlgorithmConfig) -> CollectiveAlgorithm:
+    """Reconstruct the runnable algorithm for a stored configuration."""
+    return make_algorithm(
+        config.collective, config.name, algid=config.algid, **config.param_dict
+    )
+
+
+def named_algorithms(collective: CollectiveKind | str) -> list[str]:
+    """All known flat algorithm names for a collective."""
+    return sorted(_FLAT[CollectiveKind(collective)])

@@ -1,0 +1,164 @@
+"""Tree shapes used by tree-based collective algorithms.
+
+All builders are *topology-unaware*, exactly like Open MPI's
+``coll_tuned`` trees: they are built on virtual ranks
+``vr = (rank - root) mod p`` from rank numbering alone, which is why
+process placement (ppn) affects their performance so strongly — a fact
+the selection models must learn.
+
+A tree is represented as ``(parent, children)`` where ``parent`` is an
+``int64`` array (-1 at the root) and ``children[r]`` is the ordered list
+of rank ``r``'s children. Children are ordered largest-subtree-first
+(Open MPI's send order), which matters for pipelining.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+Tree = tuple[np.ndarray, list[list[int]]]
+
+
+def _finalize(p: int, root: int, vparent: list[int], vchildren: list[list[int]]) -> Tree:
+    """Map a virtual-rank tree back to real ranks."""
+    to_real = lambda vr: (vr + root) % p  # noqa: E731 - tiny local helper
+    parent = np.full(p, -1, dtype=np.int64)
+    children: list[list[int]] = [[] for _ in range(p)]
+    for vr in range(p):
+        r = to_real(vr)
+        if vparent[vr] >= 0:
+            parent[r] = to_real(vparent[vr])
+        children[r] = [to_real(c) for c in vchildren[vr]]
+    return parent, children
+
+
+def _check(p: int, root: int) -> None:
+    if p < 1:
+        raise ValueError(f"communicator size must be >= 1, got {p}")
+    if not 0 <= root < p:
+        raise ValueError(f"root {root} out of range 0..{p - 1}")
+
+
+def binomial_tree(p: int, root: int = 0) -> Tree:
+    """Binomial tree: depth ``ceil(log2 p)``, children largest-first.
+
+    Oriented so that every subtree covers a *contiguous* virtual-rank
+    range (parent clears the lowest set bit), which is what binomial
+    scatter/gather phases rely on: the subtree of virtual rank ``v``
+    is ``[v, v + lowbit(v))`` clipped to ``p``.
+    """
+    _check(p, root)
+    vparent = [-1] * p
+    vchildren: list[list[int]] = [[] for _ in range(p)]
+    for vr in range(1, p):
+        vparent[vr] = vr & (vr - 1)  # clear lowest set bit
+        vchildren[vparent[vr]].append(vr)
+    for vr in range(p):
+        # Decreasing order = largest subtree first (Open MPI send order).
+        vchildren[vr].sort(reverse=True)
+    return _finalize(p, root, vparent, vchildren)
+
+
+def binomial_subtree_span(p: int, vr: int) -> int:
+    """Number of virtual ranks in ``vr``'s subtree of the binomial tree."""
+    if vr == 0:
+        return p
+    low = vr & -vr
+    return min(low, p - vr)
+
+
+def knomial_tree(p: int, radix: int, root: int = 0) -> Tree:
+    """k-nomial tree (radix >= 2); radix 2 coincides with the binomial tree."""
+    _check(p, root)
+    if radix < 2:
+        raise ValueError(f"radix must be >= 2, got {radix}")
+    vparent = [-1] * p
+    vchildren: list[list[int]] = [[] for _ in range(p)]
+    # Virtual rank digits in base `radix`: the parent zeroes the *least*
+    # significant non-zero digit, so subtrees cover contiguous ranges
+    # (radix 2 degenerates to the binomial tree above).
+    for vr in range(1, p):
+        weight = 1
+        while (vr // weight) % radix == 0:
+            weight *= radix
+        digit = (vr // weight) % radix
+        vparent[vr] = vr - digit * weight
+        vchildren[vparent[vr]].append(vr)
+    for vr in range(p):
+        vchildren[vr].sort(reverse=True)  # largest subtree first
+    return _finalize(p, root, vparent, vchildren)
+
+
+def binary_tree(p: int, root: int = 0) -> Tree:
+    """Complete binary tree in virtual-rank order (children 2i+1, 2i+2)."""
+    _check(p, root)
+    vparent = [-1] * p
+    vchildren: list[list[int]] = [[] for _ in range(p)]
+    for vr in range(1, p):
+        vparent[vr] = (vr - 1) // 2
+        vchildren[vparent[vr]].append(vr)
+    return _finalize(p, root, vparent, vchildren)
+
+
+def chain_tree(p: int, nchains: int, root: int = 0) -> Tree:
+    """``nchains`` parallel chains hanging off the root.
+
+    Non-root virtual ranks ``1..p-1`` are split into ``nchains``
+    contiguous chains (sizes differing by at most one); the root's
+    children are the chain heads.
+    """
+    _check(p, root)
+    if nchains < 1:
+        raise ValueError(f"nchains must be >= 1, got {nchains}")
+    vparent = [-1] * p
+    vchildren: list[list[int]] = [[] for _ in range(p)]
+    rest = p - 1
+    nchains = min(nchains, rest) if rest else 0
+    start = 1
+    for c in range(nchains):
+        length = rest // nchains + (1 if c < rest % nchains else 0)
+        head = start
+        vparent[head] = 0
+        vchildren[0].append(head)
+        for vr in range(head + 1, head + length):
+            vparent[vr] = vr - 1
+            vchildren[vr - 1].append(vr)
+        start += length
+    return _finalize(p, root, vparent, vchildren)
+
+
+def pipeline_tree(p: int, root: int = 0) -> Tree:
+    """Single chain through all ranks (Open MPI's 'pipeline')."""
+    return chain_tree(p, 1, root)
+
+
+def tree_depth(parent: np.ndarray) -> int:
+    """Longest root-to-leaf path length (edges)."""
+    p = len(parent)
+    depth = np.zeros(p, dtype=np.int64)
+    # Parents always precede children in virtual-rank order only for
+    # binomial/knomial trees, so resolve iteratively instead.
+    order = np.argsort(_depths_unordered(parent))
+    for r in order:
+        if parent[r] >= 0:
+            depth[r] = depth[parent[r]] + 1
+    return int(depth.max(initial=0))
+
+
+def _depths_unordered(parent: np.ndarray) -> np.ndarray:
+    p = len(parent)
+    depth = np.full(p, -1, dtype=np.int64)
+    for r in range(p):
+        # Walk up, memoising.
+        path = []
+        cur = r
+        while depth[cur] < 0 and parent[cur] >= 0:
+            path.append(cur)
+            cur = int(parent[cur])
+        base = depth[cur] if depth[cur] >= 0 else 0
+        if parent[cur] < 0:
+            depth[cur] = 0
+            base = 0
+        for offset, node in enumerate(reversed(path), start=1):
+            depth[node] = base + offset
+    return depth

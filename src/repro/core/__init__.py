@@ -1,0 +1,49 @@
+"""The paper's contribution: ML-driven algorithm selection for MPI collectives.
+
+Workflow (paper Figure 1):
+
+1. benchmark a library's tuning space over an instance grid
+   (:mod:`repro.bench`) producing a :class:`PerfDataset`,
+2. fit one regression model per algorithm configuration
+   (:class:`AlgorithmSelector` with any :mod:`repro.ml` learner),
+3. for an unseen instance, predict every configuration's runtime and
+   pick the argmin (paper Figure 3),
+4. optionally emit a configuration file to force the selection at
+   ``mpirun`` time (:mod:`repro.core.config_gen`).
+"""
+
+from repro.core.dataset import PerfDataset
+from repro.core.features import FEATURE_NAMES, instance_features
+from repro.core.selector import AlgorithmSelector
+from repro.core.evaluation import EvaluationResult, evaluate_selector
+from repro.core.config_gen import (
+    parse_ompi_rules,
+    render_json,
+    render_ompi_rules,
+    selection_table,
+)
+
+
+def __getattr__(name: str):
+    # AutoTuner pulls in repro.bench, which itself stores results as
+    # repro.core.dataset.PerfDataset — resolve lazily (PEP 562) to keep
+    # the import graph acyclic.
+    if name == "AutoTuner":
+        from repro.core.tuner import AutoTuner
+
+        return AutoTuner
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "PerfDataset",
+    "FEATURE_NAMES",
+    "instance_features",
+    "AlgorithmSelector",
+    "EvaluationResult",
+    "evaluate_selector",
+    "AutoTuner",
+    "selection_table",
+    "render_ompi_rules",
+    "render_json",
+    "parse_ompi_rules",
+]

@@ -1,0 +1,143 @@
+"""The selection designs the paper rejected (§III-A), for ablation A2.
+
+Two alternative selector designs are implemented with the same
+interface as :class:`AlgorithmSelector` so the A2 benchmark can compare
+them head to head on identical splits:
+
+* :class:`SpeedupRatioSelector` — the authors' *previous* design [9]:
+  one model per configuration predicting the speed-up ratio against the
+  default strategy, selection by argmax ratio. The paper's critique:
+  the default is itself instance-dependent, so the target function has
+  discontinuities wherever the default's decision boundaries lie, and
+  ratios live in (0, inf) which biases split-based learners.
+* :class:`BestLabelSelector` — directly predict the winning
+  configuration's id as a label. The paper's critique: a few
+  configurations win almost everywhere, so the label distribution is
+  heavily imbalanced.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.core.dataset import PerfDataset
+from repro.core.features import instance_features
+from repro.machine.model import MachineModel
+from repro.machine.topology import Topology
+from repro.ml.base import Regressor
+from repro.ml.scaling import StandardScaler
+from repro.mpilib.base import MPILibrary
+from scipy.spatial import cKDTree
+
+
+class SpeedupRatioSelector:
+    """Per-configuration regression on speed-up *ratios* vs the default."""
+
+    def __init__(
+        self,
+        learner_factory: Callable[[], Regressor],
+        library: MPILibrary,
+        machine: MachineModel,
+        min_samples: int = 8,
+    ) -> None:
+        self.learner_factory = learner_factory
+        self.library = library
+        self.machine = machine
+        self.min_samples = min_samples
+        self.models_: dict[int, Regressor] = {}
+        self.configs_ = ()
+        self._fitted = False
+
+    def fit(self, dataset: PerfDataset) -> "SpeedupRatioSelector":
+        self.configs_ = dataset.configs
+        table = dataset.instance_table()
+        ds_index = {cfg: i for i, cfg in enumerate(dataset.configs)}
+        # Default runtime per instance (the ratio denominator).
+        default_time: dict[tuple[int, int, int], float] = {}
+        for (n, ppn, m), measured in table.items():
+            cfg = self.library.default_config(
+                self.machine, Topology(n, ppn), dataset.collective, m
+            )
+            cid = ds_index.get(cfg)
+            if cid is not None and cid in measured:
+                default_time[(n, ppn, m)] = measured[cid]
+        X_all = instance_features(dataset.nodes, dataset.ppn, dataset.msize)
+        keys = list(zip(dataset.nodes, dataset.ppn, dataset.msize))
+        denominators = np.array(
+            [default_time.get((int(n), int(p), int(m)), np.nan) for n, p, m in keys]
+        )
+        ratios = denominators / dataset.time  # >1 means faster than default
+        valid = np.isfinite(ratios)
+        for cid in range(len(dataset.configs)):
+            mask = dataset.rows_of_config(cid) & valid
+            if int(mask.sum()) < self.min_samples:
+                continue
+            model = self.learner_factory()
+            model.fit(X_all[mask], ratios[mask])
+            self.models_[cid] = model
+        if not self.models_:
+            raise ValueError("no configuration had enough valid ratio samples")
+        self._fitted = True
+        return self
+
+    def predict_times(self, nodes, ppn, msize) -> np.ndarray:
+        """Pseudo 'times' = negated ratios so argmin selects argmax ratio."""
+        if not self._fitted:
+            raise RuntimeError("SpeedupRatioSelector is not fitted yet")
+        X = instance_features(nodes, ppn, msize)
+        scores = np.full((len(X), len(self.configs_)), np.inf)
+        for cid, model in self.models_.items():
+            scores[:, cid] = -model.predict(X)
+        return scores
+
+
+class BestLabelSelector:
+    """Directly predict the best configuration id (nearest-neighbour vote)."""
+
+    def __init__(self, k: int = 5) -> None:
+        self.k = k
+        self._tree: cKDTree | None = None
+        self._labels: np.ndarray | None = None
+        self.configs_ = ()
+        self.label_histogram_: Counter = Counter()
+
+    def fit(self, dataset: PerfDataset) -> "BestLabelSelector":
+        self.configs_ = dataset.configs
+        table = dataset.instance_table()
+        feats, labels = [], []
+        for (n, ppn, m), measured in table.items():
+            if not measured:
+                continue
+            best = min(measured, key=measured.get)
+            feats.append((n, ppn, m))
+            labels.append(best)
+        feats = np.asarray(feats)
+        X = instance_features(feats[:, 0], feats[:, 1], feats[:, 2])
+        self._scaler = StandardScaler()
+        self._tree = cKDTree(self._scaler.fit_transform(X))
+        self._labels = np.asarray(labels)
+        self.label_histogram_ = Counter(labels)
+        return self
+
+    def predict_times(self, nodes, ppn, msize) -> np.ndarray:
+        """Pseudo 'times': 0 for the voted label, inf elsewhere."""
+        if self._tree is None:
+            raise RuntimeError("BestLabelSelector is not fitted yet")
+        X = self._scaler.transform(instance_features(nodes, ppn, msize))
+        k = min(self.k, len(self._labels))
+        _, idx = self._tree.query(X, k=k)
+        if k == 1:
+            idx = idx[:, None]
+        votes = self._labels[idx]
+        out = np.full((len(X), len(self.configs_)), np.inf)
+        for i, row in enumerate(votes):
+            winner = Counter(row.tolist()).most_common(1)[0][0]
+            out[i, winner] = 0.0
+            # Runner-up ordering for fallback: vote counts as -rank.
+            for cid, count in Counter(row.tolist()).items():
+                if cid != winner:
+                    out[i, cid] = 1.0 / count
+        return out

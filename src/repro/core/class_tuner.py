@@ -1,0 +1,79 @@
+"""Size-class tuning: the framework applied to MVAPICH's knob shape.
+
+MVAPICH cannot be told "use algorithm X at exactly (n, ppn, m)"; it can
+only be told which algorithm serves each *message-size class* (paper
+§IV-B). Tuning it with our models is therefore a small aggregation on
+top of the per-configuration regressors: for a given allocation, pick
+per class the configuration minimising the predicted runtime *summed
+over representative message sizes of that class*.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.collectives.base import AlgorithmConfig, CollectiveKind
+from repro.core.selector import AlgorithmSelector
+from repro.mpilib.mvapich import (
+    MEDIUM_LIMIT,
+    SMALL_LIMIT,
+    MVAPICHLibrary,
+    SizeClass,
+)
+from repro.utils.units import KiB, MiB
+
+#: representative message sizes probed per class
+CLASS_PROBES: dict[SizeClass, tuple[int, ...]] = {
+    SizeClass.SMALL: (16, 256, KiB, 4 * KiB),
+    SizeClass.MEDIUM: (16 * KiB, 64 * KiB, 256 * KiB),
+    SizeClass.LARGE: (MiB, 4 * MiB),
+}
+
+
+def _check_probes() -> None:
+    for m in CLASS_PROBES[SizeClass.SMALL]:
+        assert m < SMALL_LIMIT
+    for m in CLASS_PROBES[SizeClass.MEDIUM]:
+        assert SMALL_LIMIT <= m < MEDIUM_LIMIT
+    for m in CLASS_PROBES[SizeClass.LARGE]:
+        assert m >= MEDIUM_LIMIT
+
+
+_check_probes()
+
+
+def tune_size_classes(
+    selector: AlgorithmSelector,
+    nodes: int,
+    ppn: int,
+) -> dict[SizeClass, AlgorithmConfig]:
+    """Best configuration per size class for one allocation.
+
+    The selector must have been trained on a dataset over the *same*
+    configuration space (``selector.configs_``); the per-class winner
+    minimises the total predicted runtime over the class's probe sizes.
+    """
+    choice: dict[SizeClass, AlgorithmConfig] = {}
+    for cls, probes in CLASS_PROBES.items():
+        totals = np.zeros(len(selector.configs_))
+        for m in probes:
+            totals += selector.predict_times(nodes, ppn, m)[0]
+        winner = int(np.argmin(totals))
+        if not np.isfinite(totals[winner]):
+            raise ValueError(f"no modelled configuration covers class {cls}")
+        choice[cls] = selector.configs_[winner]
+    return choice
+
+
+def apply_class_tuning(
+    library: MVAPICHLibrary,
+    collective: CollectiveKind | str,
+    selector: AlgorithmSelector,
+    nodes: int,
+    ppn: int,
+) -> dict[SizeClass, AlgorithmConfig]:
+    """Tune and install the per-class choices into the library."""
+    choices = tune_size_classes(selector, nodes, ppn)
+    for cls, config in choices.items():
+        library.set_class_algorithm(collective, cls, config)
+    return choices

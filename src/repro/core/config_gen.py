@@ -1,0 +1,138 @@
+"""Emit selection tables as loadable configuration files.
+
+The paper's deployment story (§II, Problem Statement): once the job's
+allocation ``(n, ppn)`` is known — e.g. from SLURM — the model is
+queried for 10-15 message sizes and a per-collective configuration file
+is written, to be loaded when the application starts. Two formats are
+provided:
+
+* an Open MPI ``coll_tuned`` *dynamic rules file* (the format consumed
+  by ``--mca coll_tuned_dynamic_rules_filename``), and
+* a JSON table for everything else.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from repro.collectives.base import AlgorithmConfig, CollectiveKind
+from repro.core.selector import AlgorithmSelector
+from repro.utils.units import KiB, MiB
+
+#: Open MPI collective ids used in dynamic rules files
+#: (coll_base_functions.h ordering)
+_OMPI_COLL_IDS = {
+    CollectiveKind.ALLGATHER: 0,
+    CollectiveKind.ALLREDUCE: 2,
+    CollectiveKind.ALLTOALL: 3,
+    CollectiveKind.BCAST: 7,
+    CollectiveKind.REDUCE: 11,
+}
+
+#: default message-size grid queried when emitting a table (paper: 10-15)
+DEFAULT_MSIZES: tuple[int, ...] = (
+    0, 16, 256, KiB, 4 * KiB, 16 * KiB, 64 * KiB,
+    256 * KiB, 512 * KiB, MiB, 4 * MiB,
+)
+
+
+def selection_table(
+    selector: AlgorithmSelector,
+    nodes: int,
+    ppn: int,
+    msizes: tuple[int, ...] = DEFAULT_MSIZES,
+) -> list[tuple[int, AlgorithmConfig]]:
+    """Predicted-best configuration per message size for one allocation."""
+    table = []
+    for m in msizes:
+        table.append((m, selector.select(nodes, ppn, m)))
+    return table
+
+
+def render_ompi_rules(
+    collective: CollectiveKind | str,
+    nodes: int,
+    ppn: int,
+    table: list[tuple[int, AlgorithmConfig]],
+) -> str:
+    """Render an Open MPI ``coll_tuned`` dynamic rules file.
+
+    Format (one communicator-size rule): for every message size, the
+    line ``<msize> <algorithm> <fanout> <segsize>``.
+    """
+    kind = CollectiveKind(collective)
+    comm_size = nodes * ppn
+    lines = [
+        "1  # num of collectives",
+        f"{_OMPI_COLL_IDS[kind]}  # collective id ({kind})",
+        "1  # number of comm sizes",
+        f"{comm_size}  # comm size ({nodes} nodes x {ppn} ppn)",
+        f"{len(table)}  # number of msg sizes",
+    ]
+    for m, cfg in table:
+        params = cfg.param_dict
+        fanout = params.get("chains", params.get("radix", 0)) or 0
+        seg = params.get("segsize") or 0
+        lines.append(
+            f"{m} {cfg.algid} {fanout} {seg}  # {cfg.label}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def parse_ompi_rules(
+    text: str,
+) -> tuple[CollectiveKind, int, list[tuple[int, int, int, int]]]:
+    """Parse a dynamic rules file produced by :func:`render_ompi_rules`.
+
+    Returns ``(collective, comm_size, rules)`` with one
+    ``(msize, algid, fanout, segsize)`` tuple per message-size rule.
+    Inverse of the renderer (tested as a round trip); also accepts
+    hand-written files in the same single-collective layout.
+    """
+    values: list[list[int]] = []
+    for raw in text.splitlines():
+        line = raw.split("#", 1)[0].strip()
+        if line:
+            values.append([int(tok) for tok in line.split()])
+    if len(values) < 5:
+        raise ValueError("truncated rules file")
+    (n_coll,), (coll_id,), (n_comm,), (comm_size,), (n_rules,) = values[:5]
+    if n_coll != 1 or n_comm != 1:
+        raise ValueError(
+            "only single-collective/single-comm-size files are supported"
+        )
+    by_id = {v: k for k, v in _OMPI_COLL_IDS.items()}
+    try:
+        kind = by_id[coll_id]
+    except KeyError:
+        raise ValueError(f"unknown Open MPI collective id {coll_id}") from None
+    rules = values[5 : 5 + n_rules]
+    if len(rules) != n_rules or any(len(r) != 4 for r in rules):
+        raise ValueError("rule lines must be '<msize> <alg> <fanout> <segsize>'")
+    return kind, comm_size, [tuple(r) for r in rules]
+
+
+def render_json(
+    collective: CollectiveKind | str,
+    nodes: int,
+    ppn: int,
+    table: list[tuple[int, AlgorithmConfig]],
+) -> str:
+    """Render the generic JSON selection table."""
+    payload = {
+        "collective": str(CollectiveKind(collective)),
+        "nodes": nodes,
+        "ppn": ppn,
+        "rules": [
+            {
+                "msize": m,
+                "algid": cfg.algid,
+                "algorithm": cfg.name,
+                "params": cfg.param_dict,
+            }
+            for m, cfg in table
+        ],
+    }
+    return json.dumps(payload, indent=2) + "\n"

@@ -1,0 +1,171 @@
+"""Evaluation of selection strategies against measured data.
+
+The paper's evaluation protocol (§V): all runtimes — of the predicted,
+the default, and the empirically best configuration — are *looked up in
+the measured dataset*, never re-benchmarked, so the comparison is
+exact. Three per-instance quantities result:
+
+* ``best`` — exhaustive-search oracle (normalisation reference),
+* ``default`` — the library's hard-coded decision logic,
+* ``predicted`` — the measured runtime of the configuration our
+  selector picked.
+
+Table IV reports the mean speed-up ``default / predicted``; the figures
+plot runtimes normalised by ``best``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.dataset import PerfDataset
+from repro.core.selector import AlgorithmSelector
+from repro.machine.model import MachineModel
+from repro.machine.topology import Topology
+from repro.mpilib.base import MPILibrary
+
+
+@dataclass
+class EvaluationResult:
+    """Per-instance strategy comparison over a test dataset."""
+
+    #: instance axes, one row per evaluated instance
+    nodes: np.ndarray
+    ppn: np.ndarray
+    msize: np.ndarray
+    #: measured runtimes per strategy
+    best_time: np.ndarray
+    default_time: np.ndarray
+    predicted_time: np.ndarray
+    #: chosen configuration ids
+    best_id: np.ndarray
+    default_id: np.ndarray
+    predicted_id: np.ndarray
+    #: dataset the lookup was done against
+    dataset_name: str = ""
+    skipped: int = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def speedup_vs_default(self) -> np.ndarray:
+        """Per-instance ``default / predicted`` (the paper's Table IV stat)."""
+        return self.default_time / self.predicted_time
+
+    @property
+    def mean_speedup(self) -> float:
+        return float(np.mean(self.speedup_vs_default))
+
+    @property
+    def normalized_predicted(self) -> np.ndarray:
+        """Predicted strategy runtime normalised by the oracle."""
+        return self.predicted_time / self.best_time
+
+    @property
+    def normalized_default(self) -> np.ndarray:
+        return self.default_time / self.best_time
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def filter(self, **axes: int) -> "EvaluationResult":
+        """Sub-result for fixed instance axes, e.g. ``filter(nodes=27, ppn=16)``."""
+        mask = np.ones(len(self), dtype=bool)
+        for name, value in axes.items():
+            mask &= getattr(self, name) == value
+        return EvaluationResult(
+            nodes=self.nodes[mask],
+            ppn=self.ppn[mask],
+            msize=self.msize[mask],
+            best_time=self.best_time[mask],
+            default_time=self.default_time[mask],
+            predicted_time=self.predicted_time[mask],
+            best_id=self.best_id[mask],
+            default_id=self.default_id[mask],
+            predicted_id=self.predicted_id[mask],
+            dataset_name=self.dataset_name,
+            skipped=self.skipped,
+        )
+
+
+def evaluate_selector(
+    selector: AlgorithmSelector,
+    test_dataset: PerfDataset,
+    library: MPILibrary,
+    machine: MachineModel,
+) -> EvaluationResult:
+    """Compare predicted vs default vs oracle on a held-out dataset.
+
+    The default strategy's configuration is asked from the library's
+    decision logic per instance; if that exact configuration was not
+    benchmarked on the instance (e.g. the dataset excludes a broken
+    algorithm id), the instance is skipped and counted in ``skipped``
+    — mirroring the paper, which only evaluates where all three
+    strategies have measured times.
+    """
+    table = test_dataset.instance_table()
+    # Map library-space configs onto dataset config ids.
+    ds_index = {cfg: i for i, cfg in enumerate(test_dataset.configs)}
+
+    rows: dict[str, list] = {k: [] for k in (
+        "nodes", "ppn", "msize", "best_time", "default_time",
+        "predicted_time", "best_id", "default_id", "predicted_id",
+    )}
+    skipped = 0
+
+    instances = test_dataset.instances()
+    pred_matrix = selector.predict_times(
+        instances[:, 0], instances[:, 1], instances[:, 2]
+    )
+    for row, pred_times in zip(instances, pred_matrix):
+        n, ppn, m = (int(v) for v in row)
+        measured = table[(n, ppn, m)]
+        if not measured:
+            skipped += 1
+            continue
+        # Oracle.
+        best_id = min(measured, key=measured.get)
+        # Default.
+        default_cfg = library.default_config(
+            machine, Topology(n, ppn), test_dataset.collective, m
+        )
+        default_id = ds_index.get(default_cfg)
+        if default_id is None or default_id not in measured:
+            skipped += 1
+            continue
+        # Prediction: best predicted config that was actually measured.
+        order = np.argsort(pred_times)
+        predicted_id = None
+        for cid in order:
+            if not np.isfinite(pred_times[cid]):
+                break
+            if int(cid) in measured:
+                predicted_id = int(cid)
+                break
+        if predicted_id is None:
+            skipped += 1
+            continue
+        rows["nodes"].append(n)
+        rows["ppn"].append(ppn)
+        rows["msize"].append(m)
+        rows["best_time"].append(measured[best_id])
+        rows["default_time"].append(measured[default_id])
+        rows["predicted_time"].append(measured[predicted_id])
+        rows["best_id"].append(best_id)
+        rows["default_id"].append(default_id)
+        rows["predicted_id"].append(predicted_id)
+
+    return EvaluationResult(
+        nodes=np.asarray(rows["nodes"], dtype=np.int64),
+        ppn=np.asarray(rows["ppn"], dtype=np.int64),
+        msize=np.asarray(rows["msize"], dtype=np.int64),
+        best_time=np.asarray(rows["best_time"]),
+        default_time=np.asarray(rows["default_time"]),
+        predicted_time=np.asarray(rows["predicted_time"]),
+        best_id=np.asarray(rows["best_id"], dtype=np.int64),
+        default_id=np.asarray(rows["default_id"], dtype=np.int64),
+        predicted_id=np.asarray(rows["predicted_id"], dtype=np.int64),
+        dataset_name=test_dataset.name,
+        skipped=skipped,
+    )

@@ -1,0 +1,53 @@
+"""Instance feature encoding.
+
+An instance is ``(collective, m, n, N)`` (paper §II); the collective is
+fixed per selector, so the feature vector encodes the numeric triple
+plus the derived total process count ``p = n * N``:
+
+====================  =====================================================
+feature               rationale
+====================  =====================================================
+``log2(m + 1)``       message sizes span seven orders of magnitude and all
+                      crossover phenomena are multiplicative in m
+``n``                 number of compute nodes
+``ppn``               processes per node (NIC-contention axis)
+``n * ppn``           total communicator size; trees/butterflies scale
+                      with p, so giving it explicitly saves every learner
+                      from having to synthesise a product
+====================  =====================================================
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+FEATURE_NAMES: tuple[str, ...] = ("log2_msize", "nodes", "ppn", "procs")
+
+
+def instance_features(
+    nodes: np.ndarray | int,
+    ppn: np.ndarray | int,
+    msize: np.ndarray | int,
+) -> np.ndarray:
+    """Encode instances as a float feature matrix (n_instances, 4).
+
+    Scalars broadcast; a single instance yields shape (1, 4).
+    """
+    nodes_arr = np.atleast_1d(np.asarray(nodes, dtype=float))
+    ppn_arr = np.atleast_1d(np.asarray(ppn, dtype=float))
+    msize_arr = np.atleast_1d(np.asarray(msize, dtype=float))
+    nodes_arr, ppn_arr, msize_arr = np.broadcast_arrays(
+        nodes_arr, ppn_arr, msize_arr
+    )
+    if (nodes_arr < 1).any() or (ppn_arr < 1).any():
+        raise ValueError("nodes and ppn must be >= 1")
+    if (msize_arr < 0).any():
+        raise ValueError("message sizes must be >= 0")
+    return np.column_stack(
+        [
+            np.log2(msize_arr + 1.0),
+            nodes_arr,
+            ppn_arr,
+            nodes_arr * ppn_arr,
+        ]
+    )

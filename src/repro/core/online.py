@@ -1,0 +1,166 @@
+"""Online algorithm selection (the STAR-MPI baseline of §VI).
+
+STAR-MPI (Faraj, Yuan & Lowenthal, ICS'06) tunes *inside* the running
+application: the first calls of a collective cycle through candidate
+algorithms and measure them in situ; once every candidate has been
+observed, the fastest is used for the remaining calls. The cost is paid
+in application time — every exploration call that picks a bad algorithm
+is a slow application call.
+
+This module implements that baseline (plus epsilon-greedy and UCB1
+variants that keep exploring under noise) so the offline ML approach of
+the paper can be compared against it: the paper's §II argues offline
+prediction avoids exactly this in-application exploration cost.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.collectives.base import AlgorithmConfig, CollectiveKind
+from repro.collectives.registry import algorithm_from_config
+from repro.machine.model import MachineModel
+from repro.machine.topology import Topology
+from repro.mpilib.base import MPILibrary
+from repro.utils.rng import SeedLike, as_generator
+
+
+class Policy(str, enum.Enum):
+    """Exploration policy of the online tuner."""
+
+    #: measure every candidate once, then commit (STAR-MPI)
+    STAR = "star"
+    #: commit like STAR but keep exploring with probability epsilon
+    EPSILON_GREEDY = "epsilon"
+    #: UCB1 bandit on negative runtimes
+    UCB = "ucb"
+
+
+@dataclass
+class OnlineResult:
+    """Trace of one online-tuned call sequence."""
+
+    #: runtime of each application call (seconds)
+    call_times: np.ndarray
+    #: configuration chosen at each call
+    choices: list[AlgorithmConfig]
+    #: configuration the tuner would use next (its final belief)
+    final_config: AlgorithmConfig
+    #: configuration minimising the true (noise-free) runtime
+    oracle_config: AlgorithmConfig
+    #: per-call runtime of the oracle (always-best) strategy
+    oracle_times: np.ndarray
+
+    @property
+    def total_time(self) -> float:
+        return float(self.call_times.sum())
+
+    @property
+    def regret(self) -> float:
+        """Extra time spent versus always running the best algorithm."""
+        return float((self.call_times - self.oracle_times).sum())
+
+    @property
+    def converged_to_best(self) -> bool:
+        """Whether the final belief matches the oracle's choice."""
+        return self.final_config == self.oracle_config
+
+
+class OnlineSelector:
+    """In-application tuner over a library's configuration space."""
+
+    def __init__(
+        self,
+        machine: MachineModel,
+        library: MPILibrary,
+        collective: CollectiveKind | str,
+        policy: Policy | str = Policy.STAR,
+        epsilon: float = 0.05,
+        ucb_scale: float = 0.3,
+        exclude_algids: tuple[int, ...] = (),
+        rng: SeedLike = None,
+    ) -> None:
+        self.machine = machine
+        self.library = library
+        self.collective = CollectiveKind(collective)
+        self.policy = Policy(policy)
+        if not 0.0 <= epsilon <= 1.0:
+            raise ValueError("epsilon must lie in [0, 1]")
+        self.epsilon = epsilon
+        self.ucb_scale = ucb_scale
+        self.exclude_algids = exclude_algids
+        self._rng = as_generator(rng)
+
+    # ------------------------------------------------------------------
+    def run(
+        self, topo: Topology, nbytes: int, num_calls: int
+    ) -> OnlineResult:
+        """Simulate ``num_calls`` collective calls under online tuning."""
+        if num_calls < 1:
+            raise ValueError("num_calls must be >= 1")
+        space = [
+            cfg
+            for cfg in self.library.config_space(self.collective).configs
+            if cfg.algid not in self.exclude_algids
+        ]
+        algos = [algorithm_from_config(cfg) for cfg in space]
+        candidates = [
+            (cfg, algo)
+            for cfg, algo in zip(space, algos)
+            if algo.supported(topo, nbytes)
+        ]
+        if not candidates:
+            raise ValueError("no supported configuration for this instance")
+        base = np.array(
+            [algo.base_time(self.machine, topo, nbytes) for _, algo in candidates]
+        )
+        oracle_time = float(base.min())
+
+        k = len(candidates)
+        counts = np.zeros(k, dtype=np.int64)
+        sums = np.zeros(k)
+        call_times = np.empty(num_calls)
+        choices: list[AlgorithmConfig] = []
+
+        for call in range(num_calls):
+            idx = self._pick(call, k, counts, sums)
+            observed = float(
+                self.machine.noise.sample(base[idx], self._rng)
+            )
+            counts[idx] += 1
+            sums[idx] += observed
+            call_times[call] = observed
+            choices.append(candidates[idx][0])
+
+        means = np.where(counts > 0, sums / np.maximum(counts, 1), np.inf)
+        final = candidates[int(np.argmin(means))][0]
+        return OnlineResult(
+            call_times=call_times,
+            choices=choices,
+            final_config=final,
+            oracle_config=candidates[int(np.argmin(base))][0],
+            oracle_times=np.full(num_calls, oracle_time),
+        )
+
+    # ------------------------------------------------------------------
+    def _pick(
+        self, call: int, k: int, counts: np.ndarray, sums: np.ndarray
+    ) -> int:
+        # Exploration sweep first: every policy measures each candidate
+        # once (STAR-MPI's measuring phase).
+        if call < k:
+            return call
+        means = sums / counts
+        if self.policy is Policy.STAR:
+            return int(np.argmin(means))
+        if self.policy is Policy.EPSILON_GREEDY:
+            if self._rng.random() < self.epsilon:
+                return int(self._rng.integers(k))
+            return int(np.argmin(means))
+        # UCB1 on rewards = -time, scaled to the observed range.
+        scale = max(means.max() - means.min(), 1e-12) * self.ucb_scale
+        bonus = scale * np.sqrt(2.0 * np.log(call + 1) / counts)
+        return int(np.argmin(means - bonus))

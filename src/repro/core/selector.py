@@ -1,0 +1,122 @@
+"""Per-configuration regression and argmin selection (paper Figure 3).
+
+One regression model is fitted per algorithm configuration ``u_{j,l}``
+on that configuration's benchmarked runtimes. Selecting for an unseen
+instance queries every model and returns the configuration with the
+smallest predicted runtime. This design avoids both biases the paper
+calls out in §III-A:
+
+* regressing *ratios against the default strategy* inherits the
+  default's discontinuities (the default is a strategy, not an
+  algorithm),
+* predicting the best algorithm's *label* is class-imbalanced, because
+  a handful of algorithms win almost everywhere.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.collectives.base import AlgorithmConfig
+from repro.core.dataset import PerfDataset
+from repro.core.features import instance_features
+from repro.ml.base import Regressor
+
+
+class AlgorithmSelector:
+    """Runtime-regression ensemble over a tuning space."""
+
+    def __init__(
+        self,
+        learner_factory: Callable[[], Regressor],
+        min_samples: int = 8,
+    ) -> None:
+        """``learner_factory`` builds one fresh regressor per configuration.
+
+        Configurations with fewer than ``min_samples`` training rows are
+        left unmodelled (they are never selected) — a configuration the
+        benchmark could not run is not a configuration we can trust.
+        """
+        self.learner_factory = learner_factory
+        self.min_samples = min_samples
+        self.models_: dict[int, Regressor] = {}
+        self.configs_: tuple[AlgorithmConfig, ...] = ()
+        self._fitted = False
+
+    # ------------------------------------------------------------------
+    def fit(self, dataset: PerfDataset) -> "AlgorithmSelector":
+        """Fit one model per configuration present in ``dataset``."""
+        self.configs_ = dataset.configs
+        self.models_ = {}
+        X_all = instance_features(dataset.nodes, dataset.ppn, dataset.msize)
+        for cid in range(len(dataset.configs)):
+            mask = dataset.rows_of_config(cid)
+            if int(mask.sum()) < self.min_samples:
+                continue
+            model = self.learner_factory()
+            model.fit(X_all[mask], dataset.time[mask])
+            self.models_[cid] = model
+        if not self.models_:
+            raise ValueError(
+                "no configuration had enough samples to train on "
+                f"(min_samples={self.min_samples})"
+            )
+        self._fitted = True
+        return self
+
+    # ------------------------------------------------------------------
+    def predict_times(
+        self,
+        nodes: np.ndarray | int,
+        ppn: np.ndarray | int,
+        msize: np.ndarray | int,
+    ) -> np.ndarray:
+        """Predicted runtime matrix of shape (n_instances, n_configs).
+
+        Unmodelled configurations are ``+inf`` so they never win the
+        argmin.
+        """
+        self._check_fitted()
+        X = instance_features(nodes, ppn, msize)
+        times = np.full((len(X), len(self.configs_)), np.inf)
+        for cid, model in self.models_.items():
+            times[:, cid] = model.predict(X)
+        return times
+
+    def select_ids(
+        self,
+        nodes: np.ndarray | int,
+        ppn: np.ndarray | int,
+        msize: np.ndarray | int,
+    ) -> np.ndarray:
+        """Configuration id with the smallest predicted runtime per instance."""
+        return np.argmin(self.predict_times(nodes, ppn, msize), axis=1)
+
+    def select(self, nodes: int, ppn: int, msize: int) -> AlgorithmConfig:
+        """The predicted-fastest configuration for one instance."""
+        cid = int(self.select_ids(nodes, ppn, msize)[0])
+        return self.configs_[cid]
+
+    def ranked(
+        self, nodes: int, ppn: int, msize: int
+    ) -> list[tuple[AlgorithmConfig, float]]:
+        """All modelled configurations sorted by predicted runtime."""
+        times = self.predict_times(nodes, ppn, msize)[0]
+        order = np.argsort(times)
+        return [
+            (self.configs_[int(cid)], float(times[cid]))
+            for cid in order
+            if np.isfinite(times[cid])
+        ]
+
+    # ------------------------------------------------------------------
+    def _check_fitted(self) -> None:
+        if not self._fitted:
+            raise RuntimeError("AlgorithmSelector is not fitted yet")
+
+    @property
+    def num_models(self) -> int:
+        """How many configurations have a trained model."""
+        return len(self.models_)

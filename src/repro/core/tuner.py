@@ -1,0 +1,112 @@
+"""High-level auto-tuning façade: benchmark -> train -> select.
+
+:class:`AutoTuner` wires the whole paper pipeline together for one
+(machine, library, collective) triple. It is what the examples and the
+CLI drive; the experiment scripts use the lower-level pieces directly
+because they need the Table III train/test discipline.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.bench.repro_mpi import BenchmarkSpec
+from repro.bench.runner import DatasetRunner, GridSpec
+from repro.collectives.base import AlgorithmConfig, CollectiveKind
+from repro.core.config_gen import (
+    DEFAULT_MSIZES,
+    render_json,
+    render_ompi_rules,
+    selection_table,
+)
+from repro.core.dataset import PerfDataset
+from repro.core.selector import AlgorithmSelector
+from repro.machine.model import MachineModel
+from repro.ml import PAPER_LEARNERS
+from repro.ml.base import Regressor
+from repro.mpilib.base import MPILibrary
+
+
+@dataclass
+class AutoTuner:
+    """One-stop tuning pipeline for a collective on a machine."""
+
+    machine: MachineModel
+    library: MPILibrary
+    collective: CollectiveKind | str
+    learner: str | Callable[[], Regressor] = "GAM"
+    bench_spec: BenchmarkSpec = field(default_factory=BenchmarkSpec)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        self.collective = CollectiveKind(self.collective)
+        if isinstance(self.learner, str):
+            try:
+                self._learner_factory = PAPER_LEARNERS[self.learner]
+            except KeyError:
+                raise ValueError(
+                    f"unknown learner {self.learner!r}; "
+                    f"choose from {sorted(PAPER_LEARNERS)} or pass a factory"
+                ) from None
+        else:
+            self._learner_factory = self.learner
+        self.dataset_: PerfDataset | None = None
+        self.selector_: AlgorithmSelector | None = None
+
+    # ------------------------------------------------------------------
+    def benchmark(
+        self,
+        grid: GridSpec,
+        exclude_algids: tuple[int, ...] = (),
+        name: str = "",
+    ) -> PerfDataset:
+        """Run the benchmark campaign (the offline training-data step)."""
+        runner = DatasetRunner(
+            self.machine, self.library, self.bench_spec, seed=self.seed
+        )
+        self.dataset_ = runner.run(
+            self.collective, grid, name=name, exclude_algids=exclude_algids
+        )
+        return self.dataset_
+
+    def train(self, dataset: PerfDataset | None = None) -> AlgorithmSelector:
+        """Fit the per-configuration regression ensemble."""
+        ds = dataset if dataset is not None else self.dataset_
+        if ds is None:
+            raise RuntimeError("benchmark() first, or pass a dataset")
+        self.selector_ = AlgorithmSelector(self._learner_factory).fit(ds)
+        return self.selector_
+
+    # ------------------------------------------------------------------
+    def recommend(self, nodes: int, ppn: int, msize: int) -> AlgorithmConfig:
+        """Predicted-fastest configuration for an (unseen) instance."""
+        if self.selector_ is None:
+            raise RuntimeError("train() first")
+        return self.selector_.select(nodes, ppn, msize)
+
+    def write_rules(
+        self,
+        path: str,
+        nodes: int,
+        ppn: int,
+        msizes: tuple[int, ...] = DEFAULT_MSIZES,
+        fmt: str = "ompi",
+    ) -> str:
+        """Write the per-allocation selection table to ``path``.
+
+        Returns the rendered text. ``fmt`` is ``"ompi"`` (dynamic rules
+        file) or ``"json"``.
+        """
+        if self.selector_ is None:
+            raise RuntimeError("train() first")
+        table = selection_table(self.selector_, nodes, ppn, msizes)
+        if fmt == "ompi":
+            text = render_ompi_rules(self.collective, nodes, ppn, table)
+        elif fmt == "json":
+            text = render_json(self.collective, nodes, ppn, table)
+        else:
+            raise ValueError(f"unknown format {fmt!r}")
+        with open(path, "w") as handle:
+            handle.write(text)
+        return text

@@ -1,0 +1,26 @@
+"""Paper experiment drivers: datasets d1-d8 and every table/figure.
+
+Each driver regenerates the data behind one exhibit of the paper, at
+either ``paper`` scale (full Table II grids) or ``ci`` scale (same
+structure, smaller grids — minutes on a laptop).
+"""
+
+from repro.experiments.datasets import (
+    DATASETS,
+    DatasetSpec,
+    Scale,
+    generate_dataset,
+)
+from repro.experiments.splits import SPLITS, SplitSpec, split_dataset
+from repro.experiments.cache import dataset_cached
+
+__all__ = [
+    "DATASETS",
+    "DatasetSpec",
+    "Scale",
+    "generate_dataset",
+    "SPLITS",
+    "SplitSpec",
+    "split_dataset",
+    "dataset_cached",
+]

@@ -1,0 +1,52 @@
+"""On-disk dataset cache shared by figure and table drivers.
+
+Several exhibits consume the same dataset (d1 feeds Figure 2, Figure 4,
+Figure 5 and Table IV); benchmarking it once per process — and once per
+workspace thanks to the ``results/datasets`` cache — keeps the
+benchmark suite honest about what is being measured.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+from pathlib import Path
+
+from repro.core.dataset import PerfDataset
+from repro.experiments.datasets import Scale, generate_dataset
+
+logger = logging.getLogger(__name__)
+
+#: override with REPRO_CACHE_DIR; default is ./results/datasets
+_ENV_VAR = "REPRO_CACHE_DIR"
+
+_memory: dict[tuple[str, Scale, int], PerfDataset] = {}
+
+
+def cache_dir() -> Path:
+    return Path(os.environ.get(_ENV_VAR, "results/datasets"))
+
+
+def dataset_cached(
+    did: str, scale: Scale | str = Scale.CI, seed: int = 0
+) -> PerfDataset:
+    """Load a Table II dataset, generating (and persisting) it if needed."""
+    scale = Scale(scale)
+    key = (did, scale, seed)
+    if key in _memory:
+        return _memory[key]
+    stem = cache_dir() / f"{did}-{scale.value}-s{seed}"
+    if stem.with_suffix(".npz").exists() and stem.with_suffix(".json").exists():
+        dataset = PerfDataset.load(stem)
+    else:
+        logger.info("generating dataset %s at %s scale", did, scale.value)
+        dataset = generate_dataset(did, scale, seed)
+        stem.parent.mkdir(parents=True, exist_ok=True)
+        dataset.save(stem)
+    _memory[key] = dataset
+    return dataset
+
+
+def clear_memory_cache() -> None:
+    """Drop in-process cached datasets (tests use this)."""
+    _memory.clear()

@@ -1,0 +1,162 @@
+"""Self-consistent performance guidelines (PGMPITuneLib, §VI).
+
+Hunold & Carpen-Amarie's companion approach to this paper: instead of
+learning runtimes, check *semantic performance guidelines* — a
+collective must never be slower than an obvious emulation of it by
+other collectives. A violated guideline pinpoints a badly selected
+algorithm. The guidelines implemented here (after Träff et al.'s
+self-consistent guidelines):
+
+====  =============================================  ====================
+id    guideline                                      emulation
+====  =============================================  ====================
+G1    Allreduce(m)  <=  Reduce(m) + Bcast(m)         reduce-then-bcast
+G2    Reduce(m)     <=  Allreduce(m)                 allreduce, drop copy
+G3    Bcast(m)      <=  Allreduce(m)                 allreduce with 0s
+G4    Allgather(m)  <=  Alltoall(m)                  alltoall of copies
+====  =============================================  ====================
+
+``check_guidelines`` evaluates them for a strategy ("default" = the
+library's decision logic, "best" = per-instance exhaustive search) on a
+grid of instances; the interesting reproduction-level finding is that
+the hard-coded default *violates* guidelines the tuned portfolio
+satisfies — the same signal PGMPITuneLib exploits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.collectives.base import CollectiveKind
+from repro.collectives.registry import algorithm_from_config
+from repro.experiments.tables import TableData
+from repro.machine.model import MachineModel
+from repro.machine.topology import Topology
+from repro.mpilib.base import MPILibrary
+
+#: (name, target collective, list of emulation collectives)
+GUIDELINES: tuple[tuple[str, CollectiveKind, tuple[CollectiveKind, ...]], ...] = (
+    ("G1: allreduce<=reduce+bcast", CollectiveKind.ALLREDUCE,
+     (CollectiveKind.REDUCE, CollectiveKind.BCAST)),
+    ("G2: reduce<=allreduce", CollectiveKind.REDUCE,
+     (CollectiveKind.ALLREDUCE,)),
+    ("G3: bcast<=allreduce", CollectiveKind.BCAST,
+     (CollectiveKind.ALLREDUCE,)),
+    ("G4: allgather<=alltoall", CollectiveKind.ALLGATHER,
+     (CollectiveKind.ALLTOALL,)),
+)
+
+
+@dataclass(frozen=True)
+class GuidelineCheck:
+    """Outcome of one guideline on one instance."""
+
+    guideline: str
+    nodes: int
+    ppn: int
+    msize: int
+    target_time: float
+    emulation_time: float
+
+    @property
+    def violated(self) -> bool:
+        """True when the emulation beats the native collective."""
+        return self.target_time > self.emulation_time * 1.0
+
+    @property
+    def severity(self) -> float:
+        """How much slower the native call is (1.0 = guideline met)."""
+        return self.target_time / self.emulation_time
+
+
+def _strategy_time(
+    machine: MachineModel,
+    library: MPILibrary,
+    topo: Topology,
+    kind: CollectiveKind,
+    nbytes: int,
+    strategy: str,
+) -> float:
+    if strategy == "default":
+        cfg = library.default_config(machine, topo, kind, nbytes)
+        return algorithm_from_config(cfg).base_time(machine, topo, nbytes)
+    if strategy == "best":
+        best = float("inf")
+        for cfg in library.config_space(kind).configs:
+            algo = algorithm_from_config(cfg)
+            if not algo.supported(topo, nbytes):
+                continue
+            best = min(best, algo.base_time(machine, topo, nbytes))
+        return best
+    raise ValueError(f"unknown strategy {strategy!r}")
+
+
+def check_guidelines(
+    machine: MachineModel,
+    library: MPILibrary,
+    instances: list[tuple[int, int, int]],
+    strategy: str = "default",
+) -> list[GuidelineCheck]:
+    """Evaluate every guideline on every ``(nodes, ppn, msize)`` instance."""
+    checks: list[GuidelineCheck] = []
+    supported = set(library.supported_collectives())
+    for name, target, emulation in GUIDELINES:
+        if target not in supported or any(e not in supported for e in emulation):
+            continue
+        for nodes, ppn, msize in instances:
+            topo = Topology(nodes, ppn)
+            t_target = _strategy_time(
+                machine, library, topo, target, msize, strategy
+            )
+            t_emulation = sum(
+                _strategy_time(machine, library, topo, e, msize, strategy)
+                for e in emulation
+            )
+            checks.append(
+                GuidelineCheck(
+                    guideline=name,
+                    nodes=nodes,
+                    ppn=ppn,
+                    msize=msize,
+                    target_time=t_target,
+                    emulation_time=t_emulation,
+                )
+            )
+    return checks
+
+
+def guidelines_table(
+    machine: MachineModel,
+    library: MPILibrary,
+    instances: list[tuple[int, int, int]],
+) -> TableData:
+    """Violation summary for the default vs the exhaustive-best strategy."""
+    table = TableData(
+        exhibit=f"Performance guidelines on {machine.name} ({library.name})",
+        columns=(
+            "guideline", "checked",
+            "violations_default", "worst_default",
+            "violations_best", "worst_best",
+        ),
+    )
+    default = check_guidelines(machine, library, instances, "default")
+    best = check_guidelines(machine, library, instances, "best")
+    names = sorted({c.guideline for c in default})
+    for name in names:
+        d = [c for c in default if c.guideline == name]
+        b = [c for c in best if c.guideline == name]
+        table.rows.append(
+            (
+                name,
+                len(d),
+                sum(c.violated for c in d),
+                max(c.severity for c in d),
+                sum(c.violated for c in b),
+                max(c.severity for c in b),
+            )
+        )
+    table.note = (
+        "violations: instances where emulating the collective beats the "
+        "strategy's native choice"
+    )
+    return table

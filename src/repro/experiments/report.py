@@ -1,0 +1,50 @@
+"""Plain-text rendering of experiment results.
+
+Everything the paper shows as a figure is reproduced as a *data table*
+(series of normalised runtimes, speed-ups, or selected algorithm ids);
+these helpers render them readably in terminals and log files.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import Any
+
+
+def _fmt(value: Any, floatfmt: str) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return format(value, floatfmt)
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    floatfmt: str = ".3g",
+    title: str | None = None,
+) -> str:
+    """Fixed-width ASCII table."""
+    cells = [[_fmt(v, floatfmt) for v in row] for row in rows]
+    widths = [
+        max(len(str(h)), *(len(r[i]) for r in cells)) if cells else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in cells:
+        lines.append(" | ".join(v.rjust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_bar(value: float, scale: float = 1.0, width: int = 40) -> str:
+    """A crude horizontal bar for normalised-runtime 'figures'."""
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    n = int(round(min(value / scale, 1.0) * width))
+    return "#" * n + "." * (width - n)

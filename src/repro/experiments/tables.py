@@ -1,0 +1,154 @@
+"""Drivers regenerating the paper's tables.
+
+* Table I — hardware overview (machine zoo parameters),
+* Table II — dataset overview (generated dataset summaries),
+* Table III — train/test splits,
+* Table IV — overall prediction quality: mean speed-up over the default
+  strategy per dataset and learner, for the full (IVa) and small (IVb)
+  training splits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.evaluation import evaluate_selector
+from repro.core.selector import AlgorithmSelector
+from repro.experiments.cache import dataset_cached
+from repro.experiments.datasets import DATASETS, Scale
+from repro.experiments.report import render_table
+from repro.experiments.splits import SPLITS
+from repro.experiments.splits import split_dataset
+from repro.machine.zoo import MACHINES, get_machine
+from repro.ml import PAPER_LEARNERS
+from repro.mpilib import get_library
+from repro.utils.units import format_bytes
+
+
+@dataclass
+class TableData:
+    exhibit: str
+    columns: tuple[str, ...]
+    rows: list[tuple] = field(default_factory=list)
+    note: str = ""
+
+    def render(self, floatfmt: str = ".3g") -> str:
+        text = render_table(self.columns, self.rows, floatfmt, title=self.exhibit)
+        if self.note:
+            text += f"\n({self.note})"
+        return text
+
+    def cell(self, row: int, column: str):
+        return self.rows[row][self.columns.index(column)]
+
+
+# ----------------------------------------------------------------------
+def table1() -> TableData:
+    """Table I: hardware overview of the machine zoo."""
+    table = TableData(
+        exhibit="Table I: hardware overview",
+        columns=(
+            "machine", "n", "max_ppn", "processor", "interconnect",
+            "link_GB/s", "inject_GB/s", "latency_us",
+        ),
+    )
+    for machine in MACHINES.values():
+        if machine.name == "TinyTestbed":
+            continue
+        table.rows.append(
+            (
+                machine.name,
+                machine.max_nodes,
+                machine.max_ppn,
+                machine.processor,
+                machine.interconnect,
+                machine.link_bandwidth() / 1e9,
+                machine.injection_bandwidth() / 1e9,
+                machine.alpha_inter * 1e6,
+            )
+        )
+    return table
+
+
+def table2(scale: Scale | str = Scale.CI, seed: int = 0) -> TableData:
+    """Table II: overview of the generated datasets d1-d8."""
+    table = TableData(
+        exhibit=f"Table II: datasets ({Scale(scale).value} scale)",
+        columns=(
+            "dataset", "routine", "library", "machine",
+            "#algorithms", "#nodes", "#ppn", "#msg_sizes", "#samples",
+        ),
+    )
+    for did in DATASETS:
+        summary = dataset_cached(did, scale, seed).summary()
+        summary["dataset"] = did  # strip the scale suffix for the exhibit
+        table.rows.append(tuple(summary[c] for c in table.columns))
+    return table
+
+
+def table3(scale: Scale | str = Scale.CI) -> TableData:
+    """Table III: training and test node counts per machine."""
+    scale = Scale(scale)
+    table = TableData(
+        exhibit=f"Table III: train/test node splits ({scale.value} scale)",
+        columns=("machine", "full_train", "small_train", "test"),
+    )
+    for (machine, s), spec in SPLITS.items():
+        if s is scale:
+            table.rows.append(
+                (
+                    machine,
+                    ",".join(map(str, spec.full_train)),
+                    ",".join(map(str, spec.small_train)),
+                    ",".join(map(str, spec.test)),
+                )
+            )
+    return table
+
+
+# ----------------------------------------------------------------------
+def table4(
+    scale: Scale | str = Scale.CI,
+    seed: int = 0,
+    small: bool = False,
+    learners: tuple[str, ...] = ("KNN", "GAM", "XGBoost"),
+    dids: tuple[str, ...] | None = None,
+) -> TableData:
+    """Table IV: mean speed-up over the default strategy.
+
+    ``small=False`` reproduces Table IVa (large training dataset),
+    ``small=True`` Table IVb. Cells are the arithmetic mean, over all
+    test instances of a dataset, of ``t_default / t_predicted``.
+    """
+    scale = Scale(scale)
+    dids = dids or tuple(DATASETS)
+    variant = "b (small training set)" if small else "a (large training set)"
+    table = TableData(
+        exhibit=f"Table IV{variant}: speed-up over default "
+        f"({scale.value} scale)",
+        columns=("method", *dids, "mean"),
+    )
+    speedups: dict[str, list[float]] = {learner: [] for learner in learners}
+    for did in dids:
+        spec = DATASETS[did]
+        dataset = dataset_cached(did, scale, seed)
+        train, test = split_dataset(dataset, scale, small=small)
+        library = get_library(spec.library)
+        machine = get_machine(spec.machine)
+        for learner in learners:
+            selector = AlgorithmSelector(PAPER_LEARNERS[learner]).fit(train)
+            result = evaluate_selector(selector, test, library, machine)
+            speedups[learner].append(result.mean_speedup)
+    for learner in learners:
+        values = speedups[learner]
+        table.rows.append((learner, *values, float(np.mean(values))))
+    table.note = "speedup > 1: predicted algorithm beats the library default"
+    return table
+
+
+# ----------------------------------------------------------------------
+def dataset_overview_row(did: str, scale: Scale | str, seed: int = 0) -> dict:
+    """One Table II row (used by tests without rendering)."""
+    return dataset_cached(did, scale, seed).summary()

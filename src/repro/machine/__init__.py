@@ -1,0 +1,24 @@
+"""Parametric models of parallel machines (the paper's Table I testbeds)."""
+
+from repro.machine.model import MachineModel, NoiseModel
+from repro.machine.topology import Topology
+from repro.machine.zoo import (
+    MACHINES,
+    get_machine,
+    hydra,
+    jupiter,
+    supermuc_ng,
+    tiny_testbed,
+)
+
+__all__ = [
+    "MachineModel",
+    "NoiseModel",
+    "Topology",
+    "MACHINES",
+    "get_machine",
+    "hydra",
+    "jupiter",
+    "supermuc_ng",
+    "tiny_testbed",
+]

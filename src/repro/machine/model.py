@@ -1,0 +1,150 @@
+"""Hockney/LogGP-family machine model with node-level NIC contention.
+
+The model is deliberately simple enough to calibrate from four published
+numbers per machine (latency, link bandwidth, injection bandwidth, memory
+bandwidth) yet rich enough to reproduce the phenomena that drive MPI
+algorithm selection:
+
+* a latency-dominated regime for small messages (favouring low-depth
+  trees) and a bandwidth-dominated regime for large ones (favouring
+  pipelined chains and scatter-allgather schemes),
+* sensitivity to processes-per-node: all processes of a node share one
+  NIC, so inter-node traffic serialises at rate ``nic_gap`` per byte,
+* distinct intra-node (shared memory) and inter-node (fabric) paths.
+
+Point-to-point time for an ``m``-byte message:
+
+* intra-node: ``alpha_intra + m * beta_intra``
+* inter-node: ``alpha_inter + m * beta_inter`` plus occupancy of the
+  source and destination NICs for ``m * nic_gap`` each (enforced by the
+  simulators, not by this class).
+
+Local reduction of ``m`` bytes costs ``m * gamma_reduce``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, as_generator
+
+
+@dataclass(frozen=True)
+class NoiseModel:
+    """Multiplicative measurement noise for simulated timings.
+
+    ``sigma`` is the scale of a lognormal factor applied to every
+    measured duration; with probability ``spike_prob`` an additional
+    uniform jitter spike of up to ``spike_scale`` times the base
+    duration is added, modelling OS interference. ``floor`` is an
+    additive absolute jitter floor (timer granularity).
+    """
+
+    sigma: float = 0.03
+    spike_prob: float = 0.01
+    spike_scale: float = 1.5
+    floor: float = 20e-9
+
+    def __post_init__(self) -> None:
+        if self.sigma < 0 or not (0 <= self.spike_prob <= 1):
+            raise ValueError(f"invalid noise model: {self}")
+
+    def sample(self, base: np.ndarray | float, rng: SeedLike) -> np.ndarray:
+        """Draw noisy observations around deterministic ``base`` durations.
+
+        ``base`` broadcasts; the result always has ``base``'s shape.
+        """
+        gen = as_generator(rng)
+        base_arr = np.asarray(base, dtype=float)
+        factors = gen.lognormal(mean=0.0, sigma=self.sigma, size=base_arr.shape)
+        spikes = gen.random(base_arr.shape) < self.spike_prob
+        spike_mag = gen.random(base_arr.shape) * self.spike_scale
+        noisy = base_arr * factors + np.where(spikes, base_arr * spike_mag, 0.0)
+        return noisy + gen.random(base_arr.shape) * self.floor
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """A parallel machine: nodes, cores, and a calibrated network model.
+
+    All times are seconds and all rates are seconds per byte. See the
+    module docstring for how the parameters enter point-to-point costs.
+    """
+
+    name: str
+    max_nodes: int
+    max_ppn: int
+    #: fabric latency (one-way, small message), seconds
+    alpha_inter: float
+    #: fabric per-byte time at full link speed, s/B
+    beta_inter: float
+    #: per-byte serialisation at a node's NIC (injection *and* drain), s/B.
+    #: A dual-rail machine has roughly half the gap of a single-rail one.
+    nic_gap: float
+    #: shared-memory latency, seconds
+    alpha_intra: float
+    #: shared-memory per-byte time, s/B
+    beta_intra: float
+    #: per-byte local reduction cost (e.g. for allreduce), s/B
+    gamma_reduce: float
+    #: per-message software/protocol overhead at sender and receiver, s.
+    #: Charged once per message on the issuing rank's clock.
+    cpu_overhead: float = 0.4e-6
+    noise: NoiseModel = field(default_factory=NoiseModel)
+    #: short description for reports (Table I columns)
+    processor: str = ""
+    interconnect: str = ""
+
+    def __post_init__(self) -> None:
+        if self.max_nodes < 1 or self.max_ppn < 1:
+            raise ValueError(f"machine {self.name!r} must have >=1 node and ppn")
+        for attr in (
+            "alpha_inter",
+            "beta_inter",
+            "nic_gap",
+            "alpha_intra",
+            "beta_intra",
+            "gamma_reduce",
+            "cpu_overhead",
+        ):
+            if getattr(self, attr) < 0:
+                raise ValueError(f"machine parameter {attr} must be >= 0")
+
+    # ------------------------------------------------------------------
+    # Cost primitives (deterministic; simulators add contention + noise)
+    # ------------------------------------------------------------------
+    def ptp_time(self, nbytes: int | np.ndarray, intra: bool) -> np.ndarray | float:
+        """Uncontended point-to-point transfer time for ``nbytes``."""
+        if intra:
+            return self.alpha_intra + np.asarray(nbytes) * self.beta_intra
+        return self.alpha_inter + np.asarray(nbytes) * self.beta_inter
+
+    def reduce_time(self, nbytes: int | np.ndarray) -> np.ndarray | float:
+        """Local reduction cost of combining two ``nbytes`` buffers."""
+        return np.asarray(nbytes) * self.gamma_reduce
+
+    def link_bandwidth(self) -> float:
+        """Fabric bandwidth in bytes/second (for reports)."""
+        return 1.0 / self.beta_inter
+
+    def injection_bandwidth(self) -> float:
+        """Per-node NIC bandwidth in bytes/second (for reports)."""
+        return 1.0 / self.nic_gap
+
+    def with_noise(self, noise: NoiseModel) -> "MachineModel":
+        """Return a copy with a different noise model (used in tests)."""
+        return replace(self, noise=noise)
+
+    def validate_shape(self, num_nodes: int, ppn: int) -> None:
+        """Raise if a requested allocation does not fit this machine."""
+        if not (1 <= num_nodes <= self.max_nodes):
+            raise ValueError(
+                f"{self.name}: requested {num_nodes} nodes, "
+                f"machine has 1..{self.max_nodes}"
+            )
+        if not (1 <= ppn <= self.max_ppn):
+            raise ValueError(
+                f"{self.name}: requested ppn={ppn}, machine supports 1..{self.max_ppn}"
+            )

@@ -1,0 +1,76 @@
+"""Process-to-node placement.
+
+The paper (and SLURM's default) places ranks block-wise: ranks
+``0..ppn-1`` on node 0, ``ppn..2*ppn-1`` on node 1, and so on, with the
+same ``ppn`` on every node. ``Topology`` captures one such allocation
+and answers the placement queries the simulators and the collective
+schedule builders need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Topology:
+    """A block-placed allocation of ``num_nodes * ppn`` ranks."""
+
+    num_nodes: int
+    ppn: int
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 1:
+            raise ValueError(f"num_nodes must be >= 1, got {self.num_nodes}")
+        if self.ppn < 1:
+            raise ValueError(f"ppn must be >= 1, got {self.ppn}")
+
+    @property
+    def size(self) -> int:
+        """Total number of ranks ``p = n * ppn``."""
+        return self.num_nodes * self.ppn
+
+    def node_of(self, rank: int) -> int:
+        """Node index hosting ``rank``."""
+        self._check_rank(rank)
+        return rank // self.ppn
+
+    def local_rank(self, rank: int) -> int:
+        """Rank's index within its node (0..ppn-1)."""
+        self._check_rank(rank)
+        return rank % self.ppn
+
+    def node_leader(self, node: int) -> int:
+        """Lowest global rank on ``node`` (used by hierarchical algorithms)."""
+        if not 0 <= node < self.num_nodes:
+            raise ValueError(f"node {node} out of range 0..{self.num_nodes - 1}")
+        return node * self.ppn
+
+    def ranks_of_node(self, node: int) -> range:
+        """All global ranks on ``node``."""
+        if not 0 <= node < self.num_nodes:
+            raise ValueError(f"node {node} out of range 0..{self.num_nodes - 1}")
+        return range(node * self.ppn, (node + 1) * self.ppn)
+
+    def same_node(self, rank_a: int, rank_b: int) -> bool:
+        """Whether two ranks share a node (intra-node communication)."""
+        return self.node_of(rank_a) == self.node_of(rank_b)
+
+    @cached_property
+    def node_map(self) -> np.ndarray:
+        """Vector of node indices, one per rank."""
+        return np.repeat(np.arange(self.num_nodes), self.ppn)
+
+    def leaders(self) -> np.ndarray:
+        """Vector of node-leader ranks, one per node."""
+        return np.arange(self.num_nodes) * self.ppn
+
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self.size:
+            raise ValueError(f"rank {rank} out of range 0..{self.size - 1}")
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.num_nodes}x{self.ppn:02d}"

@@ -1,0 +1,102 @@
+"""The machine zoo: calibrated stand-ins for the paper's Table I testbeds.
+
+The three machines are calibrated from their published fabric
+characteristics (CLUSTER'20 Table I) so that the *relative* behaviour of
+collective algorithms — latency/bandwidth crossovers, NIC saturation at
+high ppn, segmentation pay-off points — matches what the paper observed:
+
+* **Hydra** — 36 nodes, 32 ppn, Intel OmniPath *dual-rail* (~2x12.5 GB/s
+  injection), low fabric latency.
+* **Jupiter** — 35 nodes, 16 ppn, Mellanox InfiniBand QDR single rail
+  (~4 GB/s), noticeably higher latency and lower bandwidth; about half
+  of Hydra's bandwidth, matching the paper's description.
+* **SuperMUC-NG** — large Skylake system, 48 ppn, single-rail OmniPath
+  (12.5 GB/s) shared by many more cores, hence the strongest NIC
+  contention at full ppn.
+
+``tiny_testbed`` is a fast 4-node toy machine used throughout the test
+suite and the quickstart example.
+"""
+
+from __future__ import annotations
+
+from repro.machine.model import MachineModel, NoiseModel
+
+GB = 1e9
+
+hydra = MachineModel(
+    name="Hydra",
+    max_nodes=36,
+    max_ppn=32,
+    alpha_inter=1.3e-6,
+    beta_inter=1.0 / (12.5 * GB),
+    nic_gap=1.0 / (22.0 * GB),  # dual rail: ~2x link injection
+    alpha_intra=0.35e-6,
+    beta_intra=1.0 / (7.0 * GB),
+    gamma_reduce=1.0 / (4.5 * GB),
+    cpu_overhead=0.35e-6,
+    noise=NoiseModel(sigma=0.03, spike_prob=0.01, spike_scale=1.5),
+    processor="Intel Xeon Gold 6130, 2.1 GHz (dual socket)",
+    interconnect="Intel OmniPath, dual-rail dual-switch",
+)
+
+jupiter = MachineModel(
+    name="Jupiter",
+    max_nodes=35,
+    max_ppn=16,
+    alpha_inter=2.1e-6,
+    beta_inter=1.0 / (4.0 * GB),
+    nic_gap=1.0 / (4.0 * GB),  # single rail QDR
+    alpha_intra=0.55e-6,
+    beta_intra=1.0 / (4.0 * GB),
+    gamma_reduce=1.0 / (2.8 * GB),
+    cpu_overhead=0.55e-6,
+    noise=NoiseModel(sigma=0.05, spike_prob=0.02, spike_scale=2.0),
+    processor="AMD Opteron 6134",
+    interconnect="Mellanox InfiniBand (QDR)",
+)
+
+supermuc_ng = MachineModel(
+    name="SuperMUC-NG",
+    max_nodes=6336,
+    max_ppn=48,
+    alpha_inter=1.1e-6,
+    beta_inter=1.0 / (12.5 * GB),
+    nic_gap=1.0 / (12.5 * GB),  # single rail shared by 48 cores
+    alpha_intra=0.30e-6,
+    beta_intra=1.0 / (8.0 * GB),
+    gamma_reduce=1.0 / (5.5 * GB),
+    cpu_overhead=0.30e-6,
+    noise=NoiseModel(sigma=0.04, spike_prob=0.015, spike_scale=2.5),
+    processor="Intel Skylake Platinum 8174",
+    interconnect="Intel OmniPath",
+)
+
+tiny_testbed = MachineModel(
+    name="TinyTestbed",
+    max_nodes=8,
+    max_ppn=4,
+    alpha_inter=1.5e-6,
+    beta_inter=1.0 / (10.0 * GB),
+    nic_gap=1.0 / (10.0 * GB),
+    alpha_intra=0.4e-6,
+    beta_intra=1.0 / (6.0 * GB),
+    gamma_reduce=1.0 / (4.0 * GB),
+    noise=NoiseModel(sigma=0.02, spike_prob=0.0, spike_scale=0.0),
+    processor="synthetic",
+    interconnect="synthetic",
+)
+
+MACHINES: dict[str, MachineModel] = {
+    m.name: m for m in (hydra, jupiter, supermuc_ng, tiny_testbed)
+}
+
+
+def get_machine(name: str) -> MachineModel:
+    """Look up a zoo machine case-insensitively."""
+    for key, machine in MACHINES.items():
+        if key.lower() == name.lower():
+            return machine
+    raise KeyError(
+        f"unknown machine {name!r}; available: {', '.join(sorted(MACHINES))}"
+    )

@@ -1,0 +1,54 @@
+"""From-scratch regression learners (NumPy/SciPy only).
+
+The paper's tuning step fits one runtime model per algorithm
+configuration using, out of the box and without hyper-parameter
+search: **XGBoost** (gradient-boosted trees, Tweedie objective, 200
+rounds), **KNN** (k=5 on standardised inputs) and **GAM** (penalised
+B-splines, Gamma family, log link). Those three live here, together
+with the baselines the paper tried and rejected (random forest,
+ridge/linear regression) and the shared infrastructure (CART trees,
+scalers, metrics, cross-validation).
+"""
+
+from repro.ml.base import Regressor
+from repro.ml.inspection import partial_dependence, permutation_importance
+from repro.ml.boosting import GradientBoostingRegressor
+from repro.ml.forest import RandomForestRegressor
+from repro.ml.gam import GAMRegressor
+from repro.ml.knn import KNNRegressor
+from repro.ml.linear import RidgeRegressor
+from repro.ml.metrics import mae, mape, r2_score, rmse
+from repro.ml.scaling import StandardScaler
+from repro.ml.tree import RegressionTree
+from repro.ml.validation import KFold, train_test_split
+
+#: the learner menu of the paper's evaluation (§IV-B), by display name.
+#: The GAM includes a tensor-product interaction between the first and
+#: last instance features (log2 message size x total processes, see
+#: repro.core.features) — collective runtimes have the shape
+#: ``A(p) + B(p)*m``, which no purely additive smooth can express.
+PAPER_LEARNERS = {
+    "KNN": lambda: KNNRegressor(),
+    "GAM": lambda: GAMRegressor(interactions=((0, 3),)),
+    "XGBoost": lambda: GradientBoostingRegressor(),
+}
+
+__all__ = [
+    "Regressor",
+    "GradientBoostingRegressor",
+    "RandomForestRegressor",
+    "GAMRegressor",
+    "KNNRegressor",
+    "RidgeRegressor",
+    "RegressionTree",
+    "StandardScaler",
+    "KFold",
+    "train_test_split",
+    "mae",
+    "mape",
+    "rmse",
+    "r2_score",
+    "permutation_importance",
+    "partial_dependence",
+    "PAPER_LEARNERS",
+]

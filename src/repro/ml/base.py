@@ -1,0 +1,50 @@
+"""Common regressor interface."""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+
+class Regressor(abc.ABC):
+    """Minimal fit/predict contract shared by all learners.
+
+    ``fit`` returns ``self`` so pipelines can chain; ``predict`` must
+    only be called after ``fit`` (a ``RuntimeError`` is raised
+    otherwise). Inputs are 2-D float arrays of shape (n_samples,
+    n_features); targets are 1-D.
+    """
+
+    _fitted: bool = False
+
+    @abc.abstractmethod
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "Regressor":
+        """Fit on training data and return ``self``."""
+
+    @abc.abstractmethod
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predict targets for ``X``."""
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _validate(X: np.ndarray, y: np.ndarray | None = None) -> tuple[np.ndarray, np.ndarray | None]:
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X[:, None]
+        if X.ndim != 2:
+            raise ValueError(f"X must be 2-D, got shape {X.shape}")
+        if not np.isfinite(X).all():
+            raise ValueError("X contains non-finite values")
+        if y is None:
+            return X, None
+        y = np.asarray(y, dtype=float).ravel()
+        if len(y) != len(X):
+            raise ValueError(f"X has {len(X)} rows but y has {len(y)}")
+        if not np.isfinite(y).all():
+            raise ValueError("y contains non-finite values")
+        return X, y
+
+    def _check_fitted(self) -> None:
+        if not self._fitted:
+            raise RuntimeError(f"{type(self).__name__} is not fitted yet")

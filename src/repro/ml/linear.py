@@ -1,0 +1,53 @@
+"""Linear / ridge regression — the baseline the paper rejected.
+
+"Several processes, such as the MPI algorithm selection problem, are
+non-linear and therefore linear regression models fail to provide the
+necessary prediction accuracy" (§III-C). Kept for the A3 ablation that
+demonstrates exactly that.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import Regressor
+
+
+class RidgeRegressor(Regressor):
+    """Closed-form ridge regression with intercept.
+
+    ``log_target=True`` fits on ``log(y)`` and predicts
+    ``exp(X beta)`` — the fairest linear baseline for positive runtimes
+    spanning orders of magnitude.
+    """
+
+    def __init__(self, alpha: float = 1e-6, log_target: bool = False) -> None:
+        if alpha < 0:
+            raise ValueError("alpha must be >= 0")
+        self.alpha = alpha
+        self.log_target = log_target
+        self.coef_: np.ndarray | None = None
+        self.intercept_: float = 0.0
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RidgeRegressor":
+        X, y = self._validate(X, y)
+        if self.log_target:
+            if (y <= 0).any():
+                raise ValueError("log_target requires strictly positive y")
+            y = np.log(y)
+        # Centre so the intercept is not penalised.
+        x_mean = X.mean(axis=0)
+        y_mean = y.mean()
+        Xc = X - x_mean
+        A = Xc.T @ Xc + self.alpha * np.eye(X.shape[1])
+        self.coef_ = np.linalg.solve(A, Xc.T @ (y - y_mean))
+        self.intercept_ = float(y_mean - x_mean @ self.coef_)
+        self._fitted = True
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        X, _ = self._validate(X)
+        assert self.coef_ is not None
+        eta = X @ self.coef_ + self.intercept_
+        return np.exp(eta) if self.log_target else eta

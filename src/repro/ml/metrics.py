@@ -1,0 +1,52 @@
+"""Regression error metrics (for model diagnostics and the ablations)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _pair(y_true: np.ndarray, y_pred: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    y_true = np.asarray(y_true, dtype=float).ravel()
+    y_pred = np.asarray(y_pred, dtype=float).ravel()
+    if y_true.shape != y_pred.shape:
+        raise ValueError(
+            f"shape mismatch: y_true {y_true.shape} vs y_pred {y_pred.shape}"
+        )
+    if len(y_true) == 0:
+        raise ValueError("empty input")
+    return y_true, y_pred
+
+
+def mae(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Mean absolute error."""
+    y_true, y_pred = _pair(y_true, y_pred)
+    return float(np.mean(np.abs(y_true - y_pred)))
+
+
+def rmse(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Root mean squared error."""
+    y_true, y_pred = _pair(y_true, y_pred)
+    return float(np.sqrt(np.mean((y_true - y_pred) ** 2)))
+
+
+def mape(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Mean absolute percentage error (requires strictly positive truth).
+
+    The natural metric for runtimes spanning orders of magnitude: a
+    50 us error is negligible on a 5 ms broadcast and catastrophic on a
+    5 us one.
+    """
+    y_true, y_pred = _pair(y_true, y_pred)
+    if (y_true <= 0).any():
+        raise ValueError("mape requires strictly positive y_true")
+    return float(np.mean(np.abs((y_true - y_pred) / y_true)))
+
+
+def r2_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Coefficient of determination (1 = perfect, 0 = predicting the mean)."""
+    y_true, y_pred = _pair(y_true, y_pred)
+    ss_res = float(np.sum((y_true - y_pred) ** 2))
+    ss_tot = float(np.sum((y_true - y_true.mean()) ** 2))
+    if ss_tot == 0.0:
+        return 1.0 if ss_res == 0.0 else 0.0
+    return 1.0 - ss_res / ss_tot

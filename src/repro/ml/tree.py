@@ -1,0 +1,210 @@
+"""Exact-greedy regression trees on gradient/hessian statistics.
+
+One tree implementation serves two masters:
+
+* **gradient boosting** fits each tree to per-sample gradients ``g``
+  and hessians ``h`` of an arbitrary twice-differentiable loss; the
+  optimal leaf weight is ``-G/(H + lambda)`` and the split gain is the
+  XGBoost gain formula,
+* a **plain regression tree** (and hence the random forest) is the
+  special case ``g = -y, h = 1, lambda = 0``: leaf weights become leaf
+  means and the gain reduces to the classic SSE reduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ml.base import Regressor
+from repro.utils.rng import SeedLike, as_generator
+
+
+@dataclass
+class _Node:
+    """Internal node (leaf iff ``feature < 0``)."""
+
+    feature: int = -1
+    threshold: float = 0.0
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+    value: float = 0.0
+
+
+@dataclass(frozen=True)
+class TreeParams:
+    """Growth limits (XGBoost naming)."""
+
+    max_depth: int = 6
+    min_child_weight: float = 1.0
+    reg_lambda: float = 1.0
+    gamma: float = 0.0  # minimum gain to split
+    min_samples_leaf: int = 1
+    #: number of features considered per split (None = all)
+    max_features: int | None = None
+
+
+class GradTree:
+    """A single tree fitted to (gradient, hessian) statistics."""
+
+    def __init__(self, params: TreeParams, rng: SeedLike = None) -> None:
+        self.params = params
+        self._rng = as_generator(rng)
+        self._root: _Node | None = None
+
+    # ------------------------------------------------------------------
+    def fit(self, X: np.ndarray, grad: np.ndarray, hess: np.ndarray) -> "GradTree":
+        X = np.asarray(X, dtype=float)
+        grad = np.asarray(grad, dtype=float)
+        hess = np.asarray(hess, dtype=float)
+        if len(X) == 0:
+            raise ValueError("cannot fit a tree on zero samples")
+        self._X, self._grad, self._hess = X, grad, hess
+        self._root = self._build(np.arange(len(X)), depth=0)
+        del self._X, self._grad, self._hess
+        return self
+
+    def _leaf(self, idx: np.ndarray) -> _Node:
+        G = self._grad[idx].sum()
+        H = self._hess[idx].sum()
+        return _Node(value=-G / (H + self.params.reg_lambda))
+
+    def _build(self, idx: np.ndarray, depth: int) -> _Node:
+        p = self.params
+        if depth >= p.max_depth or len(idx) < 2 * p.min_samples_leaf:
+            return self._leaf(idx)
+        G = self._grad[idx].sum()
+        H = self._hess[idx].sum()
+        parent_score = G * G / (H + p.reg_lambda)
+
+        nfeat = self._X.shape[1]
+        if p.max_features is not None and p.max_features < nfeat:
+            features = self._rng.choice(nfeat, size=p.max_features, replace=False)
+        else:
+            features = np.arange(nfeat)
+
+        best_gain = 0.0
+        best: tuple[int, float, np.ndarray] | None = None
+        for f in features:
+            values = self._X[idx, f]
+            order = np.argsort(values, kind="stable")
+            v_sorted = values[order]
+            g_cum = np.cumsum(self._grad[idx][order])
+            h_cum = np.cumsum(self._hess[idx][order])
+            # Valid split positions: between distinct consecutive values,
+            # respecting min_samples_leaf on both sides.
+            lo = p.min_samples_leaf - 1
+            hi = len(idx) - p.min_samples_leaf
+            pos = np.arange(lo, hi)
+            if len(pos) == 0:
+                continue
+            distinct = v_sorted[pos] < v_sorted[pos + 1]
+            pos = pos[distinct]
+            if len(pos) == 0:
+                continue
+            GL, HL = g_cum[pos], h_cum[pos]
+            GR, HR = G - GL, H - HL
+            ok = (HL >= p.min_child_weight) & (HR >= p.min_child_weight)
+            if not ok.any():
+                continue
+            gains = (
+                GL**2 / (HL + p.reg_lambda)
+                + GR**2 / (HR + p.reg_lambda)
+                - parent_score
+            )
+            gains[~ok] = -np.inf
+            k = int(np.argmax(gains))
+            if gains[k] > best_gain + 2 * p.gamma:
+                best_gain = float(gains[k])
+                threshold = 0.5 * (v_sorted[pos[k]] + v_sorted[pos[k] + 1])
+                best = (int(f), threshold, values <= threshold)
+        if best is None:
+            return self._leaf(idx)
+        feature, threshold, mask = best
+        node = _Node(feature=feature, threshold=threshold)
+        node.left = self._build(idx[mask], depth + 1)
+        node.right = self._build(idx[~mask], depth + 1)
+        return node
+
+    # ------------------------------------------------------------------
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self._root is None:
+            raise RuntimeError("GradTree is not fitted yet")
+        X = np.asarray(X, dtype=float)
+        out = np.empty(len(X))
+        self._predict_into(self._root, X, np.arange(len(X)), out)
+        return out
+
+    def _predict_into(
+        self, node: _Node, X: np.ndarray, idx: np.ndarray, out: np.ndarray
+    ) -> None:
+        if node.feature < 0:
+            out[idx] = node.value
+            return
+        mask = X[idx, node.feature] <= node.threshold
+        assert node.left is not None and node.right is not None
+        if mask.any():
+            self._predict_into(node.left, X, idx[mask], out)
+        if (~mask).any():
+            self._predict_into(node.right, X, idx[~mask], out)
+
+    def depth(self) -> int:
+        """Actual depth of the fitted tree (for tests/diagnostics)."""
+
+        def walk(node: _Node | None) -> int:
+            if node is None or node.feature < 0:
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+
+        if self._root is None:
+            raise RuntimeError("GradTree is not fitted yet")
+        return walk(self._root)
+
+    def num_leaves(self) -> int:
+        """Leaf count of the fitted tree."""
+
+        def walk(node: _Node | None) -> int:
+            if node is None:
+                return 0
+            if node.feature < 0:
+                return 1
+            return walk(node.left) + walk(node.right)
+
+        if self._root is None:
+            raise RuntimeError("GradTree is not fitted yet")
+        return walk(self._root)
+
+
+class RegressionTree(Regressor):
+    """Plain CART regression tree (leaf means, SSE-reduction splits)."""
+
+    def __init__(
+        self,
+        max_depth: int = 8,
+        min_samples_leaf: int = 1,
+        max_features: int | None = None,
+        rng: SeedLike = None,
+    ) -> None:
+        self._params = TreeParams(
+            max_depth=max_depth,
+            min_child_weight=0.0,
+            reg_lambda=0.0,
+            min_samples_leaf=min_samples_leaf,
+            max_features=max_features,
+        )
+        self._rng = as_generator(rng)
+        self._tree: GradTree | None = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RegressionTree":
+        X, y = self._validate(X, y)
+        self._tree = GradTree(self._params, rng=self._rng)
+        self._tree.fit(X, grad=-y, hess=np.ones(len(y)))
+        self._fitted = True
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        X, _ = self._validate(X)
+        assert self._tree is not None
+        return self._tree.predict(X)

@@ -1,0 +1,72 @@
+"""Cross-validation utilities.
+
+The paper deliberately avoids hyper-parameter search (§III-A,
+"Achieving Robustness and Applicability") but monitors train/test error
+while building models; these helpers support that monitoring and the
+model-error ablations.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, as_generator
+
+
+class KFold:
+    """Standard k-fold splitter with optional shuffling."""
+
+    def __init__(self, n_splits: int = 5, shuffle: bool = True, rng: SeedLike = 0):
+        if n_splits < 2:
+            raise ValueError("n_splits must be >= 2")
+        self.n_splits = n_splits
+        self.shuffle = shuffle
+        self._rng = as_generator(rng)
+
+    def split(self, n_samples: int) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        """Yield (train_idx, test_idx) pairs."""
+        if n_samples < self.n_splits:
+            raise ValueError(
+                f"cannot split {n_samples} samples into {self.n_splits} folds"
+            )
+        idx = np.arange(n_samples)
+        if self.shuffle:
+            self._rng.shuffle(idx)
+        folds = np.array_split(idx, self.n_splits)
+        for k in range(self.n_splits):
+            test = folds[k]
+            train = np.concatenate([folds[j] for j in range(self.n_splits) if j != k])
+            yield train, test
+
+
+def train_test_split(
+    n_samples: int, test_fraction: float = 0.25, rng: SeedLike = 0
+) -> tuple[np.ndarray, np.ndarray]:
+    """Random index split; returns (train_idx, test_idx)."""
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must lie in (0, 1)")
+    gen = as_generator(rng)
+    idx = gen.permutation(n_samples)
+    n_test = max(1, int(round(n_samples * test_fraction)))
+    return idx[n_test:], idx[:n_test]
+
+
+def cross_val_score(
+    make_model,
+    X: np.ndarray,
+    y: np.ndarray,
+    metric,
+    n_splits: int = 5,
+    rng: SeedLike = 0,
+) -> np.ndarray:
+    """Metric per fold for a model factory (lower-is-better metrics)."""
+    X = np.asarray(X, dtype=float)
+    y = np.asarray(y, dtype=float)
+    scores = []
+    for train, test in KFold(n_splits, rng=rng).split(len(y)):
+        model = make_model()
+        model.fit(X[train], y[train])
+        scores.append(metric(y[test], model.predict(X[test])))
+    return np.asarray(scores)

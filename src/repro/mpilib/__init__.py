@@ -1,0 +1,45 @@
+"""Simulated MPI libraries: tuning spaces + hard-coded default selection.
+
+Each library exposes, per collective, the set of algorithm
+configurations a user could force (the tuning space the paper
+benchmarks) and a *default decision logic* — the hard-coded heuristic
+the paper's "Default" strategy refers to:
+
+* :class:`OpenMPILibrary` — threshold rules modelled on Open MPI's
+  ``coll_tuned_decision_fixed.c``.
+* :class:`IntelMPILibrary` — a table-driven default produced by coarse
+  offline tuning on the same machine family (which is why, exactly as
+  the paper observes, it is much harder to beat).
+* :class:`MVAPICHLibrary` — size-class-based selection (small / medium /
+  large message regimes), the "slightly different concept" §IV-B notes.
+"""
+
+from repro.mpilib.base import MPILibrary
+from repro.mpilib.openmpi import OpenMPILibrary
+from repro.mpilib.intelmpi import IntelMPILibrary
+from repro.mpilib.mvapich import MVAPICHLibrary
+
+LIBRARIES: dict[str, type[MPILibrary]] = {
+    "Open MPI": OpenMPILibrary,
+    "Intel MPI": IntelMPILibrary,
+    "MVAPICH": MVAPICHLibrary,
+}
+
+
+def get_library(name: str) -> MPILibrary:
+    """Instantiate a library by (case-insensitive, space-insensitive) name."""
+    key = name.lower().replace(" ", "")
+    for lib_name, cls in LIBRARIES.items():
+        if lib_name.lower().replace(" ", "") == key:
+            return cls()
+    raise KeyError(f"unknown MPI library {name!r}; known: {', '.join(LIBRARIES)}")
+
+
+__all__ = [
+    "MPILibrary",
+    "OpenMPILibrary",
+    "IntelMPILibrary",
+    "MVAPICHLibrary",
+    "LIBRARIES",
+    "get_library",
+]

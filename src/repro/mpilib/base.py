@@ -1,0 +1,62 @@
+"""Abstract interface of a simulated MPI library."""
+
+from __future__ import annotations
+
+import abc
+from functools import lru_cache
+
+from repro.collectives.base import AlgorithmConfig, CollectiveKind, ConfigSpace
+from repro.machine.model import MachineModel
+from repro.machine.topology import Topology
+
+
+class MPILibrary(abc.ABC):
+    """A library = a tuning space per collective + a default heuristic.
+
+    The default heuristic plays the role of "algorithm 0" in the paper:
+    it is a *strategy*, not an algorithm — the config it picks changes
+    with the instance, which is precisely why the paper refuses to
+    regress against it directly (§III-A).
+    """
+
+    #: display name, e.g. "Open MPI"
+    name: str = ""
+    #: display version, e.g. "4.0.2"
+    version: str = ""
+
+    @abc.abstractmethod
+    def config_space(self, collective: CollectiveKind | str) -> ConfigSpace:
+        """All forceable algorithm configurations for ``collective``."""
+
+    @abc.abstractmethod
+    def default_config(
+        self,
+        machine: MachineModel,
+        topo: Topology,
+        collective: CollectiveKind | str,
+        nbytes: int,
+    ) -> AlgorithmConfig:
+        """The configuration the hard-coded decision logic would pick.
+
+        Must return a member of ``config_space(collective)``.
+        """
+
+    def supported_collectives(self) -> list[CollectiveKind]:
+        """Collectives this library exposes a tuning space for."""
+        out = []
+        for kind in CollectiveKind:
+            try:
+                if len(self.config_space(kind)):
+                    out.append(kind)
+            except KeyError:
+                continue
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name} {self.version}>"
+
+
+@lru_cache(maxsize=None)
+def _cached_space(factory, collective: CollectiveKind) -> ConfigSpace:
+    """Shared memoisation for config-space construction."""
+    return factory(collective)

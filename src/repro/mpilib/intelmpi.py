@@ -1,0 +1,205 @@
+"""Intel-MPI-like library: tuning space and table-driven default.
+
+Intel MPI ships decision tables produced by offline tuning on Intel's
+own clusters; on hardware resembling those clusters its defaults are
+close to optimal (the paper's Figure 6 finding). We reproduce the
+*mechanism*: when first asked for a default on a machine, the library
+tunes itself on a coarse grid of (nodes, ppn, message size) points
+using noise-free cost evaluations, then answers default queries by
+nearest-gridpoint lookup in log space. Off-grid instances (odd node
+counts, unusual ppn) therefore get slightly stale answers — the same
+failure mode the paper's tuning-tool discussion (§II) describes.
+
+The tuning spaces carry Intel's characteristically wide algorithm menu
+including topology-aware (hierarchical) variants, ids following the
+``I_MPI_ADJUST_*`` convention.
+"""
+
+from __future__ import annotations
+
+from repro.collectives.base import AlgorithmConfig, CollectiveKind, ConfigSpace
+from repro.collectives.registry import algorithm_from_config
+from repro.machine.model import MachineModel
+from repro.machine.topology import Topology
+from repro.mpilib.base import MPILibrary
+from repro.utils.units import KiB, MiB
+
+import numpy as np
+
+_mk = AlgorithmConfig.make
+
+#: grid used by the self-tuning pass (clipped to the machine's limits)
+TUNE_NODES: tuple[int, ...] = (2, 4, 8, 16, 32)
+TUNE_MSIZES: tuple[int, ...] = (
+    1, 64, KiB, 16 * KiB, 256 * KiB, MiB, 4 * MiB
+)
+
+
+def _bcast_space() -> tuple[AlgorithmConfig, ...]:
+    configs: list[AlgorithmConfig] = [_mk(CollectiveKind.BCAST, 1, "linear")]
+    for seg in (None, 4 * KiB, 16 * KiB, 64 * KiB):
+        configs.append(_mk(CollectiveKind.BCAST, 2, "binomial", segsize=seg))
+    for radix in (2, 4, 8):
+        for seg in (None, 16 * KiB):
+            configs.append(
+                _mk(CollectiveKind.BCAST, 3, "knomial", segsize=seg, radix=radix)
+            )
+    for seg in (KiB, 4 * KiB, 16 * KiB, 64 * KiB, 128 * KiB):
+        configs.append(_mk(CollectiveKind.BCAST, 4, "pipeline", segsize=seg))
+    for seg in (4 * KiB, 16 * KiB, 64 * KiB):
+        for chains in (2, 4):
+            configs.append(
+                _mk(CollectiveKind.BCAST, 5, "chain", segsize=seg, chains=chains)
+            )
+    for seg in (4 * KiB, 16 * KiB, 64 * KiB):
+        configs.append(_mk(CollectiveKind.BCAST, 6, "split_binary", segsize=seg))
+    configs.append(_mk(CollectiveKind.BCAST, 7, "scatter_allgather"))
+    configs.append(_mk(CollectiveKind.BCAST, 8, "scatter_ring_allgather"))
+    for seg in (None, 16 * KiB):
+        configs.append(_mk(CollectiveKind.BCAST, 9, "hier_binomial", segsize=seg))
+    for radix in (2, 4):
+        configs.append(
+            _mk(CollectiveKind.BCAST, 10, "hier_knomial", segsize=None, radix=radix)
+        )
+    for seg in (16 * KiB, 64 * KiB):
+        configs.append(_mk(CollectiveKind.BCAST, 11, "hier_pipeline", segsize=seg))
+    for seg in (16 * KiB, 64 * KiB):
+        for chains in (2, 4):
+            configs.append(
+                _mk(
+                    CollectiveKind.BCAST, 12, "hier_chain",
+                    segsize=seg, chains=chains,
+                )
+            )
+    return tuple(configs)
+
+
+def _allreduce_space() -> tuple[AlgorithmConfig, ...]:
+    flat: list[tuple[str, dict]] = [
+        ("linear", {}),
+        ("nonoverlapping", {}),
+        ("recursive_doubling", {}),
+        ("ring", {}),
+    ]
+    configs: list[AlgorithmConfig] = []
+    algid = 0
+    for name, params in flat:
+        algid += 1
+        configs.append(_mk(CollectiveKind.ALLREDUCE, algid, name, **params))
+    algid += 1  # 5: segmented ring with a small segment-size menu
+    for seg in (16 * KiB, 64 * KiB, 128 * KiB):
+        configs.append(
+            _mk(CollectiveKind.ALLREDUCE, algid, "segmented_ring", segsize=seg)
+        )
+    algid += 1
+    configs.append(_mk(CollectiveKind.ALLREDUCE, algid, "rabenseifner"))
+    algid += 1
+    configs.append(_mk(CollectiveKind.ALLREDUCE, algid, "allgather_reduce"))
+    algid += 1  # 8: knomial
+    for radix in (2, 4, 8):
+        configs.append(
+            _mk(CollectiveKind.ALLREDUCE, algid, "knomial_reduce_bcast", radix=radix)
+        )
+    # 9..16: topology-aware (SHM + leader) mirrors of the flat menu.
+    hier: list[tuple[str, list[dict]]] = [
+        ("hier_linear", [{}]),
+        ("hier_nonoverlapping", [{}]),
+        ("hier_recursive_doubling", [{}]),
+        ("hier_ring", [{}]),
+        (
+            "hier_segmented_ring",
+            [{"segsize": s} for s in (16 * KiB, 64 * KiB, 128 * KiB)],
+        ),
+        ("hier_rabenseifner", [{}]),
+        ("hier_allgather_reduce", [{}]),
+        ("hier_knomial_reduce_bcast", [{"radix": r} for r in (2, 4, 8)]),
+    ]
+    for name, param_list in hier:
+        algid += 1
+        for params in param_list:
+            configs.append(_mk(CollectiveKind.ALLREDUCE, algid, name, **params))
+    return tuple(configs)
+
+
+def _alltoall_space() -> tuple[AlgorithmConfig, ...]:
+    return (
+        _mk(CollectiveKind.ALLTOALL, 1, "bruck"),
+        _mk(CollectiveKind.ALLTOALL, 2, "linear"),
+        _mk(CollectiveKind.ALLTOALL, 3, "pairwise"),
+        _mk(CollectiveKind.ALLTOALL, 4, "linear_sync"),
+        _mk(CollectiveKind.ALLTOALL, 5, "ring"),
+    )
+
+
+class IntelMPILibrary(MPILibrary):
+    """Intel MPI 2019 stand-in with a self-tuned default table."""
+
+    name = "Intel MPI"
+    version = "2019"
+
+    #: process-level cache of tuned tables, keyed by (machine, collective)
+    _tables: dict[tuple[str, CollectiveKind], dict] = {}
+
+    def __init__(self) -> None:
+        self._spaces = {
+            CollectiveKind.BCAST: ConfigSpace(
+                CollectiveKind.BCAST, self.name, _bcast_space()
+            ),
+            CollectiveKind.ALLREDUCE: ConfigSpace(
+                CollectiveKind.ALLREDUCE, self.name, _allreduce_space()
+            ),
+            CollectiveKind.ALLTOALL: ConfigSpace(
+                CollectiveKind.ALLTOALL, self.name, _alltoall_space()
+            ),
+        }
+
+    def config_space(self, collective: CollectiveKind | str) -> ConfigSpace:
+        return self._spaces[CollectiveKind(collective)]
+
+    # ------------------------------------------------------------------
+    def default_config(
+        self,
+        machine: MachineModel,
+        topo: Topology,
+        collective: CollectiveKind | str,
+        nbytes: int,
+    ) -> AlgorithmConfig:
+        kind = CollectiveKind(collective)
+        table = self._tuned_table(machine, kind)
+        key = min(
+            table,
+            key=lambda grid: (
+                (np.log2(grid[0]) - np.log2(topo.num_nodes)) ** 2
+                + (np.log2(grid[1]) - np.log2(topo.ppn)) ** 2
+                + 0.5 * (np.log2(grid[2] + 1) - np.log2(nbytes + 1)) ** 2
+            ),
+        )
+        return table[key]
+
+    # ------------------------------------------------------------------
+    def _tuned_table(
+        self, machine: MachineModel, kind: CollectiveKind
+    ) -> dict[tuple[int, int, int], AlgorithmConfig]:
+        cache_key = (machine.name, kind)
+        if cache_key in self._tables:
+            return self._tables[cache_key]
+        space = self.config_space(kind)
+        algos = [algorithm_from_config(c) for c in space.configs]
+        nodes = sorted({min(n, machine.max_nodes) for n in TUNE_NODES})
+        ppns = sorted({1, max(1, machine.max_ppn // 2), machine.max_ppn})
+        table: dict[tuple[int, int, int], AlgorithmConfig] = {}
+        for n in nodes:
+            for ppn in ppns:
+                topo = Topology(n, ppn)
+                for m in TUNE_MSIZES:
+                    best, best_time = None, float("inf")
+                    for algo in algos:
+                        if not algo.supported(topo, m):
+                            continue
+                        t = algo.base_time(machine, topo, m)
+                        if t < best_time:
+                            best, best_time = algo.config, t
+                    assert best is not None
+                    table[(n, ppn, m)] = best
+        self._tables[cache_key] = table
+        return table

@@ -1,0 +1,177 @@
+"""MVAPICH-like library: size-class-based algorithm selection.
+
+The paper (§IV-B): "our techniques are … potentially also [applicable]
+to MVAPICH, although MVAPICH uses a slightly different concept for the
+algorithm selection, where the algorithm for small, medium, or large
+messages can be altered."
+
+This façade reproduces that concept: its *default* is a fixed
+(size-class → algorithm) table, and its tuning knob is not a free
+per-instance override but one algorithm choice per size class — the
+deployment mode :func:`repro.core.class_tuner.tune_size_classes`
+targets.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.collectives.base import AlgorithmConfig, CollectiveKind, ConfigSpace
+from repro.machine.model import MachineModel
+from repro.machine.topology import Topology
+from repro.mpilib.base import MPILibrary
+from repro.utils.units import KiB
+
+_mk = AlgorithmConfig.make
+
+
+class SizeClass(str, enum.Enum):
+    """MVAPICH's three message regimes."""
+
+    SMALL = "small"
+    MEDIUM = "medium"
+    LARGE = "large"
+
+
+#: class boundaries (bytes): small < 8 KiB <= medium < 512 KiB <= large
+SMALL_LIMIT = 8 * KiB
+MEDIUM_LIMIT = 512 * KiB
+
+
+def size_class(nbytes: int) -> SizeClass:
+    """Classify a message size into MVAPICH's regimes."""
+    if nbytes < SMALL_LIMIT:
+        return SizeClass.SMALL
+    if nbytes < MEDIUM_LIMIT:
+        return SizeClass.MEDIUM
+    return SizeClass.LARGE
+
+
+def _bcast_space() -> tuple[AlgorithmConfig, ...]:
+    return (
+        _mk(CollectiveKind.BCAST, 1, "binomial", segsize=None),
+        _mk(CollectiveKind.BCAST, 2, "knomial", segsize=None, radix=4),
+        _mk(CollectiveKind.BCAST, 3, "knomial", segsize=None, radix=8),
+        _mk(CollectiveKind.BCAST, 4, "scatter_allgather"),
+        _mk(CollectiveKind.BCAST, 5, "scatter_ring_allgather"),
+        _mk(CollectiveKind.BCAST, 6, "pipeline", segsize=64 * KiB),
+        _mk(CollectiveKind.BCAST, 7, "hier_binomial", segsize=None),
+        _mk(CollectiveKind.BCAST, 8, "hier_knomial", segsize=None, radix=4),
+    )
+
+
+def _allreduce_space() -> tuple[AlgorithmConfig, ...]:
+    return (
+        _mk(CollectiveKind.ALLREDUCE, 1, "recursive_doubling"),
+        _mk(CollectiveKind.ALLREDUCE, 2, "rabenseifner"),
+        _mk(CollectiveKind.ALLREDUCE, 3, "ring"),
+        _mk(CollectiveKind.ALLREDUCE, 4, "segmented_ring", segsize=64 * KiB),
+        _mk(CollectiveKind.ALLREDUCE, 5, "knomial_reduce_bcast", radix=4),
+        _mk(CollectiveKind.ALLREDUCE, 6, "hier_recursive_doubling"),
+        _mk(CollectiveKind.ALLREDUCE, 7, "hier_rabenseifner"),
+        _mk(CollectiveKind.ALLREDUCE, 8, "hier_ring"),
+    )
+
+
+def _alltoall_space() -> tuple[AlgorithmConfig, ...]:
+    return (
+        _mk(CollectiveKind.ALLTOALL, 1, "bruck"),
+        _mk(CollectiveKind.ALLTOALL, 2, "linear"),
+        _mk(CollectiveKind.ALLTOALL, 3, "pairwise"),
+    )
+
+
+#: factory defaults: one algorithm id per (collective, size class) —
+#: the structure MVAPICH ships in its architecture tables.
+_DEFAULT_CLASS_TABLE: dict[CollectiveKind, dict[SizeClass, int]] = {
+    CollectiveKind.BCAST: {
+        SizeClass.SMALL: 1,   # binomial
+        SizeClass.MEDIUM: 2,  # 4-nomial
+        SizeClass.LARGE: 5,   # scatter-ring-allgather
+    },
+    CollectiveKind.ALLREDUCE: {
+        SizeClass.SMALL: 1,   # recursive doubling
+        SizeClass.MEDIUM: 2,  # rabenseifner
+        SizeClass.LARGE: 3,   # ring
+    },
+    CollectiveKind.ALLTOALL: {
+        SizeClass.SMALL: 1,   # bruck
+        SizeClass.MEDIUM: 2,  # linear
+        SizeClass.LARGE: 3,   # pairwise
+    },
+}
+
+
+class MVAPICHLibrary(MPILibrary):
+    """MVAPICH 2.3 stand-in with per-size-class selection.
+
+    ``set_class_algorithm`` mirrors the ``MV2_*_TUNING`` environment
+    knobs: the user (or our class tuner) overrides the algorithm of one
+    size class, and the default logic then serves it for every message
+    in that class.
+    """
+
+    name = "MVAPICH"
+    version = "2.3"
+
+    def __init__(self) -> None:
+        self._spaces = {
+            CollectiveKind.BCAST: ConfigSpace(
+                CollectiveKind.BCAST, self.name, _bcast_space()
+            ),
+            CollectiveKind.ALLREDUCE: ConfigSpace(
+                CollectiveKind.ALLREDUCE, self.name, _allreduce_space()
+            ),
+            CollectiveKind.ALLTOALL: ConfigSpace(
+                CollectiveKind.ALLTOALL, self.name, _alltoall_space()
+            ),
+        }
+        # Instance-level copy so overrides don't leak across libraries.
+        self._class_table = {
+            kind: dict(classes)
+            for kind, classes in _DEFAULT_CLASS_TABLE.items()
+        }
+
+    def config_space(self, collective: CollectiveKind | str) -> ConfigSpace:
+        return self._spaces[CollectiveKind(collective)]
+
+    # ------------------------------------------------------------------
+    def default_config(
+        self,
+        machine: MachineModel,
+        topo: Topology,
+        collective: CollectiveKind | str,
+        nbytes: int,
+    ) -> AlgorithmConfig:
+        kind = CollectiveKind(collective)
+        algid = self._class_table[kind][size_class(nbytes)]
+        space = self._spaces[kind]
+        for cfg in space.configs:
+            if cfg.algid == algid:
+                return cfg
+        raise KeyError(f"class table references unknown algid {algid}")
+
+    # ------------------------------------------------------------------
+    def class_algorithm(
+        self, collective: CollectiveKind | str, cls: SizeClass
+    ) -> AlgorithmConfig:
+        """The configuration currently serving a size class."""
+        kind = CollectiveKind(collective)
+        algid = self._class_table[kind][cls]
+        return next(
+            cfg for cfg in self._spaces[kind].configs if cfg.algid == algid
+        )
+
+    def set_class_algorithm(
+        self,
+        collective: CollectiveKind | str,
+        cls: SizeClass,
+        config: AlgorithmConfig,
+    ) -> None:
+        """Override one size class (the MV2_* tuning knob)."""
+        kind = CollectiveKind(collective)
+        if config not in self._spaces[kind].configs:
+            raise KeyError(
+                f"{config.label} is not in MVAPICH's {kind} menu"
+            )
+        self._class_table[kind][SizeClass(cls)] = config.algid

@@ -1,0 +1,45 @@
+"""Two-tier simulation of MPI point-to-point traffic.
+
+* :mod:`repro.simulator.engine` — an exact discrete-event executor for
+  per-rank *programs* (generators yielding Send/Recv/... operations).
+  It moves real payloads, so collective schedules can be verified for
+  semantic correctness, and models per-node NIC occupancy.
+* :mod:`repro.simulator.fastsim` — vectorised evaluators for the three
+  structural families all implemented collectives fall into (pipelined
+  trees, synchronous rounds, linear sweeps). Used for dataset
+  generation at paper scale; validated against the engine in tests.
+"""
+
+from repro.simulator.engine import (
+    Compute,
+    DeadlockError,
+    Engine,
+    Irecv,
+    Isend,
+    Recv,
+    Reduce,
+    Send,
+    SimResult,
+    Wait,
+)
+from repro.simulator.fastsim import (
+    linear_time,
+    pipeline_tree_time,
+    round_time,
+)
+
+__all__ = [
+    "Engine",
+    "SimResult",
+    "DeadlockError",
+    "Send",
+    "Recv",
+    "Isend",
+    "Irecv",
+    "Wait",
+    "Compute",
+    "Reduce",
+    "linear_time",
+    "pipeline_tree_time",
+    "round_time",
+]

@@ -1,0 +1,416 @@
+"""Exact discrete-event execution of per-rank message-passing programs.
+
+A *program* is a generator: it yields operation objects and receives
+operation results back (received payloads, request handles). The engine
+advances one virtual clock per rank, matches messages FIFO per
+``(src, dst, tag)`` channel (MPI's non-overtaking rule), and models
+contention at each node's NIC.
+
+Timing model (all parameters from :class:`repro.machine.MachineModel`):
+
+* every operation charges ``cpu_overhead`` on the issuing rank,
+* intra-node message: sender occupied ``nbytes * beta_intra`` (memory
+  copy); payload available at the receiver ``alpha_intra +
+  nbytes * beta_intra`` after the copy starts,
+* inter-node message: the source NIC is occupied for ``nbytes *
+  nic_gap`` starting no earlier than both the sender reaching the send
+  and the NIC being free; the wire adds ``alpha_inter`` latency and
+  sustains ``beta_inter`` per byte; the destination NIC serialises the
+  drain at ``nic_gap`` per byte,
+* a blocking ``Send`` returns once the message is fully injected
+  (eager protocol — no rendezvous),
+* ``Recv`` completes at ``max(time recv posted, payload arrival)``.
+
+The scheduler always resumes the runnable rank with the smallest
+virtual clock, so shared-resource (NIC) claims happen in near time
+order and the makespan is deterministic for a fixed machine, program
+set and seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from collections.abc import Callable, Generator, Iterable
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.machine.model import MachineModel
+from repro.machine.topology import Topology
+from repro.utils.rng import SeedLike, as_generator
+
+
+class DeadlockError(RuntimeError):
+    """Raised when every unfinished rank is blocked on a message."""
+
+
+# ----------------------------------------------------------------------
+# Operations
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Send:
+    """Blocking eager send of ``nbytes`` to ``dst`` (returns when injected)."""
+
+    dst: int
+    nbytes: int
+    payload: Any = None
+    tag: int = 0
+
+
+@dataclass(frozen=True)
+class Recv:
+    """Blocking receive from ``src``; the yield evaluates to the payload."""
+
+    src: int
+    tag: int = 0
+
+
+@dataclass(frozen=True)
+class Isend:
+    """Non-blocking send; the yield evaluates to a request handle."""
+
+    dst: int
+    nbytes: int
+    payload: Any = None
+    tag: int = 0
+
+
+@dataclass(frozen=True)
+class Irecv:
+    """Non-blocking receive; the yield evaluates to a request handle."""
+
+    src: int
+    tag: int = 0
+
+
+@dataclass(frozen=True)
+class Wait:
+    """Wait for a request handle; for Irecv the yield evaluates to the payload."""
+
+    handle: int
+
+
+@dataclass(frozen=True)
+class Compute:
+    """Occupy the rank for ``seconds`` of local work."""
+
+    seconds: float
+
+
+@dataclass(frozen=True)
+class Reduce:
+    """Occupy the rank for the machine's local-reduction cost of ``nbytes``."""
+
+    nbytes: int
+
+
+Op = Send | Recv | Isend | Irecv | Wait | Compute | Reduce
+Program = Generator[Op, Any, Any]
+ProgramFactory = Callable[[int], Program]
+
+
+# ----------------------------------------------------------------------
+# Engine internals
+# ----------------------------------------------------------------------
+@dataclass
+class _Message:
+    arrival: float
+    payload: Any
+
+
+@dataclass
+class _Request:
+    kind: str  # "send" | "recv"
+    channel: tuple[int, int, int] | None = None
+    complete_at: float | None = None  # for sends
+    message: _Message | None = None  # for matched recvs
+
+
+@dataclass
+class SimResult:
+    """Outcome of one engine run."""
+
+    #: per-rank completion times (seconds of virtual time)
+    finish_times: np.ndarray
+    #: ``max(finish_times)`` — the collective's completion time
+    makespan: float
+    #: generator return value of each rank's program
+    outputs: list[Any]
+    #: total messages sent
+    num_messages: int
+    #: total payload bytes sent
+    total_bytes: int
+
+
+@dataclass
+class _RankState:
+    program: Program
+    clock: float = 0.0
+    done: bool = False
+    output: Any = None
+    send_back: Any = None  # value to send into the generator on resume
+    blocked_channel: tuple[int, int, int] | None = None
+    blocked_wait: int | None = None
+    #: operation to retry on resume instead of advancing the generator
+    pending_op: Any = None
+    requests: dict[int, _Request] = field(default_factory=dict)
+    next_handle: int = 0
+
+
+class Engine:
+    """Runs one program per rank on a machine model.
+
+    Parameters
+    ----------
+    machine:
+        Calibrated machine model providing all cost parameters.
+    topology:
+        Placement of ranks onto nodes.
+    rng:
+        Seed or generator for per-message noise; ``None`` disables noise
+        entirely (exact deterministic costs), which is what the fastsim
+        equivalence tests use.
+    """
+
+    def __init__(
+        self,
+        machine: MachineModel,
+        topology: Topology,
+        rng: SeedLike = None,
+    ) -> None:
+        machine.validate_shape(topology.num_nodes, topology.ppn)
+        self.machine = machine
+        self.topology = topology
+        self._rng = as_generator(rng) if rng is not None else None
+
+    # ------------------------------------------------------------------
+    def run(self, programs: Iterable[ProgramFactory] | ProgramFactory) -> SimResult:
+        """Execute the programs and return completion times and outputs.
+
+        ``programs`` is either a single factory applied to every rank or
+        one factory per rank; each factory is called with the rank index.
+        """
+        topo = self.topology
+        if callable(programs):
+            factories = [programs] * topo.size
+        else:
+            factories = list(programs)
+            if len(factories) != topo.size:
+                raise ValueError(
+                    f"got {len(factories)} programs for {topo.size} ranks"
+                )
+
+        # Full-duplex NICs: injection and drain directions are
+        # independent resources, matching fastsim's round model.
+        self._nic_inject_free = np.zeros(topo.num_nodes)
+        self._nic_drain_free = np.zeros(topo.num_nodes)
+        self._channels: dict[tuple[int, int, int], deque[_Message]] = {}
+        self._recv_waiters: dict[tuple[int, int, int], list[int]] = {}
+        self._num_messages = 0
+        self._total_bytes = 0
+
+        states = [_RankState(program=factories[r](r)) for r in range(topo.size)]
+        self._states = states
+
+        # Priority queue of runnable ranks ordered by virtual clock. A
+        # rank appears at most once as runnable; blocked ranks re-enter
+        # when their channel receives a message.
+        ready: list[tuple[float, int]] = [(0.0, r) for r in range(topo.size)]
+        heapq.heapify(ready)
+
+        while ready:
+            _, rank = heapq.heappop(ready)
+            state = states[rank]
+            if state.done:
+                continue
+            # Preemption horizon: never let one rank execute operations
+            # (and claim shared NIC slots) past the virtual time of the
+            # next-soonest runnable rank, so resource claims happen in
+            # near time order.
+            horizon = ready[0][0] if ready else float("inf")
+            woken = self._advance(rank, state, horizon)
+            for other in woken:
+                heapq.heappush(ready, (states[other].clock, other))
+            if not state.done and state.blocked_channel is None and (
+                state.blocked_wait is None
+            ):
+                heapq.heappush(ready, (state.clock, rank))
+
+        unfinished = [r for r, s in enumerate(states) if not s.done]
+        if unfinished:
+            detail = ", ".join(
+                f"rank {r} waiting on {states[r].blocked_channel or states[r].blocked_wait}"
+                for r in unfinished[:8]
+            )
+            raise DeadlockError(
+                f"{len(unfinished)} rank(s) blocked forever: {detail}"
+            )
+
+        finish = np.array([s.clock for s in states])
+        return SimResult(
+            finish_times=finish,
+            makespan=float(finish.max(initial=0.0)),
+            outputs=[s.output for s in states],
+            num_messages=self._num_messages,
+            total_bytes=self._total_bytes,
+        )
+
+    # ------------------------------------------------------------------
+    def _advance(
+        self, rank: int, state: _RankState, horizon: float = float("inf")
+    ) -> list[int]:
+        """Run ``rank`` until it finishes, blocks, or passes ``horizon``.
+
+        Returns the ranks woken by messages sent along the way.
+        """
+        woken: list[int] = []
+        while True:
+            if state.clock > horizon:
+                return woken  # preempted; caller requeues us
+            if state.pending_op is not None:
+                op = state.pending_op
+                state.pending_op = None
+            else:
+                try:
+                    op = state.program.send(state.send_back)
+                except StopIteration as stop:
+                    state.done = True
+                    state.output = stop.value
+                    return woken
+                state.send_back = None
+
+            if isinstance(op, Compute):
+                if op.seconds < 0:
+                    raise ValueError(f"negative compute time {op.seconds}")
+                state.clock += self._noisy(op.seconds)
+            elif isinstance(op, Reduce):
+                state.clock += self._noisy(float(self.machine.reduce_time(op.nbytes)))
+            elif isinstance(op, Send):
+                complete, woke = self._do_send(rank, state.clock, op)
+                state.clock = complete
+                woken.extend(woke)
+            elif isinstance(op, Isend):
+                complete, woke = self._do_send(rank, state.clock, op)
+                woken.extend(woke)
+                handle = state.next_handle
+                state.next_handle += 1
+                state.requests[handle] = _Request(kind="send", complete_at=complete)
+                state.clock += self.machine.cpu_overhead
+                state.send_back = handle
+            elif isinstance(op, Recv):
+                channel = (op.src, rank, op.tag)
+                self._validate_peer(op.src)
+                queue = self._channels.get(channel)
+                if queue:
+                    message = queue.popleft()
+                    state.clock = (
+                        max(state.clock, message.arrival) + self.machine.cpu_overhead
+                    )
+                    state.send_back = message.payload
+                else:
+                    state.blocked_channel = channel
+                    self._recv_waiters.setdefault(channel, []).append(rank)
+                    state.pending_op = op  # retry the Recv on resume
+                    return woken
+            elif isinstance(op, Irecv):
+                self._validate_peer(op.src)
+                handle = state.next_handle
+                state.next_handle += 1
+                state.requests[handle] = _Request(
+                    kind="recv", channel=(op.src, rank, op.tag)
+                )
+                state.send_back = handle
+            elif isinstance(op, Wait):
+                request = state.requests.get(op.handle)
+                if request is None:
+                    raise ValueError(f"rank {rank}: unknown request {op.handle}")
+                if request.kind == "send":
+                    state.clock = max(state.clock, request.complete_at or 0.0)
+                    del state.requests[op.handle]
+                else:
+                    channel = request.channel
+                    assert channel is not None
+                    queue = self._channels.get(channel)
+                    if queue:
+                        message = queue.popleft()
+                        state.clock = (
+                            max(state.clock, message.arrival)
+                            + self.machine.cpu_overhead
+                        )
+                        state.send_back = message.payload
+                        del state.requests[op.handle]
+                    else:
+                        state.blocked_channel = channel
+                        state.blocked_wait = op.handle
+                        self._recv_waiters.setdefault(channel, []).append(rank)
+                        state.pending_op = op  # retry the Wait on resume
+                        return woken
+            else:
+                raise TypeError(f"rank {rank} yielded non-operation {op!r}")
+
+    # ------------------------------------------------------------------
+    def _do_send(
+        self, rank: int, now: float, op: Send | Isend
+    ) -> tuple[float, list[int]]:
+        """Execute a send; return (sender completion time, woken ranks)."""
+        if op.nbytes < 0:
+            raise ValueError(f"negative message size {op.nbytes}")
+        self._validate_peer(op.dst)
+        if op.dst == rank:
+            raise ValueError(f"rank {rank} sending to itself")
+        machine = self.machine
+        topo = self.topology
+        nbytes = op.nbytes
+        start = now + machine.cpu_overhead
+
+        if topo.same_node(rank, op.dst):
+            copy = self._noisy(nbytes * machine.beta_intra)
+            inject_end = start + copy
+            arrival = start + self._noisy(machine.alpha_intra) + copy
+        else:
+            src_node = topo.node_of(rank)
+            dst_node = topo.node_of(op.dst)
+            inject_start = max(start, self._nic_inject_free[src_node])
+            inject_end = inject_start + self._noisy(nbytes * machine.nic_gap)
+            self._nic_inject_free[src_node] = inject_end
+            wire_last_byte = inject_start + self._noisy(
+                machine.alpha_inter + nbytes * machine.beta_inter
+            )
+            drain_start = max(
+                inject_start + machine.alpha_inter,
+                self._nic_drain_free[dst_node],
+            )
+            arrival = max(drain_start + nbytes * machine.nic_gap, wire_last_byte)
+            self._nic_drain_free[dst_node] = arrival
+
+        channel = (rank, op.dst, op.tag)
+        self._channels.setdefault(channel, deque()).append(
+            _Message(arrival=arrival, payload=op.payload)
+        )
+        self._num_messages += 1
+        self._total_bytes += nbytes
+
+        woken: list[int] = []
+        waiters = self._recv_waiters.get(channel)
+        if waiters:
+            other = waiters.pop(0)
+            other_state = self._states[other]
+            other_state.blocked_channel = None
+            other_state.blocked_wait = None
+            woken.append(other)
+        return inject_end, woken
+
+    def _noisy(self, duration: float) -> float:
+        if self._rng is None:
+            return duration
+        return float(self.machine.noise.sample(duration, self._rng))
+
+    def _validate_peer(self, peer: int) -> None:
+        if not 0 <= peer < self.topology.size:
+            raise ValueError(
+                f"peer {peer} out of range 0..{self.topology.size - 1}"
+            )
+
+

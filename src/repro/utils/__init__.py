@@ -1,0 +1,23 @@
+"""Shared utilities: units, RNG handling, validation helpers."""
+
+from repro.utils.units import (
+    KiB,
+    MiB,
+    GiB,
+    format_bytes,
+    format_time,
+    parse_bytes,
+)
+from repro.utils.rng import as_generator, spawn_child, stable_seed
+
+__all__ = [
+    "KiB",
+    "MiB",
+    "GiB",
+    "format_bytes",
+    "format_time",
+    "parse_bytes",
+    "as_generator",
+    "spawn_child",
+    "stable_seed",
+]

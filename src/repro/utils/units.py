@@ -1,0 +1,91 @@
+"""Byte and time unit helpers.
+
+All sizes in the library are plain integers of bytes and all times are
+floats of seconds; these helpers only exist at the I/O boundary (CLI,
+reports, dataset files).
+"""
+
+from __future__ import annotations
+
+import re
+
+KiB: int = 1024
+MiB: int = 1024 * KiB
+GiB: int = 1024 * MiB
+
+_SUFFIXES = {
+    "": 1,
+    "b": 1,
+    "k": KiB,
+    "kb": KiB,
+    "kib": KiB,
+    "m": MiB,
+    "mb": MiB,
+    "mib": MiB,
+    "g": GiB,
+    "gb": GiB,
+    "gib": GiB,
+}
+
+_BYTES_RE = re.compile(r"^\s*(\d+(?:\.\d+)?)\s*([a-zA-Z]*)\s*$")
+
+
+def parse_bytes(text: str | int) -> int:
+    """Parse a human byte size such as ``"64K"`` or ``"4MiB"`` into bytes.
+
+    Integers pass through unchanged. Suffixes are binary (K = 1024).
+
+    >>> parse_bytes("64K")
+    65536
+    >>> parse_bytes(17)
+    17
+    """
+    if isinstance(text, int):
+        if text < 0:
+            raise ValueError(f"byte size must be non-negative, got {text}")
+        return text
+    match = _BYTES_RE.match(text)
+    if match is None:
+        raise ValueError(f"cannot parse byte size: {text!r}")
+    value, suffix = match.groups()
+    try:
+        factor = _SUFFIXES[suffix.lower()]
+    except KeyError:
+        raise ValueError(f"unknown byte suffix {suffix!r} in {text!r}") from None
+    nbytes = float(value) * factor
+    if nbytes != int(nbytes):
+        raise ValueError(f"byte size {text!r} is not a whole number of bytes")
+    return int(nbytes)
+
+
+def format_bytes(nbytes: int) -> str:
+    """Render a byte count compactly, using binary suffixes when exact.
+
+    >>> format_bytes(65536)
+    '64KiB'
+    >>> format_bytes(100)
+    '100B'
+    """
+    if nbytes < 0:
+        raise ValueError(f"byte size must be non-negative, got {nbytes}")
+    for factor, suffix in ((GiB, "GiB"), (MiB, "MiB"), (KiB, "KiB")):
+        if nbytes >= factor and nbytes % factor == 0:
+            return f"{nbytes // factor}{suffix}"
+    return f"{nbytes}B"
+
+
+def format_time(seconds: float) -> str:
+    """Render a duration with an adaptive unit (s / ms / us / ns).
+
+    >>> format_time(0.000123)
+    '123.00us'
+    """
+    if seconds < 0:
+        raise ValueError(f"duration must be non-negative, got {seconds}")
+    if seconds >= 1.0:
+        return f"{seconds:.2f}s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.2f}ms"
+    if seconds >= 1e-6:
+        return f"{seconds * 1e6:.2f}us"
+    return f"{seconds * 1e9:.2f}ns"

@@ -1,0 +1,56 @@
+"""Clock-synchronisation error model."""
+
+import numpy as np
+import pytest
+
+from repro.bench.clock_sync import ClockSync, SyncMethod
+from repro.machine.topology import Topology
+from repro.machine.zoo import tiny_testbed
+
+
+class TestErrorScales:
+    def test_method_ordering(self):
+        topo = Topology(4, 2)
+        scales = {
+            m: ClockSync(m).error_scale(tiny_testbed, topo) for m in SyncMethod
+        }
+        assert (
+            scales[SyncMethod.HIERARCHICAL]
+            < scales[SyncMethod.HCA]
+            < scales[SyncMethod.BARRIER]
+        )
+
+    def test_barrier_error_grows_with_size(self):
+        sync = ClockSync(SyncMethod.BARRIER)
+        small = sync.error_scale(tiny_testbed, Topology(2, 1))
+        large = sync.error_scale(tiny_testbed, Topology(8, 4))
+        assert large > small
+
+    def test_hierarchical_error_size_independent(self):
+        sync = ClockSync(SyncMethod.HIERARCHICAL)
+        small = sync.error_scale(tiny_testbed, Topology(2, 1))
+        large = sync.error_scale(tiny_testbed, Topology(8, 4))
+        assert small == large
+
+
+class TestSampling:
+    def test_errors_nonnegative(self):
+        sync = ClockSync()
+        errors = sync.sample_errors(
+            tiny_testbed, Topology(4, 2), 1000, np.random.default_rng(0)
+        )
+        assert (errors >= 0).all()
+        assert errors.shape == (1000,)
+
+    def test_deterministic_per_seed(self):
+        sync = ClockSync()
+        a = sync.sample_errors(tiny_testbed, Topology(4, 2), 10, 7)
+        b = sync.sample_errors(tiny_testbed, Topology(4, 2), 10, 7)
+        np.testing.assert_array_equal(a, b)
+
+    def test_magnitude_below_latency(self):
+        # Hierarchical sync error must be a small fraction of alpha.
+        errors = ClockSync().sample_errors(
+            tiny_testbed, Topology(4, 2), 10000, np.random.default_rng(1)
+        )
+        assert errors.mean() < tiny_testbed.alpha_inter

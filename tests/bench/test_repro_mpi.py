@@ -1,0 +1,103 @@
+"""Time-budgeted measurement semantics (the ReproMPI stand-in)."""
+
+import numpy as np
+import pytest
+
+from repro.bench.repro_mpi import BenchmarkSpec, ReproMPIBenchmark, Summary
+from repro.collectives.registry import make_algorithm
+from repro.machine.topology import Topology
+from repro.machine.zoo import tiny_testbed
+
+
+@pytest.fixture
+def algo():
+    return make_algorithm("bcast", "binomial", segsize=None)
+
+
+@pytest.fixture
+def topo():
+    return Topology(4, 2)
+
+
+class TestSpecValidation:
+    def test_bad_nreps(self):
+        with pytest.raises(ValueError):
+            BenchmarkSpec(max_nreps=0)
+
+    def test_bad_budget(self):
+        with pytest.raises(ValueError):
+            BenchmarkSpec(max_seconds=0.0)
+
+
+class TestBudget:
+    def test_nreps_cap(self, algo, topo):
+        bench = ReproMPIBenchmark(
+            tiny_testbed, BenchmarkSpec(max_nreps=17, max_seconds=100.0)
+        )
+        m = bench.measure(algo, topo, 1024, rng=0)
+        assert m.nreps == 17
+        assert len(m.observations) == 17
+
+    def test_time_budget_cuts_series(self, algo, topo):
+        # A 2 MiB broadcast takes ~hundreds of us; a 1 ms budget only
+        # fits a handful of reps.
+        bench = ReproMPIBenchmark(
+            tiny_testbed, BenchmarkSpec(max_nreps=500, max_seconds=1e-3)
+        )
+        m = bench.measure(algo, topo, 2 << 20, rng=0)
+        assert 1 <= m.nreps < 50
+        assert m.spent <= 1e-3 + m.observations.max()
+
+    def test_at_least_one_observation(self, algo, topo):
+        bench = ReproMPIBenchmark(
+            tiny_testbed, BenchmarkSpec(max_nreps=500, max_seconds=1e-12)
+        )
+        m = bench.measure(algo, topo, 1 << 20, rng=0)
+        assert m.nreps == 1
+
+    def test_total_campaign_time_predictable(self, algo, topo):
+        # The paper's requirement: an upper bound on benchmark time.
+        budget = 5e-3
+        bench = ReproMPIBenchmark(
+            tiny_testbed, BenchmarkSpec(max_nreps=500, max_seconds=budget)
+        )
+        for m_bytes in (1, 1024, 1 << 20):
+            m = bench.measure(algo, topo, m_bytes, rng=1)
+            assert m.spent <= budget + m.observations.max()
+
+
+class TestStatistics:
+    def test_summary_choices(self, algo, topo):
+        base = {}
+        for summary in Summary:
+            bench = ReproMPIBenchmark(
+                tiny_testbed,
+                BenchmarkSpec(max_nreps=50, summary=summary),
+            )
+            base[summary] = bench.measure(algo, topo, 4096, rng=3).time
+        assert base[Summary.MIN] <= base[Summary.MEDIAN]
+        assert base[Summary.MIN] <= base[Summary.MEAN]
+
+    def test_observations_near_base(self, algo, topo):
+        bench = ReproMPIBenchmark(tiny_testbed, BenchmarkSpec(max_nreps=100))
+        m = bench.measure(algo, topo, 65536, rng=4)
+        base = algo.base_time(tiny_testbed, topo, 65536)
+        assert m.time == pytest.approx(base, rel=0.25)
+        assert (m.observations > 0).all()
+
+    def test_determinism(self, algo, topo):
+        bench = ReproMPIBenchmark(tiny_testbed, BenchmarkSpec(max_nreps=20))
+        a = bench.measure(algo, topo, 1024, rng=np.random.default_rng(5))
+        b = bench.measure(algo, topo, 1024, rng=np.random.default_rng(5))
+        assert a.time == b.time
+        np.testing.assert_array_equal(a.observations, b.observations)
+
+
+class TestExactMode:
+    def test_engine_backed_measurement(self, algo, topo):
+        bench = ReproMPIBenchmark(
+            tiny_testbed, BenchmarkSpec(max_nreps=5, exact=True)
+        )
+        m = bench.measure(algo, topo, 4096, rng=0)
+        fast = algo.base_time(tiny_testbed, topo, 4096)
+        assert m.time == pytest.approx(fast, rel=0.5)

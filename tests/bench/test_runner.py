@@ -1,0 +1,119 @@
+"""Benchmark campaign runner -> PerfDataset."""
+
+import numpy as np
+import pytest
+
+from repro.bench.repro_mpi import BenchmarkSpec
+from repro.bench.runner import DatasetRunner, GridSpec
+from repro.machine.zoo import tiny_testbed
+from repro.mpilib import get_library
+
+
+@pytest.fixture(scope="module")
+def small_dataset():
+    runner = DatasetRunner(
+        tiny_testbed, get_library("Open MPI"),
+        BenchmarkSpec(max_nreps=5), seed=11,
+    )
+    grid = GridSpec(nodes=(2, 4), ppns=(1, 2), msizes=(16, 4096))
+    return runner.run("alltoall", grid, name="t-alltoall")
+
+
+class TestGridSpec:
+    def test_num_instances(self):
+        grid = GridSpec(nodes=(2, 4), ppns=(1, 2, 3), msizes=(1, 2))
+        assert grid.num_instances == 12
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ValueError):
+            GridSpec(nodes=(), ppns=(1,), msizes=(1,))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            GridSpec(nodes=(2,), ppns=(1,), msizes=(-1,))
+
+
+class TestRunner:
+    def test_covers_full_grid(self, small_dataset):
+        ds = small_dataset
+        # alltoall space has 5 configs, all supported on these instances.
+        assert len(ds) == 5 * 8
+        assert set(np.unique(ds.nodes)) == {2, 4}
+        assert set(np.unique(ds.ppn)) == {1, 2}
+        assert set(np.unique(ds.msize)) == {16, 4096}
+
+    def test_times_positive(self, small_dataset):
+        assert (small_dataset.time > 0).all()
+
+    def test_metadata(self, small_dataset):
+        assert small_dataset.machine == "TinyTestbed"
+        assert small_dataset.library == "Open MPI 4.0.2"
+        assert small_dataset.name == "t-alltoall"
+
+    def test_deterministic_across_runs(self):
+        def make():
+            runner = DatasetRunner(
+                tiny_testbed, get_library("Open MPI"),
+                BenchmarkSpec(max_nreps=5), seed=11,
+            )
+            grid = GridSpec(nodes=(2,), ppns=(2,), msizes=(1024,))
+            return runner.run("bcast", grid, name="det")
+
+        a, b = make(), make()
+        np.testing.assert_array_equal(a.time, b.time)
+
+    def test_seed_changes_results(self):
+        def make(seed):
+            runner = DatasetRunner(
+                tiny_testbed, get_library("Open MPI"),
+                BenchmarkSpec(max_nreps=5), seed=seed,
+            )
+            grid = GridSpec(nodes=(2,), ppns=(2,), msizes=(1024,))
+            return runner.run("bcast", grid, name="det")
+
+        assert not np.array_equal(make(1).time, make(2).time)
+
+    def test_exclude_algids(self):
+        runner = DatasetRunner(
+            tiny_testbed, get_library("Open MPI"),
+            BenchmarkSpec(max_nreps=3), seed=0,
+        )
+        grid = GridSpec(nodes=(2,), ppns=(1,), msizes=(64,))
+        ds = runner.run("bcast", grid, name="x", exclude_algids=(8, 9))
+        algids = {c.algid for c in ds.configs}
+        assert 8 not in algids and 9 not in algids
+
+    def test_unsupported_instances_skipped(self):
+        # split_binary (algid 4) cannot run on 2 ranks.
+        runner = DatasetRunner(
+            tiny_testbed, get_library("Open MPI"),
+            BenchmarkSpec(max_nreps=3), seed=0,
+        )
+        grid = GridSpec(nodes=(2,), ppns=(1,), msizes=(64,))
+        ds = runner.run("bcast", grid, name="x")
+        split_ids = [
+            i for i, c in enumerate(ds.configs) if c.name == "split_binary"
+        ]
+        for cid in split_ids:
+            assert not ds.rows_of_config(cid).any()
+
+    def test_shape_validation(self):
+        runner = DatasetRunner(
+            tiny_testbed, get_library("Open MPI"), BenchmarkSpec(max_nreps=3)
+        )
+        grid = GridSpec(nodes=(64,), ppns=(1,), msizes=(1,))
+        with pytest.raises(ValueError):
+            runner.run("bcast", grid)
+
+    def test_progress_callback(self):
+        seen = []
+        runner = DatasetRunner(
+            tiny_testbed, get_library("Open MPI"),
+            BenchmarkSpec(max_nreps=3), seed=0,
+        )
+        grid = GridSpec(nodes=(2,), ppns=(1, 2), msizes=(64,))
+        runner.run(
+            "alltoall", grid, name="p",
+            progress=lambda done, total: seen.append((done, total)),
+        )
+        assert seen and seen[-1][0] == seen[-1][1]

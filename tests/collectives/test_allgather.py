@@ -1,0 +1,100 @@
+"""Allgather algorithms (extension collective)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.collectives import allgather as ag
+from repro.machine.model import NoiseModel
+from repro.machine.topology import Topology
+from repro.machine.zoo import tiny_testbed
+
+QUIET = tiny_testbed.with_noise(NoiseModel(sigma=0.0, spike_prob=0.0, floor=0.0))
+
+ALGORITHMS = {
+    "linear": ag.AllgatherLinear,
+    "bruck": ag.AllgatherBruck,
+    "recursive_doubling": ag.AllgatherRecursiveDoubling,
+    "ring": ag.AllgatherRing,
+    "neighbor_exchange": ag.AllgatherNeighborExchange,
+    "two_proc": ag.AllgatherTwoProc,
+}
+
+TOPOS = [(1, 1), (2, 1), (1, 4), (3, 2), (4, 4), (5, 3), (7, 1), (8, 2)]
+
+
+class TestSemantics:
+    @pytest.mark.parametrize("name", sorted(ALGORITHMS))
+    @pytest.mark.parametrize("shape", TOPOS)
+    @pytest.mark.parametrize("nbytes", [0, 8, 4096])
+    def test_everyone_holds_all_blocks(self, name, shape, nbytes):
+        algo = ALGORITHMS[name]()
+        topo = Topology(*shape)
+        if not algo.supported(topo, nbytes):
+            pytest.skip("unsupported")
+        algo.run_exact(QUIET, topo, nbytes)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        name=st.sampled_from(sorted(ALGORITHMS)),
+        nodes=st.integers(min_value=1, max_value=6),
+        ppn=st.integers(min_value=1, max_value=4),
+        nbytes=st.integers(min_value=0, max_value=10**4),
+    )
+    def test_everyone_holds_all_blocks_hypothesis(
+        self, name, nodes, ppn, nbytes
+    ):
+        algo = ALGORITHMS[name]()
+        topo = Topology(nodes, ppn)
+        if not algo.supported(topo, nbytes):
+            return
+        algo.run_exact(QUIET, topo, nbytes)
+
+    def test_bruck_odd_p(self):
+        # The partial last round is the tricky path.
+        for p in (3, 5, 6, 7):
+            ag.AllgatherBruck().run_exact(QUIET, Topology(p, 1), 256)
+
+
+class TestApplicability:
+    def test_neighbor_exchange_even_only(self):
+        algo = ag.AllgatherNeighborExchange()
+        assert algo.supported(Topology(4, 1), 10)
+        assert not algo.supported(Topology(5, 1), 10)
+        assert algo.supported(Topology(1, 1), 10)
+
+    def test_two_proc_exactly_two(self):
+        algo = ag.AllgatherTwoProc()
+        assert algo.supported(Topology(2, 1), 10)
+        assert not algo.supported(Topology(3, 1), 10)
+        assert not algo.supported(Topology(1, 1), 10)
+
+
+class TestCosts:
+    def test_bruck_wins_small(self):
+        topo = Topology(8, 1)
+        bruck = ag.AllgatherBruck().base_time(QUIET, topo, 8)
+        ring = ag.AllgatherRing().base_time(QUIET, topo, 8)
+        assert bruck < ring
+
+    def test_ring_competitive_large(self):
+        topo = Topology(8, 1)
+        m = 1 << 20
+        ring = ag.AllgatherRing().base_time(QUIET, topo, m)
+        linear = ag.AllgatherLinear().base_time(QUIET, topo, m)
+        assert ring < linear
+
+    def test_neighbor_exchange_fewer_rounds_than_ring(self):
+        # Same traffic, half the latency terms.
+        topo = Topology(8, 1)
+        ne = ag.AllgatherNeighborExchange().base_time(QUIET, topo, 64)
+        ring = ag.AllgatherRing().base_time(QUIET, topo, 64)
+        assert ne < ring
+
+    def test_algids(self):
+        assert ag.AllgatherLinear().config.algid == 1
+        assert ag.AllgatherBruck().config.algid == 2
+        assert ag.AllgatherRecursiveDoubling().config.algid == 3
+        assert ag.AllgatherRing().config.algid == 4
+        assert ag.AllgatherNeighborExchange().config.algid == 5
+        assert ag.AllgatherTwoProc().config.algid == 6

@@ -1,0 +1,122 @@
+"""Allreduce algorithms: reduction semantics + cost trade-offs."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.collectives import allreduce
+from repro.machine.model import NoiseModel
+from repro.machine.topology import Topology
+from repro.machine.zoo import tiny_testbed
+
+QUIET = tiny_testbed.with_noise(NoiseModel(sigma=0.0, spike_prob=0.0, floor=0.0))
+
+ALGORITHMS = {
+    "linear": lambda: allreduce.AllreduceLinear(),
+    "nonoverlapping": lambda: allreduce.AllreduceNonOverlapping(),
+    "recursive_doubling": lambda: allreduce.AllreduceRecursiveDoubling(),
+    "ring": lambda: allreduce.AllreduceRing(),
+    "segmented_ring": lambda: allreduce.AllreduceSegmentedRing(segsize=256),
+    "rabenseifner": lambda: allreduce.AllreduceRabenseifner(),
+    "allgather_reduce": lambda: allreduce.AllreduceAllgatherReduce(),
+    "knomial": lambda: allreduce.AllreduceKnomialReduceBcast(radix=4),
+}
+
+TOPOS = [(1, 1), (2, 1), (1, 4), (3, 2), (4, 4), (5, 3), (7, 1)]
+
+
+class TestSemantics:
+    @pytest.mark.parametrize("name", sorted(ALGORITHMS))
+    @pytest.mark.parametrize("shape", TOPOS)
+    @pytest.mark.parametrize("nbytes", [0, 8, 4096, 65536])
+    def test_full_reduction_everywhere(self, name, shape, nbytes):
+        algo = ALGORITHMS[name]()
+        topo = Topology(*shape)
+        if not algo.supported(topo, nbytes):
+            pytest.skip("unsupported")
+        algo.run_exact(QUIET, topo, nbytes)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        name=st.sampled_from(sorted(ALGORITHMS)),
+        nodes=st.integers(min_value=1, max_value=6),
+        ppn=st.integers(min_value=1, max_value=4),
+        nbytes=st.integers(min_value=0, max_value=10**5),
+    )
+    def test_full_reduction_hypothesis(self, name, nodes, ppn, nbytes):
+        algo = ALGORITHMS[name]()
+        topo = Topology(nodes, ppn)
+        if not algo.supported(topo, nbytes):
+            return
+        algo.run_exact(QUIET, topo, nbytes)
+
+    def test_non_power_of_two_fold(self):
+        # Folding extras in/out is the trickiest path: check several p.
+        for p in (3, 5, 6, 7):
+            allreduce.AllreduceRecursiveDoubling().run_exact(
+                QUIET, Topology(p, 1), 1000
+            )
+            allreduce.AllreduceRabenseifner().run_exact(
+                QUIET, Topology(p, 1), 1000
+            )
+
+    def test_initial_hook(self):
+        # Hierarchical callers inject partial reductions through
+        # `initial`; the combined result must then cover the union.
+        from repro.simulator.engine import Engine
+
+        topo = Topology(4, 1)
+        algo = allreduce.AllreduceRing()
+        programs = algo.programs(
+            topo, 1024, initial=lambda r: frozenset({r, r + 100})
+        )
+        result = Engine(QUIET, topo).run(list(programs))
+        expected = frozenset(range(4)) | frozenset(range(100, 104))
+        for output in result.outputs:
+            assert all(v == expected for v in output.values())
+
+
+class TestCostTradeoffs:
+    def test_recursive_doubling_wins_small_messages(self):
+        topo = Topology(8, 1)
+        m = 8
+        rd = ALGORITHMS["recursive_doubling"]().base_time(QUIET, topo, m)
+        ring = ALGORITHMS["ring"]().base_time(QUIET, topo, m)
+        assert rd < ring  # log p rounds beat 2(p-1) rounds for tiny m
+
+    def test_ring_wins_large_messages(self):
+        topo = Topology(8, 1)
+        m = 4 << 20
+        rd = ALGORITHMS["recursive_doubling"]().base_time(QUIET, topo, m)
+        ring = ALGORITHMS["ring"]().base_time(QUIET, topo, m)
+        assert ring < rd  # bandwidth-optimal blocks beat full vectors
+
+    def test_allgather_reduce_terrible_for_large(self):
+        topo = Topology(8, 1)
+        m = 1 << 20
+        ag = ALGORITHMS["allgather_reduce"]().base_time(QUIET, topo, m)
+        ring = ALGORITHMS["ring"]().base_time(QUIET, topo, m)
+        assert ag > 2 * ring
+
+    def test_rabenseifner_beats_nonoverlapping_large(self):
+        topo = Topology(8, 1)
+        m = 1 << 20
+        rab = ALGORITHMS["rabenseifner"]().base_time(QUIET, topo, m)
+        nono = ALGORITHMS["nonoverlapping"]().base_time(QUIET, topo, m)
+        assert rab < nono
+
+
+class TestConfigs:
+    def test_algids(self):
+        assert ALGORITHMS["linear"]().config.algid == 1
+        assert ALGORITHMS["nonoverlapping"]().config.algid == 2
+        assert ALGORITHMS["recursive_doubling"]().config.algid == 3
+        assert ALGORITHMS["ring"]().config.algid == 4
+        assert ALGORITHMS["segmented_ring"]().config.algid == 5
+        assert ALGORITHMS["rabenseifner"]().config.algid == 6
+        assert ALGORITHMS["allgather_reduce"]().config.algid == 7
+        assert ALGORITHMS["knomial"]().config.algid == 8
+
+    def test_segmented_ring_records_segsize(self):
+        cfg = allreduce.AllreduceSegmentedRing(segsize=65536).config
+        assert cfg.param_dict == {"segsize": 65536}

@@ -1,0 +1,93 @@
+"""Alltoall algorithms: personalised exchange semantics + cost shapes."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.collectives import alltoall
+from repro.machine.model import NoiseModel
+from repro.machine.topology import Topology
+from repro.machine.zoo import tiny_testbed
+
+QUIET = tiny_testbed.with_noise(NoiseModel(sigma=0.0, spike_prob=0.0, floor=0.0))
+
+ALGORITHMS = {
+    "linear": lambda: alltoall.AlltoallLinear(),
+    "pairwise": lambda: alltoall.AlltoallPairwise(),
+    "bruck": lambda: alltoall.AlltoallBruck(),
+    "linear_sync": lambda: alltoall.AlltoallLinearSync(),
+    "ring": lambda: alltoall.AlltoallRing(),
+}
+
+TOPOS = [(1, 1), (2, 1), (1, 4), (3, 2), (4, 4), (5, 3), (7, 1)]
+
+
+class TestSemantics:
+    @pytest.mark.parametrize("name", sorted(ALGORITHMS))
+    @pytest.mark.parametrize("shape", TOPOS)
+    @pytest.mark.parametrize("nbytes", [0, 64, 8192])
+    def test_everyone_gets_everyones_block(self, name, shape, nbytes):
+        algo = ALGORITHMS[name]()
+        topo = Topology(*shape)
+        if not algo.supported(topo, nbytes):
+            pytest.skip("unsupported")
+        algo.run_exact(QUIET, topo, nbytes)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        name=st.sampled_from(sorted(ALGORITHMS)),
+        nodes=st.integers(min_value=1, max_value=5),
+        ppn=st.integers(min_value=1, max_value=4),
+        nbytes=st.integers(min_value=0, max_value=10**4),
+    )
+    def test_everyone_gets_everyones_block_hypothesis(
+        self, name, nodes, ppn, nbytes
+    ):
+        algo = ALGORITHMS[name]()
+        topo = Topology(nodes, ppn)
+        if not algo.supported(topo, nbytes):
+            return
+        algo.run_exact(QUIET, topo, nbytes)
+
+    def test_bruck_non_power_of_two(self):
+        # Bruck's index arithmetic is where off-by-ones hide.
+        for shape in ((3, 1), (5, 1), (6, 1), (7, 1), (3, 3)):
+            alltoall.AlltoallBruck().run_exact(QUIET, Topology(*shape), 128)
+
+
+class TestCostTradeoffs:
+    def test_bruck_wins_tiny_messages(self):
+        topo = Topology(8, 1)
+        m = 4
+        bruck = ALGORITHMS["bruck"]().base_time(QUIET, topo, m)
+        pairwise = ALGORITHMS["pairwise"]().base_time(QUIET, topo, m)
+        assert bruck < pairwise  # log rounds beat p-1 rounds at tiny m
+
+    def test_pairwise_wins_large_messages(self):
+        topo = Topology(8, 1)
+        m = 1 << 20
+        bruck = ALGORITHMS["bruck"]().base_time(QUIET, topo, m)
+        pairwise = ALGORITHMS["pairwise"]().base_time(QUIET, topo, m)
+        assert pairwise < bruck  # Bruck ships each byte log p times
+
+    def test_ring_traffic_quadratic(self):
+        topo = Topology(8, 1)
+        m = 1 << 16
+        ring = ALGORITHMS["ring"]().base_time(QUIET, topo, m)
+        pairwise = ALGORITHMS["pairwise"]().base_time(QUIET, topo, m)
+        assert ring > pairwise  # store-and-forward pays for its hops
+
+    def test_trivial_single_rank(self):
+        for make in ALGORITHMS.values():
+            algo = make()
+            result = algo.run_exact(QUIET, Topology(1, 1), 100)
+            assert result.makespan == 0.0
+
+
+class TestConfigs:
+    def test_algids(self):
+        assert ALGORITHMS["linear"]().config.algid == 1
+        assert ALGORITHMS["pairwise"]().config.algid == 2
+        assert ALGORITHMS["bruck"]().config.algid == 3
+        assert ALGORITHMS["linear_sync"]().config.algid == 4
+        assert ALGORITHMS["ring"]().config.algid == 5

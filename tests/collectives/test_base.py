@@ -1,0 +1,85 @@
+"""AlgorithmConfig and ConfigSpace semantics."""
+
+import pytest
+
+from repro.collectives.base import (
+    AlgorithmConfig,
+    CollectiveKind,
+    ConfigSpace,
+    config_space_size,
+)
+
+
+class TestAlgorithmConfig:
+    def test_make_sorts_params(self):
+        a = AlgorithmConfig.make("bcast", 2, "chain", segsize=1024, chains=4)
+        b = AlgorithmConfig.make("bcast", 2, "chain", chains=4, segsize=1024)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_label_plain(self):
+        cfg = AlgorithmConfig.make("bcast", 1, "linear")
+        assert cfg.label == "1:linear"
+
+    def test_label_with_params(self):
+        cfg = AlgorithmConfig.make("bcast", 2, "chain", segsize=16384, chains=4)
+        assert cfg.label == "2:chain(chains=4,segsize=16KiB)"
+
+    def test_label_none_segsize(self):
+        cfg = AlgorithmConfig.make("bcast", 6, "binomial", segsize=None)
+        assert "segsize=None" in cfg.label
+
+    def test_param_dict(self):
+        cfg = AlgorithmConfig.make("bcast", 7, "knomial", segsize=None, radix=4)
+        assert cfg.param_dict == {"segsize": None, "radix": 4}
+
+    def test_collective_coerced(self):
+        cfg = AlgorithmConfig.make("allreduce", 4, "ring")
+        assert cfg.collective is CollectiveKind.ALLREDUCE
+
+    def test_bad_collective(self):
+        with pytest.raises(ValueError):
+            AlgorithmConfig.make("scan", 1, "x")
+
+    def test_configs_distinguish_params(self):
+        a = AlgorithmConfig.make("bcast", 2, "chain", segsize=1024, chains=2)
+        b = AlgorithmConfig.make("bcast", 2, "chain", segsize=1024, chains=4)
+        assert a != b
+
+
+class TestConfigSpace:
+    def _space(self):
+        return ConfigSpace(
+            CollectiveKind.BCAST,
+            "Test MPI",
+            (
+                AlgorithmConfig.make("bcast", 1, "linear"),
+                AlgorithmConfig.make("bcast", 2, "chain", segsize=1024, chains=2),
+                AlgorithmConfig.make("bcast", 2, "chain", segsize=1024, chains=4),
+            ),
+        )
+
+    def test_len(self):
+        assert len(self._space()) == 3
+
+    def test_index_of(self):
+        space = self._space()
+        cfg = AlgorithmConfig.make("bcast", 2, "chain", segsize=1024, chains=4)
+        assert space.index_of(cfg) == 2
+
+    def test_index_of_missing(self):
+        with pytest.raises(KeyError):
+            self._space().index_of(AlgorithmConfig.make("bcast", 9, "nope"))
+
+    def test_algids(self):
+        assert self._space().algids() == [1, 2]
+
+
+class TestConfigSpaceSize:
+    def test_counts_per_algid(self):
+        space = [
+            AlgorithmConfig.make("bcast", 1, "linear"),
+            AlgorithmConfig.make("bcast", 2, "chain", segsize=1024, chains=2),
+            AlgorithmConfig.make("bcast", 2, "chain", segsize=4096, chains=2),
+        ]
+        assert config_space_size(space) == {1: 1, 2: 2}

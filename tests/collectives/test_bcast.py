@@ -1,0 +1,147 @@
+"""Broadcast algorithms: semantics on the exact engine + cost sanity."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.collectives import bcast
+from repro.machine.model import NoiseModel
+from repro.machine.topology import Topology
+from repro.machine.zoo import tiny_testbed
+
+QUIET = tiny_testbed.with_noise(NoiseModel(sigma=0.0, spike_prob=0.0, floor=0.0))
+
+ALGORITHMS = {
+    "linear": lambda: bcast.BcastLinear(),
+    "chain": lambda: bcast.BcastChain(segsize=512, chains=2),
+    "pipeline": lambda: bcast.BcastPipeline(segsize=512),
+    "split_binary": lambda: bcast.BcastSplitBinary(segsize=512),
+    "binary": lambda: bcast.BcastBinary(segsize=512),
+    "binomial": lambda: bcast.BcastBinomial(segsize=None),
+    "knomial": lambda: bcast.BcastKnomial(segsize=512, radix=4),
+    "scatter_allgather": lambda: bcast.BcastScatterAllgather(),
+    "scatter_ring_allgather": lambda: bcast.BcastScatterRingAllgather(),
+}
+
+TOPOS = [(1, 1), (2, 1), (1, 4), (3, 2), (4, 4), (5, 3)]
+
+
+class TestSemantics:
+    """Every rank must hold the full message afterwards — checked by the
+    algorithms' own verify_result on real payload movement."""
+
+    @pytest.mark.parametrize("name", sorted(ALGORITHMS))
+    @pytest.mark.parametrize("shape", TOPOS)
+    @pytest.mark.parametrize("nbytes", [0, 1, 1000, 65536])
+    def test_delivers_everywhere(self, name, shape, nbytes):
+        algo = ALGORITHMS[name]()
+        topo = Topology(*shape)
+        if not algo.supported(topo, nbytes):
+            pytest.skip("unsupported")
+        algo.run_exact(QUIET, topo, nbytes)  # verify=True raises on error
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        name=st.sampled_from(sorted(ALGORITHMS)),
+        nodes=st.integers(min_value=1, max_value=6),
+        ppn=st.integers(min_value=1, max_value=4),
+        nbytes=st.integers(min_value=0, max_value=10**5),
+    )
+    def test_delivers_everywhere_hypothesis(self, name, nodes, ppn, nbytes):
+        algo = ALGORITHMS[name]()
+        topo = Topology(nodes, ppn)
+        if not algo.supported(topo, nbytes):
+            return
+        algo.run_exact(QUIET, topo, nbytes)
+
+    def test_verify_catches_wrong_output(self):
+        algo = bcast.BcastLinear()
+        topo = Topology(2, 2)
+        result = algo.run_exact(QUIET, topo, 100, verify=False)
+        result.outputs[2] = ["garbage"]
+        with pytest.raises(AssertionError):
+            algo.verify_result(topo, 100, result)
+
+
+class TestApplicability:
+    def test_split_binary_needs_three_ranks(self):
+        algo = bcast.BcastSplitBinary(segsize=1024)
+        assert not algo.supported(Topology(2, 1), 100)
+        assert algo.supported(Topology(3, 1), 100)
+
+    def test_others_support_singleton(self):
+        for name, make in ALGORITHMS.items():
+            if name == "split_binary":
+                continue
+            assert make().supported(Topology(1, 1), 10), name
+
+
+class TestCosts:
+    @pytest.mark.parametrize("name", sorted(ALGORITHMS))
+    def test_base_time_nonnegative_and_monotone(self, name):
+        algo = ALGORITHMS[name]()
+        topo = Topology(4, 2)
+        if not algo.supported(topo, 1):
+            pytest.skip("unsupported")
+        times = [algo.base_time(QUIET, topo, m) for m in (0, 512, 65536, 1 << 20)]
+        assert all(t >= 0 for t in times)
+        assert times[-1] > times[0]
+
+    def test_chain_beats_linear_for_large_messages(self):
+        topo = Topology(8, 4)
+        m = 4 << 20
+        linear = bcast.BcastLinear().base_time(QUIET, topo, m)
+        chain = bcast.BcastChain(segsize=16384, chains=4).base_time(QUIET, topo, m)
+        assert chain < linear / 3  # the Figure 2 phenomenon
+
+    def test_scatter_allgather_competitive_large(self):
+        topo = Topology(8, 1)
+        m = 4 << 20
+        sag = bcast.BcastScatterRingAllgather().base_time(QUIET, topo, m)
+        binom = bcast.BcastBinomial(segsize=None).base_time(QUIET, topo, m)
+        assert sag < binom
+
+    def test_deterministic(self):
+        algo = bcast.BcastBinomial(segsize=1024)
+        topo = Topology(4, 2)
+        assert algo.base_time(QUIET, topo, 12345) == algo.base_time(
+            QUIET, topo, 12345
+        )
+
+
+class TestRoots:
+    @pytest.mark.parametrize("root", [0, 1, 5])
+    def test_nonzero_root_linear(self, root):
+        algo = bcast.BcastLinear(root=root)
+        topo = Topology(3, 2)
+        algo.run_exact(QUIET, topo, 1000)
+
+    @pytest.mark.parametrize("root", [0, 2])
+    def test_nonzero_root_binomial(self, root):
+        algo = bcast.BcastBinomial(segsize=None, root=root)
+        topo = Topology(3, 2)
+        algo.run_exact(QUIET, topo, 1000)
+
+    @pytest.mark.parametrize("root", [0, 3])
+    def test_nonzero_root_scatter_ring(self, root):
+        algo = bcast.BcastScatterRingAllgather(root=root)
+        topo = Topology(3, 2)
+        algo.run_exact(QUIET, topo, 1000)
+
+
+class TestConfigs:
+    def test_algids_follow_ompi(self):
+        assert bcast.BcastLinear().config.algid == 1
+        assert bcast.BcastChain(1024, 2).config.algid == 2
+        assert bcast.BcastPipeline(1024).config.algid == 3
+        assert bcast.BcastSplitBinary(1024).config.algid == 4
+        assert bcast.BcastBinary(1024).config.algid == 5
+        assert bcast.BcastBinomial(1024).config.algid == 6
+        assert bcast.BcastKnomial(1024, 4).config.algid == 7
+        assert bcast.BcastScatterAllgather().config.algid == 8
+        assert bcast.BcastScatterRingAllgather().config.algid == 9
+
+    def test_params_in_config(self):
+        cfg = bcast.BcastChain(segsize=4096, chains=8).config
+        assert cfg.param_dict == {"segsize": 4096, "chains": 8}

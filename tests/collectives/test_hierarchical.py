@@ -1,0 +1,89 @@
+"""Two-level (topology-aware) collectives."""
+
+import pytest
+
+from repro.collectives.registry import make_algorithm
+from repro.machine.model import NoiseModel
+from repro.machine.topology import Topology
+from repro.machine.zoo import tiny_testbed
+
+QUIET = tiny_testbed.with_noise(NoiseModel(sigma=0.0, spike_prob=0.0, floor=0.0))
+
+HIER_BCASTS = [
+    ("hier_binomial", {"segsize": None}),
+    ("hier_binomial", {"segsize": 512}),
+    ("hier_knomial", {"segsize": None, "radix": 4}),
+    ("hier_pipeline", {"segsize": 512}),
+    ("hier_chain", {"segsize": 512, "chains": 2}),
+    ("hier_linear", {}),
+]
+
+HIER_ALLREDUCES = [
+    ("hier_linear", {}),
+    ("hier_nonoverlapping", {}),
+    ("hier_recursive_doubling", {}),
+    ("hier_ring", {}),
+    ("hier_segmented_ring", {"segsize": 512}),
+    ("hier_rabenseifner", {}),
+    ("hier_allgather_reduce", {}),
+    ("hier_knomial_reduce_bcast", {"radix": 4}),
+]
+
+TOPOS = [(1, 1), (1, 4), (4, 1), (3, 2), (4, 4), (5, 3)]
+
+
+class TestHierarchicalBcast:
+    @pytest.mark.parametrize("name,kw", HIER_BCASTS)
+    @pytest.mark.parametrize("shape", TOPOS)
+    def test_semantics(self, name, kw, shape):
+        algo = make_algorithm("bcast", name, algid=50, **kw)
+        topo = Topology(*shape)
+        if not algo.supported(topo, 4096):
+            pytest.skip("unsupported")
+        algo.run_exact(QUIET, topo, 4096)
+
+    def test_base_time_positive(self):
+        algo = make_algorithm("bcast", "hier_binomial", algid=50, segsize=None)
+        assert algo.base_time(QUIET, Topology(4, 4), 65536) > 0
+
+    def test_beats_flat_at_high_ppn_small_message(self):
+        # The whole point of SHM-aware algorithms: with 4 ranks/node the
+        # leader-based scheme crosses the fabric once per node instead
+        # of following a topology-blind tree.
+        topo = Topology(8, 4)
+        m = 64
+        flat = make_algorithm("bcast", "binary", segsize=None)
+        hier = make_algorithm("bcast", "hier_binomial", algid=50, segsize=None)
+        assert hier.base_time(QUIET, topo, m) < flat.base_time(QUIET, topo, m)
+
+
+class TestHierarchicalAllreduce:
+    @pytest.mark.parametrize("name,kw", HIER_ALLREDUCES)
+    @pytest.mark.parametrize("shape", TOPOS)
+    def test_semantics(self, name, kw, shape):
+        algo = make_algorithm("allreduce", name, algid=60, **kw)
+        topo = Topology(*shape)
+        if not algo.supported(topo, 4096):
+            pytest.skip("unsupported")
+        algo.run_exact(QUIET, topo, 4096)
+
+    @pytest.mark.parametrize("shape", [(4, 4), (3, 2)])
+    def test_block_based_inner_unions_correctly(self, shape):
+        # hier_ring exercises the dict-shaped inner return path.
+        algo = make_algorithm("allreduce", "hier_ring", algid=60)
+        algo.run_exact(QUIET, Topology(*shape), 8192)
+
+    def test_config_carries_inner_name(self):
+        algo = make_algorithm("allreduce", "hier_rabenseifner", algid=13)
+        assert algo.config.name == "hier_rabenseifner"
+        assert algo.config.algid == 13
+
+
+class TestErrors:
+    def test_hier_requires_algid(self):
+        with pytest.raises(ValueError, match="algid"):
+            make_algorithm("allreduce", "hier_ring")
+
+    def test_no_hier_alltoall(self):
+        with pytest.raises(ValueError, match="hierarchical"):
+            make_algorithm("alltoall", "hier_bruck", algid=9)

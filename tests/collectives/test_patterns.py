@@ -1,0 +1,146 @@
+"""Round builders and engine program templates."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.collectives import patterns
+from repro.machine.topology import Topology
+
+
+def total_bytes(rounds) -> float:
+    """Sum of bytes over all edges of all rounds."""
+    total = 0.0
+    for rnd in rounds:
+        nbytes = np.broadcast_to(np.asarray(rnd.nbytes), rnd.srcs.shape)
+        total += float(nbytes.sum())
+    return total
+
+
+class TestPhaseTag:
+    def test_distinct_phases_never_collide(self):
+        tags = {patterns.phase_tag(p, t) for p in range(8) for t in range(1000)}
+        assert len(tags) == 8000
+
+
+class TestBlockBytes:
+    def test_exact(self):
+        assert patterns.block_bytes(1000, 10) == 100
+
+    def test_rounds_up(self):
+        assert patterns.block_bytes(1001, 10) == 101
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            patterns.block_bytes(10, 0)
+
+
+class TestRecursiveDoublingRounds:
+    @given(st.integers(min_value=1, max_value=64))
+    def test_round_count(self, p):
+        topo = Topology(p, 1) if p <= 8 else Topology(8, -(-p // 8))
+        topo = Topology(1, p)  # shape irrelevant for structure
+        rounds = patterns.recursive_doubling_rounds(topo, 100)
+        pof2 = 1 << (p.bit_length() - 1)
+        rem = p - pof2
+        expected = int(np.log2(pof2)) + (2 if rem else 0)
+        assert len(rounds) == expected
+
+    @given(st.integers(min_value=2, max_value=48))
+    def test_edges_within_range(self, p):
+        topo = Topology(1, p)
+        for rnd in patterns.recursive_doubling_rounds(topo, 8):
+            assert (rnd.srcs >= 0).all() and (rnd.srcs < p).all()
+            assert (rnd.dsts >= 0).all() and (rnd.dsts < p).all()
+            assert not (rnd.srcs == rnd.dsts).any()
+
+    def test_compute_flag(self):
+        topo = Topology(1, 4)
+        with_c = patterns.recursive_doubling_rounds(topo, 64, compute=True)
+        without = patterns.recursive_doubling_rounds(topo, 64, compute=False)
+        assert any(np.any(np.asarray(r.compute_bytes) > 0) for r in with_c)
+        assert all(np.all(np.asarray(r.compute_bytes) == 0) for r in without)
+
+    def test_single_rank_no_rounds(self):
+        assert patterns.recursive_doubling_rounds(Topology(1, 1), 100) == []
+
+
+class TestReduceScatterHalving:
+    @given(st.integers(min_value=2, max_value=64))
+    def test_sizes_halve(self, p):
+        topo = Topology(1, p)
+        rounds = patterns.reduce_scatter_halving_rounds(topo, 1 << 20)
+        pof2 = 1 << (p.bit_length() - 1)
+        core = rounds[1:] if p != pof2 else rounds
+        sizes = [int(np.max(np.asarray(r.nbytes))) for r in core]
+        for a, b in zip(sizes, sizes[1:]):
+            assert b == -(-a // 2) or b == a // 2
+
+
+class TestRingRounds:
+    @given(
+        st.integers(min_value=1, max_value=32),
+        st.integers(min_value=0, max_value=40),
+    )
+    def test_count_and_shape(self, p, k):
+        topo = Topology(1, p)
+        rounds = patterns.ring_rounds(topo, 128, k)
+        if p == 1 or k == 0:
+            assert rounds == []
+            return
+        assert len(rounds) == k
+        for rnd in rounds:
+            np.testing.assert_array_equal(
+                rnd.dsts, (rnd.srcs + 1) % p
+            )
+
+
+class TestPairwiseRounds:
+    @given(st.integers(min_value=2, max_value=24))
+    def test_every_pair_covered_once(self, p):
+        topo = Topology(1, p)
+        rounds = patterns.pairwise_rounds(topo, 64)
+        assert len(rounds) == p - 1
+        seen = set()
+        for rnd in rounds:
+            for s, d in zip(rnd.srcs, rnd.dsts):
+                seen.add((int(s), int(d)))
+        assert seen == {(s, d) for s in range(p) for d in range(p) if s != d}
+
+
+class TestBruckRounds:
+    @given(st.integers(min_value=2, max_value=64))
+    def test_log_round_count(self, p):
+        topo = Topology(1, p)
+        rounds = patterns.bruck_alltoall_rounds(topo, 8)
+        assert len(rounds) == int(np.ceil(np.log2(p)))
+
+    def test_trades_traffic_for_rounds(self):
+        # Bruck ships every byte ~log2(p) times: more total traffic
+        # than pairwise, but in log2(p) instead of p-1 rounds — which
+        # is exactly why it wins for tiny messages only.
+        topo = Topology(1, 16)
+        bruck_rounds = patterns.bruck_alltoall_rounds(topo, 1)
+        pairwise_rounds = patterns.pairwise_rounds(topo, 1)
+        assert len(bruck_rounds) < len(pairwise_rounds)
+        assert total_bytes(bruck_rounds) > total_bytes(pairwise_rounds)
+
+
+class TestBinomialScatterRounds:
+    @given(st.integers(min_value=2, max_value=48))
+    def test_total_bytes_distributed(self, p):
+        topo = Topology(1, p)
+        nbytes = 4096 * p  # divisible: block = 4096
+        rounds = patterns.binomial_scatter_rounds(topo, 0, nbytes)
+        # The root ships everything except its own block; forwarding
+        # re-sends some blocks, so total >= (p-1) blocks.
+        assert total_bytes(rounds) >= (p - 1) * 4096
+
+    def test_root_rotation(self):
+        topo = Topology(1, 8)
+        rounds0 = patterns.binomial_scatter_rounds(topo, 0, 8 * 64)
+        rounds3 = patterns.binomial_scatter_rounds(topo, 3, 8 * 64)
+        for r0, r3 in zip(rounds0, rounds3):
+            np.testing.assert_array_equal((r0.srcs + 3) % 8, r3.srcs)
+            np.testing.assert_array_equal((r0.dsts + 3) % 8, r3.dsts)

@@ -1,0 +1,122 @@
+"""Reduce algorithms (extension collective)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.collectives import reduce as red
+from repro.collectives.reduce import _in_order_binary
+from repro.machine.model import NoiseModel
+from repro.machine.topology import Topology
+from repro.machine.zoo import tiny_testbed
+
+QUIET = tiny_testbed.with_noise(NoiseModel(sigma=0.0, spike_prob=0.0, floor=0.0))
+
+ALGORITHMS = {
+    "linear": lambda root=0: red.ReduceLinear(root),
+    "chain": lambda root=0: red.ReduceChain(segsize=512, fanout=2, root=root),
+    "pipeline": lambda root=0: red.ReducePipeline(segsize=512, root=root),
+    "binary": lambda root=0: red.ReduceBinary(segsize=512, root=root),
+    "binomial": lambda root=0: red.ReduceBinomial(segsize=None, root=root),
+    "in_order_binary": lambda root=0: red.ReduceInOrderBinary(
+        segsize=512, root=root
+    ),
+    "rabenseifner": lambda root=0: red.ReduceRabenseifner(root),
+}
+
+TOPOS = [(1, 1), (2, 1), (1, 4), (3, 2), (4, 4), (5, 3), (7, 1)]
+
+
+class TestSemantics:
+    @pytest.mark.parametrize("name", sorted(ALGORITHMS))
+    @pytest.mark.parametrize("shape", TOPOS)
+    @pytest.mark.parametrize("nbytes", [0, 8, 4096, 65536])
+    def test_root_holds_full_reduction(self, name, shape, nbytes):
+        algo = ALGORITHMS[name]()
+        topo = Topology(*shape)
+        if not algo.supported(topo, nbytes):
+            pytest.skip("unsupported")
+        algo.run_exact(QUIET, topo, nbytes)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        name=st.sampled_from(sorted(ALGORITHMS)),
+        nodes=st.integers(min_value=1, max_value=6),
+        ppn=st.integers(min_value=1, max_value=4),
+        nbytes=st.integers(min_value=0, max_value=10**5),
+    )
+    def test_root_holds_full_reduction_hypothesis(
+        self, name, nodes, ppn, nbytes
+    ):
+        algo = ALGORITHMS[name]()
+        topo = Topology(nodes, ppn)
+        if not algo.supported(topo, nbytes):
+            return
+        algo.run_exact(QUIET, topo, nbytes)
+
+    @pytest.mark.parametrize("name", sorted(ALGORITHMS))
+    @pytest.mark.parametrize("root", [1, 5])
+    def test_nonzero_root(self, name, root):
+        algo = ALGORITHMS[name](root=root)
+        topo = Topology(3, 2)
+        if not algo.supported(topo, 1024):
+            pytest.skip("unsupported")
+        algo.run_exact(QUIET, topo, 1024)
+
+    def test_rabenseifner_non_power_of_two(self):
+        for p in (3, 5, 6, 7):
+            red.ReduceRabenseifner().run_exact(QUIET, Topology(p, 1), 4096)
+
+
+class TestInOrderTree:
+    @pytest.mark.parametrize("p", [1, 2, 5, 8, 13])
+    def test_in_order_traversal_is_rank_order(self, p):
+        parent, children = _in_order_binary(p, root=(p - 1) // 2)
+
+        def inorder(node):
+            kids = sorted(children[node])
+            left = [k for k in kids if k < node]
+            right = [k for k in kids if k > node]
+            out = []
+            for k in left:
+                out += inorder(k)
+            out.append(node)
+            for k in right:
+                out += inorder(k)
+            return out
+
+        roots = np.flatnonzero(parent == -1)
+        assert len(roots) == 1
+        assert inorder(int(roots[0])) == list(range(p))
+
+
+class TestCosts:
+    def test_binomial_beats_linear_small(self):
+        topo = Topology(8, 1)
+        lin = ALGORITHMS["linear"]().base_time(QUIET, topo, 1 << 20)
+        binom = red.ReduceBinomial(segsize=16384).base_time(QUIET, topo, 1 << 20)
+        assert binom < lin
+
+    def test_rabenseifner_best_large(self):
+        topo = Topology(8, 1)
+        m = 4 << 20
+        rab = ALGORITHMS["rabenseifner"]().base_time(QUIET, topo, m)
+        binom = red.ReduceBinomial(segsize=None).base_time(QUIET, topo, m)
+        assert rab < binom
+
+    def test_in_order_same_cost_family_as_binary(self):
+        topo = Topology(8, 1)
+        m = 1 << 18
+        binary = ALGORITHMS["binary"]().base_time(QUIET, topo, m)
+        in_order = ALGORITHMS["in_order_binary"]().base_time(QUIET, topo, m)
+        assert 0.5 < in_order / binary < 2.0
+
+    def test_algids(self):
+        assert red.ReduceLinear().config.algid == 1
+        assert red.ReduceChain(None, 2).config.algid == 2
+        assert red.ReducePipeline(None).config.algid == 3
+        assert red.ReduceBinary(None).config.algid == 4
+        assert red.ReduceBinomial(None).config.algid == 5
+        assert red.ReduceInOrderBinary(None).config.algid == 6
+        assert red.ReduceRabenseifner().config.algid == 7

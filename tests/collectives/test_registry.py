@@ -1,0 +1,57 @@
+"""Config <-> algorithm round trips through the registry."""
+
+import pytest
+
+from repro.collectives.base import AlgorithmConfig
+from repro.collectives.registry import (
+    algorithm_from_config,
+    make_algorithm,
+    named_algorithms,
+)
+
+
+class TestMakeAlgorithm:
+    def test_bcast_by_name(self):
+        algo = make_algorithm("bcast", "chain", segsize=4096, chains=4)
+        assert algo.config.name == "chain"
+        assert algo.config.param_dict == {"segsize": 4096, "chains": 4}
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown"):
+            make_algorithm("bcast", "warp_drive")
+
+    def test_missing_required_param(self):
+        with pytest.raises(KeyError):
+            make_algorithm("bcast", "chain", segsize=4096)  # no chains
+
+    def test_algid_override(self):
+        algo = make_algorithm("bcast", "binomial", algid=2, segsize=None)
+        assert algo.config.algid == 2
+        assert algo.config.name == "binomial"
+
+    def test_named_algorithms(self):
+        names = named_algorithms("bcast")
+        assert "binomial" in names and "scatter_ring_allgather" in names
+        assert named_algorithms("alltoall") == [
+            "bruck", "linear", "linear_sync", "pairwise", "ring"
+        ]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "collective,name,params",
+        [
+            ("bcast", "linear", {}),
+            ("bcast", "chain", {"segsize": 1024, "chains": 8}),
+            ("bcast", "knomial", {"segsize": None, "radix": 8}),
+            ("bcast", "hier_pipeline", {"segsize": 65536}),
+            ("allreduce", "segmented_ring", {"segsize": 16384}),
+            ("allreduce", "hier_rabenseifner", {}),
+            ("allreduce", "knomial_reduce_bcast", {"radix": 2}),
+            ("alltoall", "bruck", {}),
+        ],
+    )
+    def test_config_reconstructs_identically(self, collective, name, params):
+        cfg = AlgorithmConfig.make(collective, 42, name, **params)
+        algo = algorithm_from_config(cfg)
+        assert algo.config == cfg

@@ -1,0 +1,102 @@
+"""Rank translation of sub-communicator programs (hierarchical plumbing)."""
+
+import numpy as np
+import pytest
+
+from repro.collectives.hierarchical import translate_program
+from repro.machine.model import NoiseModel
+from repro.machine.topology import Topology
+from repro.machine.zoo import tiny_testbed
+from repro.simulator.engine import Engine, Irecv, Isend, Recv, Send, Wait
+
+QUIET = tiny_testbed.with_noise(NoiseModel(sigma=0.0, spike_prob=0.0, floor=0.0))
+
+
+def idle():
+    return
+    yield  # pragma: no cover
+
+
+class TestTranslateProgram:
+    def test_rewrites_peers_and_preserves_payloads(self):
+        # A 2-rank inner program mapped onto real ranks 1 and 3.
+        leaders = [1, 3]
+
+        def inner_sender():
+            yield Send(1, 64, {"x": 42})  # inner rank 1 -> real rank 3
+
+        def inner_receiver():
+            data = yield Recv(0)  # inner rank 0 -> real rank 1
+            return data
+
+        def factory(rank):
+            if rank == 1:
+                return translate_program(inner_sender(), leaders)
+            if rank == 3:
+                return translate_program(inner_receiver(), leaders)
+            return idle()
+
+        result = Engine(QUIET, Topology(2, 2)).run(factory)
+        assert result.outputs[3] == {"x": 42}
+
+    def test_translates_nonblocking_ops(self):
+        leaders = [0, 2]
+
+        def inner_a():
+            handle = yield Irecv(1)
+            data = yield Wait(handle)
+            return data
+
+        def inner_b():
+            handle = yield Isend(0, 32, "hello")
+            yield Wait(handle)
+
+        def factory(rank):
+            if rank == 0:
+                return translate_program(inner_a(), leaders)
+            if rank == 2:
+                return translate_program(inner_b(), leaders)
+            return idle()
+
+        result = Engine(QUIET, Topology(2, 2)).run(factory)
+        assert result.outputs[0] == "hello"
+
+    def test_return_value_propagates(self):
+        def inner():
+            return "done"
+            yield  # pragma: no cover
+
+        def factory(rank):
+            if rank == 0:
+                return translate_program(inner(), [0])
+            return idle()
+
+        result = Engine(QUIET, Topology(1, 2)).run(factory)
+        assert result.outputs[0] == "done"
+
+    def test_tags_moved_to_reserved_namespace(self):
+        # Outer traffic on tag 5 between the same pair must not match
+        # the translated inner traffic on (inner) tag 5.
+        leaders = [0, 1]
+
+        def inner_send():
+            yield Send(1, 8, "inner", tag=5)
+
+        def inner_recv():
+            data = yield Recv(0, tag=5)
+            return data
+
+        def prog0():
+            yield Send(1, 8, "outer", tag=5)
+            yield from translate_program(inner_send(), leaders)
+
+        def prog1():
+            inner = yield from translate_program(inner_recv(), leaders)
+            outer = yield Recv(0, tag=5)
+            return (inner, outer)
+
+        def factory(rank):
+            return prog0() if rank == 0 else prog1()
+
+        result = Engine(QUIET, Topology(2, 1)).run(factory)
+        assert result.outputs[1] == ("inner", "outer")

@@ -1,0 +1,136 @@
+"""Tree constructors: spanning, shape, contiguity, rotation."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.collectives import trees
+
+
+def check_tree(parent, children, p, root):
+    """Structural invariants every tree must satisfy."""
+    assert parent[root] == -1
+    assert (parent != -1).sum() == p - 1
+    # parent/children agree
+    for r in range(p):
+        for c in children[r]:
+            assert parent[c] == r
+    # spanning & acyclic: BFS from root reaches everything once
+    seen = {root}
+    frontier = [root]
+    while frontier:
+        nxt = []
+        for r in frontier:
+            for c in children[r]:
+                assert c not in seen
+                seen.add(c)
+                nxt.append(c)
+        frontier = nxt
+    assert seen == set(range(p))
+
+
+BUILDERS = {
+    "binomial": lambda p, root: trees.binomial_tree(p, root),
+    "binary": lambda p, root: trees.binary_tree(p, root),
+    "pipeline": lambda p, root: trees.pipeline_tree(p, root),
+    "chain3": lambda p, root: trees.chain_tree(p, 3, root),
+    "knomial4": lambda p, root: trees.knomial_tree(p, 4, root),
+}
+
+
+class TestStructure:
+    @pytest.mark.parametrize("name", sorted(BUILDERS))
+    @pytest.mark.parametrize("p", [1, 2, 3, 7, 8, 16, 33])
+    @pytest.mark.parametrize("root", [0, 1])
+    def test_valid_tree(self, name, p, root):
+        if root >= p:
+            pytest.skip("root out of range")
+        parent, children = BUILDERS[name](p, root)
+        check_tree(parent, children, p, root)
+
+    @given(
+        st.sampled_from(sorted(BUILDERS)),
+        st.integers(min_value=1, max_value=128),
+        st.data(),
+    )
+    def test_valid_tree_hypothesis(self, name, p, data):
+        root = data.draw(st.integers(min_value=0, max_value=p - 1))
+        parent, children = BUILDERS[name](p, root)
+        check_tree(parent, children, p, root)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            trees.binomial_tree(0)
+        with pytest.raises(ValueError):
+            trees.binomial_tree(4, root=4)
+        with pytest.raises(ValueError):
+            trees.knomial_tree(8, radix=1)
+        with pytest.raises(ValueError):
+            trees.chain_tree(8, 0)
+
+
+class TestShapes:
+    def test_binomial_depth_log2(self):
+        for p in (2, 4, 8, 16, 64):
+            parent, _ = trees.binomial_tree(p)
+            assert trees.tree_depth(parent) == int(np.log2(p))
+
+    def test_pipeline_depth(self):
+        parent, _ = trees.pipeline_tree(10)
+        assert trees.tree_depth(parent) == 9
+
+    def test_chain_count(self):
+        parent, children = trees.chain_tree(13, 4)
+        assert len(children[0]) == 4  # four chain heads off the root
+
+    def test_chain_clipped_to_p(self):
+        parent, children = trees.chain_tree(3, 10)
+        assert len(children[0]) == 2
+
+    def test_binary_children_at_most_two(self):
+        _, children = trees.binary_tree(17)
+        assert max(len(c) for c in children) <= 2
+
+    def test_knomial_radix2_is_binomial(self):
+        for p in (5, 8, 13):
+            pk, _ = trees.knomial_tree(p, 2)
+            pb, _ = trees.binomial_tree(p)
+            np.testing.assert_array_equal(pk, pb)
+
+    def test_knomial_higher_radix_is_shallower(self):
+        p = 64
+        p2, _ = trees.knomial_tree(p, 2)
+        p8, _ = trees.knomial_tree(p, 8)
+        assert trees.tree_depth(p8) < trees.tree_depth(p2)
+
+
+class TestBinomialSubtrees:
+    @pytest.mark.parametrize("p", [2, 5, 8, 13, 32])
+    def test_subtree_spans_contiguous(self, p):
+        parent, children = trees.binomial_tree(p)
+
+        def collect(v):
+            out = {v}
+            for c in children[v]:
+                out |= collect(c)
+            return out
+
+        for v in range(p):
+            span = trees.binomial_subtree_span(p, v)
+            assert collect(v) == set(range(v, v + span))
+
+    def test_root_span_is_p(self):
+        assert trees.binomial_subtree_span(13, 0) == 13
+
+
+class TestRotation:
+    @pytest.mark.parametrize("name", sorted(BUILDERS))
+    def test_rooted_tree_is_rotation(self, name):
+        p, root = 12, 5
+        parent0, _ = BUILDERS[name](p, 0)
+        parent_r, _ = BUILDERS[name](p, root)
+        for vr in range(p):
+            r = (vr + root) % p
+            expected = -1 if parent0[vr] < 0 else (parent0[vr] + root) % p
+            assert parent_r[r] == expected

@@ -1,0 +1,38 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.machine.model import MachineModel, NoiseModel
+from repro.machine.topology import Topology
+from repro.machine.zoo import tiny_testbed
+
+
+@pytest.fixture
+def machine() -> MachineModel:
+    """Small deterministic machine used across the suite."""
+    return tiny_testbed
+
+
+@pytest.fixture
+def quiet_machine() -> MachineModel:
+    """Machine with noise fully disabled (exact comparisons)."""
+    return tiny_testbed.with_noise(NoiseModel(sigma=0.0, spike_prob=0.0, floor=0.0))
+
+
+@pytest.fixture
+def topo() -> Topology:
+    return Topology(4, 2)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "slow: long-running integration tests (deselect with -m 'not slow')"
+    )

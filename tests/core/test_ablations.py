@@ -1,0 +1,81 @@
+"""Rejected selector designs (ablation A2 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.bench.repro_mpi import BenchmarkSpec
+from repro.bench.runner import DatasetRunner, GridSpec
+from repro.core.ablations import BestLabelSelector, SpeedupRatioSelector
+from repro.core.evaluation import evaluate_selector
+from repro.core.selector import AlgorithmSelector
+from repro.machine.zoo import tiny_testbed
+from repro.ml import KNNRegressor
+from repro.mpilib import get_library
+
+
+@pytest.fixture(scope="module")
+def data():
+    lib = get_library("Open MPI")
+    runner = DatasetRunner(tiny_testbed, lib, BenchmarkSpec(max_nreps=8), seed=9)
+    train = runner.run(
+        "bcast",
+        GridSpec(
+            nodes=(2, 4, 8), ppns=(1, 2),
+            msizes=(16, 256, 4096, 65536, 262144, 2 << 20),
+        ),
+        name="train", exclude_algids=(8,),
+    )
+    test = runner.run(
+        "bcast",
+        GridSpec(nodes=(3, 5), ppns=(1, 2), msizes=(64, 4096, 262144)),
+        name="test", exclude_algids=(8,),
+    )
+    return lib, train, test
+
+
+class TestSpeedupRatioSelector:
+    def test_fits_and_selects(self, data):
+        lib, train, test = data
+        sel = SpeedupRatioSelector(
+            lambda: KNNRegressor(), lib, tiny_testbed
+        ).fit(train)
+        result = evaluate_selector(sel, test, lib, tiny_testbed)
+        assert len(result) > 0
+        assert result.mean_speedup > 0.3  # it works, just worse
+
+    def test_unfitted_raises(self, data):
+        lib, *_ = data
+        sel = SpeedupRatioSelector(lambda: KNNRegressor(), lib, tiny_testbed)
+        with pytest.raises(RuntimeError):
+            sel.predict_times(2, 1, 64)
+
+
+class TestBestLabelSelector:
+    def test_label_histogram_imbalanced(self, data):
+        _, train, _ = data
+        sel = BestLabelSelector().fit(train)
+        # The paper's §III-A point: a handful of *algorithms* win almost
+        # every instance, so label learning is badly imbalanced.
+        algid_counts: dict[int, int] = {}
+        for cid, count in sel.label_histogram_.items():
+            algid = train.configs[cid].algid
+            algid_counts[algid] = algid_counts.get(algid, 0) + count
+        counts = np.array(sorted(algid_counts.values(), reverse=True))
+        assert counts[0] >= counts.sum() * 0.25
+        assert len(counts) < len(train.configs) / 2
+
+    def test_selects_measured_configs(self, data):
+        lib, train, test = data
+        sel = BestLabelSelector().fit(train)
+        result = evaluate_selector(sel, test, lib, tiny_testbed)
+        assert len(result) > 0
+
+    def test_direct_regression_not_worse(self, data):
+        # The paper's chosen design should do at least as well as the
+        # label classifier on held-out instances.
+        lib, train, test = data
+        direct = AlgorithmSelector(lambda: KNNRegressor()).fit(train)
+        label = BestLabelSelector().fit(train)
+        r_direct = evaluate_selector(direct, test, lib, tiny_testbed)
+        r_label = evaluate_selector(label, test, lib, tiny_testbed)
+        assert r_direct.mean_speedup >= r_label.mean_speedup * 0.9

@@ -1,0 +1,119 @@
+"""Selection-table rendering (Open MPI rules file + JSON)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.collectives.base import AlgorithmConfig, CollectiveKind
+from repro.core.config_gen import (
+    render_json,
+    render_ompi_rules,
+    selection_table,
+)
+from repro.core.dataset import PerfDataset
+from repro.core.selector import AlgorithmSelector
+from repro.ml import KNNRegressor
+
+
+@pytest.fixture(scope="module")
+def selector():
+    configs = (
+        AlgorithmConfig.make("bcast", 6, "binomial", segsize=None),
+        AlgorithmConfig.make("bcast", 2, "chain", segsize=16384, chains=4),
+    )
+    n = 40
+    rng = np.random.default_rng(0)
+    cid = np.tile([0, 1], n // 2)
+    msize = np.repeat(np.logspace(0, 22, n // 2, base=2).astype(np.int64), 2)
+    time = np.where(
+        cid == 0, 1e-6 + msize * 1e-9, 20e-6 + msize * 0.05e-9
+    ) * rng.lognormal(0, 0.01, n)
+    ds = PerfDataset(
+        name="x",
+        collective=CollectiveKind.BCAST,
+        library="l",
+        machine="m",
+        configs=configs,
+        config_id=cid,
+        nodes=np.full(n, 8),
+        ppn=np.full(n, 4),
+        msize=msize,
+        time=time,
+    )
+    return AlgorithmSelector(lambda: KNNRegressor(k=1)).fit(ds)
+
+
+class TestSelectionTable:
+    def test_table_covers_msizes(self, selector):
+        table = selection_table(selector, 8, 4, msizes=(1, 1024, 1 << 22))
+        assert [m for m, _ in table] == [1, 1024, 1 << 22]
+        assert table[0][1].name == "binomial"  # latency regime
+        assert table[-1][1].name == "chain"  # bandwidth regime
+
+
+class TestOmpiRules:
+    def test_format(self, selector):
+        table = selection_table(selector, 8, 4, msizes=(1, 1 << 22))
+        text = render_ompi_rules("bcast", 8, 4, table)
+        lines = [line for line in text.splitlines() if line]
+        assert lines[0].startswith("1")  # one collective
+        assert "7" in lines[1]  # Open MPI bcast collective id
+        assert "32" in lines[3]  # comm size 8*4
+        # Rule lines: msize algid fanout segsize
+        rule = lines[-1].split("#")[0].split()
+        assert len(rule) == 4
+        assert int(rule[0]) == 1 << 22
+
+    def test_chain_encodes_fanout_and_segsize(self, selector):
+        table = selection_table(selector, 8, 4, msizes=(1 << 22,))
+        text = render_ompi_rules("bcast", 8, 4, table)
+        rule = text.splitlines()[-1].split("#")[0].split()
+        assert rule[1] == "2"  # algid chain
+        assert rule[2] == "4"  # chains -> fanout column
+        assert rule[3] == "16384"
+
+
+class TestParseRoundTrip:
+    def test_render_parse_round_trip(self, selector):
+        from repro.core.config_gen import parse_ompi_rules
+
+        msizes = (1, 1024, 65536, 1 << 22)
+        table = selection_table(selector, 8, 4, msizes=msizes)
+        text = render_ompi_rules("bcast", 8, 4, table)
+        kind, comm_size, rules = parse_ompi_rules(text)
+        assert str(kind) == "bcast"
+        assert comm_size == 32
+        assert [r[0] for r in rules] == list(msizes)
+        for (m, cfg), (rm, algid, fanout, seg) in zip(table, rules):
+            assert rm == m and algid == cfg.algid
+            params = cfg.param_dict
+            assert seg == (params.get("segsize") or 0)
+
+    def test_parse_rejects_garbage(self):
+        from repro.core.config_gen import parse_ompi_rules
+
+        with pytest.raises(ValueError, match="truncated"):
+            parse_ompi_rules("1\n7\n")
+
+    def test_parse_rejects_unknown_collective(self):
+        from repro.core.config_gen import parse_ompi_rules
+
+        with pytest.raises(ValueError, match="unknown"):
+            parse_ompi_rules("1\n99\n1\n32\n1\n8 1 0 0\n")
+
+    def test_parse_rejects_multi_collective(self):
+        from repro.core.config_gen import parse_ompi_rules
+
+        with pytest.raises(ValueError, match="single-collective"):
+            parse_ompi_rules("2\n7\n1\n32\n1\n8 1 0 0\n")
+
+
+class TestJson:
+    def test_parses_and_round_trips(self, selector):
+        table = selection_table(selector, 8, 4, msizes=(1, 1024))
+        payload = json.loads(render_json("bcast", 8, 4, table))
+        assert payload["collective"] == "bcast"
+        assert payload["nodes"] == 8 and payload["ppn"] == 4
+        assert len(payload["rules"]) == 2
+        assert payload["rules"][0]["algorithm"] == "binomial"

@@ -1,0 +1,122 @@
+"""PerfDataset container."""
+
+import numpy as np
+import pytest
+
+from repro.collectives.base import AlgorithmConfig, CollectiveKind
+from repro.core.dataset import PerfDataset
+
+
+def make_dataset() -> PerfDataset:
+    configs = (
+        AlgorithmConfig.make("bcast", 1, "linear"),
+        AlgorithmConfig.make("bcast", 2, "chain", segsize=1024, chains=2),
+        AlgorithmConfig.make("bcast", 2, "chain", segsize=4096, chains=2),
+    )
+    # 2 instances x 3 configs.
+    return PerfDataset(
+        name="toy",
+        collective=CollectiveKind.BCAST,
+        library="Open MPI 4.0.2",
+        machine="TinyTestbed",
+        configs=configs,
+        config_id=np.array([0, 1, 2, 0, 1, 2]),
+        nodes=np.array([2, 2, 2, 4, 4, 4]),
+        ppn=np.array([1, 1, 1, 2, 2, 2]),
+        msize=np.array([64, 64, 64, 64, 64, 64]),
+        time=np.array([1e-5, 2e-5, 3e-5, 4e-5, 2e-5, 1e-5]),
+    )
+
+
+class TestValidation:
+    def test_mismatched_columns(self):
+        with pytest.raises(ValueError, match="length"):
+            PerfDataset(
+                name="bad",
+                collective=CollectiveKind.BCAST,
+                library="l",
+                machine="m",
+                configs=(AlgorithmConfig.make("bcast", 1, "linear"),),
+                config_id=np.array([0]),
+                nodes=np.array([1, 2]),
+                ppn=np.array([1]),
+                msize=np.array([1]),
+                time=np.array([1.0]),
+            )
+
+    def test_config_id_out_of_range(self):
+        with pytest.raises(ValueError, match="config_id"):
+            PerfDataset(
+                name="bad",
+                collective=CollectiveKind.BCAST,
+                library="l",
+                machine="m",
+                configs=(AlgorithmConfig.make("bcast", 1, "linear"),),
+                config_id=np.array([3]),
+                nodes=np.array([1]),
+                ppn=np.array([1]),
+                msize=np.array([1]),
+                time=np.array([1.0]),
+            )
+
+
+class TestQueries:
+    def test_len_and_algorithms(self):
+        ds = make_dataset()
+        assert len(ds) == 6
+        assert ds.num_algorithms == 2  # algids {1, 2}
+
+    def test_filter_nodes(self):
+        ds = make_dataset().filter_nodes([2])
+        assert len(ds) == 3
+        assert (ds.nodes == 2).all()
+
+    def test_subset_preserves_configs(self):
+        ds = make_dataset()
+        sub = ds.subset(ds.config_id == 1, name="chains-only")
+        assert sub.configs == ds.configs
+        assert sub.name == "chains-only"
+
+    def test_instances(self):
+        inst = make_dataset().instances()
+        np.testing.assert_array_equal(inst, [[2, 1, 64], [4, 2, 64]])
+
+    def test_instance_table(self):
+        table = make_dataset().instance_table()
+        assert table[(2, 1, 64)] == {0: 1e-5, 1: 2e-5, 2: 3e-5}
+        assert min(table[(4, 2, 64)], key=table[(4, 2, 64)].get) == 2
+
+    def test_rows_of_config(self):
+        ds = make_dataset()
+        assert ds.rows_of_config(0).sum() == 2
+
+    def test_summary(self):
+        s = make_dataset().summary()
+        assert s["routine"] == "MPI_Bcast"
+        assert s["#algorithms"] == 2
+        assert s["#nodes"] == 2
+        assert s["#samples"] == 6
+
+
+class TestPersistence:
+    def test_csv_export(self, tmp_path):
+        ds = make_dataset()
+        path = tmp_path / "toy.csv"
+        ds.to_csv(path)
+        lines = path.read_text().strip().splitlines()
+        assert lines[0].startswith("config_id,algid,algorithm")
+        assert len(lines) == len(ds) + 1
+        first = lines[1].split(",")
+        assert first[2] == "linear"
+        assert first[4:7] == ["2", "1", "64"]
+
+    def test_save_load_round_trip(self, tmp_path):
+        ds = make_dataset()
+        stem = tmp_path / "toy"
+        ds.save(stem)
+        back = PerfDataset.load(stem)
+        assert back.name == ds.name
+        assert back.configs == ds.configs
+        np.testing.assert_array_equal(back.time, ds.time)
+        np.testing.assert_array_equal(back.config_id, ds.config_id)
+        assert back.collective is CollectiveKind.BCAST

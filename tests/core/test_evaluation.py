@@ -1,0 +1,83 @@
+"""Strategy evaluation against measured datasets."""
+
+import numpy as np
+import pytest
+
+from repro.bench.repro_mpi import BenchmarkSpec
+from repro.bench.runner import DatasetRunner, GridSpec
+from repro.core.evaluation import EvaluationResult, evaluate_selector
+from repro.core.selector import AlgorithmSelector
+from repro.machine.zoo import tiny_testbed
+from repro.ml import KNNRegressor
+from repro.mpilib import get_library
+
+
+@pytest.fixture(scope="module")
+def setting():
+    lib = get_library("Open MPI")
+    runner = DatasetRunner(tiny_testbed, lib, BenchmarkSpec(max_nreps=8), seed=3)
+    grid_train = GridSpec(nodes=(2, 4, 8), ppns=(1, 2), msizes=(64, 4096, 262144))
+    grid_test = GridSpec(nodes=(3, 5), ppns=(1, 2), msizes=(64, 4096, 262144))
+    train = runner.run("allreduce", grid_train, name="train")
+    test = runner.run("allreduce", grid_test, name="test")
+    selector = AlgorithmSelector(lambda: KNNRegressor()).fit(train)
+    result = evaluate_selector(selector, test, lib, tiny_testbed)
+    return lib, test, selector, result
+
+
+class TestEvaluateSelector:
+    def test_covers_all_instances(self, setting):
+        _, test, _, result = setting
+        assert len(result) + result.skipped == len(test.instances())
+        assert result.skipped == 0
+
+    def test_best_bounds_everything(self, setting):
+        _, _, _, result = setting
+        assert (result.best_time <= result.default_time + 1e-15).all()
+        assert (result.best_time <= result.predicted_time + 1e-15).all()
+
+    def test_normalisation(self, setting):
+        _, _, _, result = setting
+        assert (result.normalized_default >= 1.0 - 1e-12).all()
+        assert (result.normalized_predicted >= 1.0 - 1e-12).all()
+
+    def test_predicted_times_are_measured_values(self, setting):
+        _, test, _, result = setting
+        table = test.instance_table()
+        for i in range(len(result)):
+            key = (int(result.nodes[i]), int(result.ppn[i]), int(result.msize[i]))
+            assert result.predicted_time[i] == table[key][int(result.predicted_id[i])]
+
+    def test_speedup_definition(self, setting):
+        _, _, _, result = setting
+        np.testing.assert_allclose(
+            result.speedup_vs_default,
+            result.default_time / result.predicted_time,
+        )
+
+    def test_prediction_not_much_worse_than_default(self, setting):
+        _, _, _, result = setting
+        # The headline property (on the tiny testbed, just sanity).
+        assert result.mean_speedup > 0.8
+
+    def test_filter(self, setting):
+        _, _, _, result = setting
+        sub = result.filter(nodes=3, ppn=2)
+        assert (sub.nodes == 3).all() and (sub.ppn == 2).all()
+        assert len(sub) == 3  # one per message size
+
+
+class TestEvaluationResultBasics:
+    def test_empty_result_properties(self):
+        empty = EvaluationResult(
+            nodes=np.empty(0, np.int64),
+            ppn=np.empty(0, np.int64),
+            msize=np.empty(0, np.int64),
+            best_time=np.empty(0),
+            default_time=np.empty(0),
+            predicted_time=np.empty(0),
+            best_id=np.empty(0, np.int64),
+            default_id=np.empty(0, np.int64),
+            predicted_id=np.empty(0, np.int64),
+        )
+        assert len(empty) == 0

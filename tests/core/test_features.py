@@ -1,0 +1,43 @@
+"""Instance feature encoding."""
+
+import numpy as np
+import pytest
+
+from repro.core.features import FEATURE_NAMES, instance_features
+
+
+class TestInstanceFeatures:
+    def test_single_instance_shape(self):
+        X = instance_features(4, 8, 1024)
+        assert X.shape == (1, len(FEATURE_NAMES))
+
+    def test_values(self):
+        X = instance_features(4, 8, 1023)
+        np.testing.assert_allclose(X[0], [10.0, 4.0, 8.0, 32.0])
+
+    def test_vectorised(self):
+        X = instance_features([2, 4], [1, 2], [0, 15])
+        assert X.shape == (2, 4)
+        np.testing.assert_allclose(X[0], [0.0, 2.0, 1.0, 2.0])
+        np.testing.assert_allclose(X[1], [4.0, 4.0, 2.0, 8.0])
+
+    def test_broadcasting(self):
+        X = instance_features(4, 8, [1, 1024, 4096])
+        assert X.shape == (3, 4)
+        assert (X[:, 1] == 4).all()
+
+    def test_zero_message_ok(self):
+        X = instance_features(1, 1, 0)
+        assert X[0, 0] == 0.0
+
+    def test_invalid_nodes(self):
+        with pytest.raises(ValueError):
+            instance_features(0, 1, 1)
+
+    def test_invalid_msize(self):
+        with pytest.raises(ValueError):
+            instance_features(1, 1, -5)
+
+    def test_procs_is_product(self):
+        X = instance_features([3, 5], [7, 11], 1)
+        np.testing.assert_allclose(X[:, 3], [21.0, 55.0])

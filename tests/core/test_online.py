@@ -1,0 +1,102 @@
+"""Online (STAR-MPI-style) selection baseline."""
+
+import numpy as np
+import pytest
+
+from repro.core.online import OnlineSelector, Policy
+from repro.machine.topology import Topology
+from repro.machine.zoo import tiny_testbed
+from repro.mpilib import get_library
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return get_library("Open MPI")
+
+
+def make(lib, policy="star", **kw):
+    return OnlineSelector(
+        tiny_testbed, lib, "alltoall", policy=policy, rng=0, **kw
+    )
+
+
+class TestValidation:
+    def test_bad_epsilon(self, lib):
+        with pytest.raises(ValueError):
+            make(lib, epsilon=1.5)
+
+    def test_bad_num_calls(self, lib):
+        with pytest.raises(ValueError):
+            make(lib).run(Topology(2, 2), 1024, 0)
+
+    def test_unsupported_instance(self, lib):
+        sel = OnlineSelector(
+            tiny_testbed, lib, "allgather",
+            exclude_algids=(1, 2, 3, 4, 5, 6), rng=0,
+        )
+        with pytest.raises(ValueError, match="no supported"):
+            sel.run(Topology(3, 1), 10, 5)
+
+
+class TestStarPolicy:
+    def test_explores_every_candidate_once(self, lib):
+        topo = Topology(4, 2)
+        result = make(lib).run(topo, 1024, 30)
+        k = len({c.label for c in result.choices[:5]})
+        assert k == 5  # the alltoall space has 5 configs
+
+    def test_commits_after_sweep(self, lib):
+        topo = Topology(4, 2)
+        result = make(lib).run(topo, 1024, 40)
+        post = {c.label for c in result.choices[5:]}
+        assert len(post) == 1  # pure exploitation afterwards
+
+    def test_converges_under_low_noise(self, lib):
+        topo = Topology(4, 2)
+        result = make(lib).run(topo, 65536, 50)
+        assert result.converged_to_best
+
+    def test_regret_positive_and_bounded(self, lib):
+        topo = Topology(4, 2)
+        result = make(lib).run(topo, 65536, 100)
+        assert result.regret >= 0.0
+        # After convergence per-call regret is only noise.
+        tail = result.call_times[20:]
+        assert tail.mean() < result.oracle_times[0] * 1.2
+
+    def test_exploration_cost_front_loaded(self, lib):
+        topo = Topology(4, 2)
+        result = make(lib).run(topo, 65536, 60)
+        head = result.call_times[:5].mean()
+        tail = result.call_times[30:].mean()
+        assert head > tail  # the STAR-MPI downside the paper avoids
+
+
+class TestOtherPolicies:
+    @pytest.mark.parametrize("policy", ["epsilon", "ucb"])
+    def test_runs_and_converges(self, lib, policy):
+        topo = Topology(4, 2)
+        result = make(lib, policy=policy).run(topo, 65536, 80)
+        assert result.converged_to_best
+        assert len(result.call_times) == 80
+
+    def test_epsilon_keeps_exploring(self, lib):
+        topo = Topology(4, 2)
+        result = make(lib, policy="epsilon", epsilon=0.5).run(topo, 1024, 200)
+        post = {c.label for c in result.choices[50:]}
+        assert len(post) > 1  # still sampling alternatives
+
+    def test_determinism_per_seed(self, lib):
+        topo = Topology(4, 2)
+        a = OnlineSelector(tiny_testbed, lib, "alltoall", rng=5).run(
+            topo, 1024, 30
+        )
+        b = OnlineSelector(tiny_testbed, lib, "alltoall", rng=5).run(
+            topo, 1024, 30
+        )
+        np.testing.assert_array_equal(a.call_times, b.call_times)
+
+    def test_policy_enum_coercion(self, lib):
+        assert make(lib, policy=Policy.UCB).policy is Policy.UCB
+        with pytest.raises(ValueError):
+            make(lib, policy="thompson")

@@ -1,0 +1,84 @@
+"""High-level AutoTuner pipeline."""
+
+import pytest
+
+from repro.bench.repro_mpi import BenchmarkSpec
+from repro.bench.runner import GridSpec
+from repro.core.tuner import AutoTuner
+from repro.machine.zoo import tiny_testbed
+from repro.mpilib import get_library
+
+
+@pytest.fixture(scope="module")
+def tuned():
+    tuner = AutoTuner(
+        tiny_testbed,
+        get_library("Open MPI"),
+        "bcast",
+        learner="KNN",
+        bench_spec=BenchmarkSpec(max_nreps=5),
+        seed=1,
+    )
+    tuner.benchmark(
+        GridSpec(nodes=(2, 4, 8), ppns=(1, 2), msizes=(64, 4096, 262144)),
+        exclude_algids=(8,),
+    )
+    tuner.train()
+    return tuner
+
+
+class TestPipeline:
+    def test_requires_benchmark_first(self):
+        tuner = AutoTuner(tiny_testbed, get_library("Open MPI"), "bcast")
+        with pytest.raises(RuntimeError, match="benchmark"):
+            tuner.train()
+
+    def test_requires_train_before_recommend(self):
+        tuner = AutoTuner(tiny_testbed, get_library("Open MPI"), "bcast")
+        with pytest.raises(RuntimeError, match="train"):
+            tuner.recommend(2, 1, 64)
+
+    def test_unknown_learner(self):
+        with pytest.raises(ValueError, match="unknown learner"):
+            AutoTuner(
+                tiny_testbed, get_library("Open MPI"), "bcast", learner="SVM"
+            )
+
+    def test_recommendation_from_space(self, tuned):
+        cfg = tuned.recommend(5, 2, 1024)  # unseen node count
+        assert cfg in tuned.library.config_space("bcast").configs
+
+    def test_excluded_algid_never_recommended(self, tuned):
+        for m in (1, 1024, 262144):
+            assert tuned.recommend(5, 2, m).algid != 8
+
+    def test_write_rules_ompi(self, tuned, tmp_path):
+        path = tmp_path / "rules.conf"
+        text = tuned.write_rules(str(path), nodes=5, ppn=2)
+        assert path.read_text() == text
+        assert "comm size" in text
+
+    def test_write_rules_json(self, tuned, tmp_path):
+        path = tmp_path / "rules.json"
+        text = tuned.write_rules(str(path), nodes=5, ppn=2, fmt="json")
+        assert '"rules"' in text
+
+    def test_write_rules_bad_format(self, tuned, tmp_path):
+        with pytest.raises(ValueError):
+            tuned.write_rules(str(tmp_path / "x"), nodes=5, ppn=2, fmt="yaml")
+
+    def test_custom_learner_factory(self):
+        from repro.ml import RidgeRegressor
+
+        tuner = AutoTuner(
+            tiny_testbed,
+            get_library("Open MPI"),
+            "alltoall",
+            learner=lambda: RidgeRegressor(log_target=True),
+            bench_spec=BenchmarkSpec(max_nreps=3),
+        )
+        tuner.benchmark(
+            GridSpec(nodes=(2, 4), ppns=(1,), msizes=(64, 1024, 4096, 65536))
+        )
+        tuner.train()
+        tuner.recommend(3, 1, 1024)

@@ -1,0 +1,156 @@
+"""Dataset specs (Table II) and node splits (Table III)."""
+
+import numpy as np
+import pytest
+
+from repro.collectives.base import CollectiveKind
+from repro.experiments.datasets import (
+    DATASETS,
+    MSIZES_8,
+    MSIZES_10,
+    Scale,
+    generate_dataset,
+)
+from repro.experiments.splits import SPLITS, split_dataset
+from repro.machine.zoo import get_machine
+from repro.mpilib import get_library
+
+
+class TestTable2Specs:
+    def test_eight_datasets(self):
+        assert sorted(DATASETS) == [f"d{i}" for i in range(1, 9)]
+
+    def test_routines_match_paper(self):
+        expected = {
+            "d1": (CollectiveKind.BCAST, "Open MPI", "Hydra"),
+            "d2": (CollectiveKind.ALLREDUCE, "Open MPI", "Hydra"),
+            "d3": (CollectiveKind.BCAST, "Open MPI", "Jupiter"),
+            "d4": (CollectiveKind.ALLREDUCE, "Open MPI", "Jupiter"),
+            "d5": (CollectiveKind.ALLREDUCE, "Intel MPI", "Hydra"),
+            "d6": (CollectiveKind.ALLTOALL, "Intel MPI", "Hydra"),
+            "d7": (CollectiveKind.BCAST, "Intel MPI", "Hydra"),
+            "d8": (CollectiveKind.BCAST, "Open MPI", "SuperMUC-NG"),
+        }
+        for did, (kind, lib, machine) in expected.items():
+            spec = DATASETS[did]
+            assert (spec.collective, spec.library, spec.machine) == (
+                kind, lib, machine,
+            )
+
+    def test_broken_bcast_excluded_in_ompi_datasets(self):
+        for did in ("d1", "d3", "d8"):
+            assert 8 in DATASETS[did].exclude_algids
+        assert DATASETS["d7"].exclude_algids == ()  # Intel bcast unaffected
+
+    def test_grids_fit_machines(self):
+        for spec in DATASETS.values():
+            machine = get_machine(spec.machine)
+            for scale in Scale:
+                grid = spec.grid(scale)
+                assert max(grid.nodes) <= machine.max_nodes
+                assert max(grid.ppns) <= machine.max_ppn
+
+    def test_message_grids(self):
+        assert len(MSIZES_10) == 10
+        assert len(MSIZES_8) == 8
+        assert MSIZES_10[-1] == 4 << 20  # up to 4 MiB, as in §IV-C
+
+    def test_paper_grid_axes_match_table2(self):
+        g1 = DATASETS["d1"].grid(Scale.PAPER)
+        assert len(g1.ppns) == 10
+        assert len(g1.msizes) == 10
+        g8 = DATASETS["d8"].grid(Scale.PAPER)
+        assert len(g8.nodes) == 5 and len(g8.ppns) == 5 and len(g8.msizes) == 8
+
+
+class TestExtensionDatasets:
+    def test_lookup(self):
+        from repro.experiments.datasets import EXTENSION_DATASETS, dataset_spec
+
+        assert dataset_spec("d1") is DATASETS["d1"]
+        assert dataset_spec("dx1") is EXTENSION_DATASETS["dx1"]
+        with pytest.raises(KeyError, match="unknown dataset"):
+            dataset_spec("d99")
+
+    def test_extension_specs(self):
+        from repro.experiments.datasets import EXTENSION_DATASETS
+
+        assert EXTENSION_DATASETS["dx1"].collective is CollectiveKind.REDUCE
+        assert EXTENSION_DATASETS["dx2"].collective is CollectiveKind.ALLGATHER
+
+    def test_extension_generation_tiny(self):
+        from repro.bench.repro_mpi import BenchmarkSpec
+
+        ds = generate_dataset(
+            "dx2", Scale.CI, seed=0, spec=BenchmarkSpec(max_nreps=2)
+        )
+        assert ds.collective is CollectiveKind.ALLGATHER
+        assert len(ds) > 0
+
+
+class TestTable3Splits:
+    def test_paper_splits_match_table3(self):
+        hydra = SPLITS[("Hydra", Scale.PAPER)]
+        assert hydra.full_train == (4, 8, 16, 20, 24, 32, 36)
+        assert hydra.small_train == (4, 16, 36)
+        assert hydra.test == (7, 13, 19, 27, 35)
+        smuc = SPLITS[("SuperMUC-NG", Scale.PAPER)]
+        assert smuc.full_train == smuc.small_train == (20, 32, 48)
+
+    @pytest.mark.parametrize("scale", list(Scale))
+    def test_train_test_disjoint(self, scale):
+        for (machine, s), spec in SPLITS.items():
+            if s is not scale:
+                continue
+            assert not set(spec.full_train) & set(spec.test)
+            assert set(spec.small_train) <= set(spec.full_train)
+
+    @pytest.mark.parametrize("scale", list(Scale))
+    def test_split_nodes_present_in_grids(self, scale):
+        for spec in DATASETS.values():
+            split = SPLITS[(spec.machine, scale)]
+            grid_nodes = set(spec.grid(scale).nodes)
+            assert set(split.full_train) <= grid_nodes
+            assert set(split.test) <= grid_nodes
+
+
+class TestGeneration:
+    @pytest.fixture(scope="class")
+    def mini_d6(self):
+        # d6 (alltoall) has the smallest config space: cheap to generate.
+        from repro.bench.repro_mpi import BenchmarkSpec
+
+        return generate_dataset(
+            "d6", Scale.CI, seed=0, spec=BenchmarkSpec(max_nreps=3)
+        )
+
+    def test_dataset_metadata(self, mini_d6):
+        assert mini_d6.machine == "Hydra"
+        assert mini_d6.library.startswith("Intel MPI")
+        assert mini_d6.num_algorithms == 5
+
+    def test_grid_covered(self, mini_d6):
+        spec = DATASETS["d6"]
+        grid = spec.grid(Scale.CI)
+        assert set(np.unique(mini_d6.nodes)) == set(grid.nodes)
+        assert set(np.unique(mini_d6.msize)) == set(grid.msizes)
+
+    def test_split_dataset(self, mini_d6):
+        train, test = split_dataset(mini_d6, Scale.CI)
+        assert set(np.unique(train.nodes)) == {4, 8, 16}
+        assert set(np.unique(test.nodes)) == {7, 13}
+        train_small, _ = split_dataset(mini_d6, Scale.CI, small=True)
+        assert set(np.unique(train_small.nodes)) == {4, 16}
+
+    def test_split_missing_nodes_raises(self, mini_d6):
+        only7 = mini_d6.filter_nodes([7])
+        with pytest.raises(ValueError, match="split nodes"):
+            split_dataset(only7, Scale.CI)
+
+    def test_generation_deterministic(self):
+        from repro.bench.repro_mpi import BenchmarkSpec
+
+        spec = BenchmarkSpec(max_nreps=2)
+        a = generate_dataset("d6", Scale.CI, seed=5, spec=spec)
+        b = generate_dataset("d6", Scale.CI, seed=5, spec=spec)
+        np.testing.assert_array_equal(a.time, b.time)

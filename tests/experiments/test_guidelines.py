@@ -1,0 +1,70 @@
+"""Performance-guideline checking (PGMPITuneLib-style)."""
+
+import pytest
+
+from repro.experiments.guidelines import (
+    GUIDELINES,
+    check_guidelines,
+    guidelines_table,
+)
+from repro.machine.zoo import tiny_testbed
+from repro.mpilib import get_library
+
+INSTANCES = [(4, 2, 64), (4, 2, 65536), (8, 4, 1 << 20)]
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return get_library("Open MPI")
+
+
+class TestCheckGuidelines:
+    def test_all_guidelines_checked(self, lib):
+        checks = check_guidelines(tiny_testbed, lib, INSTANCES, "default")
+        names = {c.guideline for c in checks}
+        assert len(names) == len(GUIDELINES)
+        assert len(checks) == len(GUIDELINES) * len(INSTANCES)
+
+    def test_severity_definition(self, lib):
+        checks = check_guidelines(tiny_testbed, lib, INSTANCES, "default")
+        for c in checks:
+            assert c.severity == pytest.approx(c.target_time / c.emulation_time)
+            assert c.violated == (c.severity > 1.0)
+
+    def test_best_strategy_bounded_by_default(self, lib):
+        # Exhaustive best can never be slower than the default choice.
+        default = check_guidelines(tiny_testbed, lib, INSTANCES, "default")
+        best = check_guidelines(tiny_testbed, lib, INSTANCES, "best")
+        d = {(c.guideline, c.nodes, c.ppn, c.msize): c for c in default}
+        for c in best:
+            key = (c.guideline, c.nodes, c.ppn, c.msize)
+            assert c.target_time <= d[key].target_time + 1e-15
+
+    def test_unknown_strategy(self, lib):
+        with pytest.raises(ValueError):
+            check_guidelines(tiny_testbed, lib, INSTANCES, "oracle")
+
+    def test_intel_library_skips_missing_collectives(self):
+        # Intel exposes only the paper's three collectives, so only
+        # guidelines fully expressible there are checked (G3 needs just
+        # bcast+allreduce).
+        intel = get_library("Intel MPI")
+        checks = check_guidelines(tiny_testbed, intel, INSTANCES[:1], "default")
+        names = {c.guideline for c in checks}
+        assert names == {"G3: bcast<=allreduce"}
+
+
+class TestGuidelinesTable:
+    def test_default_violations_exceed_best(self, lib):
+        table = guidelines_table(tiny_testbed, lib, INSTANCES)
+        total_default = sum(row[2] for row in table.rows)
+        total_best = sum(row[4] for row in table.rows)
+        # The tuned portfolio repairs (most) violations of the default
+        # decision logic — PGMPITuneLib's raison d'etre.
+        assert total_default >= total_best
+
+    def test_table_structure(self, lib):
+        table = guidelines_table(tiny_testbed, lib, INSTANCES)
+        assert len(table.rows) == len(GUIDELINES)
+        rendered = table.render()
+        assert "violations_default" in rendered

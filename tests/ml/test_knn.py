@@ -1,0 +1,84 @@
+"""KNN regressor."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml.knn import KNNRegressor
+
+
+class TestValidation:
+    def test_bad_k(self):
+        with pytest.raises(ValueError):
+            KNNRegressor(k=0)
+
+    def test_bad_weights(self):
+        with pytest.raises(ValueError):
+            KNNRegressor(weights="gaussian")
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            KNNRegressor().predict(np.ones((1, 2)))
+
+
+class TestPrediction:
+    def test_k1_exact_recall(self):
+        X = np.arange(10, dtype=float)[:, None]
+        y = X.ravel() ** 2
+        model = KNNRegressor(k=1).fit(X, y)
+        np.testing.assert_allclose(model.predict(X), y)
+
+    def test_k_larger_than_dataset(self):
+        X = np.arange(3, dtype=float)[:, None]
+        y = np.array([1.0, 2.0, 3.0])
+        model = KNNRegressor(k=10).fit(X, y)
+        np.testing.assert_allclose(model.predict([[1.0]]), y.mean())
+
+    def test_mean_of_neighbours(self):
+        X = np.array([[0.0], [1.0], [10.0]])
+        y = np.array([2.0, 4.0, 100.0])
+        model = KNNRegressor(k=2, scale_inputs=False).fit(X, y)
+        np.testing.assert_allclose(model.predict([[0.4]]), [3.0])
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.floats(0.1, 100, allow_nan=False), min_size=5, max_size=30
+        ),
+        st.integers(1, 5),
+    )
+    def test_predictions_within_target_range(self, targets, k):
+        X = np.arange(len(targets), dtype=float)[:, None]
+        y = np.asarray(targets)
+        model = KNNRegressor(k=k).fit(X, y)
+        pred = model.predict(X)
+        assert (pred >= y.min() - 1e-9).all()
+        assert (pred <= y.max() + 1e-9).all()
+
+    def test_scaling_matters(self):
+        # Feature 0 spans [0, 1e6], feature 1 spans [0, 1]; only the
+        # scaled model lets feature 1 influence the neighbourhood.
+        rng = np.random.default_rng(0)
+        X = np.column_stack([rng.uniform(0, 1e6, 200), rng.uniform(0, 1, 200)])
+        y = X[:, 1]
+        scaled = KNNRegressor(k=3, scale_inputs=True).fit(X, y)
+        raw = KNNRegressor(k=3, scale_inputs=False).fit(X, y)
+        query = np.array([[5e5, 0.9]])
+        assert abs(scaled.predict(query)[0] - 0.9) < abs(
+            raw.predict(query)[0] - 0.9
+        ) + 1e-9
+
+    def test_distance_weights_prefer_closer(self):
+        X = np.array([[0.0], [1.0]])
+        y = np.array([0.0, 10.0])
+        uniform = KNNRegressor(k=2, weights="uniform", scale_inputs=False)
+        distance = KNNRegressor(k=2, weights="distance", scale_inputs=False)
+        q = np.array([[0.1]])
+        assert distance.fit(X, y).predict(q)[0] < uniform.fit(X, y).predict(q)[0]
+
+    def test_distance_weights_exact_hit(self):
+        X = np.array([[0.0], [1.0], [2.0]])
+        y = np.array([5.0, 7.0, 9.0])
+        model = KNNRegressor(k=3, weights="distance", scale_inputs=False)
+        np.testing.assert_allclose(model.fit(X, y).predict([[1.0]]), [7.0])

@@ -1,0 +1,72 @@
+"""Regression metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ml.metrics import mae, mape, r2_score, rmse
+
+vectors = st.lists(
+    st.floats(-1e3, 1e3, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=50,
+)
+
+
+class TestKnownValues:
+    def test_mae(self):
+        assert mae([1, 2, 3], [2, 2, 2]) == pytest.approx(2 / 3)
+
+    def test_rmse(self):
+        assert rmse([0, 0], [3, 4]) == pytest.approx(np.sqrt(12.5))
+
+    def test_mape(self):
+        assert mape([10, 100], [11, 90]) == pytest.approx(0.1)
+
+    def test_r2_perfect(self):
+        assert r2_score([1, 2, 3], [1, 2, 3]) == 1.0
+
+    def test_r2_mean_predictor(self):
+        assert r2_score([1, 2, 3], [2, 2, 2]) == pytest.approx(0.0)
+
+
+class TestValidation:
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            mae([1, 2], [1])
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            rmse([], [])
+
+    def test_mape_nonpositive_truth(self):
+        with pytest.raises(ValueError):
+            mape([0, 1], [1, 1])
+
+
+class TestProperties:
+    @given(vectors, st.data())
+    def test_rmse_at_least_mae(self, y_true, data):
+        y_pred = data.draw(
+            st.lists(
+                st.floats(-1e3, 1e3, allow_nan=False, allow_infinity=False),
+                min_size=len(y_true),
+                max_size=len(y_true),
+            )
+        )
+        # Jensen: quadratic mean >= arithmetic mean of |errors|.
+        assert rmse(y_true, y_pred) >= mae(y_true, y_pred) - 1e-9
+
+    @given(vectors)
+    def test_zero_error_metrics(self, y):
+        assert mae(y, y) == 0.0
+        assert rmse(y, y) == 0.0
+
+    @given(vectors, st.floats(0.1, 10.0))
+    def test_mae_scale_equivariant(self, y, c):
+        y = np.asarray(y)
+        shifted = y + 1.0
+        assert mae(c * y, c * shifted) == pytest.approx(
+            c * mae(y, shifted), rel=1e-9
+        )

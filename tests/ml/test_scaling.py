@@ -1,0 +1,49 @@
+"""StandardScaler."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.ml.scaling import StandardScaler
+
+matrices = arrays(
+    np.float64,
+    st.tuples(st.integers(2, 40), st.integers(1, 5)),
+    elements=st.floats(-1e6, 1e6, allow_nan=False, allow_infinity=False),
+)
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_variance(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(5.0, 3.0, size=(500, 3))
+        Z = StandardScaler().fit_transform(X)
+        np.testing.assert_allclose(Z.mean(axis=0), 0.0, atol=1e-12)
+        np.testing.assert_allclose(Z.std(axis=0), 1.0, rtol=1e-12)
+
+    def test_constant_feature_safe(self):
+        X = np.column_stack([np.ones(10), np.arange(10.0)])
+        Z = StandardScaler().fit_transform(X)
+        assert np.isfinite(Z).all()
+        np.testing.assert_allclose(Z[:, 0], 0.0)
+
+    def test_transform_before_fit(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform(np.ones((2, 2)))
+
+    def test_1d_rejected(self):
+        with pytest.raises(ValueError):
+            StandardScaler().fit(np.ones(5))
+
+    @given(matrices)
+    def test_round_trip(self, X):
+        scaler = StandardScaler().fit(X)
+        back = scaler.inverse_transform(scaler.transform(X))
+        np.testing.assert_allclose(back, X, rtol=1e-6, atol=1e-6)
+
+    def test_transform_uses_training_stats(self):
+        scaler = StandardScaler().fit(np.zeros((5, 1)) + 10.0)
+        out = scaler.transform(np.array([[10.0], [11.0]]))
+        np.testing.assert_allclose(out, [[0.0], [1.0]])

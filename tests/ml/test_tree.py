@@ -1,0 +1,90 @@
+"""CART / gradient trees."""
+
+import numpy as np
+import pytest
+
+from repro.ml.tree import GradTree, RegressionTree, TreeParams
+
+
+def step_data(n=200, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(0, 1, size=(n, 2))
+    y = np.where(X[:, 0] > 0.5, 10.0, -10.0)
+    return X, y
+
+
+class TestRegressionTree:
+    def test_constant_target(self):
+        X = np.arange(20, dtype=float)[:, None]
+        tree = RegressionTree().fit(X, np.full(20, 3.5))
+        np.testing.assert_allclose(tree.predict(X), 3.5)
+
+    def test_recovers_step_function(self):
+        X, y = step_data()
+        tree = RegressionTree(max_depth=3).fit(X, y)
+        np.testing.assert_allclose(tree.predict(X), y)
+
+    def test_depth_limit_respected(self):
+        X, y = step_data(400)
+        y = y + np.random.default_rng(1).normal(0, 5, size=len(y))
+        tree = RegressionTree(max_depth=2).fit(X, y)
+        assert tree._tree.depth() <= 2
+
+    def test_min_samples_leaf(self):
+        X, y = step_data(100)
+        tree = RegressionTree(max_depth=10, min_samples_leaf=20).fit(X, y)
+        # Each leaf averages >= 20 samples -> at most 5 leaves.
+        assert tree._tree.num_leaves() <= 5
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            RegressionTree().predict(np.ones((2, 2)))
+
+    def test_interpolates_between_train_points(self):
+        X = np.array([[0.0], [1.0], [2.0], [3.0]])
+        y = np.array([0.0, 0.0, 8.0, 8.0])
+        tree = RegressionTree(max_depth=2).fit(X, y)
+        assert tree.predict(np.array([[1.4]]))[0] in (0.0, 8.0)
+
+    def test_deterministic_without_subsampling(self):
+        X, y = step_data(300, seed=5)
+        p1 = RegressionTree(max_depth=6).fit(X, y).predict(X)
+        p2 = RegressionTree(max_depth=6).fit(X, y).predict(X)
+        np.testing.assert_array_equal(p1, p2)
+
+
+class TestGradTree:
+    def test_leaf_value_is_shrunken_mean(self):
+        # grad = -y, hess = 1, lambda = 2: leaf = sum(y) / (n + 2).
+        X = np.zeros((4, 1))
+        y = np.array([1.0, 2.0, 3.0, 4.0])
+        tree = GradTree(TreeParams(max_depth=3, reg_lambda=2.0))
+        tree.fit(X, -y, np.ones(4))
+        np.testing.assert_allclose(tree.predict(X), y.sum() / 6.0)
+
+    def test_min_child_weight_blocks_splits(self):
+        X, y = step_data(50)
+        params = TreeParams(max_depth=5, min_child_weight=1e9)
+        tree = GradTree(params).fit(X, -y, np.ones(len(y)))
+        assert tree.num_leaves() == 1
+
+    def test_gamma_blocks_weak_splits(self):
+        rng = np.random.default_rng(0)
+        X = rng.uniform(size=(100, 1))
+        y = rng.normal(0, 0.01, size=100)  # essentially no signal
+        strict = GradTree(TreeParams(gamma=1e6, reg_lambda=0.0))
+        strict.fit(X, -y, np.ones(100))
+        assert strict.num_leaves() == 1
+
+    def test_zero_samples_rejected(self):
+        with pytest.raises(ValueError):
+            GradTree(TreeParams()).fit(
+                np.empty((0, 2)), np.empty(0), np.empty(0)
+            )
+
+    def test_max_features_subsampling_uses_rng(self):
+        X, y = step_data(200, seed=2)
+        params = TreeParams(max_depth=4, max_features=1)
+        t1 = GradTree(params, rng=1).fit(X, -y, np.ones(len(y)))
+        t2 = GradTree(params, rng=1).fit(X, -y, np.ones(len(y)))
+        np.testing.assert_array_equal(t1.predict(X), t2.predict(X))

@@ -1,0 +1,66 @@
+"""Cross-validation helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ml.linear import RidgeRegressor
+from repro.ml.metrics import rmse
+from repro.ml.validation import KFold, cross_val_score, train_test_split
+
+
+class TestKFold:
+    def test_bad_splits(self):
+        with pytest.raises(ValueError):
+            KFold(n_splits=1)
+
+    def test_too_few_samples(self):
+        with pytest.raises(ValueError):
+            list(KFold(5).split(3))
+
+    @given(
+        st.integers(min_value=5, max_value=200),
+        st.integers(min_value=2, max_value=5),
+    )
+    def test_partition_properties(self, n, k):
+        folds = list(KFold(k, rng=0).split(n))
+        assert len(folds) == k
+        all_test = np.concatenate([test for _, test in folds])
+        # Test folds partition the sample set.
+        assert sorted(all_test.tolist()) == list(range(n))
+        for train, test in folds:
+            assert set(train) & set(test) == set()
+            assert len(train) + len(test) == n
+
+    def test_shuffle_reproducible(self):
+        a = [t.tolist() for _, t in KFold(3, rng=1).split(20)]
+        b = [t.tolist() for _, t in KFold(3, rng=1).split(20)]
+        assert a == b
+
+    def test_no_shuffle_contiguous(self):
+        folds = list(KFold(2, shuffle=False).split(4))
+        assert folds[0][1].tolist() == [0, 1]
+
+
+class TestTrainTestSplit:
+    def test_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            train_test_split(10, test_fraction=0.0)
+
+    def test_disjoint_cover(self):
+        train, test = train_test_split(50, 0.3, rng=0)
+        assert sorted(np.concatenate([train, test]).tolist()) == list(range(50))
+        assert len(test) == 15
+
+
+class TestCrossValScore:
+    def test_scores_per_fold(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(60, 2))
+        y = X @ np.array([1.0, 2.0]) + rng.normal(0, 0.01, 60)
+        scores = cross_val_score(
+            lambda: RidgeRegressor(alpha=1e-8), X, y, rmse, n_splits=4
+        )
+        assert scores.shape == (4,)
+        assert (scores < 0.1).all()

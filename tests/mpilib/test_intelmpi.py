@@ -1,0 +1,71 @@
+"""Intel MPI stand-in: wide menu + self-tuned table default."""
+
+import pytest
+
+from repro.collectives.registry import algorithm_from_config
+from repro.machine.topology import Topology
+from repro.machine.zoo import tiny_testbed
+from repro.mpilib.intelmpi import IntelMPILibrary
+from repro.utils.units import KiB
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return IntelMPILibrary()
+
+
+class TestConfigSpaces:
+    def test_table2_algorithm_counts(self, lib):
+        # Matches Table II: bcast 12, allreduce 16, alltoall 5.
+        assert len(lib.config_space("bcast").algids()) == 12
+        assert len(lib.config_space("allreduce").algids()) == 16
+        assert len(lib.config_space("alltoall").algids()) == 5
+
+    def test_has_topology_aware_variants(self, lib):
+        names = {c.name for c in lib.config_space("allreduce").configs}
+        assert any(n.startswith("hier_") for n in names)
+
+    def test_all_configs_instantiable(self, lib):
+        for kind in ("bcast", "allreduce", "alltoall"):
+            for cfg in lib.config_space(kind).configs:
+                algorithm_from_config(cfg)
+
+
+class TestTunedDefault:
+    """Uses the tiny testbed so self-tuning stays fast."""
+
+    def test_default_in_space(self, lib):
+        topo = Topology(4, 2)
+        for m in (1, 4 * KiB, 512 * KiB):
+            cfg = lib.default_config(tiny_testbed, topo, "alltoall", m)
+            assert cfg in lib.config_space("alltoall").configs
+
+    def test_default_is_best_on_grid_points(self, lib):
+        # On an exact tuning grid point the table answer must be the
+        # noise-free argmin — that is what "Intel's default is near
+        # optimal" (Figure 6) comes from.
+        topo = Topology(4, tiny_testbed.max_ppn)
+        m = 16 * KiB
+        cfg = lib.default_config(tiny_testbed, topo, "alltoall", m)
+        space = lib.config_space("alltoall").configs
+        times = {
+            c: algorithm_from_config(c).base_time(tiny_testbed, topo, m)
+            for c in space
+        }
+        best = min(times, key=times.get)
+        assert times[cfg] <= times[best] * 1.001
+
+    def test_table_cached_across_instances(self, lib):
+        topo = Topology(4, 2)
+        lib.default_config(tiny_testbed, topo, "alltoall", 1)
+        key = (tiny_testbed.name, lib.config_space("alltoall").collective)
+        assert key in IntelMPILibrary._tables
+        # Second lookup hits the cache (same object).
+        table = IntelMPILibrary._tables[key]
+        lib.default_config(tiny_testbed, topo, "alltoall", 2)
+        assert IntelMPILibrary._tables[key] is table
+
+    def test_off_grid_instances_get_nearest(self, lib):
+        # Odd node count not on the tuning grid still gets an answer.
+        cfg = lib.default_config(tiny_testbed, Topology(7, 3), "alltoall", 100)
+        assert cfg in lib.config_space("alltoall").configs

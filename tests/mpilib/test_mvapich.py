@@ -1,0 +1,144 @@
+"""MVAPICH stand-in: size-class selection + the class-tuning knob."""
+
+import pytest
+
+from repro.collectives.base import AlgorithmConfig, CollectiveKind
+from repro.collectives.registry import algorithm_from_config
+from repro.machine.topology import Topology
+from repro.machine.zoo import tiny_testbed
+from repro.mpilib import get_library
+from repro.mpilib.mvapich import (
+    MEDIUM_LIMIT,
+    SMALL_LIMIT,
+    MVAPICHLibrary,
+    SizeClass,
+    size_class,
+)
+from repro.utils.units import KiB, MiB
+
+
+@pytest.fixture
+def lib():
+    return MVAPICHLibrary()
+
+
+class TestSizeClass:
+    @pytest.mark.parametrize(
+        "nbytes,expected",
+        [
+            (0, SizeClass.SMALL),
+            (SMALL_LIMIT - 1, SizeClass.SMALL),
+            (SMALL_LIMIT, SizeClass.MEDIUM),
+            (MEDIUM_LIMIT - 1, SizeClass.MEDIUM),
+            (MEDIUM_LIMIT, SizeClass.LARGE),
+            (4 * MiB, SizeClass.LARGE),
+        ],
+    )
+    def test_boundaries(self, nbytes, expected):
+        assert size_class(nbytes) is expected
+
+
+class TestSpacesAndDefaults:
+    def test_registered(self):
+        assert isinstance(get_library("mvapich"), MVAPICHLibrary)
+
+    def test_all_configs_instantiable(self, lib):
+        for kind in ("bcast", "allreduce", "alltoall"):
+            for cfg in lib.config_space(kind).configs:
+                algorithm_from_config(cfg)
+
+    def test_default_constant_within_class(self, lib):
+        topo = Topology(4, 2)
+        small = {
+            lib.default_config(tiny_testbed, topo, "bcast", m)
+            for m in (1, 100, 4 * KiB)
+        }
+        assert len(small) == 1  # one algorithm serves the whole class
+
+    def test_default_differs_across_classes(self, lib):
+        topo = Topology(4, 2)
+        configs = {
+            size_class(m): lib.default_config(tiny_testbed, topo, "bcast", m)
+            for m in (64, 64 * KiB, 4 * MiB)
+        }
+        assert len(set(configs.values())) == 3
+
+    def test_default_in_space(self, lib):
+        topo = Topology(4, 2)
+        for kind in ("bcast", "allreduce", "alltoall"):
+            for m in (64, 64 * KiB, 4 * MiB):
+                cfg = lib.default_config(tiny_testbed, topo, kind, m)
+                assert cfg in lib.config_space(kind).configs
+
+
+class TestClassKnob:
+    def test_override_changes_default(self, lib):
+        topo = Topology(4, 2)
+        target = lib.config_space("bcast").configs[5]  # pipeline 64K
+        lib.set_class_algorithm("bcast", SizeClass.SMALL, target)
+        assert lib.default_config(tiny_testbed, topo, "bcast", 64) == target
+
+    def test_override_rejects_foreign_config(self, lib):
+        foreign = AlgorithmConfig.make("bcast", 99, "chain", segsize=1, chains=2)
+        with pytest.raises(KeyError, match="menu"):
+            lib.set_class_algorithm("bcast", SizeClass.SMALL, foreign)
+
+    def test_class_algorithm_accessor(self, lib):
+        cfg = lib.class_algorithm("allreduce", SizeClass.MEDIUM)
+        assert cfg.name == "rabenseifner"
+
+    def test_instances_do_not_share_tables(self):
+        a, b = MVAPICHLibrary(), MVAPICHLibrary()
+        a.set_class_algorithm(
+            "bcast", SizeClass.SMALL, a.config_space("bcast").configs[3]
+        )
+        assert b.class_algorithm("bcast", SizeClass.SMALL).name == "binomial"
+
+
+class TestClassTuner:
+    @pytest.fixture(scope="class")
+    def tuned(self):
+        from repro.bench import BenchmarkSpec, DatasetRunner, GridSpec
+        from repro.core import AlgorithmSelector
+        from repro.core.class_tuner import apply_class_tuning, tune_size_classes
+        from repro.ml import KNNRegressor
+
+        lib = MVAPICHLibrary()
+        runner = DatasetRunner(
+            tiny_testbed, lib, BenchmarkSpec(max_nreps=8), seed=2
+        )
+        ds = runner.run(
+            "allreduce",
+            GridSpec(
+                nodes=(2, 4, 8), ppns=(1, 2, 4),
+                msizes=(16, KiB, 16 * KiB, 256 * KiB, MiB, 4 * MiB),
+            ),
+            name="mv",
+        )
+        selector = AlgorithmSelector(lambda: KNNRegressor()).fit(ds)
+        choices = apply_class_tuning(lib, "allreduce", selector, 5, 3)
+        return lib, selector, choices, ds
+
+    def test_choice_per_class(self, tuned):
+        _, _, choices, _ = tuned
+        assert set(choices) == set(SizeClass)
+
+    def test_choices_installed(self, tuned):
+        lib, _, choices, _ = tuned
+        for cls, cfg in choices.items():
+            assert lib.class_algorithm("allreduce", cls) == cfg
+
+    def test_small_class_prefers_latency_algorithm(self, tuned):
+        _, _, choices, _ = tuned
+        # A log-depth scheme must serve the small class (not ring).
+        assert "ring" not in choices[SizeClass.SMALL].name
+
+    def test_tuner_matches_per_probe_argmin_majority(self, tuned):
+        _, selector, choices, _ = tuned
+        from repro.core.class_tuner import CLASS_PROBES
+
+        for cls, cfg in choices.items():
+            # The class winner must be at worst second-best on each probe.
+            for m in CLASS_PROBES[cls]:
+                ranked = [c for c, _ in selector.ranked(5, 3, m)]
+                assert cfg in ranked[:4]

@@ -1,0 +1,116 @@
+"""Open MPI stand-in: tuning space contents + fixed decision logic."""
+
+import pytest
+
+from repro.collectives.base import CollectiveKind
+from repro.collectives.registry import algorithm_from_config
+from repro.machine.topology import Topology
+from repro.machine.zoo import hydra
+from repro.mpilib import get_library
+from repro.mpilib.openmpi import OpenMPILibrary
+from repro.utils.units import KiB, MiB
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return OpenMPILibrary()
+
+
+class TestConfigSpaces:
+    def test_table2_algorithm_counts(self, lib):
+        # Matches Table II: bcast 9, allreduce 7, alltoall 5.
+        assert lib.config_space("bcast").algids() == list(range(1, 10))
+        assert lib.config_space("allreduce").algids() == list(range(1, 8))
+        assert lib.config_space("alltoall").algids() == list(range(1, 6))
+
+    def test_chain_parameter_grid(self, lib):
+        chains = [
+            c for c in lib.config_space("bcast").configs if c.name == "chain"
+        ]
+        assert len(chains) == 20  # 5 segment sizes x 4 fanouts
+
+    def test_all_configs_instantiable(self, lib):
+        for kind in ("bcast", "allreduce", "alltoall"):
+            for cfg in lib.config_space(kind).configs:
+                algo = algorithm_from_config(cfg)
+                assert algo.config == cfg
+
+    def test_supported_collectives(self, lib):
+        # The paper's three plus the extension collectives.
+        assert set(lib.supported_collectives()) == {
+            CollectiveKind.BCAST,
+            CollectiveKind.ALLREDUCE,
+            CollectiveKind.ALLTOALL,
+            CollectiveKind.REDUCE,
+            CollectiveKind.ALLGATHER,
+        }
+
+    def test_extension_spaces(self, lib):
+        assert lib.config_space("reduce").algids() == list(range(1, 8))
+        assert lib.config_space("allgather").algids() == list(range(1, 7))
+
+    @pytest.mark.parametrize("kind", ["reduce", "allgather"])
+    @pytest.mark.parametrize("shape", [(2, 1), (5, 8), (16, 32)])
+    @pytest.mark.parametrize("m", [0, 512, MiB])
+    def test_extension_defaults_in_space(self, lib, kind, shape, m):
+        topo = Topology(*shape)
+        cfg = lib.default_config(hydra, topo, kind, m)
+        assert cfg in lib.config_space(kind).configs
+
+
+class TestDefaults:
+    @pytest.mark.parametrize("kind", ["bcast", "allreduce", "alltoall"])
+    @pytest.mark.parametrize("shape", [(2, 1), (4, 8), (16, 32), (36, 1)])
+    @pytest.mark.parametrize("m", [0, 64, 8 * KiB, MiB, 4 * MiB])
+    def test_default_always_in_space(self, lib, kind, shape, m):
+        topo = Topology(*shape)
+        cfg = lib.default_config(hydra, topo, kind, m)
+        assert cfg in lib.config_space(kind).configs
+
+    def test_bcast_small_message_takes_tree(self, lib):
+        cfg = lib.default_config(hydra, Topology(16, 16), "bcast", 64)
+        assert cfg.name == "binomial"
+
+    def test_bcast_large_message_takes_pipelined_schedule(self, lib):
+        # Moderate communicator: full-length pipeline; very large
+        # communicator: bounded-depth chain (as in the real decision
+        # function).
+        cfg = lib.default_config(hydra, Topology(8, 8), "bcast", 4 * MiB)
+        assert cfg.name == "pipeline"
+        cfg = lib.default_config(hydra, Topology(16, 16), "bcast", 4 * MiB)
+        assert cfg.name == "chain"
+
+    def test_bcast_tiny_comm_takes_linear(self, lib):
+        cfg = lib.default_config(hydra, Topology(3, 1), "bcast", 4 * MiB)
+        assert cfg.name == "linear"
+
+    def test_allreduce_small_takes_recursive_doubling(self, lib):
+        cfg = lib.default_config(hydra, Topology(16, 16), "allreduce", 1 * KiB)
+        assert cfg.name == "recursive_doubling"
+
+    def test_allreduce_large_takes_ring_family(self, lib):
+        cfg = lib.default_config(hydra, Topology(16, 16), "allreduce", 2 * MiB)
+        assert cfg.name in ("ring", "segmented_ring")
+
+    def test_alltoall_tiny_large_comm_takes_bruck(self, lib):
+        cfg = lib.default_config(hydra, Topology(16, 16), "alltoall", 64)
+        assert cfg.name == "bruck"
+
+    def test_default_is_strategy_not_algorithm(self, lib):
+        # The paper's §III-A point: the default changes with the instance.
+        topo = Topology(16, 16)
+        names = {
+            lib.default_config(hydra, topo, "bcast", m).name
+            for m in (64, 64 * KiB, 4 * MiB)
+        }
+        assert len(names) > 1
+
+
+class TestLookup:
+    def test_get_library(self):
+        assert isinstance(get_library("open mpi"), OpenMPILibrary)
+        assert isinstance(get_library("OpenMPI"), OpenMPILibrary)
+
+    def test_unknown(self):
+        with pytest.raises(KeyError):
+            get_library("MPICH")

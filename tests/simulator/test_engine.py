@@ -1,0 +1,290 @@
+"""Exact engine semantics: matching, blocking, resources, timing."""
+
+import numpy as np
+import pytest
+
+from repro.machine.model import NoiseModel
+from repro.machine.topology import Topology
+from repro.machine.zoo import tiny_testbed
+from repro.simulator.engine import (
+    Compute,
+    DeadlockError,
+    Engine,
+    Irecv,
+    Isend,
+    Recv,
+    Reduce,
+    Send,
+    Wait,
+)
+
+QUIET = tiny_testbed.with_noise(NoiseModel(sigma=0.0, spike_prob=0.0, floor=0.0))
+
+
+def idle():
+    """Empty rank program (a generator that yields nothing)."""
+    return
+    yield  # pragma: no cover - makes this a generator function
+
+
+def run(programs, nodes=1, ppn=None, machine=QUIET, rng=None):
+    ppn = ppn if ppn is not None else len(programs) // nodes
+    engine = Engine(machine, Topology(nodes, ppn), rng=rng)
+    return engine.run([lambda r, p=p: p() for p in programs])
+
+
+class TestBasicMessaging:
+    def test_payload_delivered(self):
+        def sender():
+            yield Send(1, 100, {"hello": "world"})
+
+        def receiver():
+            data = yield Recv(0)
+            return data
+
+        result = run([sender, receiver])
+        assert result.outputs[1] == {"hello": "world"}
+        assert result.num_messages == 1
+        assert result.total_bytes == 100
+
+    def test_fifo_per_channel(self):
+        def sender():
+            for i in range(5):
+                yield Send(1, 10, i)
+
+        def receiver():
+            got = []
+            for _ in range(5):
+                got.append((yield Recv(0)))
+            return got
+
+        result = run([sender, receiver])
+        assert result.outputs[1] == [0, 1, 2, 3, 4]
+
+    def test_tags_disambiguate(self):
+        def sender():
+            yield Send(1, 10, "a", tag=1)
+            yield Send(1, 10, "b", tag=2)
+
+        def receiver():
+            b = yield Recv(0, tag=2)
+            a = yield Recv(0, tag=1)
+            return (a, b)
+
+        result = run([sender, receiver])
+        assert result.outputs[1] == ("a", "b")
+
+    def test_recv_before_send_posted(self):
+        # Receiver arrives at Recv long before the sender sends.
+        def sender():
+            yield Compute(1e-3)
+            yield Send(1, 10, "late")
+
+        def receiver():
+            data = yield Recv(0)
+            return data
+
+        result = run([sender, receiver])
+        assert result.outputs[1] == "late"
+        assert result.finish_times[1] > 1e-3
+
+    def test_isend_irecv_wait(self):
+        def sender():
+            h = yield Isend(1, 10, "x")
+            yield Wait(h)
+
+        def receiver():
+            h = yield Irecv(0)
+            data = yield Wait(h)
+            return data
+
+        result = run([sender, receiver])
+        assert result.outputs[1] == "x"
+
+
+class TestTiming:
+    def test_intra_node_cost(self):
+        m = QUIET
+        nbytes = 4096
+
+        def sender():
+            yield Send(1, nbytes, None)
+
+        def receiver():
+            yield Recv(0)
+
+        result = run([sender, receiver], nodes=1)
+        expected = (
+            m.cpu_overhead  # send overhead
+            + m.alpha_intra
+            + nbytes * m.beta_intra
+            + m.cpu_overhead  # recv overhead
+        )
+        assert result.finish_times[1] == pytest.approx(expected)
+
+    def test_inter_node_cost(self):
+        m = QUIET
+        nbytes = 4096
+
+        def sender():
+            yield Send(1, nbytes, None)
+
+        def receiver():
+            yield Recv(0)
+
+        result = run([sender, receiver], nodes=2)
+        expected = (
+            m.cpu_overhead
+            + m.alpha_inter
+            + nbytes * max(m.beta_inter, m.nic_gap)
+            + m.cpu_overhead
+        )
+        assert result.finish_times[1] == pytest.approx(expected)
+
+    def test_compute_advances_clock(self):
+        def prog():
+            yield Compute(5e-3)
+
+        result = run([prog, prog])
+        np.testing.assert_allclose(result.finish_times, 5e-3)
+
+    def test_reduce_uses_gamma(self):
+        def prog():
+            yield Reduce(10000)
+
+        result = run([prog, prog])
+        np.testing.assert_allclose(
+            result.finish_times, 10000 * QUIET.gamma_reduce
+        )
+
+    def test_nic_serialises_two_senders_same_node(self):
+        nbytes = 10**6
+
+        def sender(dst):
+            def prog():
+                yield Send(dst, nbytes, None)
+            return prog
+
+        def receiver():
+            yield Recv(0)
+
+        def receiver1():
+            yield Recv(1)
+
+        # Ranks 0,1 on node 0 send to ranks 2 and 4 on nodes 1 and 2.
+        engine = Engine(QUIET, Topology(3, 2))
+
+        def factory(rank):
+            if rank == 0:
+                return sender(2)()
+            if rank == 1:
+                return sender(4)()
+            if rank == 2:
+                return receiver()
+            if rank == 4:
+                return receiver1()
+            return idle()
+
+        result = engine.run(factory)
+        # Two 1MB injections through one NIC: second arrival is pushed
+        # past the serialisation of both.
+        later = max(result.finish_times[2], result.finish_times[4])
+        assert later > 2 * nbytes * QUIET.nic_gap
+
+    def test_butterfly_symmetric_finish(self):
+        # Symmetric exchange must give identical finish times — the
+        # regression that motivated the preemption horizon.
+        def prog_factory(rank):
+            def prog():
+                for i, dist in enumerate((1, 2)):
+                    peer = rank ^ dist
+                    h = yield Irecv(peer, tag=i)
+                    yield Send(peer, 0, None, tag=i)
+                    yield Wait(h)
+            return prog()
+
+        engine = Engine(QUIET, Topology(4, 1))
+        result = engine.run(prog_factory)
+        assert np.ptp(result.finish_times) == pytest.approx(0.0, abs=1e-12)
+
+
+class TestErrors:
+    def test_deadlock_detected(self):
+        def both():
+            yield Recv(0)
+
+        def both1():
+            yield Recv(1)
+
+        with pytest.raises(DeadlockError):
+            run([both1, both])
+
+    def test_self_send_rejected(self):
+        def prog():
+            yield Send(0, 10, None)
+
+        with pytest.raises(ValueError, match="itself"):
+            run([prog, idle])
+
+    def test_bad_peer_rejected(self):
+        def prog():
+            yield Send(7, 10, None)
+
+        with pytest.raises(ValueError, match="out of range"):
+            run([prog, idle])
+
+    def test_negative_size_rejected(self):
+        def prog():
+            yield Send(1, -5, None)
+
+        with pytest.raises(ValueError, match="negative"):
+            run([prog, idle])
+
+    def test_unknown_wait_handle(self):
+        def prog():
+            yield Wait(99)
+
+        with pytest.raises(ValueError, match="unknown request"):
+            run([prog, idle])
+
+    def test_non_op_yield_rejected(self):
+        def prog():
+            yield "not an op"
+
+        with pytest.raises(TypeError):
+            run([prog, idle])
+
+    def test_wrong_program_count(self):
+        engine = Engine(QUIET, Topology(2, 1))
+        with pytest.raises(ValueError, match="programs"):
+            engine.run([lambda r: iter(())] * 3)
+
+
+class TestNoise:
+    def test_noise_determinism(self):
+        def sender():
+            for _ in range(10):
+                yield Send(1, 1000, None)
+
+        def receiver():
+            for _ in range(10):
+                yield Recv(0)
+
+        results = [
+            run([sender, receiver], nodes=2, machine=tiny_testbed, rng=99)
+            for _ in range(2)
+        ]
+        assert results[0].makespan == results[1].makespan
+
+    def test_noise_changes_with_seed(self):
+        def sender():
+            for _ in range(10):
+                yield Send(1, 1000, None)
+
+        def receiver():
+            for _ in range(10):
+                yield Recv(0)
+
+        a = run([sender, receiver], nodes=2, machine=tiny_testbed, rng=1)
+        b = run([sender, receiver], nodes=2, machine=tiny_testbed, rng=2)
+        assert a.makespan != b.makespan

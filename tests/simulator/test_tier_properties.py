@@ -1,0 +1,170 @@
+"""Property-based equivalence of the two simulation tiers.
+
+For *random* trees (not just the library's constructors) and random
+message/segment sizes at one rank per node, the pipelined-tree DP must
+match the exact engine bit for bit. This is the strongest guarantee we
+have that the fast tier computes the same schedule semantics the engine
+executes.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.collectives.patterns import tree_bcast_program, tree_reduce_program
+from repro.machine.model import NoiseModel
+from repro.machine.topology import Topology
+from repro.machine.zoo import tiny_testbed
+from repro.simulator.engine import Engine
+from repro.simulator.fastsim import pipeline_tree_time, segment_sizes
+
+QUIET = tiny_testbed.with_noise(NoiseModel(sigma=0.0, spike_prob=0.0, floor=0.0))
+
+
+@st.composite
+def random_tree(draw):
+    """A random rooted tree over p ranks (parent[i] < i for i > 0)."""
+    p = draw(st.integers(min_value=2, max_value=8))
+    parent = np.full(p, -1, dtype=np.int64)
+    children = [[] for _ in range(p)]
+    for r in range(1, p):
+        par = draw(st.integers(min_value=0, max_value=r - 1))
+        parent[r] = par
+        children[par].append(r)
+    # Random child ordering (send order matters for pipelining).
+    for r in range(p):
+        if len(children[r]) > 1 and draw(st.booleans()):
+            children[r] = children[r][::-1]
+    return p, parent, children
+
+
+@st.composite
+def random_rounds(draw):
+    """Random synchronous rounds: each a permutation without fixed points."""
+    p = draw(st.integers(min_value=2, max_value=8))
+    n_rounds = draw(st.integers(min_value=1, max_value=4))
+    rounds = []
+    for _ in range(n_rounds):
+        # A cyclic shift is the simplest fixed-point-free permutation;
+        # random shift per round varies the pattern.
+        shift = draw(st.integers(min_value=1, max_value=p - 1))
+        srcs = np.arange(p)
+        dsts = (srcs + shift) % p
+        nbytes = draw(st.integers(min_value=0, max_value=100_000))
+        rounds.append((srcs, dsts, nbytes))
+    return p, rounds
+
+
+class TestRandomRoundEquivalence:
+    @settings(max_examples=40, deadline=None)
+    @given(data=random_rounds())
+    def test_round_time_tracks_engine(self, data):
+        from repro.collectives.patterns import exchange
+        from repro.simulator.fastsim import Round, round_time
+
+        p, rounds = data
+        topo = Topology(p, 1)
+        fast = round_time(
+            QUIET, topo,
+            [Round.make(s, d, n) for s, d, n in rounds],
+        )
+
+        def factory(rank):
+            def prog():
+                for tag, (srcs, dsts, nbytes) in enumerate(rounds):
+                    send_to = int(dsts[rank])
+                    recv_from = int(np.flatnonzero(dsts == rank)[0])
+                    yield from exchange(
+                        send_to, recv_from, nbytes_send=nbytes,
+                        payload=None, tag=tag,
+                    )
+
+            return prog()
+
+        result = Engine(QUIET, topo).run(factory)
+        # round_time assumes a barrier per round (upper-bound-ish); the
+        # engine may pipeline across rounds. Bounded band.
+        assert result.makespan <= fast * 1.05 + 1e-12
+        assert result.makespan >= fast * 0.45
+
+    def test_single_round_exact(self):
+        from repro.collectives.patterns import exchange
+        from repro.simulator.fastsim import Round, round_time
+
+        p = 6
+        topo = Topology(p, 1)
+        srcs = np.arange(p)
+        dsts = (srcs + 1) % p
+        nbytes = 4096
+        fast = round_time(QUIET, topo, [Round.make(srcs, dsts, nbytes)])
+
+        def factory(rank):
+            def prog():
+                yield from exchange(
+                    (rank + 1) % p, (rank - 1) % p,
+                    nbytes_send=nbytes, payload=None, tag=0,
+                )
+
+            return prog()
+
+        result = Engine(QUIET, topo).run(factory)
+        assert result.makespan == pytest.approx(fast, rel=1e-9)
+
+
+class TestRandomTreeEquivalence:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        tree=random_tree(),
+        nbytes=st.integers(min_value=0, max_value=200_000),
+        seg_exp=st.integers(min_value=6, max_value=17),
+    )
+    def test_bcast_dp_matches_engine(self, tree, nbytes, seg_exp):
+        p, parent, children = tree
+        seg = 1 << seg_exp
+        topo = Topology(p, 1)
+        fast = pipeline_tree_time(QUIET, topo, parent, children, nbytes, seg)
+
+        sizes = segment_sizes(nbytes, seg)
+        payloads = [("s", i) for i in range(len(sizes))]
+
+        def factory(rank):
+            return tree_bcast_program(rank, parent, children, sizes, payloads)
+
+        result = Engine(QUIET, topo).run(factory)
+        # Semantics: everyone got every segment.
+        for output in result.outputs:
+            assert output == payloads
+        # Timing: exact agreement at one rank per node.
+        assert result.makespan == pytest.approx(fast, rel=1e-9, abs=1e-12)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        tree=random_tree(),
+        nbytes=st.integers(min_value=0, max_value=100_000),
+    )
+    def test_reduce_dp_tracks_engine(self, tree, nbytes):
+        p, parent, children = tree
+        topo = Topology(p, 1)
+        fast = pipeline_tree_time(
+            QUIET, topo, parent, children, nbytes, None, reduce_up=True
+        )
+
+        sizes = segment_sizes(nbytes, None)
+
+        def factory(rank):
+            def merge(a, b):
+                return a | b
+
+            return tree_reduce_program(
+                rank, parent, children, sizes,
+                [frozenset({rank})] * len(sizes), merge,
+            )
+
+        result = Engine(QUIET, topo).run(factory)
+        root = int(np.flatnonzero(parent == -1)[0])
+        assert result.outputs[root][0] == frozenset(range(p))
+        # The up-direction DP serialises fold batches slightly
+        # differently from the engine's interleaving: bounded band.
+        if fast > 0:
+            assert 0.6 < result.makespan / fast < 1.5

@@ -1,0 +1,60 @@
+"""Command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_machines(self):
+        args = build_parser().parse_args(["machines"])
+        assert args.command == "machines"
+
+    def test_generate_defaults(self):
+        args = build_parser().parse_args(["generate", "d1"])
+        assert args.scale == "ci" and args.seed == 0
+
+    def test_bad_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["generate", "d99"])
+
+    def test_experiment_choices(self):
+        args = build_parser().parse_args(["experiment", "fig4", "--scale", "ci"])
+        assert args.name == "fig4"
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_machines_output(self, capsys):
+        assert main(["machines"]) == 0
+        out = capsys.readouterr().out
+        assert "Hydra" in out and "SuperMUC-NG" in out
+
+    def test_experiment_table1(self, capsys):
+        assert main(["experiment", "table1"]) == 0
+        assert "Table I" in capsys.readouterr().out
+
+    def test_experiment_table3(self, capsys):
+        assert main(["experiment", "table3", "--scale", "ci"]) == 0
+        assert "Table III" in capsys.readouterr().out
+
+    @pytest.mark.slow
+    def test_tune_writes_rules(self, tmp_path, capsys, monkeypatch):
+        out = tmp_path / "rules.json"
+        code = main(
+            [
+                "tune", "--machine", "TinyTestbed", "--library", "Open MPI",
+                "--collective", "alltoall", "--learner", "KNN",
+                "--nodes", "4", "--ppn", "2",
+                "--format", "json", "-o", str(out),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert payload["nodes"] == 4
+        assert payload["rules"]

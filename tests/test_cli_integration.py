@@ -1,0 +1,71 @@
+"""End-to-end CLI flows on the tiny testbed (slow-marked)."""
+
+import pytest
+
+from repro.bench import BenchmarkSpec, DatasetRunner, GridSpec
+from repro.cli import main
+from repro.machine.zoo import tiny_testbed
+from repro.mpilib import get_library
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.fixture(scope="module")
+def saved_dataset(tmp_path_factory):
+    runner = DatasetRunner(
+        tiny_testbed, get_library("Open MPI"), BenchmarkSpec(max_nreps=5),
+        seed=21,
+    )
+    ds = runner.run(
+        "alltoall",
+        GridSpec(nodes=(2, 4, 8), ppns=(1, 2), msizes=(64, 4096, 65536, 1 << 20)),
+        name="cli-ds",
+    )
+    stem = tmp_path_factory.mktemp("cli") / "cli-ds"
+    ds.save(stem)
+    return stem
+
+
+class TestPredictCommand:
+    def test_predict_prints_ranked(self, saved_dataset, capsys):
+        code = main(
+            [
+                "predict", str(saved_dataset),
+                "--learner", "KNN",
+                "--nodes", "5", "--ppn", "2", "--msize", "64K",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "predicted best configuration" in out
+        assert "1." in out and "us" in out
+
+    def test_predict_parses_msize_suffix(self, saved_dataset, capsys):
+        assert main(
+            [
+                "predict", str(saved_dataset),
+                "--learner", "KNN",
+                "--nodes", "3", "--ppn", "1", "--msize", "1M",
+            ]
+        ) == 0
+
+
+class TestGenerateCommand:
+    def test_generate_writes_cache(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        # d6 is the smallest Table II dataset; CI scale keeps it quick.
+        assert main(["generate", "d6", "--scale", "ci", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "samples" in out
+        assert (tmp_path / "d6-ci-s3.npz").exists()
+        assert (tmp_path / "d6-ci-s3.json").exists()
+
+
+class TestExperimentCommand:
+    def test_unknown_name_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "fig99"])
+
+    def test_ext_guidelines_runs(self, capsys):
+        assert main(["experiment", "ext-guidelines", "--scale", "ci"]) == 0
+        assert "guideline" in capsys.readouterr().out

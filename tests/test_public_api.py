@@ -1,0 +1,33 @@
+"""The package's documented public surface."""
+
+import repro
+
+
+class TestPublicApi:
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None, name
+
+    def test_version(self):
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3 and all(p.isdigit() for p in parts)
+
+    def test_readme_snippet_objects(self):
+        # The objects the README quickstart uses, via the top level.
+        tuner = repro.AutoTuner(
+            repro.get_machine("Hydra"),
+            repro.get_library("Open MPI"),
+            "bcast",
+        )
+        assert tuner.collective is repro.CollectiveKind.BCAST
+
+    def test_lazy_core_autotuner(self):
+        from repro import core
+
+        assert core.AutoTuner is not None
+        try:
+            core.no_such_symbol
+        except AttributeError as err:
+            assert "no_such_symbol" in str(err)
+        else:  # pragma: no cover
+            raise AssertionError("expected AttributeError")

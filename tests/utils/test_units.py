@@ -1,0 +1,94 @@
+"""Unit helpers: parsing, formatting, and their round trips."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.units import (
+    GiB,
+    KiB,
+    MiB,
+    format_bytes,
+    format_time,
+    parse_bytes,
+)
+
+
+class TestParseBytes:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("0", 0),
+            ("17", 17),
+            ("1K", KiB),
+            ("64K", 64 * KiB),
+            ("64k", 64 * KiB),
+            ("64KiB", 64 * KiB),
+            ("4MiB", 4 * MiB),
+            ("4m", 4 * MiB),
+            ("2G", 2 * GiB),
+            ("1.5K", 1536),
+            (" 8 K ", 8 * KiB),
+        ],
+    )
+    def test_valid(self, text, expected):
+        assert parse_bytes(text) == expected
+
+    def test_int_passthrough(self):
+        assert parse_bytes(4096) == 4096
+
+    def test_negative_int_rejected(self):
+        with pytest.raises(ValueError):
+            parse_bytes(-1)
+
+    @pytest.mark.parametrize("text", ["", "abc", "12X", "1.2.3K", "K"])
+    def test_invalid(self, text):
+        with pytest.raises(ValueError):
+            parse_bytes(text)
+
+    def test_fractional_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            parse_bytes("1.0001K")
+
+
+class TestFormatBytes:
+    @pytest.mark.parametrize(
+        "nbytes,expected",
+        [
+            (0, "0B"),
+            (100, "100B"),
+            (KiB, "1KiB"),
+            (64 * KiB, "64KiB"),
+            (4 * MiB, "4MiB"),
+            (GiB, "1GiB"),
+            (KiB + 1, "1025B"),  # inexact values stay in bytes
+        ],
+    )
+    def test_known(self, nbytes, expected):
+        assert format_bytes(nbytes) == expected
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            format_bytes(-5)
+
+    @given(st.integers(min_value=0, max_value=2**40))
+    def test_round_trip(self, nbytes):
+        assert parse_bytes(format_bytes(nbytes)) == nbytes
+
+
+class TestFormatTime:
+    @pytest.mark.parametrize(
+        "seconds,expected",
+        [
+            (2.0, "2.00s"),
+            (0.5, "500.00ms"),
+            (123e-6, "123.00us"),
+            (5e-9, "5.00ns"),
+        ],
+    )
+    def test_known(self, seconds, expected):
+        assert format_time(seconds) == expected
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            format_time(-1.0)
