@@ -1,0 +1,54 @@
+"""Campaign + training throughput (the parallel engine's workloads).
+
+Tracks how fast the benchmark-campaign loop produces samples and how
+fast the per-configuration ensemble trains — the two phases the paper
+needs to stay cheap for the offline tuning story to hold. The parallel
+path must agree bit-for-bit with serial (asserted here cheaply; the
+exhaustive check lives in the tier-1 suite).
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.repro_mpi import BenchmarkSpec
+from repro.bench.runner import DatasetRunner, GridSpec
+from repro.core.selector import AlgorithmSelector
+from repro.machine.zoo import tiny_testbed
+from repro.ml import KNNRegressor
+from repro.mpilib import get_library
+
+GRID = GridSpec(nodes=(2, 4, 8), ppns=(1, 2), msizes=(16, 1024, 65536))
+
+
+def _runner():
+    return DatasetRunner(
+        tiny_testbed, get_library("Open MPI"),
+        BenchmarkSpec(max_nreps=10), seed=3,
+    )
+
+
+def test_campaign_throughput(benchmark):
+    ds = benchmark(_runner().run, "bcast", GRID, name="bench")
+    samples_per_s = len(ds) / benchmark.stats["mean"]
+    print(f"\ncampaign: {samples_per_s:,.0f} samples/s ({len(ds)} samples)")
+    assert samples_per_s > 200, "campaign loop too slow for paper-scale grids"
+
+
+def test_campaign_parallel_matches_serial(benchmark):
+    serial = _runner().run("bcast", GRID, name="bench")
+    parallel = benchmark(
+        _runner().run, "bcast", GRID, name="bench", n_jobs=4
+    )
+    np.testing.assert_array_equal(serial.time, parallel.time)
+
+
+@pytest.fixture(scope="module")
+def training_set():
+    return _runner().run("bcast", GRID, name="bench")
+
+
+def test_selector_training_throughput(benchmark, training_set):
+    selector = benchmark(
+        AlgorithmSelector(lambda: KNNRegressor(k=3)).fit, training_set
+    )
+    assert selector.num_models > 10

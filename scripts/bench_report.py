@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Distil the benchmark suite into a committed BENCH_<pr>.json.
+
+Runs the quick pytest-benchmark subset (everything not marked ``slow``)
+with ``--benchmark-json``, extracts the headline medians, adds direct
+best-of-N measurements for the metrics the PR acceptance bars track
+(prediction latency, kernel speedup, campaign throughput, fastsim
+throughput), and writes ``BENCH_<pr>.json`` at the repo root.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_report.py --pr 1
+    PYTHONPATH=src python scripts/bench_report.py --pr 1 \
+        --baseline old_numbers.json   # merge pre-change numbers
+
+The ``baseline`` block of the emitted file holds numbers measured on
+the tree *before* the change (captured with the same measurement
+loops); ``current`` holds this tree's numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def _best_of(fn, rounds: int) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def direct_metrics() -> dict[str, float]:
+    """Headline metrics, measured directly (best-of-N, one process)."""
+    import numpy as np
+
+    from repro.bench.repro_mpi import BenchmarkSpec
+    from repro.bench.runner import DatasetRunner, GridSpec
+    from repro.collectives.registry import make_algorithm
+    from repro.machine.model import NoiseModel
+    from repro.machine.topology import Topology
+    from repro.machine.zoo import hydra, tiny_testbed
+    from repro.ml.boosting import GradientBoostingRegressor
+    from repro.mpilib import get_library
+
+    out: dict[str, float] = {}
+
+    # -- booster fit + predict (the paper's XGBoost configuration) ----
+    rng = np.random.default_rng(42)
+    X = rng.random((2000, 4))
+    y = np.exp(rng.normal(size=2000)) * 1e-4
+    t0 = time.perf_counter()
+    model = GradientBoostingRegressor(n_rounds=200, max_depth=6, rng=0)
+    model.fit(X, y)
+    out["booster_fit_2000_s"] = time.perf_counter() - t0
+    Xq = rng.random((10_000, 4))
+    model.predict(Xq)  # warm (compiles the kernel + flat ensemble)
+    out["booster_predict_10k_s"] = _best_of(lambda: model.predict(Xq), 7)
+    out["booster_predict_10k_recursive_s"] = _best_of(
+        lambda: model.predict_recursive(Xq), 3
+    )
+    out["kernel_speedup_x"] = (
+        out["booster_predict_10k_recursive_s"] / out["booster_predict_10k_s"]
+    )
+
+    # -- campaign throughput ------------------------------------------
+    runner = DatasetRunner(
+        tiny_testbed, get_library("Open MPI"),
+        BenchmarkSpec(max_nreps=10), seed=3,
+    )
+    grid = GridSpec(nodes=(2, 4, 8), ppns=(1, 2), msizes=(16, 1024, 65536))
+    t0 = time.perf_counter()
+    ds = runner.run("bcast", grid, name="bench")
+    out["campaign_samples_per_s"] = len(ds) / (time.perf_counter() - t0)
+
+    # -- fast-tier simulator throughput -------------------------------
+    quiet = hydra.with_noise(NoiseModel(sigma=0.0, spike_prob=0.0, floor=0.0))
+    algo = make_algorithm("bcast", "chain", segsize=4096, chains=4)
+    topo = Topology(36, 32)
+    out["fastsim_chain_eval_s"] = _best_of(
+        lambda: algo.base_time(quiet, topo, 4 << 20), 5
+    )
+    return out
+
+
+def pytest_benchmark_medians() -> dict[str, float]:
+    """Medians from the quick pytest-benchmark subset."""
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as fh:
+        json_path = fh.name
+    cmd = [
+        sys.executable, "-m", "pytest", "benchmarks", "-q",
+        "-m", "not slow", f"--benchmark-json={json_path}",
+    ]
+    proc = subprocess.run(cmd, cwd=ROOT, capture_output=True, text=True)
+    if proc.returncode != 0:
+        print(proc.stdout[-4000:], file=sys.stderr)
+        raise SystemExit("benchmark suite failed")
+    data = json.loads(Path(json_path).read_text())
+    return {
+        bench["name"]: bench["stats"]["median"]
+        for bench in data.get("benchmarks", [])
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--pr", type=int, required=True)
+    parser.add_argument(
+        "--baseline", type=Path, default=None,
+        help="JSON of pre-change numbers to embed as the baseline block",
+    )
+    parser.add_argument(
+        "--skip-pytest", action="store_true",
+        help="only the direct metrics (faster; used by CI smoke runs)",
+    )
+    args = parser.parse_args()
+
+    report: dict = {"pr": args.pr, "current": direct_metrics()}
+    if not args.skip_pytest:
+        report["pytest_benchmark_medians_s"] = pytest_benchmark_medians()
+    if args.baseline is not None:
+        report["baseline"] = json.loads(args.baseline.read_text())
+
+    out_path = ROOT / f"BENCH_{args.pr}.json"
+    existing = {}
+    if out_path.exists():
+        existing = json.loads(out_path.read_text())
+    if "baseline" in existing and "baseline" not in report:
+        report["baseline"] = existing["baseline"]  # keep recorded baseline
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    print(f"\nwrote {out_path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -13,6 +13,7 @@ other datasets were generated in the same process.
 from __future__ import annotations
 
 import logging
+import threading
 from dataclasses import dataclass
 from typing import Callable
 
@@ -25,6 +26,7 @@ from repro.core.dataset import PerfDataset
 from repro.machine.model import MachineModel
 from repro.machine.topology import Topology
 from repro.mpilib.base import MPILibrary
+from repro.utils.parallel import ProgressCounter, parallel_map
 from repro.utils.rng import stable_seed
 
 logger = logging.getLogger(__name__)
@@ -39,12 +41,15 @@ class GridSpec:
     msizes: tuple[int, ...]
 
     def __post_init__(self) -> None:
-        for field_name in ("nodes", "ppns", "msizes"):
+        # nodes/ppns are process counts (a 0-node or 0-rank column is
+        # meaningless and used to slip through); a 0-byte message is a
+        # legitimate collective invocation, so msizes only needs >= 0.
+        for field_name, floor in (("nodes", 1), ("ppns", 1), ("msizes", 0)):
             values = getattr(self, field_name)
             if not values:
                 raise ValueError(f"{field_name} must be non-empty")
-            if any(v < 0 for v in values):
-                raise ValueError(f"{field_name} must be non-negative")
+            if any(v < floor for v in values):
+                raise ValueError(f"{field_name} values must be >= {floor}")
 
     @property
     def num_instances(self) -> int:
@@ -74,6 +79,7 @@ class DatasetRunner:
         name: str = "",
         exclude_algids: tuple[int, ...] = (),
         progress: Callable[[int, int], None] | None = None,
+        n_jobs: int | None = None,
     ) -> PerfDataset:
         """Benchmark the full tuning space over the grid.
 
@@ -81,6 +87,15 @@ class DatasetRunner:
         broadcast 8 of Open MPI 4.0.2 that the paper excluded from d1).
         Unsupported (config, instance) pairs are skipped, exactly as a
         real campaign would skip runs that abort.
+
+        ``n_jobs`` (default: the ``REPRO_JOBS`` environment variable,
+        else serial) spreads the grid's (nodes, ppn) columns over a
+        thread pool. The dataset is bit-identical for any worker
+        count: every sample draws from its own RNG stream keyed by
+        :func:`~repro.utils.rng.stable_seed`, and the result rows are
+        assembled in the serial loop's nested order. ``progress`` is
+        relayed through a lock so ``done`` is monotone even when
+        chunks finish out of order.
         """
         kind = CollectiveKind(collective)
         space = self.library.config_space(kind)
@@ -90,40 +105,60 @@ class DatasetRunner:
         algos = [algorithm_from_config(c) for c in configs]
         machine = self.machine
 
+        # One work chunk per (nodes, ppn) pair, in the serial order.
+        pairs = [(n, ppn) for n in grid.nodes for ppn in grid.ppns]
+        for n, ppn in pairs:
+            machine.validate_shape(n, ppn)
+
+        total = len(configs) * grid.num_instances
+        counter = ProgressCounter(total, progress)
+        remaining = {n: len(grid.ppns) for n in grid.nodes}
+        log_lock = threading.Lock()
+
+        def run_pair(
+            pair: tuple[int, int]
+        ) -> tuple[list[int], list[int], list[float]]:
+            n, ppn = pair
+            topo = Topology(n, ppn)
+            part_cid: list[int] = []
+            part_msize: list[int] = []
+            part_time: list[float] = []
+            for m in grid.msizes:
+                for cid, algo in enumerate(algos):
+                    if not algo.supported(topo, m):
+                        continue
+                    rng_seed = stable_seed(
+                        self.seed, name, algo.config.label, n, ppn, m
+                    )
+                    measurement = self.benchmark.measure(
+                        algo, topo, m, rng=np.random.default_rng(rng_seed)
+                    )
+                    part_cid.append(cid)
+                    part_msize.append(m)
+                    part_time.append(measurement.time)
+                counter.advance(len(algos))
+            with log_lock:
+                remaining[n] -= 1
+                if remaining[n] == 0:
+                    logger.info(
+                        "%s: finished %d-node column (%d/%d samples)",
+                        name or str(kind), n, counter.done, total,
+                    )
+            return part_cid, part_msize, part_time
+
+        parts = parallel_map(run_pair, pairs, n_jobs=n_jobs)
+
         cols_cid: list[int] = []
         cols_nodes: list[int] = []
         cols_ppn: list[int] = []
         cols_msize: list[int] = []
         cols_time: list[float] = []
-
-        total = len(configs) * grid.num_instances
-        done = 0
-        for n in grid.nodes:
-            for ppn in grid.ppns:
-                machine.validate_shape(n, ppn)
-                topo = Topology(n, ppn)
-                for m in grid.msizes:
-                    for cid, algo in enumerate(algos):
-                        done += 1
-                        if not algo.supported(topo, m):
-                            continue
-                        rng_seed = stable_seed(
-                            self.seed, name, algo.config.label, n, ppn, m
-                        )
-                        measurement = self.benchmark.measure(
-                            algo, topo, m, rng=np.random.default_rng(rng_seed)
-                        )
-                        cols_cid.append(cid)
-                        cols_nodes.append(n)
-                        cols_ppn.append(ppn)
-                        cols_msize.append(m)
-                        cols_time.append(measurement.time)
-                    if progress is not None:
-                        progress(done, total)
-            logger.info(
-                "%s: finished %d-node column (%d/%d samples)",
-                name or str(kind), n, done, total,
-            )
+        for (n, ppn), (part_cid, part_msize, part_time) in zip(pairs, parts):
+            cols_cid.extend(part_cid)
+            cols_nodes.extend([n] * len(part_cid))
+            cols_ppn.extend([ppn] * len(part_cid))
+            cols_msize.extend(part_msize)
+            cols_time.extend(part_time)
 
         return PerfDataset(
             name=name or f"{self.library.name}-{kind}-{machine.name}",

@@ -44,11 +44,21 @@ def selection_table(
     ppn: int,
     msizes: tuple[int, ...] = DEFAULT_MSIZES,
 ) -> list[tuple[int, AlgorithmConfig]]:
-    """Predicted-best configuration per message size for one allocation."""
-    table = []
-    for m in msizes:
-        table.append((m, selector.select(nodes, ppn, m)))
-    return table
+    """Predicted-best configuration per message size for one allocation.
+
+    All message sizes are scored in **one batched**
+    :meth:`~repro.core.selector.AlgorithmSelector.predict_times` call
+    (scalar ``nodes``/``ppn`` broadcast against the msize vector), so a
+    table over an ensemble of ``k`` models costs ``k`` batch predicts —
+    not ``k * len(msizes)`` single-row ones.
+    """
+    if not msizes:
+        return []
+    cids = selector.select_ids(nodes, ppn, np.asarray(msizes, dtype=np.int64))
+    return [
+        (int(m), selector.configs_[int(cid)])
+        for m, cid in zip(msizes, cids)
+    ]
 
 
 def render_ompi_rules(

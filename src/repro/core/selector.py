@@ -23,6 +23,7 @@ from repro.collectives.base import AlgorithmConfig
 from repro.core.dataset import PerfDataset
 from repro.core.features import instance_features
 from repro.ml.base import Regressor
+from repro.utils.parallel import parallel_map
 
 
 class AlgorithmSelector:
@@ -46,18 +47,36 @@ class AlgorithmSelector:
         self._fitted = False
 
     # ------------------------------------------------------------------
-    def fit(self, dataset: PerfDataset) -> "AlgorithmSelector":
-        """Fit one model per configuration present in ``dataset``."""
+    def fit(
+        self, dataset: PerfDataset, *, n_jobs: int | None = None
+    ) -> "AlgorithmSelector":
+        """Fit one model per configuration present in ``dataset``.
+
+        ``n_jobs`` (default: the ``REPRO_JOBS`` environment variable,
+        else serial) trains the per-configuration models on a thread
+        pool. The result is bit-identical for any worker count: models
+        are *created* serially in configuration order — so a factory
+        drawing seeds from shared state sees the same call sequence —
+        and each model then trains only on its own private RNG.
+        """
         self.configs_ = dataset.configs
         self.models_ = {}
         X_all = instance_features(dataset.nodes, dataset.ppn, dataset.msize)
+        # Serial, order-stable phase: decide eligibility + build models.
+        tasks: list[tuple[int, Regressor, np.ndarray]] = []
         for cid in range(len(dataset.configs)):
             mask = dataset.rows_of_config(cid)
             if int(mask.sum()) < self.min_samples:
                 continue
-            model = self.learner_factory()
-            model.fit(X_all[mask], dataset.time[mask])
-            self.models_[cid] = model
+            tasks.append((cid, self.learner_factory(), mask))
+        # Parallel phase: each fit touches only its own model and a
+        # read-only view of the feature matrix.
+        parallel_map(
+            lambda task: task[1].fit(X_all[task[2]], dataset.time[task[2]]),
+            tasks,
+            n_jobs=n_jobs,
+        )
+        self.models_ = {cid: model for cid, model, _ in tasks}
         if not self.models_:
             raise ValueError(
                 "no configuration had enough samples to train on "

@@ -22,6 +22,7 @@ from repro.core.config_gen import (
 )
 from repro.core.dataset import PerfDataset
 from repro.core.selector import AlgorithmSelector
+from repro.core.surface import DecisionSurface
 from repro.machine.model import MachineModel
 from repro.ml import PAPER_LEARNERS
 from repro.ml.base import Regressor
@@ -53,6 +54,7 @@ class AutoTuner:
             self._learner_factory = self.learner
         self.dataset_: PerfDataset | None = None
         self.selector_: AlgorithmSelector | None = None
+        self.surface_: DecisionSurface | None = None
 
     # ------------------------------------------------------------------
     def benchmark(
@@ -60,30 +62,79 @@ class AutoTuner:
         grid: GridSpec,
         exclude_algids: tuple[int, ...] = (),
         name: str = "",
+        n_jobs: int | None = None,
     ) -> PerfDataset:
-        """Run the benchmark campaign (the offline training-data step)."""
+        """Run the benchmark campaign (the offline training-data step).
+
+        ``n_jobs`` spreads the grid's (nodes, ppn) columns over a
+        thread pool (default: the ``REPRO_JOBS`` environment variable,
+        else serial); the dataset is bit-identical either way.
+        """
         runner = DatasetRunner(
             self.machine, self.library, self.bench_spec, seed=self.seed
         )
         self.dataset_ = runner.run(
-            self.collective, grid, name=name, exclude_algids=exclude_algids
+            self.collective, grid, name=name,
+            exclude_algids=exclude_algids, n_jobs=n_jobs,
         )
         return self.dataset_
 
-    def train(self, dataset: PerfDataset | None = None) -> AlgorithmSelector:
-        """Fit the per-configuration regression ensemble."""
+    def train(
+        self,
+        dataset: PerfDataset | None = None,
+        n_jobs: int | None = None,
+    ) -> AlgorithmSelector:
+        """Fit the per-configuration regression ensemble.
+
+        ``n_jobs`` trains the per-configuration models concurrently
+        (thread pool; result identical for any worker count).
+        """
         ds = dataset if dataset is not None else self.dataset_
         if ds is None:
             raise RuntimeError("benchmark() first, or pass a dataset")
-        self.selector_ = AlgorithmSelector(self._learner_factory).fit(ds)
+        self.selector_ = AlgorithmSelector(self._learner_factory).fit(
+            ds, n_jobs=n_jobs
+        )
+        self.surface_ = None  # stale: belongs to the previous selector
         return self.selector_
 
     # ------------------------------------------------------------------
+    def build_surface(
+        self,
+        nodes: tuple[int, ...],
+        ppns: tuple[int, ...],
+        msizes: tuple[int, ...] = DEFAULT_MSIZES,
+    ) -> DecisionSurface:
+        """Precompute the argmin surface over a query grid.
+
+        One batched ensemble evaluation; afterwards
+        :meth:`recommend_fast` answers in O(1) by nearest-cell lookup
+        without ever touching the models again.
+        """
+        if self.selector_ is None:
+            raise RuntimeError("train() first")
+        self.surface_ = DecisionSurface.from_selector(
+            self.selector_, nodes, ppns, msizes
+        )
+        return self.surface_
+
     def recommend(self, nodes: int, ppn: int, msize: int) -> AlgorithmConfig:
-        """Predicted-fastest configuration for an (unseen) instance."""
+        """Predicted-fastest configuration for an (unseen) instance.
+
+        Always queries the live models (exact argmin); see
+        :meth:`recommend_fast` for the precomputed-surface path.
+        """
         if self.selector_ is None:
             raise RuntimeError("train() first")
         return self.selector_.select(nodes, ppn, msize)
+
+    def recommend_fast(
+        self, nodes: int, ppn: int, msize: int
+    ) -> AlgorithmConfig:
+        """O(1) recommendation from the precomputed decision surface."""
+        if self.surface_ is None:
+            raise RuntimeError("build_surface() first")
+        return self.surface_.recommend(nodes, ppn, msize)
 
     def write_rules(
         self,

@@ -20,11 +20,36 @@ logger = logging.getLogger(__name__)
 #: override with REPRO_CACHE_DIR; default is ./results/datasets
 _ENV_VAR = "REPRO_CACHE_DIR"
 
-_memory: dict[tuple[str, Scale, int], PerfDataset] = {}
+#: in-process cache, keyed by (resolved cache dir, did, scale, seed) —
+#: the directory is part of the key so tests (or drivers) that switch
+#: ``REPRO_CACHE_DIR`` mid-process never see another workspace's data.
+_memory: dict[tuple[str, str, Scale, int], PerfDataset] = {}
 
 
 def cache_dir() -> Path:
     return Path(os.environ.get(_ENV_VAR, "results/datasets"))
+
+
+def _load_or_none(stem: Path) -> PerfDataset | None:
+    """Load a cached dataset, treating corruption as a cache miss.
+
+    A torn ``.npz`` (pre-atomic-save writes could be interrupted) or a
+    mangled JSON sidecar is logged and discarded instead of crashing
+    every exhibit that shares the dataset.
+    """
+    if not (
+        stem.with_suffix(".npz").exists()
+        and stem.with_suffix(".json").exists()
+    ):
+        return None
+    try:
+        return PerfDataset.load(stem)
+    except Exception as exc:  # corrupt archive/sidecar: regenerate
+        logger.warning(
+            "cached dataset %s is unreadable (%s: %s); regenerating",
+            stem, type(exc).__name__, exc,
+        )
+        return None
 
 
 def dataset_cached(
@@ -32,13 +57,13 @@ def dataset_cached(
 ) -> PerfDataset:
     """Load a Table II dataset, generating (and persisting) it if needed."""
     scale = Scale(scale)
-    key = (did, scale, seed)
+    directory = cache_dir()
+    key = (str(directory.resolve()), did, scale, seed)
     if key in _memory:
         return _memory[key]
-    stem = cache_dir() / f"{did}-{scale.value}-s{seed}"
-    if stem.with_suffix(".npz").exists() and stem.with_suffix(".json").exists():
-        dataset = PerfDataset.load(stem)
-    else:
+    stem = directory / f"{did}-{scale.value}-s{seed}"
+    dataset = _load_or_none(stem)
+    if dataset is None:
         logger.info("generating dataset %s at %s scale", did, scale.value)
         dataset = generate_dataset(did, scale, seed)
         stem.parent.mkdir(parents=True, exist_ok=True)

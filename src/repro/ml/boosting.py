@@ -20,6 +20,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.ml.base import Regressor
+from repro.ml.kernels import FlatEnsemble
 from repro.ml.tree import GradTree, TreeParams
 from repro.utils.rng import SeedLike, as_generator
 
@@ -66,6 +67,7 @@ class GradientBoostingRegressor(Regressor):
         )
         self._rng = as_generator(rng)
         self._trees: list[GradTree] = []
+        self._flat: FlatEnsemble | None = None
         self._base_score: float = 0.0
         self.train_losses_: list[float] = []
 
@@ -142,18 +144,47 @@ class GradientBoostingRegressor(Regressor):
             score = score + self.eta * update
             self._trees.append(tree)
             self.train_losses_.append(self._loss(y, score))
+        self._flat = None  # stale ensemble kernel, recompile lazily
         self._fitted = True
         return self
 
+    # ------------------------------------------------------------------
+    @property
+    def flat(self) -> FlatEnsemble:
+        """All rounds compiled into one flat node pool (lazy, cached)."""
+        self._check_fitted()
+        if self._flat is None:
+            self._flat = FlatEnsemble.from_roots(
+                [t._root for t in self._trees]  # noqa: SLF001 - same module family
+            )
+        return self._flat
+
+    def _link(self, score: np.ndarray) -> np.ndarray:
+        if self.objective == "squared":
+            return score
+        return self._y_scale * np.exp(np.clip(score, -_SCORE_CLIP, _SCORE_CLIP))
+
     def predict(self, X: np.ndarray) -> np.ndarray:
+        """Batch prediction via the flat ensemble kernel.
+
+        One level-wise descent computes the (n_rows, n_rounds) leaf
+        matrix; the learning-rate accumulation then replays the exact
+        round order of :meth:`predict_recursive`, so results are
+        bit-identical to the oracle.
+        """
+        self._check_fitted()
+        X, _ = self._validate(X)
+        score = self.flat.predict_weighted_sum(X, self.eta, self._base_score)
+        return self._link(score)
+
+    def predict_recursive(self, X: np.ndarray) -> np.ndarray:
+        """Reference per-tree traversal (parity oracle for the kernel)."""
         self._check_fitted()
         X, _ = self._validate(X)
         score = np.full(len(X), self._base_score)
         for tree in self._trees:
-            score += self.eta * tree.predict(X)
-        if self.objective == "squared":
-            return score
-        return self._y_scale * np.exp(np.clip(score, -_SCORE_CLIP, _SCORE_CLIP))
+            score += self.eta * tree.predict_recursive(X)
+        return self._link(score)
 
     @property
     def n_trees_(self) -> int:

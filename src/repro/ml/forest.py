@@ -10,6 +10,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.ml.base import Regressor
+from repro.ml.kernels import FlatEnsemble
 from repro.ml.tree import RegressionTree
 from repro.utils.rng import SeedLike, as_generator, spawn_child
 
@@ -33,6 +34,7 @@ class RandomForestRegressor(Regressor):
         self.max_features = max_features
         self._rng = as_generator(rng)
         self._trees: list[RegressionTree] = []
+        self._flat: FlatEnsemble | None = None
 
     def _resolve_max_features(self, nfeat: int) -> int | None:
         if self.max_features is None:
@@ -59,11 +61,35 @@ class RandomForestRegressor(Regressor):
             )
             tree.fit(X[rows], y[rows])
             self._trees.append(tree)
+        self._flat = None  # stale ensemble kernel, recompile lazily
         self._fitted = True
         return self
 
+    # ------------------------------------------------------------------
+    @property
+    def flat(self) -> FlatEnsemble:
+        """All member trees compiled into one node pool (lazy, cached)."""
+        self._check_fitted()
+        if self._flat is None:
+            self._flat = FlatEnsemble.from_roots(
+                [t._tree._root for t in self._trees]  # noqa: SLF001
+            )
+        return self._flat
+
     def predict(self, X: np.ndarray) -> np.ndarray:
+        """Batch prediction via the flat ensemble kernel (bit-parity
+        with :meth:`predict_recursive`)."""
         self._check_fitted()
         X, _ = self._validate(X)
-        preds = np.stack([tree.predict(X) for tree in self._trees])
+        leaf_values = self.flat.predict_all(X)  # (n, n_trees)
+        # Same stack-then-mean as the oracle so float reduction order
+        # (and hence the bits) match exactly.
+        preds = np.stack([leaf_values[:, t] for t in range(self.n_trees)])
+        return preds.mean(axis=0)
+
+    def predict_recursive(self, X: np.ndarray) -> np.ndarray:
+        """Reference per-tree traversal (parity oracle for the kernel)."""
+        self._check_fitted()
+        X, _ = self._validate(X)
+        preds = np.stack([tree.predict_recursive(X) for tree in self._trees])
         return preds.mean(axis=0)

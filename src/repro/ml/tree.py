@@ -18,6 +18,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.ml.base import Regressor
+from repro.ml.kernels import FlatTree
 from repro.utils.rng import SeedLike, as_generator
 
 
@@ -52,6 +53,7 @@ class GradTree:
         self.params = params
         self._rng = as_generator(rng)
         self._root: _Node | None = None
+        self._flat: FlatTree | None = None
 
     # ------------------------------------------------------------------
     def fit(self, X: np.ndarray, grad: np.ndarray, hess: np.ndarray) -> "GradTree":
@@ -63,6 +65,7 @@ class GradTree:
         self._X, self._grad, self._hess = X, grad, hess
         self._root = self._build(np.arange(len(X)), depth=0)
         del self._X, self._grad, self._hess
+        self._flat = None  # recompiled lazily on first predict
         return self
 
     def _leaf(self, idx: np.ndarray) -> _Node:
@@ -128,7 +131,26 @@ class GradTree:
         return node
 
     # ------------------------------------------------------------------
+    @property
+    def flat(self) -> FlatTree:
+        """The compiled flat-array kernel (built lazily, cached)."""
+        if self._root is None:
+            raise RuntimeError("GradTree is not fitted yet")
+        if self._flat is None:
+            self._flat = FlatTree.from_node(self._root)
+        return self._flat
+
     def predict(self, X: np.ndarray) -> np.ndarray:
+        """Batch prediction via the flat kernel (the fast path)."""
+        X = np.asarray(X, dtype=float)
+        return self.flat.predict(X)
+
+    def predict_recursive(self, X: np.ndarray) -> np.ndarray:
+        """Reference pointer-chasing implementation (parity oracle).
+
+        Kept only so the test suite can assert the flat kernel is
+        bit-identical; all production paths use :meth:`predict`.
+        """
         if self._root is None:
             raise RuntimeError("GradTree is not fitted yet")
         X = np.asarray(X, dtype=float)
@@ -208,3 +230,10 @@ class RegressionTree(Regressor):
         X, _ = self._validate(X)
         assert self._tree is not None
         return self._tree.predict(X)
+
+    def predict_recursive(self, X: np.ndarray) -> np.ndarray:
+        """Reference traversal (parity oracle for the flat kernel)."""
+        self._check_fitted()
+        X, _ = self._validate(X)
+        assert self._tree is not None
+        return self._tree.predict_recursive(X)

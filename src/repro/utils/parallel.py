@@ -1,0 +1,104 @@
+"""Deterministic parallel execution helpers.
+
+One tiny surface used by every parallel path in the repo
+(:class:`~repro.core.selector.AlgorithmSelector` training, the
+:class:`~repro.bench.runner.DatasetRunner` campaign loop):
+
+* :func:`resolve_jobs` — one policy for worker counts: an explicit
+  ``n_jobs`` argument wins, then the ``REPRO_JOBS`` environment
+  variable, then serial (1). ``-1`` means "all cores".
+* :func:`parallel_map` — ordered map over a thread pool. Results come
+  back in **input order** regardless of completion order, so a caller
+  whose work items are independently seeded (see
+  :func:`repro.utils.rng.stable_seed`) produces bit-identical output
+  for any worker count.
+
+Threads, not processes: the workloads here are numpy-heavy (GIL
+released in the kernels) and the paper-learner factories close over
+lambdas, which do not pickle. A serial fast path (``jobs == 1``) runs
+in the caller's thread with zero pool overhead — that path is also the
+behavioural baseline the determinism tests compare against.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Iterable, Sequence, TypeVar
+
+#: environment knob: default worker count when ``n_jobs`` is not given
+ENV_JOBS = "REPRO_JOBS"
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def resolve_jobs(n_jobs: int | None = None) -> int:
+    """Worker count policy: argument > ``REPRO_JOBS`` env > 1.
+
+    ``-1`` (from either source) means all available cores. Invalid
+    environment values fall back to serial rather than crashing a
+    campaign at the end of a long run.
+    """
+    if n_jobs is None:
+        raw = os.environ.get(ENV_JOBS, "").strip()
+        if not raw:
+            return 1
+        try:
+            n_jobs = int(raw)
+        except ValueError:
+            return 1
+    if n_jobs == 0:
+        raise ValueError("n_jobs must be >= 1 or -1 (all cores), got 0")
+    if n_jobs < 0:
+        return os.cpu_count() or 1
+    return n_jobs
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    *,
+    n_jobs: int | None = None,
+) -> list[R]:
+    """``[fn(x) for x in items]``, optionally over a thread pool.
+
+    Results are returned in input order (``Executor.map`` semantics),
+    and the first exception raised by any item propagates to the
+    caller. With one worker (or one item) no pool is created at all.
+    """
+    work: Sequence[T] = list(items)
+    jobs = min(resolve_jobs(n_jobs), len(work))
+    if jobs <= 1:
+        return [fn(item) for item in work]
+    with ThreadPoolExecutor(max_workers=jobs) as ex:
+        return list(ex.map(fn, work))
+
+
+class ProgressCounter:
+    """Thread-safe cumulative progress relay.
+
+    Wraps a user ``progress(done, total)`` callback so parallel workers
+    can report chunks of completed work; the callback always observes a
+    monotonically increasing ``done`` because updates happen under one
+    lock. With no callback, :meth:`advance` is still safe to call and
+    merely tracks the count.
+    """
+
+    def __init__(
+        self, total: int, callback: Callable[[int, int], None] | None = None
+    ) -> None:
+        self.total = total
+        self.done = 0
+        self._callback = callback
+        self._lock = threading.Lock()
+
+    def advance(self, amount: int = 1) -> int:
+        """Record ``amount`` finished units; returns the new total."""
+        with self._lock:
+            self.done += amount
+            done = self.done
+            if self._callback is not None:
+                self._callback(done, self.total)
+        return done

@@ -117,3 +117,61 @@ class TestRunner:
             progress=lambda done, total: seen.append((done, total)),
         )
         assert seen and seen[-1][0] == seen[-1][1]
+
+
+class TestGridSpecBounds:
+    """PR 1 bugfix: 0-node / 0-ppn grids used to pass validation."""
+
+    def test_zero_nodes_rejected(self):
+        with pytest.raises(ValueError, match="nodes"):
+            GridSpec(nodes=(0,), ppns=(1,), msizes=(1,))
+
+    def test_zero_ppn_rejected(self):
+        with pytest.raises(ValueError, match="ppns"):
+            GridSpec(nodes=(2,), ppns=(0, 1), msizes=(1,))
+
+    def test_zero_msize_allowed(self):
+        # A 0-byte collective invocation is legitimate.
+        grid = GridSpec(nodes=(2,), ppns=(1,), msizes=(0, 16))
+        assert grid.num_instances == 2
+
+    def test_negative_nodes_rejected(self):
+        with pytest.raises(ValueError, match="nodes"):
+            GridSpec(nodes=(-2,), ppns=(1,), msizes=(1,))
+
+
+class TestParallelRunner:
+    GRID = GridSpec(nodes=(2, 4), ppns=(1, 2), msizes=(16, 1024, 65536))
+
+    def _run(self, n_jobs, progress=None):
+        runner = DatasetRunner(
+            tiny_testbed, get_library("Open MPI"),
+            BenchmarkSpec(max_nreps=5), seed=11,
+        )
+        return runner.run(
+            "bcast", self.GRID, name="par", n_jobs=n_jobs, progress=progress
+        )
+
+    @pytest.mark.parametrize("n_jobs", [2, 4])
+    def test_bit_identical_to_serial(self, n_jobs):
+        serial = self._run(1)
+        parallel = self._run(n_jobs)
+        for attr in ("config_id", "nodes", "ppn", "msize", "time"):
+            np.testing.assert_array_equal(
+                getattr(serial, attr), getattr(parallel, attr)
+            )
+
+    def test_env_knob_bit_identical(self, monkeypatch):
+        serial = self._run(1)
+        monkeypatch.setenv("REPRO_JOBS", "4")
+        parallel = self._run(None)
+        np.testing.assert_array_equal(serial.time, parallel.time)
+
+    def test_progress_monotone_and_complete(self):
+        calls = []
+        self._run(4, progress=lambda done, total: calls.append((done, total)))
+        dones = [d for d, _ in calls]
+        assert dones == sorted(dones)
+        total = calls[-1][1]
+        assert calls[-1][0] == total
+        assert total == 63 * self.GRID.num_instances  # 63 bcast configs

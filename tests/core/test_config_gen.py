@@ -117,3 +117,33 @@ class TestJson:
         assert payload["nodes"] == 8 and payload["ppn"] == 4
         assert len(payload["rules"]) == 2
         assert payload["rules"][0]["algorithm"] == "binomial"
+
+
+class TestBatchedSelection:
+    def test_single_predict_times_call(self, selector):
+        """The whole table is scored in ONE batched ensemble query."""
+        calls = []
+        original = selector.predict_times
+
+        def spy(*args, **kwargs):
+            calls.append(1)
+            return original(*args, **kwargs)
+
+        selector.predict_times = spy
+        try:
+            table = selection_table(
+                selector, 8, 4, msizes=(1, 64, 4096, 262144, 1 << 22)
+            )
+        finally:
+            del selector.predict_times
+        assert len(calls) == 1
+        assert len(table) == 5
+
+    def test_batched_matches_per_msize_select(self, selector):
+        msizes = (1, 256, 16384, 1 << 20, 1 << 22)
+        table = selection_table(selector, 8, 4, msizes=msizes)
+        for m, cfg in table:
+            assert cfg == selector.select(8, 4, m)
+
+    def test_empty_msizes(self, selector):
+        assert selection_table(selector, 8, 4, msizes=()) == []

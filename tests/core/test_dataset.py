@@ -120,3 +120,39 @@ class TestPersistence:
         np.testing.assert_array_equal(back.time, ds.time)
         np.testing.assert_array_equal(back.config_id, ds.config_id)
         assert back.collective is CollectiveKind.BCAST
+
+    def test_save_is_atomic_no_droppings(self, tmp_path):
+        ds = make_dataset()
+        stem = tmp_path / "toy"
+        ds.save(stem)
+        # Only the two final artifacts remain — no temp files.
+        names = sorted(p.name for p in tmp_path.iterdir())
+        assert names == ["toy.json", "toy.npz"]
+
+    def test_save_overwrites_corrupt_file(self, tmp_path):
+        ds = make_dataset()
+        stem = tmp_path / "toy"
+        (tmp_path / "toy.npz").write_bytes(b"torn write from a dead run")
+        ds.save(stem)
+        back = PerfDataset.load(stem)
+        np.testing.assert_array_equal(back.time, ds.time)
+
+    def test_save_failure_leaves_previous_file(self, tmp_path, monkeypatch):
+        ds = make_dataset()
+        stem = tmp_path / "toy"
+        ds.save(stem)
+        before = (tmp_path / "toy.npz").read_bytes()
+
+        import numpy as _np
+
+        def boom(*args, **kwargs):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(_np, "savez_compressed", boom)
+        with pytest.raises(OSError):
+            ds.save(stem)
+        # Interrupted save: the previous complete archive is untouched.
+        assert (tmp_path / "toy.npz").read_bytes() == before
+        assert sorted(p.name for p in tmp_path.iterdir()) == [
+            "toy.json", "toy.npz",
+        ]

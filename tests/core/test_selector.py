@@ -99,3 +99,30 @@ class TestSelection:
         times = sel.predict_times(8, 1, 1 << 14)[0]
         truth = [10e-6 + (1 << 14) * 1e-9, 50e-6 + (1 << 14) * 0.1e-9]
         np.testing.assert_allclose(times, truth, rtol=0.3)
+
+
+class TestParallelFit:
+    """fit(n_jobs=N) must reproduce the serial models bit-for-bit."""
+
+    @pytest.mark.parametrize("n_jobs", [2, 4])
+    def test_predict_times_identical(self, n_jobs):
+        from repro.ml.boosting import GradientBoostingRegressor
+
+        ds = crossover_dataset()
+        factory = lambda: GradientBoostingRegressor(n_rounds=20, rng=9)
+        serial = AlgorithmSelector(factory).fit(ds, n_jobs=1)
+        parallel = AlgorithmSelector(factory).fit(ds, n_jobs=n_jobs)
+        grid_m = np.array([2**k for k in range(0, 23)])
+        t_serial = serial.predict_times(8, 1, grid_m)
+        t_parallel = parallel.predict_times(8, 1, grid_m)
+        np.testing.assert_array_equal(t_serial, t_parallel)
+
+    def test_env_knob(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "4")
+        sel = AlgorithmSelector(lambda: KNNRegressor()).fit(crossover_dataset())
+        assert sel.num_models == 2
+
+    def test_model_ids_stable(self):
+        ds = crossover_dataset()
+        sel = AlgorithmSelector(lambda: KNNRegressor()).fit(ds, n_jobs=4)
+        assert sorted(sel.models_) == [0, 1]

@@ -1,0 +1,127 @@
+"""Precomputed decision surface (argmin lookup grid)."""
+
+import numpy as np
+import pytest
+
+from repro.collectives.base import AlgorithmConfig, CollectiveKind
+from repro.core.dataset import PerfDataset
+from repro.core.selector import AlgorithmSelector
+from repro.core.surface import DecisionSurface, _nearest
+from repro.ml import KNNRegressor
+
+NODES = (2, 4, 8, 16)
+PPNS = (1, 4)
+MSIZES = tuple(int(2**k) for k in range(0, 23, 2))
+
+
+@pytest.fixture(scope="module")
+def selector():
+    configs = (
+        AlgorithmConfig.make("bcast", 6, "binomial", segsize=None),
+        AlgorithmConfig.make("bcast", 2, "chain", segsize=16384, chains=4),
+    )
+    n = 60
+    rng = np.random.default_rng(5)
+    cid = np.tile([0, 1], n // 2)
+    msize = np.repeat(np.logspace(0, 22, n // 2, base=2).astype(np.int64), 2)
+    time = np.where(
+        cid == 0, 1e-6 + msize * 1e-9, 20e-6 + msize * 0.05e-9
+    ) * rng.lognormal(0, 0.01, n)
+    ds = PerfDataset(
+        name="x",
+        collective=CollectiveKind.BCAST,
+        library="l",
+        machine="m",
+        configs=configs,
+        config_id=cid,
+        nodes=np.full(n, 8),
+        ppn=np.full(n, 4),
+        msize=msize,
+        time=time,
+    )
+    return AlgorithmSelector(lambda: KNNRegressor(k=1)).fit(ds)
+
+
+@pytest.fixture(scope="module")
+def surface(selector):
+    return DecisionSurface.from_selector(selector, NODES, PPNS, MSIZES)
+
+
+class TestNearest:
+    def test_exact_hits(self):
+        axis = np.array([1.0, 4.0, 9.0])
+        assert _nearest(axis, np.array([1.0, 4.0, 9.0])).tolist() == [0, 1, 2]
+
+    def test_between(self):
+        axis = np.array([0.0, 10.0])
+        assert _nearest(axis, np.array([2.0, 8.0])).tolist() == [0, 1]
+
+    def test_out_of_range_clamps(self):
+        axis = np.array([5.0, 6.0])
+        assert _nearest(axis, np.array([-3.0, 99.0])).tolist() == [0, 1]
+
+    def test_singleton_axis(self):
+        assert _nearest(np.array([7.0]), np.array([1.0, 100.0])).tolist() == [
+            0,
+            0,
+        ]
+
+
+class TestSurface:
+    def test_shape_and_cells(self, surface):
+        assert surface.best_cid.shape == (
+            len(NODES), len(PPNS), len(MSIZES),
+        )
+        assert surface.num_cells == len(NODES) * len(PPNS) * len(MSIZES)
+
+    def test_on_grid_matches_selector(self, selector, surface):
+        for n in NODES:
+            for ppn in PPNS:
+                for m in MSIZES:
+                    assert (
+                        surface.recommend(n, ppn, m)
+                        == selector.select(n, ppn, m)
+                    )
+
+    def test_crossover_regimes(self, surface):
+        # Latency regime picks binomial, bandwidth regime picks chain.
+        assert surface.recommend(8, 4, 1).name == "binomial"
+        assert surface.recommend(8, 4, 1 << 22).name == "chain"
+
+    def test_msize_snaps_in_log_space(self, surface):
+        # Between grid neighbours a = 2^20 and 4a = 2^22 the linear
+        # midpoint is 2.5a but the log midpoint is 2a. A query at 2.2a
+        # is linearly closer to a, yet log-closer to 4a — the surface
+        # must side with the log scale (message-size grids are
+        # geometric) and return the 2^22 cell's answer.
+        q = int(2.2 * (1 << 20))
+        i, j, k = surface.cell_of(8, 4, q)
+        assert surface.msize_axis[k[0]] == 1 << 22
+
+    def test_predicted_time_positive(self, surface):
+        assert surface.predicted_time(8, 4, 4096) > 0
+
+    def test_vector_queries(self, surface):
+        ids = surface.select_ids(
+            np.array([2, 16]), np.array([1, 4]), np.array([1, 1 << 22])
+        )
+        assert ids.shape == (2,)
+
+    def test_empty_axis_rejected(self, selector):
+        with pytest.raises(ValueError):
+            DecisionSurface.from_selector(selector, (), PPNS, MSIZES)
+
+    def test_single_batched_predict(self, selector):
+        calls = []
+        original = selector.predict_times
+
+        def spy(*args, **kwargs):
+            calls.append(1)
+            return original(*args, **kwargs)
+
+        selector.predict_times = spy
+        try:
+            DecisionSurface.from_selector(selector, NODES, PPNS, MSIZES)
+        finally:
+            del selector.predict_times
+        assert len(calls) == 1

@@ -137,3 +137,36 @@ class TestCache:
         b = dataset_cached("d6", Scale.CI, seed=123)
         np.testing.assert_array_equal(a.time, b.time)
         cache_mod.clear_memory_cache()
+
+    def test_corrupt_cache_regenerated(self, tmp_path, monkeypatch):
+        from repro.experiments import cache as cache_mod
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        cache_mod.clear_memory_cache()
+        a = dataset_cached("d6", Scale.CI, seed=7)
+        # Simulate a torn write from an interrupted campaign.
+        (tmp_path / "d6-ci-s7.npz").write_bytes(b"\x00not a zipfile")
+        cache_mod.clear_memory_cache()
+        b = dataset_cached("d6", Scale.CI, seed=7)
+        np.testing.assert_array_equal(a.time, b.time)
+        # The repaired archive must now load cleanly.
+        cache_mod.clear_memory_cache()
+        c = dataset_cached("d6", Scale.CI, seed=7)
+        np.testing.assert_array_equal(a.time, c.time)
+        cache_mod.clear_memory_cache()
+
+    def test_memory_cache_keyed_by_dir(self, tmp_path, monkeypatch):
+        from repro.experiments import cache as cache_mod
+
+        dir_a, dir_b = tmp_path / "a", tmp_path / "b"
+        cache_mod.clear_memory_cache()
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(dir_a))
+        a = dataset_cached("d6", Scale.CI, seed=7)
+        # Switching the cache dir mid-process must NOT serve dir_a's
+        # in-memory object for dir_b.
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(dir_b))
+        b = dataset_cached("d6", Scale.CI, seed=7)
+        assert a is not b
+        assert (dir_a / "d6-ci-s7.npz").exists()
+        assert (dir_b / "d6-ci-s7.npz").exists()
+        cache_mod.clear_memory_cache()

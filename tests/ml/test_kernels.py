@@ -1,0 +1,149 @@
+"""Flat-array kernel parity: compiled descent == recursive oracle.
+
+Every production predict path runs through the flat kernels (native C
+when the toolchain allows, numpy level-wise descent otherwise). These
+tests pin the contract that makes that safe: all variants are
+**bit-identical** to the pointer-chasing recursive reference, for every
+learner family that compiles trees.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ml import _ckernel
+from repro.ml.boosting import GradientBoostingRegressor
+from repro.ml.forest import RandomForestRegressor
+from repro.ml.kernels import FlatEnsemble, FlatTree
+from repro.ml.tree import GradTree, RegressionTree, TreeParams
+
+
+@pytest.fixture(scope="module")
+def data():
+    rng = np.random.default_rng(7)
+    X = rng.random((400, 5))
+    y = np.exp(rng.normal(size=400)) * 1e-4  # positive, skewed runtimes
+    Xq = rng.random((900, 5))
+    # Include training rows: exact-threshold comparisons must agree too.
+    Xq[:100] = X[:100]
+    return X, y, Xq
+
+
+def _no_ckernel(monkeypatch):
+    monkeypatch.setattr(_ckernel, "available", lambda: False)
+
+
+# ----------------------------------------------------------------------
+class TestFlatLayout:
+    def test_adjacent_children_and_leaf_self_loops(self, data):
+        X, y, _ = data
+        tree = GradTree(TreeParams(max_depth=5))
+        tree.fit(X, grad=-y, hess=np.ones(len(y)))
+        flat = tree.flat
+        internal = flat.feature >= 0
+        assert np.array_equal(
+            flat.right[internal], flat.left[internal] + 1
+        ), "children must be allocated adjacently"
+        leaves = ~internal
+        ids = np.arange(flat.num_nodes)
+        assert np.array_equal(flat.left[leaves], ids[leaves])
+        assert np.array_equal(flat.right[leaves], ids[leaves])
+        assert flat.depth == tree.depth()
+
+    def test_step_arrays(self, data):
+        X, y, _ = data
+        tree = GradTree(TreeParams(max_depth=4))
+        tree.fit(X, grad=-y, hess=np.ones(len(y)))
+        flat = tree.flat
+        leaves = flat.feature < 0
+        assert np.isposinf(flat.step_threshold[leaves]).all()
+        assert (flat.gather_feature >= 0).all()
+
+    def test_packed_nodes_mirror_struct(self, data):
+        X, y, _ = data
+        tree = GradTree(TreeParams(max_depth=4))
+        tree.fit(X, grad=-y, hess=np.ones(len(y)))
+        nodes = tree.flat.packed_nodes
+        assert nodes.dtype.itemsize == 16
+        assert np.array_equal(nodes["th"], tree.flat.step_threshold)
+        assert np.array_equal(nodes["base"], tree.flat.child_base)
+        assert np.array_equal(nodes["feat"], tree.flat.gather_feature)
+
+    def test_empty_ensemble_rejected(self):
+        with pytest.raises(ValueError):
+            FlatEnsemble.from_roots([])
+
+
+# ----------------------------------------------------------------------
+class TestSingleTreeParity:
+    def test_grad_tree(self, data):
+        X, y, Xq = data
+        tree = GradTree(TreeParams(max_depth=6))
+        tree.fit(X, grad=-y, hess=np.ones(len(y)))
+        assert np.array_equal(tree.predict(Xq), tree.predict_recursive(Xq))
+
+    def test_regression_tree(self, data):
+        X, y, Xq = data
+        model = RegressionTree(max_depth=7, min_samples_leaf=2).fit(X, y)
+        assert np.array_equal(model.predict(Xq), model.predict_recursive(Xq))
+
+    def test_numpy_fallback(self, data, monkeypatch):
+        X, y, Xq = data
+        tree = GradTree(TreeParams(max_depth=6))
+        tree.fit(X, grad=-y, hess=np.ones(len(y)))
+        fast = tree.predict(Xq)
+        _no_ckernel(monkeypatch)
+        assert np.array_equal(FlatTree.from_node(tree._root).predict(Xq), fast)
+
+    def test_stump(self, data):
+        # depth-0 tree: descent must still return the single leaf value
+        X, y, Xq = data
+        tree = GradTree(TreeParams(max_depth=0))
+        tree.fit(X, grad=-y, hess=np.ones(len(y)))
+        assert np.array_equal(tree.predict(Xq), tree.predict_recursive(Xq))
+
+
+class TestBoosterParity:
+    @pytest.mark.parametrize("objective", ["tweedie", "gamma", "squared"])
+    def test_bit_identical(self, data, objective):
+        X, y, Xq = data
+        model = GradientBoostingRegressor(
+            n_rounds=30, max_depth=4, objective=objective, rng=3
+        ).fit(X, y)
+        assert np.array_equal(model.predict(Xq), model.predict_recursive(Xq))
+
+    def test_numpy_fallback_bit_identical(self, data, monkeypatch):
+        X, y, Xq = data
+        model = GradientBoostingRegressor(n_rounds=25, rng=3).fit(X, y)
+        fast = model.predict(Xq)
+        _no_ckernel(monkeypatch)
+        model._flat = None  # force a fresh ensemble on the numpy path
+        assert np.array_equal(model.predict(Xq), fast)
+        assert np.array_equal(model.predict(Xq), model.predict_recursive(Xq))
+
+    def test_odd_round_count(self, data):
+        # exercises the < 8 remainder loop of the interleaved kernel
+        X, y, Xq = data
+        model = GradientBoostingRegressor(n_rounds=11, rng=5).fit(X, y)
+        assert np.array_equal(model.predict(Xq), model.predict_recursive(Xq))
+
+
+class TestForestParity:
+    def test_bit_identical(self, data):
+        X, y, Xq = data
+        model = RandomForestRegressor(n_trees=17, max_depth=6, rng=1).fit(X, y)
+        assert np.array_equal(model.predict(Xq), model.predict_recursive(Xq))
+
+    def test_numpy_fallback_bit_identical(self, data, monkeypatch):
+        X, y, Xq = data
+        model = RandomForestRegressor(n_trees=9, max_depth=5, rng=2).fit(X, y)
+        fast = model.predict(Xq)
+        _no_ckernel(monkeypatch)
+        model._flat = None
+        assert np.array_equal(model.predict(Xq), fast)
+
+    def test_leaf_matrix_matches_per_tree_oracle(self, data):
+        X, y, Xq = data
+        model = RandomForestRegressor(n_trees=10, max_depth=5, rng=4).fit(X, y)
+        matrix = model.flat.predict_all(Xq)
+        for t, tree in enumerate(model._trees):
+            assert np.array_equal(matrix[:, t], tree.predict_recursive(Xq))

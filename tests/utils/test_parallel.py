@@ -1,0 +1,87 @@
+"""Deterministic parallel execution helpers."""
+
+import threading
+
+import pytest
+
+from repro.utils.parallel import (
+    ENV_JOBS,
+    ProgressCounter,
+    parallel_map,
+    resolve_jobs,
+)
+
+
+class TestResolveJobs:
+    def test_default_serial(self, monkeypatch):
+        monkeypatch.delenv(ENV_JOBS, raising=False)
+        assert resolve_jobs() == 1
+
+    def test_env_knob(self, monkeypatch):
+        monkeypatch.setenv(ENV_JOBS, "3")
+        assert resolve_jobs() == 3
+
+    def test_argument_beats_env(self, monkeypatch):
+        monkeypatch.setenv(ENV_JOBS, "3")
+        assert resolve_jobs(2) == 2
+
+    def test_all_cores(self):
+        assert resolve_jobs(-1) >= 1
+
+    def test_zero_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_jobs(0)
+
+    def test_garbage_env_falls_back_to_serial(self, monkeypatch):
+        monkeypatch.setenv(ENV_JOBS, "many")
+        assert resolve_jobs() == 1
+
+
+class TestParallelMap:
+    def test_preserves_input_order(self):
+        items = list(range(50))
+        for jobs in (1, 2, 4):
+            assert parallel_map(lambda x: x * x, items, n_jobs=jobs) == [
+                x * x for x in items
+            ]
+
+    def test_empty(self):
+        assert parallel_map(lambda x: x, [], n_jobs=4) == []
+
+    def test_exception_propagates(self):
+        def boom(x):
+            if x == 3:
+                raise RuntimeError("item 3")
+            return x
+
+        with pytest.raises(RuntimeError, match="item 3"):
+            parallel_map(boom, range(8), n_jobs=4)
+
+    def test_serial_runs_in_caller_thread(self):
+        seen = []
+        parallel_map(lambda _: seen.append(threading.current_thread()), [1, 2])
+        assert all(t is threading.main_thread() for t in seen)
+
+    def test_env_knob_applies(self, monkeypatch):
+        monkeypatch.setenv(ENV_JOBS, "4")
+        threads = set()
+        parallel_map(
+            lambda _: threads.add(threading.current_thread().name),
+            range(32),
+        )
+        assert len(threads) >= 1  # pool actually engaged (>= 1 worker)
+
+
+class TestProgressCounter:
+    def test_monotone_under_threads(self):
+        calls = []
+        counter = ProgressCounter(40, lambda d, t: calls.append((d, t)))
+        parallel_map(lambda _: counter.advance(), range(40), n_jobs=4)
+        assert counter.done == 40
+        assert [d for d, _ in calls] == list(range(1, 41))
+        assert all(t == 40 for _, t in calls)
+
+    def test_no_callback_ok(self):
+        counter = ProgressCounter(3)
+        assert counter.advance(2) == 2
+        assert counter.advance() == 3
