@@ -6,7 +6,6 @@ spread across configurations is itself an order of magnitude — the
 motivation for folding algorithm parameters into the selection problem.
 """
 
-import numpy as np
 
 from repro.experiments.figures import figure2
 

@@ -123,6 +123,11 @@ def main() -> None:
         "--skip-pytest", action="store_true",
         help="only the direct metrics (faster; used by CI smoke runs)",
     )
+    parser.add_argument(
+        "--out", type=Path, default=None,
+        help="write the report here instead of BENCH_<pr>.json at the "
+        "repo root (used by the CI regression gate)",
+    )
     args = parser.parse_args()
 
     report: dict = {"pr": args.pr, "current": direct_metrics()}
@@ -131,7 +136,7 @@ def main() -> None:
     if args.baseline is not None:
         report["baseline"] = json.loads(args.baseline.read_text())
 
-    out_path = ROOT / f"BENCH_{args.pr}.json"
+    out_path = args.out if args.out is not None else ROOT / f"BENCH_{args.pr}.json"
     existing = {}
     if out_path.exists():
         existing = json.loads(out_path.read_text())

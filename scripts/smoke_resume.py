@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""CI smoke test: kill a campaign mid-run, resume it, diff the datasets.
+
+Three phases, mirroring what an operator would live through:
+
+1. **Reference** — generate a dataset uninterrupted (separate cache dir).
+2. **Interrupt** — run the same campaign with a fault injected through
+   the progress callback (a ``KeyboardInterrupt`` at ~40% progress,
+   the ctrl-C case), journalling chunks into the CLI's cache dir.
+3. **Resume** — rerun through the real CLI with ``--resume`` and
+   verify the result is **bit-identical** to the reference, column by
+   column.
+
+Honors ``REPRO_JOBS``, so the CI matrix exercises serial and parallel
+resumes. Exits non-zero on any mismatch.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.cli import main as cli_main  # noqa: E402
+from repro.core.dataset import PerfDataset  # noqa: E402
+from repro.experiments.datasets import generate_dataset  # noqa: E402
+
+DID = os.environ.get("SMOKE_DATASET", "d1")
+SEED = 0
+
+
+class _InjectedInterrupt(KeyboardInterrupt):
+    """The fault we inject (subclass so we never swallow a real ^C)."""
+
+
+def main() -> int:
+    workdir = Path(tempfile.mkdtemp(prefix="smoke-resume-"))
+    ref_dir = workdir / "reference"
+    cli_dir = workdir / "cli-cache"
+    jobs = os.environ.get("REPRO_JOBS", "1")
+    print(f"workdir={workdir} dataset={DID} REPRO_JOBS={jobs}")
+
+    # -- phase 1: uninterrupted reference -----------------------------
+    reference = generate_dataset(DID, "ci", seed=SEED)
+    ref_dir.mkdir(parents=True)
+    reference.save(ref_dir / "ref")
+    print(f"reference: {len(reference)} samples")
+
+    # -- phase 2: interrupted campaign --------------------------------
+    stem = cli_dir / f"{DID}-ci-s{SEED}"
+    cli_dir.mkdir(parents=True)
+
+    def interrupt_at_40pct(done: int, total: int) -> None:
+        if done >= total * 0.4:
+            raise _InjectedInterrupt
+
+    try:
+        generate_dataset(
+            DID, "ci", seed=SEED,
+            checkpoint=stem, progress=interrupt_at_40pct,
+        )
+    except _InjectedInterrupt:
+        pass
+    else:
+        print("FAIL: injected interrupt never fired", file=sys.stderr)
+        return 1
+    journal = stem.with_name(stem.name + ".journal.json")
+    if not journal.exists():
+        print(f"FAIL: no chunk journal at {journal}", file=sys.stderr)
+        return 1
+    print(f"interrupted at ~40%; journal: {journal.stat().st_size} bytes")
+
+    # -- phase 3: resume through the real CLI -------------------------
+    os.environ["REPRO_CACHE_DIR"] = str(cli_dir)
+    telemetry = workdir / "resume.jsonl"
+    code = cli_main([
+        "generate", DID, "--scale", "ci", "--seed", str(SEED),
+        "--resume", "--telemetry", str(telemetry),
+    ])
+    if code != 0:
+        print(f"FAIL: resume exited {code}", file=sys.stderr)
+        return 1
+    resumed = PerfDataset.load(stem)
+
+    mismatches = [
+        column
+        for column in ("config_id", "nodes", "ppn", "msize", "time")
+        if not np.array_equal(
+            getattr(reference, column), getattr(resumed, column)
+        )
+    ]
+    if mismatches:
+        print(f"FAIL: columns differ after resume: {mismatches}",
+              file=sys.stderr)
+        return 1
+    if journal.exists():
+        print("FAIL: journal not cleaned up after completion",
+              file=sys.stderr)
+        return 1
+
+    # the telemetry log must summarize end-to-end
+    code = cli_main(["report", "--telemetry", str(telemetry), "--top", "5"])
+    if code != 0:
+        print(f"FAIL: report exited {code}", file=sys.stderr)
+        return 1
+    print("OK: interrupted+resumed dataset is bit-identical "
+          f"({len(resumed)} samples, REPRO_JOBS={jobs})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

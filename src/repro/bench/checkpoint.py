@@ -1,0 +1,158 @@
+"""Campaign checkpoint journal: interrupt a run, resume bit-identically.
+
+A benchmark campaign is a grid of independent (nodes, ppn) chunks, each
+deterministically seeded (:func:`repro.utils.rng.stable_seed`). That
+makes chunk results *order-independent facts*: once a chunk is measured,
+its rows never change. The journal exploits this — every completed
+chunk is persisted immediately, and a resumed run replays journalled
+chunks from disk and measures only the missing ones. Because the
+runner assembles rows in the serial grid order either way, an
+interrupted-then-resumed campaign is **bit-identical** to an
+uninterrupted one for any ``REPRO_JOBS``.
+
+Durability uses the same tmp + ``os.replace`` pattern as
+:meth:`repro.core.dataset.PerfDataset.save`: the journal on disk is
+always a complete, parseable JSON document. Floats survive the JSON
+round-trip exactly (``json`` serialises via ``repr``, which
+round-trips IEEE-754 doubles), so "bit-identical" is literal.
+
+A journal is bound to its campaign by a fingerprint over everything
+that determines the measurements (seed, grid, configuration space,
+machine, benchmark spec...). A stale journal — different seed,
+changed grid — is detected and ignored rather than silently merged.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+from pathlib import Path
+
+from repro.obs import get_telemetry
+
+#: journal format version; bump on any layout change
+_VERSION = 1
+
+#: one measured chunk: parallel columns (config id, message size, time)
+ChunkRows = tuple[list[int], list[int], list[float]]
+
+
+def campaign_fingerprint(*parts: object) -> str:
+    """Stable hex digest over everything that determines a campaign."""
+    blob = "\x1f".join(repr(p) for p in parts).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+class CampaignJournal:
+    """Atomic on-disk journal of completed (nodes, ppn) chunks.
+
+    Thread-safe: campaign workers record chunks concurrently; each
+    :meth:`record` rewrites the journal atomically so a kill at any
+    instant leaves either the previous or the new complete document.
+    """
+
+    def __init__(self, path: str | Path, fingerprint: str) -> None:
+        self.path = Path(path)
+        self.fingerprint = fingerprint
+        self._lock = threading.Lock()
+        self._chunks: dict[tuple[int, int], ChunkRows] = {}
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def journal_path(stem: str | Path) -> Path:
+        """Journal location for a dataset path stem (next to the .npz)."""
+        stem = Path(stem)
+        return stem.with_name(stem.name + ".journal.json")
+
+    # ------------------------------------------------------------------
+    def load(self) -> int:
+        """Read journalled chunks from disk; returns how many were kept.
+
+        A missing file means a fresh campaign. A torn/corrupt file or
+        a fingerprint mismatch emits a structured telemetry event
+        (``checkpoint_corrupt`` / ``checkpoint_stale``) and starts
+        fresh — resuming against the wrong campaign would corrupt the
+        dataset, which is strictly worse than re-measuring.
+        """
+        telemetry = get_telemetry()
+        if not self.path.exists():
+            return 0
+        try:
+            payload = json.loads(self.path.read_text())
+            if payload.get("version") != _VERSION:
+                raise ValueError(f"journal version {payload.get('version')!r}")
+            chunks = {
+                self._parse_key(key): (
+                    [int(v) for v in rows["cid"]],
+                    [int(v) for v in rows["msize"]],
+                    [float(v) for v in rows["time"]],
+                )
+                for key, rows in payload["chunks"].items()
+            }
+        except (ValueError, KeyError, TypeError, OSError) as exc:
+            telemetry.event(
+                "checkpoint_corrupt", path=str(self.path),
+                error=f"{type(exc).__name__}: {exc}",
+            )
+            return 0
+        if payload.get("fingerprint") != self.fingerprint:
+            telemetry.event(
+                "checkpoint_stale", path=str(self.path),
+                expected=self.fingerprint,
+                found=payload.get("fingerprint"),
+            )
+            return 0
+        with self._lock:
+            self._chunks = chunks
+        return len(chunks)
+
+    def record(self, pair: tuple[int, int], rows: ChunkRows) -> None:
+        """Persist one completed chunk (atomic rewrite under a lock)."""
+        with self._lock:
+            self._chunks[pair] = rows
+            self._write_locked()
+
+    def get(self, pair: tuple[int, int]) -> ChunkRows | None:
+        """Journalled rows of a chunk, or None if not yet measured."""
+        with self._lock:
+            return self._chunks.get(pair)
+
+    def completed_pairs(self) -> set[tuple[int, int]]:
+        with self._lock:
+            return set(self._chunks)
+
+    def discard(self) -> None:
+        """Remove the journal (the campaign completed; dataset saved)."""
+        with self._lock:
+            self._chunks.clear()
+        try:
+            self.path.unlink()
+        except FileNotFoundError:
+            pass
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _parse_key(key: str) -> tuple[int, int]:
+        n, ppn = key.split(",")
+        return int(n), int(ppn)
+
+    def _write_locked(self) -> None:
+        """Atomic tmp + ``os.replace`` rewrite; caller holds the lock."""
+        payload = {
+            "version": _VERSION,
+            "fingerprint": self.fingerprint,
+            "chunks": {
+                f"{n},{ppn}": {"cid": cid, "msize": msize, "time": time}
+                for (n, ppn), (cid, msize, time) in sorted(self._chunks.items())
+            },
+        }
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_name(f".{self.path.name}.{os.getpid()}.tmp")
+        try:
+            tmp.write_text(json.dumps(payload))
+            os.replace(tmp, self.path)
+        finally:
+            if tmp.exists():  # failed write: leave no droppings
+                tmp.unlink()

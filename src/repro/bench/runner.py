@@ -8,6 +8,14 @@ Reproducibility: every (configuration, instance) measurement gets its
 own RNG stream derived from the campaign seed and the sample key, so
 datasets are bit-identical regardless of iteration order or of which
 other datasets were generated in the same process.
+
+Observability: campaigns emit hierarchical spans
+(``campaign/<name>`` -> ``campaign/<name>/n=<n>/ppn=<ppn>`` per chunk)
+with samples/sec and worker-utilization payloads, plus
+``campaign.samples`` / ``campaign.chunks`` counters, into
+:mod:`repro.obs`. Checkpointing journals every completed chunk
+(:mod:`repro.bench.checkpoint`) so an interrupted campaign resumes
+bit-identically.
 """
 
 from __future__ import annotations
@@ -15,10 +23,12 @@ from __future__ import annotations
 import logging
 import threading
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Callable
 
 import numpy as np
 
+from repro.bench.checkpoint import CampaignJournal, campaign_fingerprint
 from repro.bench.repro_mpi import BenchmarkSpec, ReproMPIBenchmark
 from repro.collectives.base import CollectiveKind
 from repro.collectives.registry import algorithm_from_config
@@ -26,7 +36,8 @@ from repro.core.dataset import PerfDataset
 from repro.machine.model import MachineModel
 from repro.machine.topology import Topology
 from repro.mpilib.base import MPILibrary
-from repro.utils.parallel import ProgressCounter, parallel_map
+from repro.obs import get_telemetry
+from repro.utils.parallel import ProgressCounter, parallel_map, resolve_jobs
 from repro.utils.rng import stable_seed
 
 logger = logging.getLogger(__name__)
@@ -47,9 +58,15 @@ class GridSpec:
         for field_name, floor in (("nodes", 1), ("ppns", 1), ("msizes", 0)):
             values = getattr(self, field_name)
             if not values:
-                raise ValueError(f"{field_name} must be non-empty")
-            if any(v < floor for v in values):
-                raise ValueError(f"{field_name} values must be >= {floor}")
+                raise ValueError(
+                    f"GridSpec.{field_name} must be non-empty, got {values!r}"
+                )
+            bad = [v for v in values if v < floor]
+            if bad:
+                raise ValueError(
+                    f"GridSpec.{field_name} values must be >= {floor}; "
+                    f"offending value(s) {bad!r} in {field_name}={values!r}"
+                )
 
     @property
     def num_instances(self) -> int:
@@ -80,6 +97,8 @@ class DatasetRunner:
         exclude_algids: tuple[int, ...] = (),
         progress: Callable[[int, int], None] | None = None,
         n_jobs: int | None = None,
+        checkpoint: str | Path | None = None,
+        resume: bool = False,
     ) -> PerfDataset:
         """Benchmark the full tuning space over the grid.
 
@@ -96,6 +115,15 @@ class DatasetRunner:
         assembled in the serial loop's nested order. ``progress`` is
         relayed through a lock so ``done`` is monotone even when
         chunks finish out of order.
+
+        ``checkpoint`` (a dataset path stem) journals every completed
+        (nodes, ppn) chunk next to the dataset; with ``resume=True``
+        journalled chunks are replayed from disk instead of being
+        re-measured, making an interrupted-then-resumed campaign
+        bit-identical to an uninterrupted one. A journal whose
+        fingerprint does not match this campaign (different seed,
+        grid, library...) is ignored, with a ``checkpoint_stale``
+        telemetry event.
         """
         kind = CollectiveKind(collective)
         space = self.library.config_space(kind)
@@ -104,39 +132,72 @@ class DatasetRunner:
         )
         algos = [algorithm_from_config(c) for c in configs]
         machine = self.machine
+        telemetry = get_telemetry()
 
         # One work chunk per (nodes, ppn) pair, in the serial order.
         pairs = [(n, ppn) for n in grid.nodes for ppn in grid.ppns]
         for n, ppn in pairs:
             machine.validate_shape(n, ppn)
 
+        journal = self._open_journal(
+            checkpoint, resume, kind, grid, name, exclude_algids
+        )
+        done_pairs = journal.completed_pairs() if journal is not None else set()
+
         total = len(configs) * grid.num_instances
         counter = ProgressCounter(total, progress)
         remaining = {n: len(grid.ppns) for n in grid.nodes}
         log_lock = threading.Lock()
+        campaign_span_name = f"campaign/{name or str(kind)}"
+        jobs = resolve_jobs(n_jobs)
+        busy = ProgressCounter(0)  # wall-seconds spent inside chunks (x1e6)
 
         def run_pair(
             pair: tuple[int, int]
         ) -> tuple[list[int], list[int], list[float]]:
             n, ppn = pair
+            if pair in done_pairs:
+                cached = journal.get(pair)  # type: ignore[union-attr]
+                assert cached is not None
+                counter.advance(len(algos) * len(grid.msizes))
+                telemetry.add("campaign.chunks_resumed")
+                return cached
             topo = Topology(n, ppn)
             part_cid: list[int] = []
             part_msize: list[int] = []
             part_time: list[float] = []
-            for m in grid.msizes:
-                for cid, algo in enumerate(algos):
-                    if not algo.supported(topo, m):
-                        continue
-                    rng_seed = stable_seed(
-                        self.seed, name, algo.config.label, n, ppn, m
-                    )
-                    measurement = self.benchmark.measure(
-                        algo, topo, m, rng=np.random.default_rng(rng_seed)
-                    )
-                    part_cid.append(cid)
-                    part_msize.append(m)
-                    part_time.append(measurement.time)
-                counter.advance(len(algos))
+            with telemetry.span(
+                f"{campaign_span_name}/n={n}/ppn={ppn}", absolute=True
+            ) as chunk_span:
+                for m in grid.msizes:
+                    for cid, algo in enumerate(algos):
+                        if not algo.supported(topo, m):
+                            continue
+                        rng_seed = stable_seed(
+                            self.seed, name, algo.config.label, n, ppn, m
+                        )
+                        measurement = self.benchmark.measure(
+                            algo, topo, m, rng=np.random.default_rng(rng_seed)
+                        )
+                        part_cid.append(cid)
+                        part_msize.append(m)
+                        part_time.append(measurement.time)
+                chunk_span.annotate(
+                    nodes=n, ppn=ppn, samples=len(part_cid),
+                    samples_per_s=(
+                        len(part_cid) / chunk_span.elapsed
+                        if chunk_span.elapsed > 0 else 0.0
+                    ),
+                )
+                busy.advance(int(chunk_span.elapsed * 1e6))
+            telemetry.add("campaign.samples", len(part_cid))
+            telemetry.add("campaign.chunks")
+            if journal is not None:
+                journal.record(pair, (part_cid, part_msize, part_time))
+            # Progress (and any exception the callback raises, e.g. a
+            # user interrupt) comes strictly AFTER the journal write, so
+            # an interrupted campaign always keeps its finished chunks.
+            counter.advance(len(algos) * len(grid.msizes))
             with log_lock:
                 remaining[n] -= 1
                 if remaining[n] == 0:
@@ -146,7 +207,25 @@ class DatasetRunner:
                     )
             return part_cid, part_msize, part_time
 
-        parts = parallel_map(run_pair, pairs, n_jobs=n_jobs)
+        with telemetry.span(
+            campaign_span_name,
+            collective=str(kind), machine=machine.name,
+            library=self.library.name, jobs=jobs,
+            chunks=len(pairs), chunks_resumed=len(done_pairs),
+        ) as campaign_span:
+            parts = parallel_map(run_pair, pairs, n_jobs=n_jobs)
+            wall = campaign_span.elapsed
+            n_samples = sum(len(p[0]) for p in parts)
+            campaign_span.annotate(
+                samples=n_samples,
+                samples_per_s=n_samples / wall if wall > 0 else 0.0,
+                utilization=(
+                    (busy.done / 1e6) / (wall * jobs) if wall > 0 else 0.0
+                ),
+            )
+
+        if journal is not None:
+            journal.discard()  # campaign complete: journal is spent
 
         cols_cid: list[int] = []
         cols_nodes: list[int] = []
@@ -172,3 +251,39 @@ class DatasetRunner:
             msize=np.asarray(cols_msize, dtype=np.int64),
             time=np.asarray(cols_time, dtype=float),
         )
+
+    # ------------------------------------------------------------------
+    def _open_journal(
+        self,
+        checkpoint: str | Path | None,
+        resume: bool,
+        kind: CollectiveKind,
+        grid: GridSpec,
+        name: str,
+        exclude_algids: tuple[int, ...],
+    ) -> CampaignJournal | None:
+        """Build (and optionally load) the chunk journal for this run."""
+        if checkpoint is None:
+            return None
+        fingerprint = campaign_fingerprint(
+            "campaign-v1", self.seed, name, str(kind),
+            grid.nodes, grid.ppns, grid.msizes,
+            tuple(sorted(exclude_algids)),
+            self.library.name, self.library.version, self.machine.name,
+            self.benchmark.spec,
+        )
+        journal = CampaignJournal(
+            CampaignJournal.journal_path(checkpoint), fingerprint
+        )
+        if resume:
+            kept = journal.load()
+            if kept:
+                get_telemetry().event(
+                    "campaign_resume", name=name or str(kind),
+                    chunks_resumed=kept, journal=str(journal.path),
+                )
+                logger.info(
+                    "%s: resuming with %d journalled chunk(s) from %s",
+                    name or str(kind), kept, journal.path,
+                )
+        return journal

@@ -4,10 +4,19 @@
 
     mpicollpred machines                      # Table I
     mpicollpred generate d1 --scale ci        # benchmark one dataset
+    mpicollpred generate d1 --resume          # pick up an interrupted run
     mpicollpred tune --machine Hydra --library "Open MPI" \\
         --collective bcast --nodes 34 --ppn 32 -o rules.conf
     mpicollpred experiment fig4 --scale ci    # regenerate an exhibit
     mpicollpred experiment all --scale ci
+    mpicollpred report --telemetry run.jsonl  # summarize a telemetry log
+
+``--telemetry PATH`` (on ``generate``/``tune``) streams structured
+JSONL events — hierarchical spans, counters — to ``PATH`` (``-`` for a
+pretty stderr feed); ``mpicollpred report --telemetry PATH`` digests
+the log afterwards. ``--resume`` replays the chunk journal an
+interrupted campaign left behind, producing a dataset bit-identical
+to an uninterrupted run.
 
 (Entry point installed by the package; ``python -m repro.cli`` works
 too.)
@@ -16,11 +25,39 @@ too.)
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 import time
+from typing import Iterator
 
 from repro.experiments.datasets import DATASETS, Scale, generate_dataset
 from repro.utils.units import parse_bytes
+
+
+@contextlib.contextmanager
+def _telemetry_to(destination: str | None) -> Iterator[None]:
+    """Attach a telemetry sink for the body (``-`` = pretty stderr).
+
+    Counters are flushed into the stream on exit so the log ends with
+    the campaign's final tallies — that is what ``report --telemetry``
+    renders in its counter table.
+    """
+    if destination is None:
+        yield
+        return
+    from repro.obs import FileSink, StderrSink, get_telemetry
+
+    telemetry = get_telemetry()
+    sink = StderrSink() if destination == "-" else FileSink(destination)
+    telemetry.add_sink(sink)
+    try:
+        yield
+        telemetry.flush()
+    finally:
+        telemetry.remove_sink(sink)
+        sink.close()
+        if destination != "-":
+            print(f"telemetry written to {destination}")
 
 
 def _cmd_machines(args: argparse.Namespace) -> int:
@@ -34,10 +71,16 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     from repro.experiments.cache import cache_dir
 
     t0 = time.time()
-    dataset = generate_dataset(args.dataset, args.scale, seed=args.seed)
     stem = cache_dir() / f"{args.dataset}-{args.scale}-s{args.seed}"
     stem.parent.mkdir(parents=True, exist_ok=True)
-    dataset.save(stem)
+    with _telemetry_to(args.telemetry):
+        # Always journal next to the dataset: an interrupted campaign
+        # can then be picked up with --resume at zero extra cost.
+        dataset = generate_dataset(
+            args.dataset, args.scale, seed=args.seed,
+            checkpoint=stem, resume=args.resume,
+        )
+        dataset.save(stem)
     print(
         f"{dataset.name}: {len(dataset)} samples in {time.time() - t0:.1f}s "
         f"-> {stem}.npz"
@@ -64,11 +107,15 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     ppns_grid = sorted({1, max(1, args.ppn // 2), args.ppn})
     msizes = (1, 256, 4096, 65536, 524288, 4194304)
     print(f"benchmarking {library.name} {args.collective} on {machine.name} ...")
-    tuner.benchmark(GridSpec(tuple(nodes_grid), tuple(ppns_grid), msizes))
-    tuner.train()
-    text = tuner.write_rules(
-        args.output, args.nodes, args.ppn, fmt=args.format
-    )
+    with _telemetry_to(args.telemetry):
+        tuner.benchmark(
+            GridSpec(tuple(nodes_grid), tuple(ppns_grid), msizes),
+            checkpoint=f"{args.output}.campaign", resume=args.resume,
+        )
+        tuner.train()
+        text = tuner.write_rules(
+            args.output, args.nodes, args.ppn, fmt=args.format
+        )
     print(f"wrote {args.output}:")
     print(text)
     return 0
@@ -87,6 +134,13 @@ def _cmd_predict(args: argparse.Namespace) -> int:
         selector.ranked(args.nodes, args.ppn, parse_bytes(args.msize))[:5], 1
     ):
         print(f"  {rank}. {c.label:40s} predicted {t * 1e6:10.1f} us")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.obs import report_telemetry
+
+    print(report_telemetry(args.telemetry, top=args.top))
     return 0
 
 
@@ -149,6 +203,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--scale", choices=[s.value for s in Scale], default="ci")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--resume", action="store_true",
+        help="replay the chunk journal of an interrupted campaign "
+        "(bit-identical to an uninterrupted run)",
+    )
+    p.add_argument(
+        "--telemetry", metavar="PATH", default=None,
+        help="write JSONL telemetry events to PATH ('-' = pretty stderr)",
+    )
 
     p = sub.add_parser("tune", help="benchmark + train + emit a rules file")
     p.add_argument("--machine", default="Hydra")
@@ -162,6 +225,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--format", choices=["ompi", "json"], default="ompi")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("-o", "--output", default="tuned_rules.conf")
+    p.add_argument(
+        "--resume", action="store_true",
+        help="replay the chunk journal of an interrupted campaign",
+    )
+    p.add_argument(
+        "--telemetry", metavar="PATH", default=None,
+        help="write JSONL telemetry events to PATH ('-' = pretty stderr)",
+    )
 
     p = sub.add_parser("predict", help="query a selector trained on a saved dataset")
     p.add_argument("dataset_file", help="path stem of a saved dataset (.npz/.json)")
@@ -174,6 +245,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("name", choices=["all", *sorted(_EXPERIMENTS)])
     p.add_argument("--scale", choices=[s.value for s in Scale], default="ci")
 
+    p = sub.add_parser(
+        "report", help="summarize a telemetry JSONL log (top spans, counters)"
+    )
+    p.add_argument(
+        "--telemetry", metavar="PATH", required=True,
+        help="JSONL event log written by --telemetry on generate/tune",
+    )
+    p.add_argument(
+        "--top", type=int, default=10,
+        help="how many spans to show (by total wall time)",
+    )
+
     return parser
 
 
@@ -183,6 +266,7 @@ _COMMANDS = {
     "tune": _cmd_tune,
     "predict": _cmd_predict,
     "experiment": _cmd_experiment,
+    "report": _cmd_report,
 }
 
 

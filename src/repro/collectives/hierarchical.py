@@ -36,7 +36,7 @@ from repro.collectives.patterns import (
 )
 from repro.machine.model import MachineModel
 from repro.machine.topology import Topology
-from repro.simulator.engine import Irecv, Isend, Recv, Send, SimResult
+from repro.simulator.engine import Irecv, Isend, Recv, Send
 from repro.simulator.fastsim import pipeline_tree_time, segment_sizes
 
 #: tag namespace for the translated leader-level phase

@@ -16,7 +16,7 @@ plot runtimes normalised by ``best``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

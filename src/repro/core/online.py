@@ -16,7 +16,7 @@ prediction avoids exactly this in-application exploration cost.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

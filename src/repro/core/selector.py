@@ -22,7 +22,9 @@ import numpy as np
 from repro.collectives.base import AlgorithmConfig
 from repro.core.dataset import PerfDataset
 from repro.core.features import instance_features
+from repro.ml import _ckernel
 from repro.ml.base import Regressor
+from repro.obs import get_telemetry
 from repro.utils.parallel import parallel_map
 
 
@@ -59,24 +61,38 @@ class AlgorithmSelector:
         drawing seeds from shared state sees the same call sequence —
         and each model then trains only on its own private RNG.
         """
+        telemetry = get_telemetry()
         self.configs_ = dataset.configs
         self.models_ = {}
-        X_all = instance_features(dataset.nodes, dataset.ppn, dataset.msize)
-        # Serial, order-stable phase: decide eligibility + build models.
-        tasks: list[tuple[int, Regressor, np.ndarray]] = []
-        for cid in range(len(dataset.configs)):
-            mask = dataset.rows_of_config(cid)
-            if int(mask.sum()) < self.min_samples:
-                continue
-            tasks.append((cid, self.learner_factory(), mask))
-        # Parallel phase: each fit touches only its own model and a
-        # read-only view of the feature matrix.
-        parallel_map(
-            lambda task: task[1].fit(X_all[task[2]], dataset.time[task[2]]),
-            tasks,
-            n_jobs=n_jobs,
-        )
-        self.models_ = {cid: model for cid, model, _ in tasks}
+        with telemetry.span(
+            f"selector/fit/{dataset.name}", dataset=dataset.name,
+            rows=len(dataset), configs=len(dataset.configs),
+        ) as fit_span:
+            X_all = instance_features(
+                dataset.nodes, dataset.ppn, dataset.msize
+            )
+            # Serial, order-stable phase: eligibility + model creation.
+            tasks: list[tuple[int, Regressor, np.ndarray]] = []
+            for cid in range(len(dataset.configs)):
+                mask = dataset.rows_of_config(cid)
+                if int(mask.sum()) < self.min_samples:
+                    continue
+                tasks.append((cid, self.learner_factory(), mask))
+
+            # Parallel phase: each fit touches only its own model and a
+            # read-only view of the feature matrix.
+            def fit_one(task: tuple[int, Regressor, np.ndarray]) -> None:
+                cid, model, mask = task
+                with telemetry.span(
+                    f"selector/fit/{dataset.name}/cid={cid}",
+                    absolute=True, samples=int(mask.sum()),
+                ):
+                    model.fit(X_all[mask], dataset.time[mask])
+                telemetry.add("selector.models_fitted")
+
+            parallel_map(fit_one, tasks, n_jobs=n_jobs)
+            self.models_ = {cid: model for cid, model, _ in tasks}
+            fit_span.annotate(models=len(self.models_))
         if not self.models_:
             raise ValueError(
                 "no configuration had enough samples to train on "
@@ -98,10 +114,17 @@ class AlgorithmSelector:
         argmin.
         """
         self._check_fitted()
+        telemetry = get_telemetry()
         X = instance_features(nodes, ppn, msize)
-        times = np.full((len(X), len(self.configs_)), np.inf)
-        for cid, model in self.models_.items():
-            times[:, cid] = model.predict(X)
+        with telemetry.span(
+            "selector/predict", rows=len(X), models=len(self.models_),
+            kernel="c" if _ckernel.available() else "numpy",
+        ):
+            times = np.full((len(X), len(self.configs_)), np.inf)
+            for cid, model in self.models_.items():
+                times[:, cid] = model.predict(X)
+        telemetry.add("selector.predict_calls")
+        telemetry.add("selector.predict_rows", len(X))
         return times
 
     def select_ids(

@@ -30,6 +30,7 @@ import numpy as np
 
 from repro.collectives.base import AlgorithmConfig
 from repro.core.selector import AlgorithmSelector
+from repro.obs import get_telemetry
 
 
 def _nearest(axis: np.ndarray, values: np.ndarray) -> np.ndarray:
@@ -72,9 +73,13 @@ class DecisionSurface:
         grid_n, grid_p, grid_m = np.meshgrid(
             nodes_axis, ppn_axis, msize_axis, indexing="ij"
         )
-        times = selector.predict_times(
-            grid_n.ravel(), grid_p.ravel(), grid_m.ravel()
-        )
+        with get_telemetry().span(
+            "surface/build", cells=int(grid_n.size),
+            configs=len(selector.configs_),
+        ):
+            times = selector.predict_times(
+                grid_n.ravel(), grid_p.ravel(), grid_m.ravel()
+            )
         shape = grid_n.shape
         best = np.argmin(times, axis=1)
         return DecisionSurface(
@@ -115,6 +120,7 @@ class DecisionSurface:
     ) -> np.ndarray:
         """Winning configuration id per query instance."""
         i, j, k = self.cell_of(nodes, ppn, msize)
+        get_telemetry().add("surface.lookups", int(np.size(i)))
         return self.best_cid[i, j, k]
 
     def recommend(self, nodes: int, ppn: int, msize: int) -> AlgorithmConfig:

@@ -27,6 +27,7 @@ from repro.machine.model import MachineModel
 from repro.ml import PAPER_LEARNERS
 from repro.ml.base import Regressor
 from repro.mpilib.base import MPILibrary
+from repro.obs import get_telemetry
 
 
 @dataclass
@@ -63,12 +64,17 @@ class AutoTuner:
         exclude_algids: tuple[int, ...] = (),
         name: str = "",
         n_jobs: int | None = None,
+        checkpoint: str | None = None,
+        resume: bool = False,
     ) -> PerfDataset:
         """Run the benchmark campaign (the offline training-data step).
 
         ``n_jobs`` spreads the grid's (nodes, ppn) columns over a
         thread pool (default: the ``REPRO_JOBS`` environment variable,
         else serial); the dataset is bit-identical either way.
+        ``checkpoint``/``resume`` journal completed chunks so an
+        interrupted campaign can resume bit-identically (see
+        :meth:`repro.bench.runner.DatasetRunner.run`).
         """
         runner = DatasetRunner(
             self.machine, self.library, self.bench_spec, seed=self.seed
@@ -76,6 +82,7 @@ class AutoTuner:
         self.dataset_ = runner.run(
             self.collective, grid, name=name,
             exclude_algids=exclude_algids, n_jobs=n_jobs,
+            checkpoint=checkpoint, resume=resume,
         )
         return self.dataset_
 
@@ -126,6 +133,7 @@ class AutoTuner:
         """
         if self.selector_ is None:
             raise RuntimeError("train() first")
+        get_telemetry().add("tuner.recommend_full")
         return self.selector_.select(nodes, ppn, msize)
 
     def recommend_fast(
@@ -134,6 +142,7 @@ class AutoTuner:
         """O(1) recommendation from the precomputed decision surface."""
         if self.surface_ is None:
             raise RuntimeError("build_surface() first")
+        get_telemetry().add("tuner.recommend_fast")
         return self.surface_.recommend(nodes, ppn, msize)
 
     def write_rules(

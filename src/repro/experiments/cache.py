@@ -14,6 +14,7 @@ from pathlib import Path
 
 from repro.core.dataset import PerfDataset
 from repro.experiments.datasets import Scale, generate_dataset
+from repro.obs import get_telemetry
 
 logger = logging.getLogger(__name__)
 
@@ -34,8 +35,10 @@ def _load_or_none(stem: Path) -> PerfDataset | None:
     """Load a cached dataset, treating corruption as a cache miss.
 
     A torn ``.npz`` (pre-atomic-save writes could be interrupted) or a
-    mangled JSON sidecar is logged and discarded instead of crashing
-    every exhibit that shares the dataset.
+    mangled JSON sidecar emits a structured ``cache_corrupt`` telemetry
+    event (and a log line) and is discarded instead of crashing every
+    exhibit that shares the dataset — a silent rebuild would hide disk
+    or concurrency bugs from operators.
     """
     if not (
         stem.with_suffix(".npz").exists()
@@ -45,6 +48,12 @@ def _load_or_none(stem: Path) -> PerfDataset | None:
     try:
         return PerfDataset.load(stem)
     except Exception as exc:  # corrupt archive/sidecar: regenerate
+        get_telemetry().event(
+            "cache_corrupt", path=str(stem),
+            error=f"{type(exc).__name__}: {exc}",
+            action="regenerate",
+        )
+        get_telemetry().add("cache.corrupt")
         logger.warning(
             "cached dataset %s is unreadable (%s: %s); regenerating",
             stem, type(exc).__name__, exc,
@@ -57,17 +66,22 @@ def dataset_cached(
 ) -> PerfDataset:
     """Load a Table II dataset, generating (and persisting) it if needed."""
     scale = Scale(scale)
+    telemetry = get_telemetry()
     directory = cache_dir()
     key = (str(directory.resolve()), did, scale, seed)
     if key in _memory:
+        telemetry.add("cache.memory_hits")
         return _memory[key]
     stem = directory / f"{did}-{scale.value}-s{seed}"
     dataset = _load_or_none(stem)
     if dataset is None:
+        telemetry.add("cache.misses")
         logger.info("generating dataset %s at %s scale", did, scale.value)
         dataset = generate_dataset(did, scale, seed)
         stem.parent.mkdir(parents=True, exist_ok=True)
         dataset.save(stem)
+    else:
+        telemetry.add("cache.disk_hits")
     _memory[key] = dataset
     return dataset
 

@@ -178,12 +178,19 @@ def generate_dataset(
     scale: Scale | str = Scale.CI,
     seed: int = 0,
     spec: BenchmarkSpec | None = None,
+    *,
+    n_jobs: int | None = None,
+    progress=None,
+    checkpoint=None,
+    resume: bool = False,
 ) -> PerfDataset:
     """Benchmark one Table II (or extension) dataset from scratch.
 
     Deterministic for fixed ``(did, scale, seed)``; see
     :func:`repro.experiments.cache.dataset_cached` for the disk-cached
-    variant the figure drivers use.
+    variant the figure drivers use. ``checkpoint``/``resume`` journal
+    completed campaign chunks for bit-identical interrupt recovery
+    (see :meth:`repro.bench.runner.DatasetRunner.run`).
     """
     scale = Scale(scale)
     ds_spec = dataset_spec(did)
@@ -198,4 +205,8 @@ def generate_dataset(
         ds_spec.grid(scale),
         name=f"{did}-{scale.value}",
         exclude_algids=ds_spec.exclude_algids,
+        n_jobs=n_jobs,
+        progress=progress,
+        checkpoint=checkpoint,
+        resume=resume,
     )

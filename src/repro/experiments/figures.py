@@ -8,7 +8,6 @@ ASCII view and the benchmark suite prints it.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any
 
 import numpy as np
 

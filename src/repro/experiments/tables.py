@@ -24,7 +24,6 @@ from repro.experiments.splits import split_dataset
 from repro.machine.zoo import MACHINES, get_machine
 from repro.ml import PAPER_LEARNERS
 from repro.mpilib import get_library
-from repro.utils.units import format_bytes
 
 
 @dataclass

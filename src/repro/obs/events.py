@@ -1,0 +1,88 @@
+"""Structured telemetry events (the one schema every sink speaks).
+
+Every record the observability layer emits — span completions, counter
+flushes, gauges, ad-hoc events such as ``cache_corrupt`` — is one
+:class:`TelemetryEvent`. The wire format is JSONL: one
+``json.dumps(event.to_dict())`` per line, so logs concatenate, stream,
+and ``grep`` trivially and ``repro report --telemetry`` can summarise
+any run after the fact.
+
+Schema (all events)::
+
+    ts      float   unix timestamp at emission
+    kind    str     "span" | "counter" | "gauge" | "event"
+    name    str     hierarchical, "/"-separated (e.g. "campaign/d1/n=16")
+    pid     int     emitting process
+    thread  str     emitting thread name
+    fields  dict    kind-specific payload
+
+Kind-specific ``fields``:
+
+* ``span`` — ``wall_s`` (elapsed wall time), ``cpu_s`` (thread CPU
+  time), ``depth`` (nesting level, 0 = root), plus any annotations the
+  instrumented code attached (``samples``, ``rows``, ``kernel`` ...).
+* ``counter`` — ``value`` (cumulative count at flush time).
+* ``gauge`` — ``value`` (last-write-wins scalar).
+* ``event`` — free-form payload (e.g. ``cache_corrupt`` carries
+  ``path`` and ``error``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+#: the event kinds the schema admits
+KINDS = ("span", "counter", "gauge", "event")
+
+
+@dataclass(frozen=True)
+class TelemetryEvent:
+    """One structured telemetry record."""
+
+    kind: str
+    name: str
+    fields: Mapping[str, Any] = field(default_factory=dict)
+    ts: float = field(default_factory=time.time)
+    pid: int = field(default_factory=os.getpid)
+    thread: str = field(default_factory=lambda: threading.current_thread().name)
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown event kind {self.kind!r}; one of {KINDS}")
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict form (stable key order, JSON-ready)."""
+        return {
+            "ts": self.ts,
+            "kind": self.kind,
+            "name": self.name,
+            "pid": self.pid,
+            "thread": self.thread,
+            "fields": dict(self.fields),
+        }
+
+    def to_json(self) -> str:
+        """One JSONL line (no trailing newline)."""
+        return json.dumps(self.to_dict(), separators=(",", ":"), default=str)
+
+    @staticmethod
+    def from_dict(data: Mapping[str, Any]) -> "TelemetryEvent":
+        """Inverse of :meth:`to_dict` (used by the report reader)."""
+        return TelemetryEvent(
+            kind=data["kind"],
+            name=data["name"],
+            fields=dict(data.get("fields", {})),
+            ts=float(data.get("ts", 0.0)),
+            pid=int(data.get("pid", 0)),
+            thread=str(data.get("thread", "")),
+        )
+
+    @staticmethod
+    def from_json(line: str) -> "TelemetryEvent":
+        return TelemetryEvent.from_dict(json.loads(line))

@@ -1,0 +1,183 @@
+"""Summarise a telemetry JSONL log (``repro report --telemetry``).
+
+Aggregates ``span`` events by name (count, total/mean/max wall time,
+total CPU time), keeps the final value of every counter and gauge, and
+lists ad-hoc events — enough to answer "where did this campaign spend
+its time?" without opening the raw log.
+"""
+
+from __future__ import annotations
+
+from collections import Counter as TallyCounter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Sequence
+
+from repro.obs.events import TelemetryEvent
+
+
+def _render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    floatfmt: str = ".3g",
+    title: str | None = None,
+) -> str:
+    """Minimal fixed-width table renderer.
+
+    Deliberately local: :mod:`repro.obs` is the bottom of the
+    dependency stack (the campaign runner imports it), so it cannot
+    lean on :mod:`repro.experiments.report` without creating an import
+    cycle.
+    """
+    cells = [
+        [format(v, floatfmt) if isinstance(v, float) else str(v) for v in row]
+        for row in rows
+    ]
+    widths = [
+        max(len(str(h)), *(len(r[i]) for r in cells)) if cells else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    lines = [] if title is None else [title]
+    lines.append(" | ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in cells:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def load_events(path: str | Path) -> list[TelemetryEvent]:
+    """Parse a JSONL telemetry log, skipping torn trailing lines.
+
+    A crashed run may leave a partially written final line; everything
+    before it is still valid JSONL, so one bad line is tolerated and
+    reported via the summary's ``skipped`` count rather than raised.
+    """
+    events: list[TelemetryEvent] = []
+    skipped = 0
+    with Path(path).open() as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(TelemetryEvent.from_json(line))
+            except (ValueError, KeyError):
+                skipped += 1
+    if skipped:
+        events.append(
+            TelemetryEvent(
+                kind="event", name="report.skipped_lines",
+                fields={"value": skipped},
+            )
+        )
+    return events
+
+
+@dataclass
+class SpanStats:
+    """Aggregate of every completion of one span name."""
+
+    name: str
+    count: int = 0
+    total_wall_s: float = 0.0
+    total_cpu_s: float = 0.0
+    max_wall_s: float = 0.0
+    errors: int = 0
+
+    @property
+    def mean_wall_s(self) -> float:
+        return self.total_wall_s / self.count if self.count else 0.0
+
+
+@dataclass
+class TelemetrySummary:
+    """Digest of one telemetry log."""
+
+    spans: list[SpanStats] = field(default_factory=list)
+    counters: dict[str, float] = field(default_factory=dict)
+    gauges: dict[str, float] = field(default_factory=dict)
+    event_tally: dict[str, int] = field(default_factory=dict)
+    num_events: int = 0
+
+
+def summarize(events: Iterable[TelemetryEvent]) -> TelemetrySummary:
+    """Aggregate an event stream into a :class:`TelemetrySummary`.
+
+    Spans are sorted by total wall time, descending; counters and
+    gauges keep their last (= final) emitted value.
+    """
+    spans: dict[str, SpanStats] = {}
+    summary = TelemetrySummary()
+    for event in events:
+        summary.num_events += 1
+        if event.kind == "span":
+            stats = spans.setdefault(event.name, SpanStats(event.name))
+            wall = float(event.fields.get("wall_s", 0.0))
+            stats.count += 1
+            stats.total_wall_s += wall
+            stats.total_cpu_s += float(event.fields.get("cpu_s", 0.0))
+            stats.max_wall_s = max(stats.max_wall_s, wall)
+            if event.fields.get("error"):
+                stats.errors += 1
+        elif event.kind == "counter":
+            summary.counters[event.name] = event.fields.get("value", 0)
+        elif event.kind == "gauge":
+            summary.gauges[event.name] = event.fields.get("value", 0)
+        else:
+            tally = TallyCounter(summary.event_tally)
+            tally[event.name] += 1
+            summary.event_tally = dict(tally)
+    summary.spans = sorted(
+        spans.values(), key=lambda s: s.total_wall_s, reverse=True
+    )
+    return summary
+
+
+def render_summary(summary: TelemetrySummary, top: int = 10) -> str:
+    """Human-readable digest: top-N spans, counters, gauges, events."""
+    parts: list[str] = []
+    span_rows = [
+        [s.name, s.count, s.total_wall_s * 1e3, s.mean_wall_s * 1e3,
+         s.max_wall_s * 1e3, s.total_cpu_s * 1e3, s.errors]
+        for s in summary.spans[:top]
+    ]
+    parts.append(
+        _render_table(
+            ["span", "count", "total ms", "mean ms", "max ms",
+             "cpu ms", "errors"],
+            span_rows,
+            floatfmt=".3f",
+            title=f"Top spans by total wall time ({summary.num_events} events)",
+        )
+    )
+    if summary.counters:
+        parts.append(
+            _render_table(
+                ["counter", "value"],
+                sorted(summary.counters.items()),
+                title="Counters",
+            )
+        )
+    if summary.gauges:
+        parts.append(
+            _render_table(
+                ["gauge", "value"],
+                sorted(summary.gauges.items()),
+                floatfmt=".4g",
+                title="Gauges",
+            )
+        )
+    if summary.event_tally:
+        parts.append(
+            _render_table(
+                ["event", "count"],
+                sorted(summary.event_tally.items()),
+                title="Events",
+            )
+        )
+    return "\n\n".join(parts)
+
+
+def report_telemetry(path: str | Path, top: int = 10) -> str:
+    """Load + summarise + render one JSONL log (the CLI entry point)."""
+    return render_summary(summarize(load_events(path)), top=top)

@@ -1,0 +1,139 @@
+"""Pluggable telemetry sinks.
+
+A sink consumes :class:`~repro.obs.events.TelemetryEvent` records; the
+:class:`~repro.obs.telemetry.Telemetry` hub fans every event out to all
+attached sinks. Three implementations cover the paper pipeline's
+needs:
+
+* :class:`FileSink` — append-only JSONL, the durable format
+  ``repro report --telemetry`` consumes;
+* :class:`StderrSink` — human-oriented pretty printer for interactive
+  ``--telemetry -`` runs;
+* :class:`MemorySink` — in-process buffer the test-suite asserts on.
+
+All sinks are thread-safe: campaign workers emit concurrently under
+``REPRO_JOBS``.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+from pathlib import Path
+from typing import IO, Protocol
+
+from repro.obs.events import TelemetryEvent
+
+
+class Sink(Protocol):
+    """Anything that can consume telemetry events."""
+
+    def emit(self, event: TelemetryEvent) -> None: ...
+
+    def close(self) -> None: ...
+
+
+class MemorySink:
+    """Buffers events in memory (tests, report unit tests)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._events: list[TelemetryEvent] = []
+
+    def emit(self, event: TelemetryEvent) -> None:
+        with self._lock:
+            self._events.append(event)
+
+    def close(self) -> None:  # nothing to release
+        pass
+
+    # ------------------------------------------------------------------
+    @property
+    def events(self) -> list[TelemetryEvent]:
+        """Snapshot of everything emitted so far."""
+        with self._lock:
+            return list(self._events)
+
+    def of_kind(self, kind: str) -> list[TelemetryEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    def named(self, name: str) -> list[TelemetryEvent]:
+        return [e for e in self.events if e.name == name]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._events.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+
+class FileSink:
+    """Append-only JSONL event log.
+
+    Each event is written as one line and flushed immediately, so a
+    crashed campaign still leaves a readable log with every completed
+    span — the property checkpoint/resume diagnostics rely on.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        self._fh: IO[str] | None = self.path.open("a")
+
+    def emit(self, event: TelemetryEvent) -> None:
+        with self._lock:
+            if self._fh is None:
+                raise ValueError(f"FileSink {self.path} is closed")
+            self._fh.write(event.to_json() + "\n")
+            self._fh.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
+
+
+class StderrSink:
+    """Pretty printer for interactive runs (``--telemetry -``)."""
+
+    #: per-kind prefix glyphs (ASCII so dumb terminals stay readable)
+    _GLYPHS = {"span": "⏱", "counter": "Σ", "gauge": "≈", "event": "·"}
+
+    def __init__(self, stream: IO[str] | None = None) -> None:
+        self._stream = stream if stream is not None else sys.stderr
+        self._lock = threading.Lock()
+
+    def emit(self, event: TelemetryEvent) -> None:
+        glyph = self._GLYPHS.get(event.kind, "?")
+        if event.kind == "span":
+            wall = event.fields.get("wall_s", 0.0)
+            extra = {
+                k: v
+                for k, v in event.fields.items()
+                if k not in ("wall_s", "cpu_s", "depth")
+            }
+            tail = f" {extra}" if extra else ""
+            line = f"{glyph} {event.name}: {wall * 1e3:.2f} ms{tail}"
+        elif event.kind in ("counter", "gauge"):
+            line = f"{glyph} {event.name} = {event.fields.get('value')}"
+        else:
+            line = f"{glyph} {event.name} {dict(event.fields)}"
+        with self._lock:
+            self._stream.write(line + "\n")
+
+    def close(self) -> None:  # stderr is not ours to close
+        pass
+
+
+class NullSink:
+    """Swallows everything (placeholder / benchmarking the overhead)."""
+
+    def emit(self, event: TelemetryEvent) -> None:
+        pass
+
+    def close(self) -> None:
+        pass

@@ -1,0 +1,225 @@
+"""Hierarchical spans + process-wide counters/gauges.
+
+One :class:`Telemetry` hub per process (module-level singleton,
+:func:`get_telemetry`), with three primitives:
+
+* :meth:`Telemetry.span` — a context manager measuring wall time
+  (``perf_counter``) and thread CPU time (``thread_time``) for one
+  named stage. Span names nest per thread: inside
+  ``span("campaign/d1")``, ``span("n=16")`` emits as
+  ``campaign/d1/n=16``. Worker threads (which start with an empty
+  stack) pass ``absolute=True`` and the full path so chunk spans slot
+  under their campaign regardless of which thread runs them.
+* :meth:`Telemetry.add` / :meth:`Telemetry.counter` — monotonically
+  increasing process-wide counters, atomic under ``REPRO_JOBS``
+  worker threads. Counters accumulate silently (no per-increment
+  event — a campaign advances them thousands of times) and are
+  emitted once per :meth:`flush` as ``counter`` events.
+* :meth:`Telemetry.gauge` — last-write-wins scalars (worker
+  utilization, cache sizes), emitted immediately.
+
+With no sinks attached, every primitive degrades to a few arithmetic
+operations and one lock acquisition — cheap enough to leave the
+instrumentation permanently enabled in the hot layers.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+import time
+from typing import Any, Iterable, Iterator
+
+from repro.obs.events import TelemetryEvent
+from repro.obs.sinks import MemorySink, Sink
+
+
+class Span:
+    """A live measurement of one named stage (use via ``with``)."""
+
+    __slots__ = ("name", "depth", "fields", "_t0_wall", "_t0_cpu", "_telemetry")
+
+    def __init__(self, telemetry: "Telemetry", name: str, depth: int,
+                 fields: dict[str, Any]) -> None:
+        self._telemetry = telemetry
+        self.name = name
+        self.depth = depth
+        self.fields = fields
+        self._t0_wall = time.perf_counter()
+        self._t0_cpu = time.thread_time()
+
+    def annotate(self, **fields: Any) -> "Span":
+        """Attach payload fields to the span's completion event."""
+        self.fields.update(fields)
+        return self
+
+    @property
+    def elapsed(self) -> float:
+        """Wall seconds since the span opened (while still running)."""
+        return time.perf_counter() - self._t0_wall
+
+    def _finish(self) -> TelemetryEvent:
+        wall = time.perf_counter() - self._t0_wall
+        cpu = time.thread_time() - self._t0_cpu
+        payload = {"wall_s": wall, "cpu_s": cpu, "depth": self.depth}
+        payload.update(self.fields)
+        return TelemetryEvent(kind="span", name=self.name, fields=payload)
+
+
+class _Counter:
+    """One atomic cumulative counter."""
+
+    __slots__ = ("name", "value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+        self._lock = threading.Lock()
+
+    def add(self, amount: int = 1) -> int:
+        with self._lock:
+            self.value += amount
+            return self.value
+
+
+class Telemetry:
+    """Process-wide telemetry hub: spans, counters, gauges, sinks."""
+
+    def __init__(self, sinks: Iterable[Sink] = ()) -> None:
+        self._sinks: list[Sink] = list(sinks)
+        self._sinks_lock = threading.Lock()
+        self._counters: dict[str, _Counter] = {}
+        self._gauges: dict[str, float] = {}
+        self._state_lock = threading.Lock()
+        self._stack = threading.local()
+
+    # -- sink management ------------------------------------------------
+    @property
+    def sinks(self) -> list[Sink]:
+        with self._sinks_lock:
+            return list(self._sinks)
+
+    def configure(self, sinks: Iterable[Sink]) -> None:
+        """Replace the attached sinks (closing nothing — callers own them)."""
+        with self._sinks_lock:
+            self._sinks = list(sinks)
+
+    def add_sink(self, sink: Sink) -> Sink:
+        with self._sinks_lock:
+            self._sinks.append(sink)
+        return sink
+
+    def remove_sink(self, sink: Sink) -> None:
+        with self._sinks_lock:
+            if sink in self._sinks:
+                self._sinks.remove(sink)
+
+    @contextlib.contextmanager
+    def capture(self) -> Iterator[MemorySink]:
+        """Attach a fresh :class:`MemorySink` for the ``with`` body (tests)."""
+        sink = MemorySink()
+        self.add_sink(sink)
+        try:
+            yield sink
+        finally:
+            self.remove_sink(sink)
+
+    def _emit(self, event: TelemetryEvent) -> None:
+        for sink in self.sinks:
+            sink.emit(event)
+
+    # -- spans ----------------------------------------------------------
+    def _thread_stack(self) -> list[str]:
+        stack = getattr(self._stack, "frames", None)
+        if stack is None:
+            stack = self._stack.frames = []
+        return stack
+
+    @contextlib.contextmanager
+    def span(self, name: str, /, *, absolute: bool = False,
+             **fields: Any) -> Iterator[Span]:
+        """Measure one named stage; emits a ``span`` event on exit.
+
+        ``name`` is joined onto the current thread's open spans with
+        ``/`` unless ``absolute=True`` (used by pool workers, whose
+        threads have no ancestry to inherit). The event is emitted
+        even when the body raises — an interrupted campaign's log
+        still shows every chunk that finished or died.
+        """
+        stack = self._thread_stack()
+        path = name if (absolute or not stack) else f"{stack[-1]}/{name}"
+        span = Span(self, path, depth=len(stack), fields=dict(fields))
+        stack.append(path)
+        try:
+            yield span
+        except BaseException:
+            span.fields.setdefault("error", True)
+            raise
+        finally:
+            stack.pop()
+            self._emit(span._finish())
+
+    def current_path(self) -> str | None:
+        """The innermost open span path on this thread (None outside)."""
+        stack = self._thread_stack()
+        return stack[-1] if stack else None
+
+    # -- counters / gauges ----------------------------------------------
+    def counter(self, name: str) -> _Counter:
+        """Get-or-create the named counter (atomic ``.add``)."""
+        with self._state_lock:
+            counter = self._counters.get(name)
+            if counter is None:
+                counter = self._counters[name] = _Counter(name)
+            return counter
+
+    def add(self, name: str, amount: int = 1) -> int:
+        """Increment a counter; returns the new cumulative value."""
+        return self.counter(name).add(amount)
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set a last-write-wins scalar and emit it immediately."""
+        with self._state_lock:
+            self._gauges[name] = value
+        self._emit(
+            TelemetryEvent(kind="gauge", name=name, fields={"value": value})
+        )
+
+    def counters_snapshot(self) -> dict[str, int]:
+        """Current value of every counter (stable name order)."""
+        with self._state_lock:
+            counters = list(self._counters.values())
+        return {c.name: c.value for c in sorted(counters, key=lambda c: c.name)}
+
+    def gauges_snapshot(self) -> dict[str, float]:
+        with self._state_lock:
+            return dict(self._gauges)
+
+    def flush(self) -> None:
+        """Emit one ``counter`` event per counter with its current value."""
+        for name, value in self.counters_snapshot().items():
+            self._emit(
+                TelemetryEvent(kind="counter", name=name, fields={"value": value})
+            )
+
+    # -- ad-hoc events ----------------------------------------------------
+    def event(self, name: str, /, **fields: Any) -> None:
+        """Emit a free-form structured event (e.g. ``cache_corrupt``)."""
+        self._emit(TelemetryEvent(kind="event", name=name, fields=fields))
+
+    # -- lifecycle -------------------------------------------------------
+    def reset(self) -> None:
+        """Zero counters/gauges and detach all sinks (tests)."""
+        with self._state_lock:
+            self._counters.clear()
+            self._gauges.clear()
+        self.configure(())
+
+
+#: the process-wide hub every instrumented layer emits into
+_GLOBAL = Telemetry()
+
+
+def get_telemetry() -> Telemetry:
+    """The process-wide :class:`Telemetry` singleton."""
+    return _GLOBAL

@@ -1,0 +1,198 @@
+"""Campaign checkpoint/resume: bit-identical recovery from interrupts."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.bench.checkpoint import CampaignJournal, campaign_fingerprint
+from repro.bench.repro_mpi import BenchmarkSpec
+from repro.bench.runner import DatasetRunner, GridSpec
+from repro.machine.zoo import tiny_testbed
+from repro.mpilib import get_library
+from repro.obs import get_telemetry
+
+GRID = GridSpec(nodes=(2, 4), ppns=(1, 2), msizes=(16, 1024, 65536))
+
+
+def _runner(seed=11):
+    return DatasetRunner(
+        tiny_testbed, get_library("Open MPI"),
+        BenchmarkSpec(max_nreps=5), seed=seed,
+    )
+
+
+def _assert_identical(a, b):
+    for attr in ("config_id", "nodes", "ppn", "msize", "time"):
+        np.testing.assert_array_equal(getattr(a, attr), getattr(b, attr))
+
+
+class _Interrupt(Exception):
+    pass
+
+
+def _interrupted_run(stem, *, at=0.5, n_jobs=None, seed=11):
+    """Run the campaign, injecting an interrupt at ``at`` progress."""
+
+    def maybe_boom(done, total):
+        if done >= total * at:
+            raise _Interrupt
+
+    with pytest.raises(_Interrupt):
+        _runner(seed).run(
+            "bcast", GRID, name="ck", checkpoint=stem,
+            progress=maybe_boom, n_jobs=n_jobs,
+        )
+
+
+class TestJournal:
+    FP = campaign_fingerprint("a", 1, (2, 4))
+
+    def test_roundtrip_exact_floats(self, tmp_path):
+        path = tmp_path / "j.json"
+        rows = ([0, 1], [16, 16], [1.2345678901234567e-05, 7.1e-300])
+        journal = CampaignJournal(path, self.FP)
+        journal.record((2, 1), rows)
+
+        fresh = CampaignJournal(path, self.FP)
+        assert fresh.load() == 1
+        cid, msize, time = fresh.get((2, 1))
+        assert cid == rows[0] and msize == rows[1]
+        # bit-identical float recovery (json round-trips IEEE doubles)
+        assert all(a == b for a, b in zip(time, rows[2]))
+
+    def test_missing_file_is_fresh(self, tmp_path):
+        journal = CampaignJournal(tmp_path / "nope.json", self.FP)
+        assert journal.load() == 0
+
+    def test_fingerprint_mismatch_ignored_with_event(self, tmp_path):
+        path = tmp_path / "j.json"
+        CampaignJournal(path, self.FP).record((2, 1), ([0], [16], [1.0]))
+        with get_telemetry().capture() as sink:
+            stale = CampaignJournal(path, campaign_fingerprint("other"))
+            assert stale.load() == 0
+        assert [e.name for e in sink.of_kind("event")] == ["checkpoint_stale"]
+
+    def test_corrupt_file_ignored_with_event(self, tmp_path):
+        path = tmp_path / "j.json"
+        path.write_text('{"version": 1, "chunks": {"2,1"')  # torn write
+        with get_telemetry().capture() as sink:
+            journal = CampaignJournal(path, self.FP)
+            assert journal.load() == 0
+        assert [e.name for e in sink.of_kind("event")] == ["checkpoint_corrupt"]
+
+    def test_atomic_rewrite_leaves_no_droppings(self, tmp_path):
+        path = tmp_path / "j.json"
+        journal = CampaignJournal(path, self.FP)
+        for i in range(5):
+            journal.record((2, i), ([i], [16], [float(i)]))
+        leftovers = [p for p in tmp_path.iterdir() if p.name != "j.json"]
+        assert leftovers == []
+        assert len(json.loads(path.read_text())["chunks"]) == 5
+
+    def test_discard(self, tmp_path):
+        path = tmp_path / "j.json"
+        journal = CampaignJournal(path, self.FP)
+        journal.record((2, 1), ([0], [16], [1.0]))
+        journal.discard()
+        assert not path.exists()
+        assert journal.completed_pairs() == set()
+
+    def test_journal_path_next_to_dataset(self, tmp_path):
+        stem = tmp_path / "d1-ci-s0"
+        assert CampaignJournal.journal_path(stem).name == "d1-ci-s0.journal.json"
+
+    def test_fingerprint_stable_and_sensitive(self):
+        assert campaign_fingerprint(1, "x") == campaign_fingerprint(1, "x")
+        assert campaign_fingerprint(1, "x") != campaign_fingerprint(2, "x")
+
+
+class TestResumeDeterminism:
+    """Acceptance bar: interrupted+resumed == uninterrupted, any REPRO_JOBS."""
+
+    @pytest.fixture(scope="class")
+    def reference(self):
+        return _runner().run("bcast", GRID, name="ck")
+
+    @pytest.mark.parametrize("n_jobs", [1, 4])
+    def test_interrupted_then_resumed_bit_identical(
+        self, tmp_path, reference, n_jobs
+    ):
+        stem = tmp_path / "ds"
+        _interrupted_run(stem, n_jobs=n_jobs)
+        journal = CampaignJournal.journal_path(stem)
+        assert journal.exists(), "interrupt must leave a journal behind"
+        resumed = _runner().run(
+            "bcast", GRID, name="ck", checkpoint=stem,
+            resume=True, n_jobs=n_jobs,
+        )
+        _assert_identical(reference, resumed)
+
+    def test_cross_jobs_resume(self, tmp_path, reference):
+        # interrupted serially, resumed with 4 workers: still identical
+        stem = tmp_path / "ds"
+        _interrupted_run(stem, n_jobs=1)
+        resumed = _runner().run(
+            "bcast", GRID, name="ck", checkpoint=stem, resume=True, n_jobs=4
+        )
+        _assert_identical(reference, resumed)
+
+    def test_journal_removed_after_completion(self, tmp_path, reference):
+        stem = tmp_path / "ds"
+        _interrupted_run(stem)
+        _runner().run("bcast", GRID, name="ck", checkpoint=stem, resume=True)
+        assert not CampaignJournal.journal_path(stem).exists()
+
+    def test_checkpointed_uninterrupted_matches_plain(self, tmp_path, reference):
+        # journalling itself must not perturb the dataset
+        checked = _runner().run("bcast", GRID, name="ck", checkpoint=tmp_path / "ds")
+        _assert_identical(reference, checked)
+
+    def test_resume_with_wrong_seed_remeasures(self, tmp_path):
+        # a journal from seed 11 must not leak into a seed-12 campaign
+        stem = tmp_path / "ds"
+        _interrupted_run(stem, seed=11)
+        with get_telemetry().capture() as sink:
+            resumed = _runner(seed=12).run(
+                "bcast", GRID, name="ck", checkpoint=stem, resume=True
+            )
+        assert any(e.name == "checkpoint_stale" for e in sink.of_kind("event"))
+        fresh = _runner(seed=12).run("bcast", GRID, name="ck")
+        _assert_identical(fresh, resumed)
+
+    def test_resume_emits_campaign_resume_event(self, tmp_path):
+        stem = tmp_path / "ds"
+        _interrupted_run(stem)
+        with get_telemetry().capture() as sink:
+            _runner().run(
+                "bcast", GRID, name="ck", checkpoint=stem, resume=True
+            )
+        events = [e for e in sink.of_kind("event")
+                  if e.name == "campaign_resume"]
+        assert events and events[0].fields["chunks_resumed"] >= 1
+
+    def test_progress_reaches_total_on_resume(self, tmp_path):
+        stem = tmp_path / "ds"
+        _interrupted_run(stem)
+        calls = []
+        _runner().run(
+            "bcast", GRID, name="ck", checkpoint=stem, resume=True,
+            progress=lambda done, total: calls.append((done, total)),
+        )
+        assert calls[-1][0] == calls[-1][1]
+
+
+class TestCampaignTelemetry:
+    def test_campaign_and_chunk_spans(self):
+        with get_telemetry().capture() as sink:
+            _runner().run("bcast", GRID, name="obs")
+        spans = sink.of_kind("span")
+        names = {e.name for e in spans}
+        assert "campaign/obs" in names
+        assert "campaign/obs/n=2/ppn=1" in names
+        campaign = [e for e in spans if e.name == "campaign/obs"][0]
+        assert campaign.fields["samples"] > 0
+        assert campaign.fields["samples_per_s"] > 0
+        assert 0 < campaign.fields["utilization"] <= 1.0
+        chunk = [e for e in spans if e.name == "campaign/obs/n=2/ppn=1"][0]
+        assert chunk.fields["samples"] > 0

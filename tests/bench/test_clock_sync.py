@@ -1,7 +1,6 @@
 """Clock-synchronisation error model."""
 
 import numpy as np
-import pytest
 
 from repro.bench.clock_sync import ClockSync, SyncMethod
 from repro.machine.topology import Topology

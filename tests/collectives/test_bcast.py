@@ -1,6 +1,5 @@
 """Broadcast algorithms: semantics on the exact engine + cost sanity."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -1,7 +1,5 @@
 """Rank translation of sub-communicator programs (hierarchical plumbing)."""
 
-import numpy as np
-import pytest
 
 from repro.collectives.hierarchical import translate_program
 from repro.machine.model import NoiseModel

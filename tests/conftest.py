@@ -5,6 +5,14 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+try:  # keep property-based tests deadline-free on loaded CI runners
+    from hypothesis import settings as _hyp_settings
+
+    _hyp_settings.register_profile("ci", deadline=None)
+    _hyp_settings.load_profile("ci")
+except ImportError:  # pragma: no cover - hypothesis is optional
+    pass
+
 from repro.machine.model import MachineModel, NoiseModel
 from repro.machine.topology import Topology
 from repro.machine.zoo import tiny_testbed

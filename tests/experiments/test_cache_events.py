@@ -1,0 +1,96 @@
+"""Cache observability: corrupt cached datasets announce themselves.
+
+Satellite of the telemetry PR: a torn ``.npz`` or mangled JSON sidecar
+must emit a structured ``cache_corrupt`` event (with the offending path
+and the exception) before being regenerated, and hit/miss counters must
+track where datasets actually came from.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.experiments import cache as cache_mod
+from repro.experiments.cache import dataset_cached
+from repro.experiments.datasets import Scale
+from repro.obs import get_telemetry
+
+
+@pytest.fixture
+def workspace(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    cache_mod.clear_memory_cache()
+    yield tmp_path
+    cache_mod.clear_memory_cache()
+
+
+class TestCacheCorruptEvent:
+    def test_torn_npz_emits_structured_event(self, workspace):
+        a = dataset_cached("d6", Scale.CI, seed=5)
+        (workspace / "d6-ci-s5.npz").write_bytes(b"\x00not a zipfile")
+        cache_mod.clear_memory_cache()
+        with get_telemetry().capture() as sink:
+            b = dataset_cached("d6", Scale.CI, seed=5)
+        (event,) = sink.named("cache_corrupt")
+        assert event.kind == "event"
+        assert event.fields["path"].endswith("d6-ci-s5")
+        assert "Error" in event.fields["error"] or ":" in event.fields["error"]
+        assert event.fields["action"] == "regenerate"
+        np.testing.assert_array_equal(a.time, b.time)
+
+    def test_mangled_sidecar_emits_event(self, workspace):
+        dataset_cached("d6", Scale.CI, seed=6)
+        (workspace / "d6-ci-s6.json").write_text('{"name": "d6"')  # torn
+        cache_mod.clear_memory_cache()
+        with get_telemetry().capture() as sink:
+            dataset_cached("d6", Scale.CI, seed=6)
+        assert len(sink.named("cache_corrupt")) == 1
+
+    def test_clean_cache_stays_silent(self, workspace):
+        dataset_cached("d6", Scale.CI, seed=7)
+        cache_mod.clear_memory_cache()
+        with get_telemetry().capture() as sink:
+            dataset_cached("d6", Scale.CI, seed=7)
+        assert sink.named("cache_corrupt") == []
+
+    def test_corrupt_counter_incremented(self, workspace):
+        telemetry = get_telemetry()
+        dataset_cached("d6", Scale.CI, seed=8)
+        (workspace / "d6-ci-s8.npz").write_bytes(b"junk")
+        cache_mod.clear_memory_cache()
+        before = telemetry.counters_snapshot().get("cache.corrupt", 0)
+        dataset_cached("d6", Scale.CI, seed=8)
+        after = telemetry.counters_snapshot().get("cache.corrupt", 0)
+        assert after == before + 1
+
+
+class TestCacheCounters:
+    def _count(self, name):
+        return get_telemetry().counters_snapshot().get(name, 0)
+
+    def test_miss_then_memory_hit_then_disk_hit(self, workspace):
+        misses = self._count("cache.misses")
+        dataset_cached("d6", Scale.CI, seed=9)
+        assert self._count("cache.misses") == misses + 1
+
+        memory_hits = self._count("cache.memory_hits")
+        dataset_cached("d6", Scale.CI, seed=9)
+        assert self._count("cache.memory_hits") == memory_hits + 1
+
+        cache_mod.clear_memory_cache()
+        disk_hits = self._count("cache.disk_hits")
+        dataset_cached("d6", Scale.CI, seed=9)
+        assert self._count("cache.disk_hits") == disk_hits + 1
+
+    def test_regenerated_archive_loads_cleanly(self, workspace):
+        a = dataset_cached("d6", Scale.CI, seed=10)
+        stem = workspace / "d6-ci-s10"
+        stem.with_suffix(".json").write_text(json.dumps({"bogus": 1}))
+        cache_mod.clear_memory_cache()
+        dataset_cached("d6", Scale.CI, seed=10)
+        cache_mod.clear_memory_cache()
+        with get_telemetry().capture() as sink:
+            c = dataset_cached("d6", Scale.CI, seed=10)
+        assert sink.named("cache_corrupt") == []
+        np.testing.assert_array_equal(a.time, c.time)

@@ -13,7 +13,6 @@ from repro.experiments.datasets import (
 )
 from repro.experiments.splits import SPLITS, split_dataset
 from repro.machine.zoo import get_machine
-from repro.mpilib import get_library
 
 
 class TestTable2Specs:

@@ -129,8 +129,6 @@ class TestCache:
 
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
         cache_mod.clear_memory_cache()
-        from repro.bench.repro_mpi import BenchmarkSpec
-
         a = dataset_cached("d6", Scale.CI, seed=123)
         assert (tmp_path / "d6-ci-s123.npz").exists()
         cache_mod.clear_memory_cache()

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.collectives.base import AlgorithmConfig, CollectiveKind
+from repro.collectives.base import AlgorithmConfig
 from repro.collectives.registry import algorithm_from_config
 from repro.machine.topology import Topology
 from repro.machine.zoo import tiny_testbed
@@ -100,7 +100,7 @@ class TestClassTuner:
     def tuned(self):
         from repro.bench import BenchmarkSpec, DatasetRunner, GridSpec
         from repro.core import AlgorithmSelector
-        from repro.core.class_tuner import apply_class_tuning, tune_size_classes
+        from repro.core.class_tuner import apply_class_tuning
         from repro.ml import KNNRegressor
 
         lib = MVAPICHLibrary()

@@ -1,0 +1,157 @@
+"""Bench regression gate — the CI acceptance bar's comparison logic.
+
+The acceptance criterion: the gate must demonstrably fail on a
+synthetic 30% slowdown. That case is pinned here, together with the
+direction handling (latency vs throughput) and the warn band.
+"""
+
+import json
+
+import pytest
+
+from repro.obs.gate import (
+    GATE_METRICS,
+    compare_metrics,
+    compare_reports,
+    gate_verdict,
+    latest_committed_report,
+    regression_fraction,
+)
+
+BASE = {
+    "booster_predict_10k_s": 0.010,
+    "booster_fit_2000_s": 2.0,
+    "campaign_samples_per_s": 4000.0,
+    "fastsim_chain_eval_s": 0.0005,
+}
+
+
+def _with(**overrides):
+    return {**BASE, **overrides}
+
+
+class TestRegressionFraction:
+    def test_latency_slowdown_positive(self):
+        assert regression_fraction(1.0, 1.3, False) == pytest.approx(0.30)
+
+    def test_latency_speedup_negative(self):
+        assert regression_fraction(1.0, 0.8, False) == pytest.approx(-0.20)
+
+    def test_throughput_drop_positive(self):
+        assert regression_fraction(1000.0, 700.0, True) == pytest.approx(0.30)
+
+    def test_throughput_gain_negative(self):
+        assert regression_fraction(1000.0, 1200.0, True) == pytest.approx(-0.20)
+
+    def test_zero_baseline_rejected(self):
+        with pytest.raises(ValueError):
+            regression_fraction(0.0, 1.0, False)
+
+
+class TestCompareMetrics:
+    def test_identical_passes(self):
+        results = compare_metrics(BASE, BASE)
+        assert all(r.status == "ok" for r in results)
+        passed, text = gate_verdict(results)
+        assert passed and "GATE PASSED" in text
+
+    def test_synthetic_30pct_predict_slowdown_fails(self):
+        # the acceptance-criteria case: booster predict 30% slower
+        current = _with(booster_predict_10k_s=0.010 * 1.30)
+        results = compare_metrics(BASE, current)
+        verdicts = {r.metric: r.status for r in results}
+        assert verdicts["booster_predict_10k_s"] == "fail"
+        passed, text = gate_verdict(results)
+        assert not passed and "GATE FAILED" in text
+
+    def test_synthetic_30pct_throughput_drop_fails(self):
+        current = _with(campaign_samples_per_s=4000.0 * 0.70)
+        results = compare_metrics(BASE, current)
+        verdicts = {r.metric: r.status for r in results}
+        assert verdicts["campaign_samples_per_s"] == "fail"
+        assert not gate_verdict(results)[0]
+
+    def test_15pct_slowdown_warns_but_passes(self):
+        current = _with(booster_predict_10k_s=0.010 * 1.15)
+        results = compare_metrics(BASE, current)
+        verdicts = {r.metric: r.status for r in results}
+        assert verdicts["booster_predict_10k_s"] == "warn"
+        assert gate_verdict(results)[0]  # warnings do not fail the build
+
+    def test_5pct_jitter_ok(self):
+        current = _with(booster_predict_10k_s=0.010 * 1.05,
+                        campaign_samples_per_s=4000.0 * 0.95)
+        assert all(r.status == "ok" for r in compare_metrics(BASE, current))
+
+    def test_improvement_ok(self):
+        current = _with(booster_predict_10k_s=0.002,
+                        campaign_samples_per_s=9000.0)
+        results = compare_metrics(BASE, current)
+        assert all(r.status == "ok" for r in results)
+        assert all(r.regression < 0 for r in results
+                   if r.metric in ("booster_predict_10k_s",
+                                   "campaign_samples_per_s"))
+
+    def test_missing_metric_reported_not_failed(self):
+        base = dict(BASE)
+        del base["fastsim_chain_eval_s"]
+        results = compare_metrics(base, BASE)
+        verdicts = {r.metric: r.status for r in results}
+        assert verdicts["fastsim_chain_eval_s"] == "missing"
+        assert gate_verdict(results)[0]
+
+    def test_custom_thresholds(self):
+        current = _with(booster_predict_10k_s=0.010 * 1.06)
+        results = compare_metrics(BASE, current, warn_frac=0.02, fail_frac=0.05)
+        verdicts = {r.metric: r.status for r in results}
+        assert verdicts["booster_predict_10k_s"] == "fail"
+
+    def test_invalid_thresholds_rejected(self):
+        with pytest.raises(ValueError):
+            compare_metrics(BASE, BASE, warn_frac=0.5, fail_frac=0.1)
+
+    def test_every_gate_metric_has_direction(self):
+        # the gate tracks the BENCH report's headline metrics
+        assert set(GATE_METRICS) == set(BASE)
+
+
+class TestCompareReports:
+    def _write(self, path, metrics):
+        path.write_text(json.dumps({"pr": 1, "current": metrics}))
+
+    def test_file_comparison(self, tmp_path):
+        baseline, current = tmp_path / "b.json", tmp_path / "c.json"
+        self._write(baseline, BASE)
+        self._write(current, _with(campaign_samples_per_s=4000.0 * 0.65))
+        results = compare_reports(baseline, current)
+        verdicts = {r.metric: r.status for r in results}
+        assert verdicts["campaign_samples_per_s"] == "fail"
+
+    def test_flat_report_accepted(self, tmp_path):
+        # a bare metrics dict (no "current" wrapper) also works
+        baseline, current = tmp_path / "b.json", tmp_path / "c.json"
+        baseline.write_text(json.dumps(BASE))
+        current.write_text(json.dumps(BASE))
+        assert gate_verdict(compare_reports(baseline, current))[0]
+
+    def test_latest_committed_report(self, tmp_path):
+        for pr in (1, 2, 10):
+            self._write(tmp_path / f"BENCH_{pr}.json", BASE)
+        assert latest_committed_report(tmp_path).name == "BENCH_10.json"
+
+    def test_latest_missing_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            latest_committed_report(tmp_path)
+
+    def test_gate_against_committed_baseline(self):
+        # the repo's own committed baseline must be gate-compatible
+        from pathlib import Path
+
+        root = Path(__file__).resolve().parents[2]
+        baseline = latest_committed_report(root)
+        payload = json.loads(baseline.read_text())
+        current = payload["current"]
+        results = compare_metrics(current, current)
+        graded = [r for r in results if r.status != "missing"]
+        assert graded, "committed BENCH baseline carries no gate metrics"
+        assert all(r.status == "ok" for r in graded)

@@ -1,0 +1,117 @@
+"""Telemetry log summariser (the `repro report --telemetry` backend)."""
+
+import pytest
+
+from repro.obs import (
+    FileSink,
+    Telemetry,
+    TelemetryEvent,
+    load_events,
+    render_summary,
+    report_telemetry,
+    summarize,
+)
+
+
+def _span(name, wall, cpu=0.0, **fields):
+    payload = {"wall_s": wall, "cpu_s": cpu, "depth": 0, **fields}
+    return TelemetryEvent(kind="span", name=name, fields=payload)
+
+
+class TestSummarize:
+    def test_aggregates_spans_by_name(self):
+        events = [
+            _span("campaign/d1/n=4", 1.0),
+            _span("campaign/d1/n=4", 3.0),
+            _span("campaign/d1", 5.0, cpu=4.0),
+        ]
+        summary = summarize(events)
+        by_name = {s.name: s for s in summary.spans}
+        chunk = by_name["campaign/d1/n=4"]
+        assert chunk.count == 2
+        assert chunk.total_wall_s == pytest.approx(4.0)
+        assert chunk.mean_wall_s == pytest.approx(2.0)
+        assert chunk.max_wall_s == pytest.approx(3.0)
+        assert by_name["campaign/d1"].total_cpu_s == pytest.approx(4.0)
+
+    def test_sorted_by_total_wall_desc(self):
+        events = [_span("small", 0.1), _span("big", 9.0), _span("mid", 1.0)]
+        names = [s.name for s in summarize(events).spans]
+        assert names == ["big", "mid", "small"]
+
+    def test_counters_keep_final_value(self):
+        events = [
+            TelemetryEvent(kind="counter", name="c", fields={"value": 5}),
+            TelemetryEvent(kind="counter", name="c", fields={"value": 12}),
+        ]
+        assert summarize(events).counters == {"c": 12}
+
+    def test_gauges_and_event_tally(self):
+        events = [
+            TelemetryEvent(kind="gauge", name="util", fields={"value": 0.7}),
+            TelemetryEvent(kind="event", name="cache_corrupt"),
+            TelemetryEvent(kind="event", name="cache_corrupt"),
+        ]
+        summary = summarize(events)
+        assert summary.gauges == {"util": 0.7}
+        assert summary.event_tally == {"cache_corrupt": 2}
+
+    def test_error_spans_counted(self):
+        events = [_span("s", 1.0, error=True), _span("s", 1.0)]
+        assert summarize(events).spans[0].errors == 1
+
+
+class TestLoadEvents:
+    def test_roundtrip_through_file_sink(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        telemetry = Telemetry([FileSink(path)])
+        with telemetry.span("stage", rows=4):
+            pass
+        telemetry.add("n", 3)
+        telemetry.flush()
+        events = load_events(path)
+        assert [e.kind for e in events] == ["span", "counter"]
+        assert events[0].fields["rows"] == 4
+
+    def test_torn_trailing_line_tolerated(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        good = TelemetryEvent(kind="event", name="ok").to_json()
+        path.write_text(good + "\n" + '{"ts": 1.0, "kind": "ev')  # torn
+        events = load_events(path)
+        names = [e.name for e in events]
+        assert "ok" in names
+        assert "report.skipped_lines" in names
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        good = TelemetryEvent(kind="event", name="ok").to_json()
+        path.write_text("\n" + good + "\n\n")
+        assert len(load_events(path)) == 1
+
+
+class TestRender:
+    def test_top_n_and_counters(self):
+        events = [_span(f"s{i}", float(i)) for i in range(20)]
+        events.append(
+            TelemetryEvent(kind="counter", name="campaign.samples",
+                           fields={"value": 123})
+        )
+        text = render_summary(summarize(events), top=3)
+        assert "s19" in text and "s17" in text
+        assert "s1 " not in text  # beyond top-3
+        assert "campaign.samples" in text and "123" in text
+
+    def test_report_telemetry_end_to_end(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        telemetry = Telemetry([FileSink(path)])
+        with telemetry.span("campaign/x"):
+            with telemetry.span("n=2"):
+                pass
+        telemetry.gauge("util", 0.5)
+        telemetry.add("samples", 10)
+        telemetry.flush()
+        text = report_telemetry(path, top=5)
+        assert "campaign/x" in text
+        assert "campaign/x/n=2" in text
+        assert "util" in text
+        assert "samples" in text

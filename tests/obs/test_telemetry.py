@@ -1,0 +1,297 @@
+"""Telemetry hub: span nesting, sink plumbing, counter atomicity."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import (
+    FileSink,
+    MemorySink,
+    NullSink,
+    StderrSink,
+    Telemetry,
+    TelemetryEvent,
+    get_telemetry,
+)
+
+
+@pytest.fixture
+def telemetry():
+    return Telemetry()
+
+
+class TestSpans:
+    def test_emits_on_exit(self, telemetry):
+        sink = MemorySink()
+        telemetry.configure([sink])
+        with telemetry.span("stage"):
+            assert len(sink) == 0  # nothing until the span closes
+        (event,) = sink.events
+        assert event.kind == "span"
+        assert event.name == "stage"
+        assert event.fields["wall_s"] >= 0
+        assert event.fields["cpu_s"] >= 0
+        assert event.fields["depth"] == 0
+
+    def test_nesting_builds_paths(self, telemetry):
+        sink = MemorySink()
+        telemetry.configure([sink])
+        with telemetry.span("campaign/d1"):
+            with telemetry.span("n=16"):
+                with telemetry.span("fit"):
+                    pass
+        names = [e.name for e in sink.events]
+        assert names == [
+            "campaign/d1/n=16/fit",
+            "campaign/d1/n=16",
+            "campaign/d1",
+        ]
+        depths = [e.fields["depth"] for e in sink.events]
+        assert depths == [2, 1, 0]
+
+    def test_absolute_ignores_stack(self, telemetry):
+        sink = MemorySink()
+        telemetry.configure([sink])
+        with telemetry.span("outer"):
+            with telemetry.span("worker/chunk", absolute=True):
+                pass
+        assert sink.events[0].name == "worker/chunk"
+
+    def test_annotate_and_kwargs(self, telemetry):
+        sink = MemorySink()
+        telemetry.configure([sink])
+        with telemetry.span("s", rows=7) as span:
+            span.annotate(kernel="c")
+        (event,) = sink.events
+        assert event.fields["rows"] == 7
+        assert event.fields["kernel"] == "c"
+
+    def test_emitted_even_on_exception(self, telemetry):
+        sink = MemorySink()
+        telemetry.configure([sink])
+        with pytest.raises(RuntimeError):
+            with telemetry.span("boom"):
+                raise RuntimeError("x")
+        (event,) = sink.events
+        assert event.name == "boom"
+        assert event.fields["error"] is True
+
+    def test_stack_unwinds_after_exception(self, telemetry):
+        with pytest.raises(RuntimeError):
+            with telemetry.span("a"):
+                raise RuntimeError
+        assert telemetry.current_path() is None
+
+    def test_current_path(self, telemetry):
+        assert telemetry.current_path() is None
+        with telemetry.span("a"):
+            with telemetry.span("b"):
+                assert telemetry.current_path() == "a/b"
+        assert telemetry.current_path() is None
+
+    def test_elapsed_monotone(self, telemetry):
+        with telemetry.span("t") as span:
+            first = span.elapsed
+            second = span.elapsed
+        assert second >= first >= 0
+
+    def test_threads_nest_independently(self, telemetry):
+        sink = MemorySink()
+        telemetry.configure([sink])
+        seen = []
+
+        def worker():
+            with telemetry.span("worker-span"):
+                seen.append(telemetry.current_path())
+
+        with telemetry.span("main-span"):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        # the worker thread does NOT inherit the main thread's stack
+        assert seen == ["worker-span"]
+
+
+class TestSinkPlumbing:
+    def test_configure_replaces(self, telemetry):
+        first, second = MemorySink(), MemorySink()
+        telemetry.configure([first])
+        telemetry.event("one")
+        telemetry.configure([second])
+        telemetry.event("two")
+        assert [e.name for e in first.events] == ["one"]
+        assert [e.name for e in second.events] == ["two"]
+
+    def test_add_remove_sink(self, telemetry):
+        sink = MemorySink()
+        telemetry.add_sink(sink)
+        telemetry.event("x")
+        telemetry.remove_sink(sink)
+        telemetry.event("y")
+        assert [e.name for e in sink.events] == ["x"]
+
+    def test_fan_out_to_all_sinks(self, telemetry):
+        sinks = [MemorySink(), MemorySink(), NullSink()]
+        telemetry.configure(sinks)
+        telemetry.event("ping")
+        assert len(sinks[0]) == 1 and len(sinks[1]) == 1
+
+    def test_capture_context(self, telemetry):
+        with telemetry.capture() as sink:
+            telemetry.event("inside")
+        telemetry.event("outside")
+        assert [e.name for e in sink.events] == ["inside"]
+
+    def test_global_singleton(self):
+        assert get_telemetry() is get_telemetry()
+
+    def test_reset_detaches_and_zeroes(self, telemetry):
+        sink = MemorySink()
+        telemetry.configure([sink])
+        telemetry.add("c", 3)
+        telemetry.reset()
+        assert telemetry.counters_snapshot() == {}
+        assert telemetry.sinks == []
+
+
+class TestCounters:
+    def test_add_returns_cumulative(self, telemetry):
+        assert telemetry.add("c") == 1
+        assert telemetry.add("c", 4) == 5
+        assert telemetry.counters_snapshot() == {"c": 5}
+
+    def test_atomic_under_threads(self, telemetry):
+        # the REPRO_JOBS=4 campaign shape: four workers hammering the
+        # same counters; no increment may be lost.
+        jobs, per_thread = 4, 10_000
+
+        def worker():
+            for _ in range(per_thread):
+                telemetry.add("campaign.samples")
+                telemetry.add("campaign.chunks", 2)
+
+        threads = [threading.Thread(target=worker) for _ in range(jobs)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        snap = telemetry.counters_snapshot()
+        assert snap["campaign.samples"] == jobs * per_thread
+        assert snap["campaign.chunks"] == 2 * jobs * per_thread
+
+    def test_flush_emits_counter_events(self, telemetry):
+        sink = MemorySink()
+        telemetry.configure([sink])
+        telemetry.add("a", 2)
+        telemetry.add("b", 3)
+        telemetry.flush()
+        events = sink.of_kind("counter")
+        assert {(e.name, e.fields["value"]) for e in events} == {
+            ("a", 2), ("b", 3)
+        }
+
+    def test_counters_do_not_emit_per_increment(self, telemetry):
+        sink = MemorySink()
+        telemetry.configure([sink])
+        for _ in range(100):
+            telemetry.add("hot")
+        assert len(sink) == 0  # only flush() emits
+
+
+class TestGaugesAndEvents:
+    def test_gauge_emits_immediately(self, telemetry):
+        sink = MemorySink()
+        telemetry.configure([sink])
+        telemetry.gauge("utilization", 0.85)
+        (event,) = sink.events
+        assert event.kind == "gauge"
+        assert event.fields["value"] == 0.85
+        assert telemetry.gauges_snapshot() == {"utilization": 0.85}
+
+    def test_event_payload(self, telemetry):
+        sink = MemorySink()
+        telemetry.configure([sink])
+        telemetry.event("cache_corrupt", path="/x.npz", error="BadZipFile")
+        (event,) = sink.events
+        assert event.kind == "event"
+        assert event.fields == {"path": "/x.npz", "error": "BadZipFile"}
+
+    def test_event_field_named_name_allowed(self, telemetry):
+        # the event's own identifier is positional-only, so a payload
+        # field may itself be called "name"
+        sink = MemorySink()
+        telemetry.configure([sink])
+        telemetry.event("campaign_resume", name="d1-ci", chunks_resumed=3)
+        assert sink.events[0].fields["name"] == "d1-ci"
+
+
+class TestSinks:
+    def test_file_sink_jsonl_roundtrip(self, telemetry, tmp_path):
+        path = tmp_path / "run.jsonl"
+        sink = FileSink(path)
+        telemetry.configure([sink])
+        with telemetry.span("s", rows=3):
+            pass
+        telemetry.event("e", k="v")
+        sink.close()
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        parsed = [TelemetryEvent.from_json(line) for line in lines]
+        assert parsed[0].kind == "span" and parsed[0].fields["rows"] == 3
+        assert parsed[1].fields == {"k": "v"}
+
+    def test_file_sink_appends(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        for round_no in range(2):
+            sink = FileSink(path)
+            sink.emit(TelemetryEvent(kind="event", name=f"r{round_no}"))
+            sink.close()
+        assert len(path.read_text().splitlines()) == 2
+
+    def test_closed_file_sink_rejects(self, tmp_path):
+        sink = FileSink(tmp_path / "x.jsonl")
+        sink.close()
+        with pytest.raises(ValueError):
+            sink.emit(TelemetryEvent(kind="event", name="late"))
+
+    def test_stderr_sink_pretty(self):
+        import io
+
+        buffer = io.StringIO()
+        sink = StderrSink(stream=buffer)
+        sink.emit(
+            TelemetryEvent(
+                kind="span", name="campaign/d1",
+                fields={"wall_s": 0.5, "cpu_s": 0.4, "depth": 0, "samples": 9},
+            )
+        )
+        sink.emit(TelemetryEvent(kind="counter", name="c", fields={"value": 7}))
+        out = buffer.getvalue()
+        assert "campaign/d1" in out and "500.00 ms" in out and "samples" in out
+        assert "c = 7" in out
+
+    def test_memory_sink_filters(self):
+        sink = MemorySink()
+        sink.emit(TelemetryEvent(kind="event", name="a"))
+        sink.emit(TelemetryEvent(kind="gauge", name="b", fields={"value": 1}))
+        assert len(sink.of_kind("gauge")) == 1
+        assert len(sink.named("a")) == 1
+        sink.clear()
+        assert len(sink) == 0
+
+
+class TestEventSchema:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            TelemetryEvent(kind="bogus", name="x")
+
+    def test_dict_roundtrip(self):
+        event = TelemetryEvent(kind="span", name="s", fields={"wall_s": 1.25})
+        clone = TelemetryEvent.from_dict(event.to_dict())
+        assert clone.name == "s" and clone.fields["wall_s"] == 1.25
+
+    def test_json_is_single_line(self):
+        event = TelemetryEvent(kind="event", name="multi", fields={"x": "a\nb"})
+        assert "\n" not in event.to_json()
+        assert json.loads(event.to_json())["fields"]["x"] == "a\nb"

@@ -8,7 +8,6 @@ tier is a documented approximation and must stay inside a bounded
 ratio.
 """
 
-import numpy as np
 import pytest
 
 from repro.collectives.registry import make_algorithm

@@ -58,3 +58,62 @@ class TestCommands:
         payload = json.loads(out.read_text())
         assert payload["nodes"] == 4
         assert payload["rules"]
+
+
+class TestTelemetryFlags:
+    """PR 2 surface: --telemetry/--resume flags and the report command."""
+
+    def test_generate_flags_default_off(self):
+        args = build_parser().parse_args(["generate", "d1"])
+        assert args.resume is False and args.telemetry is None
+
+    def test_generate_flags_parse(self):
+        args = build_parser().parse_args(
+            ["generate", "d1", "--resume", "--telemetry", "run.jsonl"]
+        )
+        assert args.resume is True and args.telemetry == "run.jsonl"
+
+    def test_tune_flags_parse(self):
+        args = build_parser().parse_args(
+            ["tune", "--nodes", "4", "--ppn", "2",
+             "--resume", "--telemetry", "-"]
+        )
+        assert args.resume is True and args.telemetry == "-"
+
+    def test_report_requires_telemetry(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["report"])
+
+    def test_report_parse(self):
+        args = build_parser().parse_args(
+            ["report", "--telemetry", "run.jsonl", "--top", "3"]
+        )
+        assert args.telemetry == "run.jsonl" and args.top == 3
+
+
+class TestTelemetryCommands:
+    def test_generate_writes_jsonl_and_report_reads_it(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        log = tmp_path / "run.jsonl"
+        assert main(
+            ["generate", "d6", "--scale", "ci",
+             "--telemetry", str(log)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "telemetry written to" in out
+        assert log.exists() and log.read_text().strip()
+
+        assert main(["report", "--telemetry", str(log), "--top", "5"]) == 0
+        report = capsys.readouterr().out
+        assert "campaign/" in report
+        assert "campaign.samples" in report
+
+    def test_generate_resume_flag_accepted_fresh(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        # --resume on a campaign with no journal is a silent no-op
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        assert main(["generate", "d6", "--scale", "ci", "--resume"]) == 0
+        assert "samples" in capsys.readouterr().out
