@@ -2,12 +2,27 @@
 
 Provides the paper's benchmark step (§IV-B): time-budgeted measurement
 of every algorithm configuration over a grid of instances, with a
-modelled clock-synchronisation error and reproducible noise.
+modelled clock-synchronisation error and reproducible noise — plus
+deterministic fault injection (:mod:`repro.bench.faults`) and the
+retry/quarantine machinery that makes campaigns survive it (see
+``docs/robustness.md``).
 """
 
 from repro.bench.clock_sync import ClockSync, SyncMethod
-from repro.bench.repro_mpi import BenchmarkSpec, Measurement, ReproMPIBenchmark
-from repro.bench.runner import DatasetRunner, GridSpec
+from repro.bench.faults import (
+    BenchFault,
+    ChunkCrash,
+    FaultInjector,
+    FaultSpec,
+    RetryPolicy,
+)
+from repro.bench.repro_mpi import (
+    BenchmarkSpec,
+    Measurement,
+    ReproMPIBenchmark,
+    Summary,
+)
+from repro.bench.runner import DatasetRunner, GridSpec, QuarantineRecord
 
 __all__ = [
     "ClockSync",
@@ -15,6 +30,13 @@ __all__ = [
     "BenchmarkSpec",
     "Measurement",
     "ReproMPIBenchmark",
+    "Summary",
     "DatasetRunner",
     "GridSpec",
+    "QuarantineRecord",
+    "BenchFault",
+    "ChunkCrash",
+    "FaultInjector",
+    "FaultSpec",
+    "RetryPolicy",
 ]

@@ -53,9 +53,21 @@ class CampaignJournal:
     instant leaves either the previous or the new complete document.
     """
 
-    def __init__(self, path: str | Path, fingerprint: str) -> None:
+    def __init__(
+        self,
+        path: str | Path,
+        fingerprint: str,
+        post_write: "object | None" = None,
+    ) -> None:
+        """``post_write(path, pair)`` — optional hook invoked after each
+        successful :meth:`record` rewrite (still under the journal
+        lock). The fault-injection harness uses it to tear the file
+        the way a crash mid-write would; production code leaves it
+        ``None``.
+        """
         self.path = Path(path)
         self.fingerprint = fingerprint
+        self.post_write = post_write
         self._lock = threading.Lock()
         self._chunks: dict[tuple[int, int], ChunkRows] = {}
 
@@ -113,6 +125,8 @@ class CampaignJournal:
         with self._lock:
             self._chunks[pair] = rows
             self._write_locked()
+            if self.post_write is not None:
+                self.post_write(self.path, pair)  # type: ignore[operator]
 
     def get(self, pair: tuple[int, int]) -> ChunkRows | None:
         """Journalled rows of a chunk, or None if not yet measured."""

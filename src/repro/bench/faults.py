@@ -1,0 +1,300 @@
+"""Deterministic fault injection for benchmark campaigns.
+
+Real measurement campaigns are not clean: nodes straggle, the OS
+preempts ranks mid-collective, individual timings come back as garbage,
+whole ``mpirun`` invocations die, and a checkpoint file written during
+a crash can be torn. The paper's pipeline (benchmark -> train ->
+select) silently learns from whatever the campaign produced, so every
+one of those faults either poisons the models or kills the run.
+
+This module makes those faults *first-class, reproducible inputs*:
+
+* :class:`FaultSpec` — declarative fault model (probabilities and
+  magnitudes for each fault class), hashable so it participates in the
+  campaign checkpoint fingerprint.
+* :class:`FaultInjector` — draws every fault decision from its own RNG
+  stream keyed by :func:`~repro.utils.rng.stable_seed` over the
+  *sample identity* (config label, nodes, ppn, msize, attempt) — never
+  from the measurement RNG. Two consequences:
+
+  1. replays are **bit-identical**: the same seed produces the same
+     faults in the same places for any ``REPRO_JOBS``, before or after
+     a resume;
+  2. samples the injector leaves untouched are bit-identical to a
+     fault-free campaign, which is what lets the chaos tests compare a
+     faulty run against its fault-free oracle cell by cell.
+
+Fault taxonomy (see ``docs/robustness.md``):
+
+====================  ============================================
+fault                 model
+====================  ============================================
+straggler spike       one observation multiplied by ``1 + Pareto``
+                      (heavy tail, models a slow node / retransmit)
+OS-jitter burst       a contiguous run of observations inflated by
+                      a uniform factor (daemon wakeup, page purge)
+transient obs fail    a fraction of observations become ``NaN``
+                      (timer failure, dropped measurement)
+chunk crash           :class:`ChunkCrash` raised at chunk start
+                      (the whole ``mpirun`` died)
+journal corruption    the on-disk chunk journal is torn after a
+                      write (crash mid-``write``)
+====================  ============================================
+
+The *handling* of these faults (retry, quarantine, robust summaries)
+lives in :mod:`repro.bench.repro_mpi` and
+:mod:`repro.bench.runner`; this module only decides *what breaks,
+where, deterministically*.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.utils.rng import stable_seed
+
+__all__ = [
+    "BenchFault",
+    "ChunkCrash",
+    "FaultSpec",
+    "FaultReport",
+    "FaultInjector",
+    "RetryPolicy",
+]
+
+
+class BenchFault(RuntimeError):
+    """Base class of injected benchmark faults."""
+
+
+class ChunkCrash(BenchFault):
+    """An injected whole-chunk failure (the simulated mpirun died).
+
+    Raised inside the campaign worker; the runner's bounded
+    retry-with-backoff loop is the only intended handler. A subclass
+    of :class:`BenchFault` only — never of ``KeyboardInterrupt`` — so
+    a real ctrl-C is never swallowed by the retry loop.
+    """
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Declarative fault model for one campaign.
+
+    ``rate`` is the master knob: any per-fault probability left at
+    ``None`` inherits it. All probabilities are per *drawing site*
+    (per measurement series for observation faults, per chunk attempt
+    for crashes, per journal write for corruption).
+    """
+
+    #: master fault probability; per-fault knobs default to this
+    rate: float = 0.05
+    #: random seed of the fault streams (independent of the campaign seed)
+    seed: int = 0
+
+    # -- straggler spikes (heavy tail) --------------------------------
+    straggler_prob: float | None = None
+    #: Pareto tail index of the spike magnitude (smaller = heavier)
+    straggler_shape: float = 1.5
+    #: multiplier scale applied on top of the Pareto draw
+    straggler_scale: float = 4.0
+
+    # -- OS-jitter bursts ---------------------------------------------
+    jitter_prob: float | None = None
+    #: fraction of the series inflated when a burst fires
+    jitter_frac: float = 0.25
+    #: max multiplicative inflation of burst observations
+    jitter_scale: float = 2.0
+
+    # -- transient failed observations (NaN timings) ------------------
+    obs_fail_prob: float | None = None
+    #: fraction of observations lost when a failure fires
+    obs_fail_frac: float = 0.6
+
+    # -- whole-chunk crashes ------------------------------------------
+    chunk_crash_prob: float | None = None
+
+    # -- checkpoint-journal corruption --------------------------------
+    journal_corrupt_prob: float | None = None
+
+    def __post_init__(self) -> None:
+        for name in (
+            "rate", "straggler_prob", "jitter_prob", "obs_fail_prob",
+            "chunk_crash_prob", "journal_corrupt_prob",
+            "jitter_frac", "obs_fail_frac",
+        ):
+            value = getattr(self, name)
+            if value is not None and not (0.0 <= value <= 1.0):
+                raise ValueError(f"FaultSpec.{name} must be in [0, 1], got {value}")
+        if self.straggler_shape <= 0:
+            raise ValueError("straggler_shape must be > 0")
+        if self.straggler_scale < 0 or self.jitter_scale < 0:
+            raise ValueError("fault magnitude scales must be >= 0")
+
+    # convenience resolved probabilities ------------------------------
+    def p(self, name: str) -> float:
+        value = getattr(self, f"{name}_prob")
+        return self.rate if value is None else value
+
+    @staticmethod
+    def uniform(rate: float, seed: int = 0) -> "FaultSpec":
+        """All fault classes at the same ``rate`` (chaos-test helper)."""
+        return FaultSpec(rate=rate, seed=seed)
+
+
+@dataclass(frozen=True)
+class FaultReport:
+    """What the injector did to one measurement series."""
+
+    stragglers: int = 0
+    jitter_hits: int = 0
+    failed_obs: int = 0
+
+    @property
+    def any(self) -> bool:
+        return bool(self.stragglers or self.jitter_hits or self.failed_obs)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry with exponential backoff for transient faults.
+
+    ``sleep`` is injectable so tests (and the simulated campaign,
+    whose time axis is virtual anyway) never actually block; the
+    default backoff is deliberately tiny because injected faults are
+    simulated, not physical.
+    """
+
+    max_attempts: int = 3
+    backoff_s: float = 0.001
+    backoff_factor: float = 2.0
+    sleep: object = None  # Callable[[float], None]; None = time.sleep
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.backoff_s < 0 or self.backoff_factor < 1.0:
+            raise ValueError("invalid backoff parameters")
+
+    def backoff(self, attempt: int) -> float:
+        """Seconds to wait before retry number ``attempt`` (0-based)."""
+        return self.backoff_s * self.backoff_factor**attempt
+
+    def wait(self, attempt: int) -> None:
+        delay = self.backoff(attempt)
+        if delay <= 0:
+            return
+        if self.sleep is not None:
+            self.sleep(delay)  # type: ignore[operator]
+        else:  # pragma: no cover - wall-clock sleep, trivially correct
+            import time
+
+            time.sleep(delay)
+
+
+class FaultInjector:
+    """Draws deterministic fault decisions from a :class:`FaultSpec`.
+
+    Every decision uses a private generator keyed by the *site*
+    identity, so fault placement is a pure function of
+    ``(spec.seed, site key)`` — independent of thread scheduling,
+    iteration order, other faults, and the measurement RNG streams.
+    """
+
+    def __init__(self, spec: FaultSpec) -> None:
+        self.spec = spec
+
+    # ------------------------------------------------------------------
+    def _rng(self, *key: object) -> np.random.Generator:
+        return np.random.default_rng(stable_seed(self.spec.seed, "fault", *key))
+
+    # ------------------------------------------------------------------
+    def perturb(
+        self, series: np.ndarray, *key: object
+    ) -> tuple[np.ndarray, FaultReport]:
+        """Apply observation-level faults to one measurement series.
+
+        ``key`` identifies the measurement site — conventionally
+        ``(campaign name, config label, nodes, ppn, msize, attempt)``.
+        Returns the (possibly) perturbed copy plus a
+        :class:`FaultReport`; when no fault fires the input array is
+        returned unchanged (same object), keeping the clean path
+        allocation-free and bit-identical to a fault-free run.
+        """
+        spec = self.spec
+        gen = self._rng("series", *key)
+        # One uniform draw per fault class, always in the same order,
+        # so the stream layout is stable across spec changes.
+        fire_straggler = gen.random() < spec.p("straggler")
+        fire_jitter = gen.random() < spec.p("jitter")
+        fire_fail = gen.random() < spec.p("obs_fail")
+        if not (fire_straggler or fire_jitter or fire_fail):
+            return series, FaultReport()
+
+        out = np.array(series, dtype=float, copy=True)
+        n = len(out)
+        stragglers = jitter_hits = failed = 0
+        if fire_straggler and n:
+            idx = int(gen.integers(0, n))
+            magnitude = 1.0 + spec.straggler_scale * (
+                gen.pareto(spec.straggler_shape) + 1.0
+            )
+            out[idx] *= magnitude
+            stragglers = 1
+        if fire_jitter and n:
+            burst = max(1, int(round(spec.jitter_frac * n)))
+            start = int(gen.integers(0, max(1, n - burst + 1)))
+            factor = 1.0 + gen.random() * spec.jitter_scale
+            out[start : start + burst] *= factor
+            jitter_hits = burst
+        if fire_fail and n:
+            lost = max(1, int(round(spec.obs_fail_frac * n)))
+            idx = gen.choice(n, size=min(lost, n), replace=False)
+            out[idx] = np.nan
+            failed = len(idx)
+        return out, FaultReport(
+            stragglers=stragglers, jitter_hits=jitter_hits, failed_obs=failed
+        )
+
+    # ------------------------------------------------------------------
+    def chunk_crashes(self, pair: tuple[int, int], attempt: int) -> bool:
+        """Whether the chunk ``pair`` crashes on retry ``attempt``."""
+        gen = self._rng("chunk", pair, attempt)
+        return bool(gen.random() < self.spec.p("chunk_crash"))
+
+    # ------------------------------------------------------------------
+    def corrupts_journal(self, pair: tuple[int, int]) -> bool:
+        """Whether the journal write after chunk ``pair`` is torn.
+
+        Keyed by the chunk, not by write order, so the decision is
+        identical for any worker count.
+        """
+        gen = self._rng("journal", pair)
+        return bool(gen.random() < self.spec.p("journal_corrupt"))
+
+    def tear_journal(self, path: str | Path, pair: tuple[int, int]) -> None:
+        """Tear the journal file (simulated crash mid-write).
+
+        Truncates a seeded number of trailing bytes, leaving an
+        unparseable document — exactly the artefact a power loss
+        between ``write`` and ``fsync`` leaves behind. The journal
+        reader must treat it as absent (``checkpoint_corrupt``), never
+        crash, and never half-trust it.
+        """
+        path = Path(path)
+        try:
+            size = path.stat().st_size
+        except OSError:  # pragma: no cover - journal vanished
+            return
+        if size <= 1:
+            return
+        gen = self._rng("journal-bytes", pair)
+        keep = int(gen.integers(1, size))
+        with open(path, "r+b") as handle:
+            handle.truncate(keep)
+            handle.flush()
+            os.fsync(handle.fileno())

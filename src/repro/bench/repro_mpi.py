@@ -7,6 +7,15 @@ That bound is what makes the total training time predictable — the
 paper's requirement #1 — because a slow algorithm (e.g. linear alltoall
 on 1152 ranks) simply gets fewer repetitions instead of stalling the
 whole campaign.
+
+Robustness (PR 3): besides the paper's median/mean/min statistics,
+:class:`Summary` provides outlier-hardened variants —
+``MAD_MEDIAN`` (median after rejecting observations beyond
+``3.5 x MAD``) and ``WINSORIZED_MEAN`` (mean after clipping to the
+5th/95th percentiles). Measurements track how many observations were
+valid (finite) against the spec's ``min_valid_nreps`` floor, so the
+campaign runner can retry or quarantine series that injected faults
+(:mod:`repro.bench.faults`) rendered unusable.
 """
 
 from __future__ import annotations
@@ -17,25 +26,74 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.bench.clock_sync import ClockSync
+from repro.bench.faults import FaultInjector, FaultReport
 from repro.collectives.base import CollectiveAlgorithm
 from repro.machine.model import MachineModel
 from repro.machine.topology import Topology
+from repro.obs import get_telemetry
 from repro.utils.rng import SeedLike, as_generator
+
+#: MAD rejection threshold (scaled MAD units; 3.5 is the usual choice)
+MAD_K = 3.5
+#: consistency constant making MAD comparable to a standard deviation
+MAD_SCALE = 1.4826
+#: winsorisation tail mass per side
+WINSOR_TAIL = 0.05
+
+
+def mad_outlier_mask(values: np.ndarray, k: float = MAD_K) -> np.ndarray:
+    """Boolean mask of observations *rejected* by the MAD criterion.
+
+    An observation is an outlier when its absolute deviation from the
+    median exceeds ``k`` scaled-MAD units. Degenerate series (MAD of
+    zero, e.g. constant timings) reject nothing rather than everything:
+    the threshold floor is a relative epsilon of the median.
+    """
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        return np.zeros(0, dtype=bool)
+    med = float(np.median(values))
+    mad = float(np.median(np.abs(values - med))) * MAD_SCALE
+    threshold = k * max(mad, abs(med) * 1e-9, 1e-30)
+    return np.abs(values - med) > threshold
 
 
 class Summary(str, enum.Enum):
-    """Statistic reported for a measurement series."""
+    """Statistic reported for a measurement series.
+
+    ``MEDIAN``/``MEAN``/``MIN`` are the paper's statistics;
+    ``MAD_MEDIAN`` and ``WINSORIZED_MEAN`` are the robust variants the
+    fault-injection harness validates (a single straggler spike has
+    bounded influence on both — see ``tests/bench/test_faults.py``).
+    """
 
     MEDIAN = "median"
     MEAN = "mean"
     MIN = "min"
+    MAD_MEDIAN = "mad_median"
+    WINSORIZED_MEAN = "winsorized_mean"
 
     def apply(self, values: np.ndarray) -> float:
+        values = np.asarray(values, dtype=float)
+        if values.size == 0:
+            return float("nan")
         if self is Summary.MEDIAN:
             return float(np.median(values))
         if self is Summary.MEAN:
             return float(np.mean(values))
-        return float(np.min(values))
+        if self is Summary.MIN:
+            return float(np.min(values))
+        if self is Summary.MAD_MEDIAN:
+            kept = values[~mad_outlier_mask(values)]
+            return float(np.median(kept)) if kept.size else float(np.median(values))
+        # WINSORIZED_MEAN
+        lo, hi = np.quantile(values, (WINSOR_TAIL, 1.0 - WINSOR_TAIL))
+        return float(np.mean(np.clip(values, lo, hi)))
+
+    @property
+    def robust(self) -> bool:
+        """Whether this statistic has bounded sensitivity to outliers."""
+        return self in (Summary.MAD_MEDIAN, Summary.WINSORIZED_MEAN)
 
 
 @dataclass(frozen=True)
@@ -52,29 +110,67 @@ class BenchmarkSpec:
     sync: ClockSync = field(default_factory=ClockSync)
     #: run on the exact engine instead of the fast cost model
     exact: bool = False
+    #: a series with fewer finite observations than this is invalid
+    #: (``Measurement.ok`` False -> the runner retries / quarantines)
+    min_valid_nreps: int = 1
 
     def __post_init__(self) -> None:
         if self.max_nreps < 1:
             raise ValueError("max_nreps must be >= 1")
         if self.max_seconds <= 0:
             raise ValueError("max_seconds must be > 0")
+        if not (1 <= self.min_valid_nreps <= self.max_nreps):
+            raise ValueError(
+                "min_valid_nreps must be in [1, max_nreps], got "
+                f"{self.min_valid_nreps} (max_nreps={self.max_nreps})"
+            )
 
 
 @dataclass(frozen=True)
 class Measurement:
     """Result of measuring one configuration on one instance."""
 
-    time: float  # the reported summary statistic (seconds)
+    time: float  # the reported summary statistic (seconds); NaN if invalid
     nreps: int  # observations actually taken
     spent: float  # simulated benchmark time consumed
-    observations: np.ndarray  # raw noisy series
+    observations: np.ndarray  # raw (possibly fault-perturbed) series
+    #: the spec's repetition budget this series ran under
+    max_nreps: int = 500
+    #: finite observations (== nreps unless faults injected NaNs)
+    valid_nreps: int = -1
+    #: observations the robust summary rejected as outliers
+    outliers_rejected: int = 0
+    #: what the fault injector did to this series (empty when clean)
+    faults: FaultReport = field(default_factory=FaultReport)
+
+    def __post_init__(self) -> None:
+        if self.valid_nreps < 0:  # default: assume the series is clean
+            object.__setattr__(
+                self, "valid_nreps",
+                int(np.sum(np.isfinite(self.observations)))
+                if len(self.observations) else 0,
+            )
 
     @property
     def truncated(self) -> bool:
-        """Whether the time budget cut the series short."""
-        return len(self.observations) == self.nreps and self.spent > 0 and (
-            self.nreps < 500
-        )
+        """Whether the time budget cut the series short.
+
+        Compares against the spec's *actual* repetition budget
+        (``max_nreps`` is threaded in by the benchmark), not the
+        default of 500 — a ``max_nreps=25`` CI campaign that completes
+        all 25 reps is **not** truncated.
+        """
+        return self.spent > 0 and self.nreps < self.max_nreps
+
+    @property
+    def ok(self) -> bool:
+        """Whether the series produced a usable statistic.
+
+        False when faults left fewer than ``min_valid_nreps`` finite
+        observations (``time`` is then NaN) — the runner's
+        retry/quarantine loop keys off this.
+        """
+        return bool(np.isfinite(self.time))
 
 
 class ReproMPIBenchmark:
@@ -90,6 +186,9 @@ class ReproMPIBenchmark:
         topo: Topology,
         nbytes: int,
         rng: SeedLike = None,
+        *,
+        injector: FaultInjector | None = None,
+        fault_key: tuple = (),
     ) -> Measurement:
         """Measure one (configuration, instance) pair.
 
@@ -98,6 +197,14 @@ class ReproMPIBenchmark:
         plus the clock-sync error. With ``spec.exact`` the base cost
         comes from a run of the exact engine instead (slow; meant for
         validation studies).
+
+        ``injector`` (with its site identity ``fault_key``) perturbs
+        the finished series — straggler spikes, jitter bursts, NaN
+        observations — from its *own* seeded stream, so clean samples
+        stay bit-identical to a fault-free run. The summary statistic
+        is computed over the finite observations only; if fewer than
+        ``spec.min_valid_nreps`` survive, ``time`` is NaN and
+        ``Measurement.ok`` is False.
         """
         gen = as_generator(rng)
         spec = self.spec
@@ -118,9 +225,29 @@ class ReproMPIBenchmark:
         fits = int(np.searchsorted(cumulative, spec.max_seconds) + 1)
         nreps = max(1, min(n, fits))
         series = noisy[:nreps]
+
+        report = FaultReport()
+        if injector is not None:
+            series, report = injector.perturb(series, *fault_key)
+
+        valid = series[np.isfinite(series)]
+        rejected = 0
+        if spec.summary.robust and valid.size:
+            rejected = int(np.sum(mad_outlier_mask(valid)))
+            if rejected:
+                telemetry = get_telemetry()
+                telemetry.add("bench.outliers_rejected", rejected)
+        if len(valid) >= spec.min_valid_nreps:
+            time = spec.summary.apply(valid)
+        else:
+            time = float("nan")
         return Measurement(
-            time=spec.summary.apply(series),
+            time=time,
             nreps=nreps,
             spent=float(cumulative[nreps - 1]),
             observations=series,
+            max_nreps=spec.max_nreps,
+            valid_nreps=int(len(valid)),
+            outliers_rejected=rejected,
+            faults=report,
         )

@@ -16,6 +16,17 @@ with samples/sec and worker-utilization payloads, plus
 :mod:`repro.obs`. Checkpointing journals every completed chunk
 (:mod:`repro.bench.checkpoint`) so an interrupted campaign resumes
 bit-identically.
+
+Robustness (PR 3): campaigns survive injected faults
+(:mod:`repro.bench.faults`). Transiently invalid measurements (too few
+finite observations) and crashed chunks are retried under a bounded
+exponential-backoff :class:`~repro.bench.faults.RetryPolicy`;
+persistently failing sites are **quarantined** — recorded in
+``DatasetRunner.quarantine_``, skipped in the dataset, and reported
+through ``bench.retry`` / ``bench.quarantine`` counters and
+``bench_retry`` / ``bench_quarantine`` events. A per-chunk deadline
+(on *simulated* benchmark time, so determinism is preserved) bounds
+how long one pathological chunk may consume.
 """
 
 from __future__ import annotations
@@ -29,6 +40,7 @@ from typing import Callable
 import numpy as np
 
 from repro.bench.checkpoint import CampaignJournal, campaign_fingerprint
+from repro.bench.faults import ChunkCrash, FaultInjector, FaultSpec, RetryPolicy
 from repro.bench.repro_mpi import BenchmarkSpec, ReproMPIBenchmark
 from repro.collectives.base import CollectiveKind
 from repro.collectives.registry import algorithm_from_config
@@ -73,8 +85,31 @@ class GridSpec:
         return len(self.nodes) * len(self.ppns) * len(self.msizes)
 
 
+@dataclass(frozen=True)
+class QuarantineRecord:
+    """One persistently failing measurement site the campaign skipped."""
+
+    #: ``"sample"`` (one config x instance), ``"chunk"`` (whole
+    #: (nodes, ppn) column) or ``"deadline"`` (chunk budget exhausted)
+    kind: str
+    config: str  #: configuration label ("" for whole-chunk records)
+    nodes: int
+    ppn: int
+    msize: int  #: -1 for whole-chunk records
+    reason: str
+    attempts: int
+
+
 class DatasetRunner:
-    """Runs benchmark campaigns for one machine + library."""
+    """Runs benchmark campaigns for one machine + library.
+
+    ``faults`` enables deterministic fault injection
+    (:class:`~repro.bench.faults.FaultSpec`); ``retry`` bounds the
+    retry-with-backoff loop handling transient faults. After
+    :meth:`run`, ``quarantine_`` lists every site that was skipped
+    after exhausting its retries (sorted, so the list is identical for
+    any ``REPRO_JOBS``).
+    """
 
     def __init__(
         self,
@@ -82,11 +117,17 @@ class DatasetRunner:
         library: MPILibrary,
         spec: BenchmarkSpec | None = None,
         seed: int = 0,
+        *,
+        faults: FaultSpec | None = None,
+        retry: RetryPolicy | None = None,
     ) -> None:
         self.machine = machine
         self.library = library
         self.benchmark = ReproMPIBenchmark(machine, spec)
         self.seed = seed
+        self.faults = faults
+        self.retry = retry or RetryPolicy()
+        self.quarantine_: list[QuarantineRecord] = []
 
     def run(
         self,
@@ -99,6 +140,7 @@ class DatasetRunner:
         n_jobs: int | None = None,
         checkpoint: str | Path | None = None,
         resume: bool = False,
+        chunk_deadline_s: float | None = None,
     ) -> PerfDataset:
         """Benchmark the full tuning space over the grid.
 
@@ -122,8 +164,14 @@ class DatasetRunner:
         re-measured, making an interrupted-then-resumed campaign
         bit-identical to an uninterrupted one. A journal whose
         fingerprint does not match this campaign (different seed,
-        grid, library...) is ignored, with a ``checkpoint_stale``
-        telemetry event.
+        grid, library, **fault spec**...) is ignored, with a
+        ``checkpoint_stale`` telemetry event.
+
+        ``chunk_deadline_s`` caps the *simulated* benchmark seconds one
+        (nodes, ppn) chunk may spend; once exceeded, the chunk's
+        remaining samples are quarantined (kind ``"deadline"``). The
+        cap is on simulated — not wall — time so the outcome stays a
+        pure function of the campaign seed.
         """
         kind = CollectiveKind(collective)
         space = self.library.config_space(kind)
@@ -133,6 +181,11 @@ class DatasetRunner:
         algos = [algorithm_from_config(c) for c in configs]
         machine = self.machine
         telemetry = get_telemetry()
+        injector = FaultInjector(self.faults) if self.faults is not None else None
+        policy = self.retry
+        self.quarantine_ = []
+        quarantine: list[QuarantineRecord] = []
+        quarantine_lock = threading.Lock()
 
         # One work chunk per (nodes, ppn) pair, in the serial order.
         pairs = [(n, ppn) for n in grid.nodes for ppn in grid.ppns]
@@ -140,7 +193,8 @@ class DatasetRunner:
             machine.validate_shape(n, ppn)
 
         journal = self._open_journal(
-            checkpoint, resume, kind, grid, name, exclude_algids
+            checkpoint, resume, kind, grid, name, exclude_algids,
+            chunk_deadline_s, injector,
         )
         done_pairs = journal.completed_pairs() if journal is not None else set()
 
@@ -152,6 +206,97 @@ class DatasetRunner:
         jobs = resolve_jobs(n_jobs)
         busy = ProgressCounter(0)  # wall-seconds spent inside chunks (x1e6)
 
+        def quarantine_site(record: QuarantineRecord) -> None:
+            with quarantine_lock:
+                quarantine.append(record)
+            telemetry.add("bench.quarantine")
+            telemetry.event(
+                "bench_quarantine", campaign=name or str(kind),
+                kind=record.kind, config=record.config,
+                nodes=record.nodes, ppn=record.ppn, msize=record.msize,
+                reason=record.reason, attempts=record.attempts,
+            )
+
+        def measure_sample(
+            algo, topo: Topology, n: int, ppn: int, m: int
+        ):
+            """One sample with bounded retry; None -> quarantined."""
+            label = algo.config.label
+            rng_seed = stable_seed(self.seed, name, label, n, ppn, m)
+            for attempt in range(policy.max_attempts):
+                measurement = self.benchmark.measure(
+                    algo, topo, m,
+                    rng=np.random.default_rng(rng_seed),
+                    injector=injector,
+                    fault_key=(name, label, n, ppn, m, attempt),
+                )
+                if measurement.ok:
+                    return measurement
+                telemetry.add("bench.retry")
+                telemetry.event(
+                    "bench_retry", campaign=name or str(kind), scope="sample",
+                    config=label, nodes=n, ppn=ppn, msize=m,
+                    attempt=attempt + 1,
+                    valid_nreps=measurement.valid_nreps,
+                    backoff_s=policy.backoff(attempt),
+                )
+                policy.wait(attempt)
+            quarantine_site(QuarantineRecord(
+                kind="sample", config=label, nodes=n, ppn=ppn, msize=m,
+                reason="min_valid_nreps not reached",
+                attempts=policy.max_attempts,
+            ))
+            return None
+
+        def measure_chunk(
+            pair: tuple[int, int], attempt: int
+        ) -> tuple[list[int], list[int], list[float]]:
+            """Measure one (nodes, ppn) chunk; may raise ChunkCrash."""
+            n, ppn = pair
+            if injector is not None and injector.chunk_crashes(pair, attempt):
+                raise ChunkCrash(f"injected crash of chunk n={n} ppn={ppn}")
+            topo = Topology(n, ppn)
+            part_cid: list[int] = []
+            part_msize: list[int] = []
+            part_time: list[float] = []
+            spent = 0.0
+            deadline_hit = False
+            skipped = 0
+            for m in grid.msizes:
+                for cid, algo in enumerate(algos):
+                    if not algo.supported(topo, m):
+                        continue
+                    if deadline_hit:
+                        skipped += 1
+                        continue
+                    measurement = measure_sample(algo, topo, n, ppn, m)
+                    if measurement is None:
+                        continue
+                    part_cid.append(cid)
+                    part_msize.append(m)
+                    part_time.append(measurement.time)
+                    # Simulated benchmark spend of the accepted series:
+                    # a pure function of the campaign seed, so the
+                    # deadline cut is deterministic for any REPRO_JOBS.
+                    spent += measurement.spent
+                    if (
+                        chunk_deadline_s is not None
+                        and spent > chunk_deadline_s
+                    ):
+                        deadline_hit = True
+            if deadline_hit:
+                telemetry.add("bench.deadline_exceeded")
+                telemetry.add("bench.deadline_skipped", skipped)
+                quarantine_site(QuarantineRecord(
+                    kind="deadline", config="", nodes=n, ppn=ppn, msize=-1,
+                    reason=(
+                        f"chunk exceeded {chunk_deadline_s}s simulated "
+                        f"budget; {skipped} sample(s) skipped"
+                    ),
+                    attempts=attempt + 1,
+                ))
+            return part_cid, part_msize, part_time
+
         def run_pair(
             pair: tuple[int, int]
         ) -> tuple[list[int], list[int], list[float]]:
@@ -162,26 +307,31 @@ class DatasetRunner:
                 counter.advance(len(algos) * len(grid.msizes))
                 telemetry.add("campaign.chunks_resumed")
                 return cached
-            topo = Topology(n, ppn)
-            part_cid: list[int] = []
-            part_msize: list[int] = []
-            part_time: list[float] = []
             with telemetry.span(
                 f"{campaign_span_name}/n={n}/ppn={ppn}", absolute=True
             ) as chunk_span:
-                for m in grid.msizes:
-                    for cid, algo in enumerate(algos):
-                        if not algo.supported(topo, m):
-                            continue
-                        rng_seed = stable_seed(
-                            self.seed, name, algo.config.label, n, ppn, m
+                parts = None
+                for attempt in range(policy.max_attempts):
+                    try:
+                        parts = measure_chunk(pair, attempt)
+                        break
+                    except ChunkCrash as crash:
+                        telemetry.add("bench.retry")
+                        telemetry.event(
+                            "bench_retry", campaign=name or str(kind),
+                            scope="chunk", nodes=n, ppn=ppn,
+                            attempt=attempt + 1, error=str(crash),
+                            backoff_s=policy.backoff(attempt),
                         )
-                        measurement = self.benchmark.measure(
-                            algo, topo, m, rng=np.random.default_rng(rng_seed)
-                        )
-                        part_cid.append(cid)
-                        part_msize.append(m)
-                        part_time.append(measurement.time)
+                        policy.wait(attempt)
+                if parts is None:  # every attempt crashed
+                    quarantine_site(QuarantineRecord(
+                        kind="chunk", config="", nodes=n, ppn=ppn, msize=-1,
+                        reason="chunk crashed on every attempt",
+                        attempts=policy.max_attempts,
+                    ))
+                    parts = ([], [], [])
+                part_cid, part_msize, part_time = parts
                 chunk_span.annotate(
                     nodes=n, ppn=ppn, samples=len(part_cid),
                     samples_per_s=(
@@ -193,7 +343,7 @@ class DatasetRunner:
             telemetry.add("campaign.samples", len(part_cid))
             telemetry.add("campaign.chunks")
             if journal is not None:
-                journal.record(pair, (part_cid, part_msize, part_time))
+                journal.record(pair, parts)
             # Progress (and any exception the callback raises, e.g. a
             # user interrupt) comes strictly AFTER the journal write, so
             # an interrupted campaign always keeps its finished chunks.
@@ -205,13 +355,14 @@ class DatasetRunner:
                         "%s: finished %d-node column (%d/%d samples)",
                         name or str(kind), n, counter.done, total,
                     )
-            return part_cid, part_msize, part_time
+            return parts
 
         with telemetry.span(
             campaign_span_name,
             collective=str(kind), machine=machine.name,
             library=self.library.name, jobs=jobs,
             chunks=len(pairs), chunks_resumed=len(done_pairs),
+            faults=self.faults is not None,
         ) as campaign_span:
             parts = parallel_map(run_pair, pairs, n_jobs=n_jobs)
             wall = campaign_span.elapsed
@@ -222,10 +373,17 @@ class DatasetRunner:
                 utilization=(
                     (busy.done / 1e6) / (wall * jobs) if wall > 0 else 0.0
                 ),
+                quarantined=len(quarantine),
             )
 
         if journal is not None:
             journal.discard()  # campaign complete: journal is spent
+
+        # Deterministic order for any worker count.
+        self.quarantine_ = sorted(
+            quarantine,
+            key=lambda r: (r.nodes, r.ppn, r.msize, r.config, r.kind),
+        )
 
         cols_cid: list[int] = []
         cols_nodes: list[int] = []
@@ -261,6 +419,8 @@ class DatasetRunner:
         grid: GridSpec,
         name: str,
         exclude_algids: tuple[int, ...],
+        chunk_deadline_s: float | None,
+        injector: FaultInjector | None,
     ) -> CampaignJournal | None:
         """Build (and optionally load) the chunk journal for this run."""
         if checkpoint is None:
@@ -271,9 +431,23 @@ class DatasetRunner:
             tuple(sorted(exclude_algids)),
             self.library.name, self.library.version, self.machine.name,
             self.benchmark.spec,
+            # Everything below changes the measured rows, so it binds
+            # the journal too (a journal from a fault-free run must
+            # never be merged into a faulty one, and vice versa).
+            self.faults, self.retry.max_attempts, chunk_deadline_s,
         )
+        post_write = None
+        if injector is not None:
+            def post_write(path: Path, pair: tuple[int, int]) -> None:
+                if injector.corrupts_journal(pair):
+                    get_telemetry().event(
+                        "fault_journal_torn", path=str(path),
+                        nodes=pair[0], ppn=pair[1],
+                    )
+                    injector.tear_journal(path, pair)
         journal = CampaignJournal(
-            CampaignJournal.journal_path(checkpoint), fingerprint
+            CampaignJournal.journal_path(checkpoint), fingerprint,
+            post_write=post_write,
         )
         if resume:
             kept = journal.load()

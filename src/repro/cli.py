@@ -73,12 +73,17 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     t0 = time.time()
     stem = cache_dir() / f"{args.dataset}-{args.scale}-s{args.seed}"
     stem.parent.mkdir(parents=True, exist_ok=True)
+    faults = None
+    if getattr(args, "chaos", None) is not None:
+        from repro.bench.faults import FaultSpec
+
+        faults = FaultSpec.uniform(args.chaos, seed=args.seed)
     with _telemetry_to(args.telemetry):
         # Always journal next to the dataset: an interrupted campaign
         # can then be picked up with --resume at zero extra cost.
         dataset = generate_dataset(
             args.dataset, args.scale, seed=args.seed,
-            checkpoint=stem, resume=args.resume,
+            checkpoint=stem, resume=args.resume, faults=faults,
         )
         dataset.save(stem)
     print(
@@ -211,6 +216,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--telemetry", metavar="PATH", default=None,
         help="write JSONL telemetry events to PATH ('-' = pretty stderr)",
+    )
+    p.add_argument(
+        "--chaos", type=float, metavar="RATE", default=None,
+        help="inject deterministic faults at RATE (0..1) into the "
+        "campaign: straggler spikes, jitter bursts, NaN observations, "
+        "chunk crashes, journal corruption (see docs/robustness.md)",
     )
 
     p = sub.add_parser("tune", help="benchmark + train + emit a rules file")

@@ -12,15 +12,17 @@ Workflow (paper Figure 1):
    ``mpirun`` time (:mod:`repro.core.config_gen`).
 """
 
-from repro.core.dataset import PerfDataset
+from repro.core.dataset import CorruptDatasetError, PerfDataset
 from repro.core.features import FEATURE_NAMES, instance_features
-from repro.core.selector import AlgorithmSelector
+from repro.core.selector import AlgorithmSelector, NoModelError
 from repro.core.evaluation import EvaluationResult, evaluate_selector
 from repro.core.config_gen import (
+    RulesValidationError,
     parse_ompi_rules,
     render_json,
     render_ompi_rules,
     selection_table,
+    validate_rules,
 )
 
 
@@ -46,4 +48,8 @@ __all__ = [
     "render_ompi_rules",
     "render_json",
     "parse_ompi_rules",
+    "validate_rules",
+    "RulesValidationError",
+    "CorruptDatasetError",
+    "NoModelError",
 ]

@@ -14,12 +14,23 @@ provided:
 from __future__ import annotations
 
 import json
+import math
+from collections.abc import Callable
 
 import numpy as np
 
 from repro.collectives.base import AlgorithmConfig, CollectiveKind
-from repro.core.selector import AlgorithmSelector
+from repro.core.selector import AlgorithmSelector, NoModelError
 from repro.utils.units import KiB, MiB
+
+
+class RulesValidationError(ValueError):
+    """An emitted rules file failed the round-trip validation.
+
+    Raised before anything reaches disk: a malformed, NaN-bearing or
+    negative-valued rules file loaded by an MPI job at startup is far
+    more expensive than a failed tuning run.
+    """
 
 #: Open MPI collective ids used in dynamic rules files
 #: (coll_base_functions.h ordering)
@@ -43,6 +54,8 @@ def selection_table(
     nodes: int,
     ppn: int,
     msizes: tuple[int, ...] = DEFAULT_MSIZES,
+    *,
+    fallback: Callable[[int], AlgorithmConfig] | None = None,
 ) -> list[tuple[int, AlgorithmConfig]]:
     """Predicted-best configuration per message size for one allocation.
 
@@ -51,14 +64,29 @@ def selection_table(
     (scalar ``nodes``/``ppn`` broadcast against the msize vector), so a
     table over an ensemble of ``k`` models costs ``k`` batch predicts —
     not ``k * len(msizes)`` single-row ones.
+
+    ``fallback(msize)`` supplies the configuration for message sizes no
+    model covers (every candidate quarantined or unmodelled) — the
+    tuner passes the library's built-in decision logic here, so a
+    partially degraded ensemble still yields a complete table. Without
+    a fallback such a row raises
+    :class:`~repro.core.selector.NoModelError`.
     """
     if not msizes:
         return []
     cids = selector.select_ids(nodes, ppn, np.asarray(msizes, dtype=np.int64))
-    return [
-        (int(m), selector.configs_[int(cid)])
-        for m, cid in zip(msizes, cids)
-    ]
+    table: list[tuple[int, AlgorithmConfig]] = []
+    for m, cid in zip(msizes, cids):
+        if cid >= 0:
+            table.append((int(m), selector.configs_[int(cid)]))
+        elif fallback is not None:
+            table.append((int(m), fallback(int(m))))
+        else:
+            raise NoModelError(
+                f"no model covers msize={int(m)} at (nodes={nodes}, "
+                f"ppn={ppn}) and no fallback was provided"
+            )
+    return table
 
 
 def render_ompi_rules(
@@ -146,3 +174,75 @@ def render_json(
         ],
     }
     return json.dumps(payload, indent=2) + "\n"
+
+
+# ----------------------------------------------------------------------
+def validate_rules(
+    text: str,
+    fmt: str,
+    collective: CollectiveKind | str,
+) -> None:
+    """Strict round-trip validation of an emitted rules file.
+
+    Parses ``text`` back with the *reader* for its format and rejects
+    anything an MPI job could choke on at startup: malformed structure,
+    a collective mismatch, non-integer fields, NaN/infinite values and
+    negative sizes/ids. Raises :class:`RulesValidationError`; returns
+    ``None`` on success.
+    """
+    kind = CollectiveKind(collective)
+    if fmt == "ompi":
+        try:
+            parsed_kind, comm_size, rules = parse_ompi_rules(text)
+        except (ValueError, KeyError, TypeError) as exc:
+            raise RulesValidationError(
+                f"emitted ompi rules do not parse back: {exc}"
+            ) from exc
+        if parsed_kind is not kind:
+            raise RulesValidationError(
+                f"rules file is for {parsed_kind}, expected {kind}"
+            )
+        if comm_size <= 0:
+            raise RulesValidationError(f"non-positive comm size {comm_size}")
+        for msize, algid, fanout, segsize in rules:
+            if min(msize, algid, fanout, segsize) < 0:
+                raise RulesValidationError(
+                    f"negative field in rule {(msize, algid, fanout, segsize)}"
+                )
+    elif fmt == "json":
+        def _reject_constant(token: str) -> None:
+            raise RulesValidationError(
+                f"non-finite constant {token!r} in JSON rules"
+            )
+
+        try:
+            payload = json.loads(text, parse_constant=_reject_constant)
+        except json.JSONDecodeError as exc:
+            raise RulesValidationError(
+                f"emitted JSON rules do not parse back: {exc}"
+            ) from exc
+        if payload.get("collective") != str(kind):
+            raise RulesValidationError(
+                f"rules file is for {payload.get('collective')!r}, "
+                f"expected {kind}"
+            )
+        rules_list = payload.get("rules")
+        if not isinstance(rules_list, list):
+            raise RulesValidationError("JSON rules payload has no rule list")
+        for rule in rules_list:
+            if not isinstance(rule, dict):
+                raise RulesValidationError(f"malformed rule entry {rule!r}")
+            for key in ("msize", "algid"):
+                value = rule.get(key)
+                if not isinstance(value, int) or value < 0:
+                    raise RulesValidationError(
+                        f"rule field {key}={value!r} must be a "
+                        "non-negative integer"
+                    )
+            for pkey, pval in (rule.get("params") or {}).items():
+                if isinstance(pval, float) and not math.isfinite(pval):
+                    raise RulesValidationError(
+                        f"non-finite parameter {pkey}={pval!r}"
+                    )
+    else:
+        raise RulesValidationError(f"unknown rules format {fmt!r}")

@@ -18,6 +18,17 @@ import numpy as np
 from repro.collectives.base import AlgorithmConfig, CollectiveKind
 
 
+class CorruptDatasetError(ValueError):
+    """A dataset carries rows no sane benchmark could have produced.
+
+    NaN, infinite or negative runtimes (and non-positive instance
+    axes) are the signature of a torn archive, a bad merge, or an
+    unhandled fault upstream. Training would not crash on them — it
+    would silently learn garbage — so loading and merging reject them
+    loudly instead (with a ``dataset_corrupt`` telemetry event).
+    """
+
+
 @dataclass
 class PerfDataset:
     """Benchmark results for one (collective, library, machine) triple."""
@@ -45,6 +56,62 @@ class PerfDataset:
     # ------------------------------------------------------------------
     def __len__(self) -> int:
         return len(self.config_id)
+
+    # ------------------------------------------------------------------
+    def validate(self) -> "PerfDataset":
+        """Reject rows that would poison training; returns ``self``.
+
+        Raises :class:`CorruptDatasetError` on NaN/infinite/negative
+        runtimes or non-positive ``nodes``/``ppn`` (a 0-byte message
+        is legitimate, so ``msize`` only needs to be >= 0). Called by
+        :meth:`load` and :meth:`merge`; campaign output is clean by
+        construction (the runner quarantines invalid measurements).
+        """
+        if len(self) == 0:
+            return self
+        bad_time = ~np.isfinite(self.time) | (self.time < 0)
+        if bad_time.any():
+            idx = np.flatnonzero(bad_time)
+            raise CorruptDatasetError(
+                f"dataset {self.name!r}: {len(idx)} row(s) with "
+                f"NaN/inf/negative time (first at row {int(idx[0])}: "
+                f"{self.time[idx[0]]!r})"
+            )
+        bad_axes = (self.nodes < 1) | (self.ppn < 1) | (self.msize < 0)
+        if bad_axes.any():
+            idx = int(np.flatnonzero(bad_axes)[0])
+            raise CorruptDatasetError(
+                f"dataset {self.name!r}: invalid instance axes at row "
+                f"{idx} (nodes={int(self.nodes[idx])}, "
+                f"ppn={int(self.ppn[idx])}, msize={int(self.msize[idx])})"
+            )
+        return self
+
+    def merge(self, other: "PerfDataset", name: str | None = None) -> "PerfDataset":
+        """Concatenate another dataset's rows (same tuning space).
+
+        Both operands are validated first — merging is exactly where a
+        corrupt shard would otherwise slip into a clean training set.
+        """
+        if self.configs != other.configs or self.collective != other.collective:
+            raise ValueError(
+                f"cannot merge {other.name!r} into {self.name!r}: "
+                "different tuning spaces"
+            )
+        self.validate()
+        other.validate()
+        return PerfDataset(
+            name=name or self.name,
+            collective=self.collective,
+            library=self.library,
+            machine=self.machine,
+            configs=self.configs,
+            config_id=np.concatenate([self.config_id, other.config_id]),
+            nodes=np.concatenate([self.nodes, other.nodes]),
+            ppn=np.concatenate([self.ppn, other.ppn]),
+            msize=np.concatenate([self.msize, other.msize]),
+            time=np.concatenate([self.time, other.time]),
+        )
 
     @property
     def num_algorithms(self) -> int:
@@ -181,7 +248,14 @@ class PerfDataset:
 
     @staticmethod
     def load(path: str | Path) -> "PerfDataset":
-        """Load a dataset saved with :meth:`save`."""
+        """Load a dataset saved with :meth:`save`.
+
+        Rejects archives whose rows fail :meth:`validate` with a
+        :class:`CorruptDatasetError` (plus a ``dataset_corrupt``
+        telemetry event and a ``dataset.corrupt`` counter) — bad rows
+        must never reach training silently. The on-disk cache treats
+        that exactly like a torn file: discard and regenerate.
+        """
         path = Path(path)
         arrays = np.load(path.with_suffix(".npz"))
         meta = json.loads(path.with_suffix(".json").read_text())
@@ -191,7 +265,7 @@ class PerfDataset:
             )
             for c in meta["configs"]
         )
-        return PerfDataset(
+        dataset = PerfDataset(
             name=meta["name"],
             collective=CollectiveKind(meta["collective"]),
             library=meta["library"],
@@ -203,3 +277,15 @@ class PerfDataset:
             msize=arrays["msize"],
             time=arrays["time"],
         )
+        try:
+            return dataset.validate()
+        except CorruptDatasetError as exc:
+            from repro.obs import get_telemetry  # local: keep import graph lean
+
+            telemetry = get_telemetry()
+            telemetry.event(
+                "dataset_corrupt", path=str(path),
+                error=f"{type(exc).__name__}: {exc}",
+            )
+            telemetry.add("dataset.corrupt")
+            raise

@@ -19,6 +19,8 @@ from collections.abc import Callable
 
 import numpy as np
 
+import threading
+
 from repro.collectives.base import AlgorithmConfig
 from repro.core.dataset import PerfDataset
 from repro.core.features import instance_features
@@ -26,6 +28,18 @@ from repro.ml import _ckernel
 from repro.ml.base import Regressor
 from repro.obs import get_telemetry
 from repro.utils.parallel import parallel_map
+
+
+class NoModelError(RuntimeError):
+    """No trained model covers the queried instance.
+
+    Raised by :meth:`AlgorithmSelector.select` when every
+    configuration's prediction is ``+inf`` — all candidates were
+    quarantined (fit failures) or unmodelled (too few samples). Callers
+    with a sensible fallback (:class:`repro.core.tuner.AutoTuner` uses
+    the library's built-in decision logic) catch this instead of
+    receiving a silently meaningless argmin.
+    """
 
 
 class AlgorithmSelector:
@@ -46,6 +60,9 @@ class AlgorithmSelector:
         self.min_samples = min_samples
         self.models_: dict[int, Regressor] = {}
         self.configs_: tuple[AlgorithmConfig, ...] = ()
+        #: configuration ids whose fit raised — excluded from selection
+        #: (their predictions are ``+inf``), reported via telemetry
+        self.quarantined_: set[int] = set()
         self._fitted = False
 
     # ------------------------------------------------------------------
@@ -60,10 +77,20 @@ class AlgorithmSelector:
         are *created* serially in configuration order — so a factory
         drawing seeds from shared state sees the same call sequence —
         and each model then trains only on its own private RNG.
+
+        Robustness: a configuration whose ``model.fit`` raises is
+        **quarantined** instead of killing the whole campaign — the
+        exception is recorded (``selector_fit_failure`` event,
+        ``selector.fit_failures`` counter), the config id lands in
+        ``quarantined_``, and its predictions are ``+inf`` so it can
+        never win the argmin. Only if *no* configuration trains at all
+        does ``fit`` raise.
         """
         telemetry = get_telemetry()
         self.configs_ = dataset.configs
         self.models_ = {}
+        self.quarantined_ = set()
+        quarantine_lock = threading.Lock()
         with telemetry.span(
             f"selector/fit/{dataset.name}", dataset=dataset.name,
             rows=len(dataset), configs=len(dataset.configs),
@@ -83,17 +110,39 @@ class AlgorithmSelector:
             # read-only view of the feature matrix.
             def fit_one(task: tuple[int, Regressor, np.ndarray]) -> None:
                 cid, model, mask = task
-                with telemetry.span(
-                    f"selector/fit/{dataset.name}/cid={cid}",
-                    absolute=True, samples=int(mask.sum()),
-                ):
-                    model.fit(X_all[mask], dataset.time[mask])
+                try:
+                    with telemetry.span(
+                        f"selector/fit/{dataset.name}/cid={cid}",
+                        absolute=True, samples=int(mask.sum()),
+                    ):
+                        model.fit(X_all[mask], dataset.time[mask])
+                except Exception as exc:
+                    with quarantine_lock:
+                        self.quarantined_.add(cid)
+                    telemetry.add("selector.fit_failures")
+                    telemetry.event(
+                        "selector_fit_failure", dataset=dataset.name,
+                        cid=cid, config=dataset.configs[cid].label,
+                        error=f"{type(exc).__name__}: {exc}",
+                    )
+                    return
                 telemetry.add("selector.models_fitted")
 
             parallel_map(fit_one, tasks, n_jobs=n_jobs)
-            self.models_ = {cid: model for cid, model, _ in tasks}
-            fit_span.annotate(models=len(self.models_))
+            self.models_ = {
+                cid: model
+                for cid, model, _ in tasks
+                if cid not in self.quarantined_
+            }
+            fit_span.annotate(
+                models=len(self.models_), quarantined=len(self.quarantined_)
+            )
         if not self.models_:
+            if self.quarantined_:
+                raise ValueError(
+                    f"every eligible configuration failed to fit "
+                    f"({len(self.quarantined_)} quarantined)"
+                )
             raise ValueError(
                 "no configuration had enough samples to train on "
                 f"(min_samples={self.min_samples})"
@@ -110,21 +159,33 @@ class AlgorithmSelector:
     ) -> np.ndarray:
         """Predicted runtime matrix of shape (n_instances, n_configs).
 
-        Unmodelled configurations are ``+inf`` so they never win the
-        argmin.
+        Unmodelled and quarantined configurations are ``+inf`` so they
+        never win the argmin. Non-finite *predictions* (a model gone
+        numerically bad) are likewise sanitised to ``+inf`` — a NaN in
+        the matrix would otherwise poison ``argmin`` row-wide — with a
+        ``selector.predictions_sanitized`` counter so the degradation
+        is visible rather than silent.
         """
         self._check_fitted()
         telemetry = get_telemetry()
         X = instance_features(nodes, ppn, msize)
+        sanitized = 0
         with telemetry.span(
             "selector/predict", rows=len(X), models=len(self.models_),
             kernel="c" if _ckernel.available() else "numpy",
         ):
             times = np.full((len(X), len(self.configs_)), np.inf)
             for cid, model in self.models_.items():
-                times[:, cid] = model.predict(X)
+                pred = np.asarray(model.predict(X), dtype=float)
+                bad = ~np.isfinite(pred)
+                if bad.any():
+                    sanitized += int(bad.sum())
+                    pred = np.where(bad, np.inf, pred)
+                times[:, cid] = pred
         telemetry.add("selector.predict_calls")
         telemetry.add("selector.predict_rows", len(X))
+        if sanitized:
+            telemetry.add("selector.predictions_sanitized", sanitized)
         return times
 
     def select_ids(
@@ -133,12 +194,29 @@ class AlgorithmSelector:
         ppn: np.ndarray | int,
         msize: np.ndarray | int,
     ) -> np.ndarray:
-        """Configuration id with the smallest predicted runtime per instance."""
-        return np.argmin(self.predict_times(nodes, ppn, msize), axis=1)
+        """Configuration id with the smallest predicted runtime per instance.
+
+        Instances for which *no* configuration has a finite prediction
+        (everything quarantined/unmodelled) get the sentinel ``-1``
+        instead of a silently arbitrary ``argmin`` over all-``inf``
+        rows; scalar callers see :class:`NoModelError` via
+        :meth:`select`.
+        """
+        times = self.predict_times(nodes, ppn, msize)
+        ids = np.argmin(times, axis=1)
+        covered = np.isfinite(times).any(axis=1)
+        if not covered.all():
+            ids = np.where(covered, ids, -1)
+        return ids
 
     def select(self, nodes: int, ppn: int, msize: int) -> AlgorithmConfig:
         """The predicted-fastest configuration for one instance."""
         cid = int(self.select_ids(nodes, ppn, msize)[0])
+        if cid < 0:
+            raise NoModelError(
+                f"no model covers instance (nodes={nodes}, ppn={ppn}, "
+                f"msize={msize}); all candidates quarantined or unmodelled"
+            )
         return self.configs_[cid]
 
     def ranked(

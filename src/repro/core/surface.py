@@ -29,7 +29,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.collectives.base import AlgorithmConfig
-from repro.core.selector import AlgorithmSelector
+from repro.core.selector import AlgorithmSelector, NoModelError
 from repro.obs import get_telemetry
 
 
@@ -82,12 +82,24 @@ class DecisionSurface:
             )
         shape = grid_n.shape
         best = np.argmin(times, axis=1)
+        # Cells where every configuration predicts +inf (all candidates
+        # quarantined/unmodelled) carry the sentinel -1 instead of a
+        # meaningless argmin; recommend() surfaces them as NoModelError
+        # so callers (AutoTuner.recommend_fast) can fall back to the
+        # library default.
+        covered = np.isfinite(times).any(axis=1)
+        if not covered.all():
+            best = np.where(covered, best, -1)
+            get_telemetry().add(
+                "surface.uncovered_cells", int((~covered).sum())
+            )
         return DecisionSurface(
             nodes_axis=nodes_axis,
             ppn_axis=ppn_axis,
             msize_axis=msize_axis,
             best_cid=best.reshape(shape),
-            best_time=times[np.arange(len(best)), best].reshape(shape),
+            best_time=times[np.arange(len(best)), np.maximum(best, 0)]
+            .reshape(shape),
             configs=selector.configs_,
         )
 
@@ -118,14 +130,23 @@ class DecisionSurface:
         ppn: np.ndarray | int,
         msize: np.ndarray | int,
     ) -> np.ndarray:
-        """Winning configuration id per query instance."""
+        """Winning configuration id per query instance (-1 = uncovered)."""
         i, j, k = self.cell_of(nodes, ppn, msize)
         get_telemetry().add("surface.lookups", int(np.size(i)))
         return self.best_cid[i, j, k]
 
     def recommend(self, nodes: int, ppn: int, msize: int) -> AlgorithmConfig:
-        """Predicted-fastest configuration (nearest-cell, O(1))."""
+        """Predicted-fastest configuration (nearest-cell, O(1)).
+
+        Raises :class:`~repro.core.selector.NoModelError` for cells no
+        model covers (sentinel ``-1`` in ``best_cid``).
+        """
         cid = int(self.select_ids(nodes, ppn, msize)[0])
+        if cid < 0:
+            raise NoModelError(
+                f"no model covers the cell nearest to (nodes={nodes}, "
+                f"ppn={ppn}, msize={msize})"
+            )
         return self.configs[cid]
 
     def predicted_time(self, nodes: int, ppn: int, msize: int) -> float:

@@ -8,9 +8,12 @@ because they need the Table III train/test discipline.
 
 from __future__ import annotations
 
+import os
 from collections.abc import Callable
 from dataclasses import dataclass, field
+from pathlib import Path
 
+from repro.bench.faults import FaultSpec, RetryPolicy
 from repro.bench.repro_mpi import BenchmarkSpec
 from repro.bench.runner import DatasetRunner, GridSpec
 from repro.collectives.base import AlgorithmConfig, CollectiveKind
@@ -19,11 +22,13 @@ from repro.core.config_gen import (
     render_json,
     render_ompi_rules,
     selection_table,
+    validate_rules,
 )
 from repro.core.dataset import PerfDataset
-from repro.core.selector import AlgorithmSelector
+from repro.core.selector import AlgorithmSelector, NoModelError
 from repro.core.surface import DecisionSurface
 from repro.machine.model import MachineModel
+from repro.machine.topology import Topology
 from repro.ml import PAPER_LEARNERS
 from repro.ml.base import Regressor
 from repro.mpilib.base import MPILibrary
@@ -40,6 +45,10 @@ class AutoTuner:
     learner: str | Callable[[], Regressor] = "GAM"
     bench_spec: BenchmarkSpec = field(default_factory=BenchmarkSpec)
     seed: int = 0
+    #: optional deterministic fault injection for the campaign
+    faults: FaultSpec | None = None
+    #: transient-fault retry policy (campaign layer)
+    retry: RetryPolicy | None = None
 
     def __post_init__(self) -> None:
         self.collective = CollectiveKind(self.collective)
@@ -56,6 +65,8 @@ class AutoTuner:
         self.dataset_: PerfDataset | None = None
         self.selector_: AlgorithmSelector | None = None
         self.surface_: DecisionSurface | None = None
+        #: quarantined measurement sites of the last campaign
+        self.quarantine_: list = []
 
     # ------------------------------------------------------------------
     def benchmark(
@@ -77,13 +88,15 @@ class AutoTuner:
         :meth:`repro.bench.runner.DatasetRunner.run`).
         """
         runner = DatasetRunner(
-            self.machine, self.library, self.bench_spec, seed=self.seed
+            self.machine, self.library, self.bench_spec, seed=self.seed,
+            faults=self.faults, retry=self.retry,
         )
         self.dataset_ = runner.run(
             self.collective, grid, name=name,
             exclude_algids=exclude_algids, n_jobs=n_jobs,
             checkpoint=checkpoint, resume=resume,
         )
+        self.quarantine_ = runner.quarantine_
         return self.dataset_
 
     def train(
@@ -125,25 +138,64 @@ class AutoTuner:
         )
         return self.surface_
 
+    def default_config(self, nodes: int, ppn: int, msize: int) -> AlgorithmConfig:
+        """The library's built-in decision logic for one instance.
+
+        The graceful-degradation floor: whatever happened to the models
+        — every candidate quarantined, the whole ensemble unusable —
+        this answer is always available and always valid, because it is
+        exactly what the library would have done without us.
+        """
+        return self.library.default_config(
+            self.machine, Topology(nodes, ppn), self.collective, msize
+        )
+
     def recommend(self, nodes: int, ppn: int, msize: int) -> AlgorithmConfig:
         """Predicted-fastest configuration for an (unseen) instance.
 
         Always queries the live models (exact argmin); see
-        :meth:`recommend_fast` for the precomputed-surface path.
+        :meth:`recommend_fast` for the precomputed-surface path. When
+        no model covers the instance (all candidates quarantined), the
+        library's default decision logic answers instead — counted as
+        ``tuner.fallback_default`` and reported via a
+        ``tuner_fallback`` event.
         """
         if self.selector_ is None:
             raise RuntimeError("train() first")
-        get_telemetry().add("tuner.recommend_full")
-        return self.selector_.select(nodes, ppn, msize)
+        telemetry = get_telemetry()
+        telemetry.add("tuner.recommend_full")
+        try:
+            return self.selector_.select(nodes, ppn, msize)
+        except NoModelError:
+            return self._fallback(nodes, ppn, msize, source="recommend")
 
     def recommend_fast(
         self, nodes: int, ppn: int, msize: int
     ) -> AlgorithmConfig:
-        """O(1) recommendation from the precomputed decision surface."""
+        """O(1) recommendation from the precomputed decision surface.
+
+        Falls back to the library default for uncovered cells, exactly
+        like :meth:`recommend`.
+        """
         if self.surface_ is None:
             raise RuntimeError("build_surface() first")
         get_telemetry().add("tuner.recommend_fast")
-        return self.surface_.recommend(nodes, ppn, msize)
+        try:
+            return self.surface_.recommend(nodes, ppn, msize)
+        except NoModelError:
+            return self._fallback(nodes, ppn, msize, source="recommend_fast")
+
+    def _fallback(
+        self, nodes: int, ppn: int, msize: int, *, source: str
+    ) -> AlgorithmConfig:
+        config = self.default_config(nodes, ppn, msize)
+        telemetry = get_telemetry()
+        telemetry.add("tuner.fallback_default")
+        telemetry.event(
+            "tuner_fallback", source=source, nodes=nodes, ppn=ppn,
+            msize=msize, config=config.label,
+        )
+        return config
 
     def write_rules(
         self,
@@ -157,16 +209,40 @@ class AutoTuner:
 
         Returns the rendered text. ``fmt`` is ``"ompi"`` (dynamic rules
         file) or ``"json"``.
+
+        Robustness: message sizes no model covers fall back to the
+        library's default decision logic (``tuner.fallback_default``),
+        so the emitted file is always complete; the rendered text is
+        **validated by parsing it back**
+        (:func:`~repro.core.config_gen.validate_rules` — malformed,
+        NaN or negative entries abort before touching disk); and the
+        write is atomic (tmp + ``os.replace``, matching
+        :meth:`~repro.core.dataset.PerfDataset.save`), so a crash
+        mid-write can never leave a torn rules file for ``mpirun`` to
+        load.
         """
         if self.selector_ is None:
             raise RuntimeError("train() first")
-        table = selection_table(self.selector_, nodes, ppn, msizes)
+
+        def fallback(msize: int) -> AlgorithmConfig:
+            return self._fallback(nodes, ppn, msize, source="write_rules")
+
+        table = selection_table(
+            self.selector_, nodes, ppn, msizes, fallback=fallback
+        )
         if fmt == "ompi":
             text = render_ompi_rules(self.collective, nodes, ppn, table)
         elif fmt == "json":
             text = render_json(self.collective, nodes, ppn, table)
         else:
             raise ValueError(f"unknown format {fmt!r}")
-        with open(path, "w") as handle:
-            handle.write(text)
+        validate_rules(text, fmt, self.collective)
+        target = Path(path)
+        tmp = target.with_name(f".{target.name}.{os.getpid()}.tmp")
+        try:
+            tmp.write_text(text)
+            os.replace(tmp, target)  # atomic on POSIX
+        finally:
+            if tmp.exists():  # failed write: leave no droppings
+                tmp.unlink()
         return text

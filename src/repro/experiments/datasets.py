@@ -183,6 +183,8 @@ def generate_dataset(
     progress=None,
     checkpoint=None,
     resume: bool = False,
+    faults=None,
+    retry=None,
 ) -> PerfDataset:
     """Benchmark one Table II (or extension) dataset from scratch.
 
@@ -191,6 +193,12 @@ def generate_dataset(
     variant the figure drivers use. ``checkpoint``/``resume`` journal
     completed campaign chunks for bit-identical interrupt recovery
     (see :meth:`repro.bench.runner.DatasetRunner.run`).
+
+    ``faults`` (a :class:`repro.bench.faults.FaultSpec`) runs the
+    campaign under deterministic fault injection; ``retry`` bounds the
+    transient-fault retry loop. Fault placement is seeded
+    independently, so ``faults=None`` stays bit-identical to all
+    previously generated datasets.
     """
     scale = Scale(scale)
     ds_spec = dataset_spec(did)
@@ -199,7 +207,9 @@ def generate_dataset(
     if spec is None:
         # CI runs fewer repetitions; paper scale uses ReproMPI's 500/1s.
         spec = BenchmarkSpec(max_nreps=500 if scale is Scale.PAPER else 25)
-    runner = DatasetRunner(machine, library, spec, seed=seed)
+    runner = DatasetRunner(
+        machine, library, spec, seed=seed, faults=faults, retry=retry
+    )
     return runner.run(
         ds_spec.collective,
         ds_spec.grid(scale),

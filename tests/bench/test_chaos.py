@@ -1,0 +1,96 @@
+"""Chaos acceptance: a full campaign at ~5% fault rate stays usable.
+
+The ISSUE's end-to-end criterion: with every fault class armed at a
+realistic rate, the campaign completes without an unhandled exception,
+quarantines are reported through telemetry, the selections trained on
+the faulty dataset agree with the fault-free oracle on >= 95% of the
+query grid, and resume-after-crash stays bit-identical.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.faults import FaultSpec, RetryPolicy
+from repro.bench.repro_mpi import BenchmarkSpec, Summary
+from repro.bench.runner import DatasetRunner, GridSpec
+from repro.core.selector import AlgorithmSelector
+from repro.machine.zoo import tiny_testbed
+from repro.ml import KNNRegressor
+from repro.mpilib import get_library
+from repro.obs import get_telemetry
+
+CHAOS = FaultSpec.uniform(0.05, seed=42)
+GRID = GridSpec(nodes=(2, 4), ppns=(1, 2), msizes=(1, 1024, 65536))
+#: off-grid query mesh: selections must survive faults on unseen points too
+QUERY_N = np.repeat([2, 3, 4], 14)
+QUERY_P = np.tile(np.repeat([1, 2], 7), 3)
+QUERY_M = np.tile([1, 64, 1024, 8192, 65536, 262144, 1 << 20], 6)
+
+NO_SLEEP = RetryPolicy(max_attempts=3, sleep=lambda _s: None)
+
+
+def run_campaign(faults, **kwargs):
+    spec = BenchmarkSpec(max_nreps=20, summary=Summary.MAD_MEDIAN)
+    runner = DatasetRunner(
+        tiny_testbed, get_library("Open MPI"), spec, seed=0,
+        faults=faults, retry=NO_SLEEP,
+    )
+    ds = runner.run("bcast", GRID, name="chaos", **kwargs)
+    return runner, ds
+
+
+def fit_selector(ds) -> AlgorithmSelector:
+    return AlgorithmSelector(lambda: KNNRegressor(), min_samples=8).fit(ds)
+
+
+@pytest.fixture(scope="module")
+def oracle():
+    _, ds = run_campaign(None)
+    return ds
+
+
+class TestChaosAcceptance:
+    def test_campaign_completes_and_reports_quarantines(self):
+        with get_telemetry().capture() as sink:
+            runner, ds = run_campaign(CHAOS)
+        assert len(ds) > 0
+        # every quarantined site surfaced as a structured event
+        q_events = [e for e in sink.events if e.name == "bench_quarantine"]
+        assert len(q_events) == len(runner.quarantine_)
+        # dataset is clean by construction: faults never leak NaN rows
+        ds.validate()
+
+    def test_selections_match_oracle_within_tolerance(self, oracle):
+        _, faulty = run_campaign(CHAOS)
+        ids_oracle = fit_selector(oracle).select_ids(QUERY_N, QUERY_P, QUERY_M)
+        ids_faulty = fit_selector(faulty).select_ids(QUERY_N, QUERY_P, QUERY_M)
+        agreement = float(np.mean(ids_oracle == ids_faulty))
+        assert agreement >= 0.95, f"only {agreement:.1%} argmin agreement"
+
+    def test_resume_after_crash_bit_identical(self, tmp_path):
+        _, reference = run_campaign(CHAOS)
+
+        class Interrupt(Exception):
+            pass
+
+        def interrupt_at_half(done, total):
+            if done >= total * 0.5:
+                raise Interrupt
+
+        stem = tmp_path / "chaos"
+        with pytest.raises(Interrupt):
+            run_campaign(CHAOS, checkpoint=stem, progress=interrupt_at_half)
+        _, resumed = run_campaign(CHAOS, checkpoint=stem, resume=True)
+        for col in ("config_id", "nodes", "ppn", "msize", "time"):
+            assert np.array_equal(
+                getattr(reference, col), getattr(resumed, col)
+            ), col
+
+    @pytest.mark.parametrize("n_jobs", [2, 4])
+    def test_chaos_campaign_identical_for_any_worker_count(self, n_jobs):
+        _, serial = run_campaign(CHAOS, n_jobs=1)
+        _, parallel = run_campaign(CHAOS, n_jobs=n_jobs)
+        for col in ("config_id", "nodes", "ppn", "msize", "time"):
+            assert np.array_equal(
+                getattr(serial, col), getattr(parallel, col)
+            ), col

@@ -1,0 +1,204 @@
+"""Fault-injection harness: determinism, robust summaries, retry/backoff."""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bench.checkpoint import CampaignJournal
+from repro.bench.faults import (
+    ChunkCrash,
+    FaultInjector,
+    FaultSpec,
+    RetryPolicy,
+)
+from repro.bench.repro_mpi import Summary, mad_outlier_mask
+from repro.obs import get_telemetry
+
+
+class TestFaultSpec:
+    def test_defaults_resolve_to_rate(self):
+        spec = FaultSpec(rate=0.25)
+        for fault in ("straggler", "jitter", "obs_fail",
+                      "chunk_crash", "journal_corrupt"):
+            assert spec.p(fault) == 0.25
+
+    def test_explicit_prob_overrides_rate(self):
+        spec = FaultSpec(rate=0.25, chunk_crash_prob=0.0)
+        assert spec.p("chunk_crash") == 0.0
+        assert spec.p("straggler") == 0.25
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"rate": -0.1},
+            {"rate": 1.5},
+            {"obs_fail_prob": 2.0},
+            {"straggler_shape": 0.0},
+            {"straggler_scale": -1.0},
+            {"jitter_frac": 1.5},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            FaultSpec(**kwargs)
+
+    def test_uniform_helper(self):
+        spec = FaultSpec.uniform(0.05, seed=9)
+        assert spec.rate == 0.05 and spec.seed == 9
+
+
+class TestInjectorDeterminism:
+    def test_same_key_bit_identical(self):
+        injector = FaultInjector(FaultSpec.uniform(0.8, seed=3))
+        series = np.linspace(1.0, 2.0, 30)
+        out1, rep1 = injector.perturb(series.copy(), "d1", "algX", 4, 2, 1024, 0)
+        out2, rep2 = injector.perturb(series.copy(), "d1", "algX", 4, 2, 1024, 0)
+        assert np.array_equal(out1, out2, equal_nan=True)
+        assert rep1 == rep2
+
+    def test_different_attempt_different_draw(self):
+        injector = FaultInjector(FaultSpec(rate=1.0, seed=3))
+        series = np.linspace(1.0, 2.0, 30)
+        out0, _ = injector.perturb(series.copy(), "d1", "algX", 4, 2, 1024, 0)
+        out1, _ = injector.perturb(series.copy(), "d1", "algX", 4, 2, 1024, 1)
+        assert not np.array_equal(out0, out1, equal_nan=True)
+
+    def test_clean_path_returns_same_object(self):
+        """No fault fired -> the input array itself (no copy, no drift)."""
+        injector = FaultInjector(FaultSpec(rate=0.0))
+        series = np.ones(10)
+        out, report = injector.perturb(series, "k", 0)
+        assert out is series
+        assert not report.any
+
+    def test_independent_of_other_sites(self):
+        """A site's faults do not depend on which other sites were drawn."""
+        injector = FaultInjector(FaultSpec.uniform(0.5, seed=11))
+        series = np.linspace(1.0, 2.0, 20)
+        before, _ = injector.perturb(series.copy(), "site-A", 7)
+        injector.perturb(series.copy(), "site-B", 8)  # interleave another site
+        after, _ = injector.perturb(series.copy(), "site-A", 7)
+        assert np.array_equal(before, after, equal_nan=True)
+
+    def test_chunk_crash_deterministic(self):
+        injector = FaultInjector(FaultSpec.uniform(0.5, seed=5))
+        decisions = [injector.chunk_crashes((4, 2), a) for a in range(8)]
+        assert decisions == [injector.chunk_crashes((4, 2), a) for a in range(8)]
+        # Not constant across attempts at p=0.5 (vanishing chance of a tie).
+        assert len(set(decisions)) == 2
+
+
+# -- robust summaries ---------------------------------------------------
+
+#: positive, well-scaled "timing" values (seconds-ish magnitudes)
+_timings = st.floats(min_value=1e-6, max_value=1e-2,
+                     allow_nan=False, allow_infinity=False)
+
+
+class TestRobustSummaries:
+    @given(st.lists(_timings, min_size=10, max_size=50), st.integers(0, 1000))
+    def test_mad_median_bounded_by_clean_range(self, values, seed):
+        """A single unbounded spike cannot drag MAD_MEDIAN out of the
+        clean series' range — while it sends the plain MEAN beyond it."""
+        clean = np.array(values)
+        spike = float(clean.max()) * 1e4
+        spiked = np.append(clean, spike)
+        robust = Summary.MAD_MEDIAN.apply(spiked)
+        assert clean.min() <= robust <= clean.max()
+        # the non-robust statistic is visibly poisoned by the same spike
+        assert Summary.MEAN.apply(spiked) > clean.max()
+
+    @given(st.lists(_timings, min_size=25, max_size=60))
+    def test_winsorized_mean_bounded_by_clean_range(self, values):
+        clean = np.array(values)
+        spike = float(clean.max()) * 1e4
+        spiked = np.append(clean, spike)
+        robust = Summary.WINSORIZED_MEAN.apply(spiked)
+        assert robust <= clean.max() * (1 + 1e-6)
+        assert robust >= clean.min() * (1 - 1e-6)
+
+    @given(st.lists(_timings, min_size=5, max_size=40))
+    def test_robust_summaries_finite_on_clean_series(self, values):
+        series = np.array(values)
+        for summary in (Summary.MAD_MEDIAN, Summary.WINSORIZED_MEAN):
+            assert np.isfinite(summary.apply(series))
+
+    def test_constant_series_rejects_nothing(self):
+        series = np.full(20, 3.5e-5)
+        assert not mad_outlier_mask(series).any()
+        assert Summary.MAD_MEDIAN.apply(series) == pytest.approx(3.5e-5)
+
+    def test_spike_is_rejected_from_constant_series(self):
+        series = np.full(20, 1e-4)
+        series[7] = 1.0
+        mask = mad_outlier_mask(series)
+        assert mask[7] and mask.sum() == 1
+
+    def test_empty_series_is_nan(self):
+        for summary in Summary:
+            assert np.isnan(summary.apply(np.empty(0)))
+
+    def test_robust_flag(self):
+        assert Summary.MAD_MEDIAN.robust
+        assert Summary.WINSORIZED_MEAN.robust
+        assert not Summary.MEDIAN.robust
+
+
+# -- retry policy -------------------------------------------------------
+
+class TestRetryPolicy:
+    def test_backoff_is_exponential(self):
+        policy = RetryPolicy(max_attempts=4, backoff_s=0.01, backoff_factor=2.0)
+        assert policy.backoff(0) == pytest.approx(0.01)
+        assert policy.backoff(1) == pytest.approx(0.02)
+        assert policy.backoff(2) == pytest.approx(0.04)
+
+    def test_wait_uses_injected_sleep(self):
+        waits: list[float] = []
+        policy = RetryPolicy(backoff_s=0.5, sleep=waits.append)
+        policy.wait(0)
+        policy.wait(1)
+        assert waits == [0.5, 1.0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_factor=0.5)
+
+    def test_chunk_crash_is_not_a_keyboard_interrupt(self):
+        assert not issubclass(ChunkCrash, KeyboardInterrupt)
+
+
+# -- journal corruption -------------------------------------------------
+
+class TestJournalCorruption:
+    def test_torn_journal_detected_not_trusted(self, tmp_path):
+        path = tmp_path / "c.journal.json"
+        journal = CampaignJournal(path, "fp")
+        journal.record((4, 2), ([0, 1], [64, 64], [1e-5, 2e-5]))
+        assert json.loads(path.read_text())  # healthy before the tear
+
+        injector = FaultInjector(FaultSpec(rate=0.0, journal_corrupt_prob=1.0))
+        assert injector.corrupts_journal((4, 2))
+        injector.tear_journal(path, (4, 2))
+        with pytest.raises(json.JSONDecodeError):
+            json.loads(path.read_text())  # genuinely torn
+
+        fresh = CampaignJournal(path, "fp")
+        with get_telemetry().capture() as sink:
+            assert fresh.load() == 0  # corrupt -> start fresh, no crash
+        names = [e.name for e in sink.events]
+        assert "checkpoint_corrupt" in names
+
+    def test_tear_decision_keyed_by_pair_not_order(self):
+        injector = FaultInjector(FaultSpec(rate=0.0, journal_corrupt_prob=0.5,
+                                           seed=2))
+        decisions = {pair: injector.corrupts_journal(pair)
+                     for pair in [(n, p) for n in (2, 4, 8) for p in (1, 2)]}
+        # replay in reverse order: identical decisions
+        for pair in reversed(list(decisions)):
+            assert injector.corrupts_journal(pair) == decisions[pair]

@@ -28,6 +28,16 @@ class TestSpecValidation:
         with pytest.raises(ValueError):
             BenchmarkSpec(max_seconds=0.0)
 
+    def test_bad_min_valid_nreps(self):
+        with pytest.raises(ValueError):
+            BenchmarkSpec(min_valid_nreps=0)
+        with pytest.raises(ValueError):
+            BenchmarkSpec(max_nreps=10, min_valid_nreps=11)
+
+    def test_min_valid_nreps_at_cap_is_fine(self):
+        spec = BenchmarkSpec(max_nreps=10, min_valid_nreps=10)
+        assert spec.min_valid_nreps == 10
+
 
 class TestBudget:
     def test_nreps_cap(self, algo, topo):
@@ -54,6 +64,33 @@ class TestBudget:
         )
         m = bench.measure(algo, topo, 1 << 20, rng=0)
         assert m.nreps == 1
+
+
+class TestTruncation:
+    """``truncated`` must compare against the *spec's* cap, not 500."""
+
+    def test_small_cap_reached_is_not_truncated(self, algo, topo):
+        bench = ReproMPIBenchmark(
+            tiny_testbed, BenchmarkSpec(max_nreps=17, max_seconds=100.0)
+        )
+        m = bench.measure(algo, topo, 1024, rng=0)
+        assert m.nreps == 17  # fewer than 500 but NOT truncated
+        assert not m.truncated
+        assert m.max_nreps == 17
+
+    def test_budget_cut_is_truncated(self, algo, topo):
+        bench = ReproMPIBenchmark(
+            tiny_testbed, BenchmarkSpec(max_nreps=500, max_seconds=1e-3)
+        )
+        m = bench.measure(algo, topo, 2 << 20, rng=0)
+        assert m.nreps < 500
+        assert m.truncated
+
+    def test_ok_and_valid_nreps_on_clean_measurement(self, algo, topo):
+        bench = ReproMPIBenchmark(tiny_testbed, BenchmarkSpec(max_nreps=20))
+        m = bench.measure(algo, topo, 1024, rng=0)
+        assert m.ok
+        assert m.valid_nreps == m.nreps
 
     def test_total_campaign_time_predictable(self, algo, topo):
         # The paper's requirement: an upper bound on benchmark time.

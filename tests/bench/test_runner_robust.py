@@ -1,0 +1,242 @@
+"""Campaign-level robustness: retry, quarantine, deadline, corruption."""
+
+import numpy as np
+import pytest
+
+from repro.bench.faults import FaultSpec, RetryPolicy
+from repro.bench.repro_mpi import BenchmarkSpec, Summary
+from repro.bench.runner import DatasetRunner, GridSpec
+from repro.machine.zoo import tiny_testbed
+from repro.mpilib import get_library
+from repro.obs import get_telemetry
+
+GRID = GridSpec((2, 4), (1, 2), (1, 1024, 65536))
+NO_SLEEP = RetryPolicy(max_attempts=3, sleep=lambda _s: None)
+
+
+def make_runner(faults=None, retry=NO_SLEEP, **spec_kwargs):
+    spec = BenchmarkSpec(max_nreps=20, **spec_kwargs)
+    return DatasetRunner(
+        tiny_testbed, get_library("Open MPI"), spec, seed=0,
+        faults=faults, retry=retry,
+    )
+
+
+def columns(ds):
+    return {c: getattr(ds, c) for c in ("config_id", "nodes", "ppn",
+                                        "msize", "time")}
+
+
+class TestFaultDeterminism:
+    def test_fault_campaign_bit_identical_across_jobs(self):
+        faults = FaultSpec.uniform(0.1, seed=7)
+        serial = make_runner(faults).run("bcast", GRID, name="det", n_jobs=1)
+        runner4 = make_runner(faults)
+        parallel = runner4.run("bcast", GRID, name="det", n_jobs=4)
+        for name, col in columns(serial).items():
+            assert np.array_equal(col, getattr(parallel, name)), name
+
+    def test_quarantine_list_identical_across_jobs(self):
+        faults = FaultSpec(rate=0.0, obs_fail_prob=0.4, obs_fail_frac=1.0,
+                           seed=3)
+        r1 = make_runner(faults, min_valid_nreps=5)
+        r1.run("bcast", GRID, name="q", n_jobs=1)
+        r4 = make_runner(faults, min_valid_nreps=5)
+        r4.run("bcast", GRID, name="q", n_jobs=4)
+        assert r1.quarantine_ == r4.quarantine_
+        assert r1.quarantine_  # the fault rate above does quarantine sites
+
+    def test_clean_samples_match_fault_free_oracle(self):
+        """Samples the injector never touched are bit-identical to a
+        fault-free campaign — the property the chaos comparison needs."""
+        oracle = make_runner(None).run("bcast", GRID, name="o")
+        faulty = make_runner(FaultSpec.uniform(0.05, seed=1)).run(
+            "bcast", GRID, name="o"
+        )
+        ot, ft = oracle.instance_table(), faulty.instance_table()
+        same = 0
+        total = 0
+        for key, row in ot.items():
+            for cid, t in row.items():
+                if cid in ft.get(key, {}):
+                    total += 1
+                    same += ft[key][cid] == t
+        assert total > 0
+        assert same / total > 0.5  # most sites untouched at 5%/class
+
+
+class TestRetryAndQuarantine:
+    def test_transient_failures_retry_and_recover(self):
+        # All observations lost at 60% probability per attempt: most
+        # samples need a retry, nearly all recover within 3 attempts.
+        faults = FaultSpec(rate=0.0, obs_fail_prob=0.6, obs_fail_frac=1.0,
+                           seed=5)
+        runner = make_runner(faults)
+        telemetry = get_telemetry()
+        before = telemetry.counters_snapshot().get("bench.retry", 0)
+        with telemetry.capture() as sink:
+            ds = runner.run("bcast", GRID, name="retry")
+        after = telemetry.counters_snapshot().get("bench.retry", 0)
+        assert after > before
+        retry_events = [e for e in sink.events if e.name == "bench_retry"]
+        assert retry_events
+        assert retry_events[0].fields["scope"] == "sample"
+        assert retry_events[0].fields["backoff_s"] > 0
+        assert len(ds) > 0  # recovered samples made it into the dataset
+
+    def test_persistent_failure_quarantines_sample(self):
+        faults = FaultSpec(rate=0.0, obs_fail_prob=1.0, obs_fail_frac=1.0,
+                           seed=5)
+        runner = make_runner(faults)
+        telemetry = get_telemetry()
+        before = telemetry.counters_snapshot().get("bench.quarantine", 0)
+        with telemetry.capture() as sink:
+            ds = runner.run("bcast", GRID, name="qall")
+        assert len(ds) == 0  # nothing survived
+        assert runner.quarantine_
+        assert all(r.kind == "sample" for r in runner.quarantine_)
+        assert all(r.attempts == NO_SLEEP.max_attempts
+                   for r in runner.quarantine_)
+        after = telemetry.counters_snapshot().get("bench.quarantine", 0)
+        assert after - before == len(runner.quarantine_)
+        q_events = [e for e in sink.events if e.name == "bench_quarantine"]
+        assert len(q_events) == len(runner.quarantine_)
+
+    def test_chunk_crash_always_quarantines_chunks(self):
+        faults = FaultSpec(rate=0.0, chunk_crash_prob=1.0, seed=5)
+        runner = make_runner(faults)
+        with get_telemetry().capture() as sink:
+            ds = runner.run("bcast", GRID, name="crash")
+        assert len(ds) == 0
+        assert {r.kind for r in runner.quarantine_} == {"chunk"}
+        assert len(runner.quarantine_) == len(GRID.nodes) * len(GRID.ppns)
+        chunk_retries = [e for e in sink.events
+                         if e.name == "bench_retry"
+                         and e.fields.get("scope") == "chunk"]
+        assert chunk_retries
+
+    def test_moderate_crash_rate_completes_with_identical_data(self):
+        """Crashes that retry successfully leave no trace in the rows."""
+        oracle = make_runner(None).run("bcast", GRID, name="c")
+        faults = FaultSpec(rate=0.0, chunk_crash_prob=0.4, seed=2)
+        generous = RetryPolicy(max_attempts=12, sleep=lambda _s: None)
+        runner = make_runner(faults, retry=generous)
+        faulty = runner.run("bcast", GRID, name="c")
+        # crash/retry affects scheduling, never the measured values
+        for name, col in columns(oracle).items():
+            assert np.array_equal(col, getattr(faulty, name)), name
+        assert not [r for r in runner.quarantine_ if r.kind == "chunk"]
+
+
+class TestChunkDeadline:
+    def test_deadline_quarantines_and_is_deterministic(self):
+        telemetry = get_telemetry()
+        runner1 = make_runner(None)
+        full = runner1.run("bcast", GRID, name="dl")
+        with telemetry.capture() as sink:
+            runner2 = make_runner(None)
+            cut = runner2.run("bcast", GRID, name="dl",
+                              chunk_deadline_s=1e-4)
+        assert len(cut) < len(full)
+        assert {r.kind for r in runner2.quarantine_} == {"deadline"}
+        assert any(e.name == "bench_quarantine"
+                   and e.fields["kind"] == "deadline" for e in sink.events)
+        # deterministic for any worker count
+        runner3 = make_runner(None)
+        cut4 = runner3.run("bcast", GRID, name="dl",
+                           chunk_deadline_s=1e-4, n_jobs=4)
+        for name, col in columns(cut).items():
+            assert np.array_equal(col, getattr(cut4, name)), name
+        assert runner2.quarantine_ == runner3.quarantine_
+
+
+class TestJournalFaults:
+    def test_resume_after_crash_with_corrupt_journal_bit_identical(
+        self, tmp_path
+    ):
+        faults = FaultSpec(rate=0.0, obs_fail_prob=0.3, obs_fail_frac=1.0,
+                           journal_corrupt_prob=1.0, seed=4)
+        reference = make_runner(faults, min_valid_nreps=5).run(
+            "bcast", GRID, name="jr"
+        )
+
+        class Interrupt(Exception):
+            pass
+
+        def interrupt_at_half(done, total):
+            if done >= total * 0.5:
+                raise Interrupt
+
+        stem = tmp_path / "jr"
+        with pytest.raises(Interrupt):
+            make_runner(faults, min_valid_nreps=5).run(
+                "bcast", GRID, name="jr",
+                checkpoint=stem, progress=interrupt_at_half,
+            )
+        # every journal write was torn -> resume must detect corruption,
+        # start fresh, and still produce bit-identical rows
+        with get_telemetry().capture() as sink:
+            resumed = make_runner(faults, min_valid_nreps=5).run(
+                "bcast", GRID, name="jr", checkpoint=stem, resume=True,
+            )
+        names = [e.name for e in sink.events]
+        assert "checkpoint_corrupt" in names
+        for name, col in columns(reference).items():
+            assert np.array_equal(col, getattr(resumed, name)), name
+
+    def test_intact_journal_resume_with_faults_bit_identical(self, tmp_path):
+        faults = FaultSpec.uniform(0.08, seed=6)
+        reference = make_runner(faults).run("bcast", GRID, name="ok")
+
+        class Interrupt(Exception):
+            pass
+
+        def interrupt_at_half(done, total):
+            if done >= total * 0.5:
+                raise Interrupt
+
+        stem = tmp_path / "ok"
+        with pytest.raises(Interrupt):
+            make_runner(faults).run(
+                "bcast", GRID, name="ok",
+                checkpoint=stem, progress=interrupt_at_half,
+            )
+        resumed = make_runner(faults).run(
+            "bcast", GRID, name="ok", checkpoint=stem, resume=True,
+        )
+        for name, col in columns(reference).items():
+            assert np.array_equal(col, getattr(resumed, name)), name
+
+    def test_fault_spec_binds_journal_fingerprint(self, tmp_path):
+        """A fault-free journal must never be merged into a faulty run."""
+        stem = tmp_path / "fp"
+
+        class Interrupt(Exception):
+            pass
+
+        def interrupt_at_half(done, total):
+            if done >= total * 0.5:
+                raise Interrupt
+
+        with pytest.raises(Interrupt):
+            make_runner(None).run(
+                "bcast", GRID, name="fp",
+                checkpoint=stem, progress=interrupt_at_half,
+            )
+        with get_telemetry().capture() as sink:
+            make_runner(FaultSpec.uniform(0.2, seed=1)).run(
+                "bcast", GRID, name="fp", checkpoint=stem, resume=True,
+            )
+        assert "checkpoint_stale" in [e.name for e in sink.events]
+
+
+class TestMeasurementSemantics:
+    def test_outlier_rejection_counter_with_robust_summary(self):
+        telemetry = get_telemetry()
+        before = telemetry.counters_snapshot().get("bench.outliers_rejected", 0)
+        make_runner(
+            FaultSpec(rate=0.0, straggler_prob=1.0, seed=1),
+            summary=Summary.MAD_MEDIAN,
+        ).run("bcast", GRID, name="out")
+        after = telemetry.counters_snapshot().get("bench.outliers_rejected", 0)
+        assert after > before
