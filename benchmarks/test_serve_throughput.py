@@ -1,0 +1,107 @@
+"""Serving-layer throughput: batched/cached recommend vs the cold path.
+
+The serving acceptance bar: at batch 64, the batched (one vectorized
+selector call) and cached (L1 hit) paths must each deliver at least 5x
+the throughput of 64 sequential cold ``AutoTuner.recommend`` calls —
+while returning bit-identical recommendations. The speedups land in
+``BENCH_<pr>.json`` (via ``scripts/bench_report.py``) and are guarded
+by the regression gate (``serve_batch64_speedup_x``,
+``serve_cached_speedup_x``).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.bench.repro_mpi import BenchmarkSpec
+from repro.bench.runner import GridSpec
+from repro.core.tuner import AutoTuner
+from repro.machine.zoo import tiny_testbed
+from repro.mpilib import get_library
+from repro.serve import ModelRegistry, PredictionService
+
+#: 4 node counts x 2 ppn x 8 message sizes = the batch of 64
+QUERIES = [
+    (n, p, m)
+    for n in (2, 4, 6, 8)
+    for p in (1, 2)
+    for m in (0, 64, 512, 4096, 32768, 262144, 1 << 20, 4 << 20)
+]
+INSTANCES = [("bcast", n, p, m) for n, p, m in QUERIES]
+
+
+@pytest.fixture(scope="module")
+def tuned():
+    tuner = AutoTuner(
+        tiny_testbed, get_library("Open MPI"), "bcast",
+        learner="KNN", bench_spec=BenchmarkSpec(max_nreps=5), seed=7,
+    )
+    tuner.benchmark(
+        GridSpec(nodes=(2, 4, 8), ppns=(1, 2), msizes=(64, 4096, 262144))
+    )
+    tuner.train()
+    return tuner
+
+
+@pytest.fixture(scope="module")
+def registry(tuned):
+    registry = ModelRegistry(tiny_testbed, tuned.library)
+    registry.publish(tuned.servable(), tag="bench")
+    return registry
+
+
+def _best_of(fn, rounds: int) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_batch64_meets_5x_bar_and_is_bit_identical(tuned, registry):
+    expected = [tuned.recommend(n, p, m) for n, p, m in QUERIES]
+
+    # bit-identity: batching and caching never change an answer
+    service = PredictionService(registry)
+    first = service.recommend_many(INSTANCES)
+    assert [rec.config for rec in first] == expected
+    again = service.recommend_many(INSTANCES)
+    assert [rec.config for rec in again] == expected
+    assert all(rec.cached for rec in again)
+
+    cold_s = _best_of(
+        lambda: [tuned.recommend(n, p, m) for n, p, m in QUERIES], 3
+    )
+    batch_s = _best_of(
+        lambda: PredictionService(registry).recommend_many(INSTANCES), 5
+    )
+    warm = PredictionService(registry)
+    warm.recommend_many(INSTANCES)
+    cached_s = _best_of(lambda: warm.recommend_many(INSTANCES), 7)
+
+    batch_x = cold_s / batch_s
+    cached_x = cold_s / cached_s
+    print(
+        f"\nserve batch=64: cold {cold_s * 1e3:.2f} ms, "
+        f"batched {batch_s * 1e3:.2f} ms ({batch_x:.1f}x), "
+        f"cached {cached_s * 1e6:.0f} us ({cached_x:.1f}x)"
+    )
+    assert batch_x >= 5.0, f"batched path only {batch_x:.1f}x over cold"
+    assert cached_x >= 5.0, f"cached path only {cached_x:.1f}x over cold"
+
+
+def test_serve_batched_recommend_64(benchmark, registry):
+    recs = benchmark(
+        lambda: PredictionService(registry).recommend_many(INSTANCES)
+    )
+    assert len(recs) == 64 and all(r.source == "model" for r in recs)
+
+
+def test_serve_cached_recommend_64(benchmark, registry):
+    warm = PredictionService(registry)
+    warm.recommend_many(INSTANCES)
+    recs = benchmark(warm.recommend_many, INSTANCES)
+    assert all(rec.cached for rec in recs)

@@ -83,6 +83,51 @@ def direct_metrics() -> dict[str, float]:
     ds = runner.run("bcast", grid, name="bench")
     out["campaign_samples_per_s"] = len(ds) / (time.perf_counter() - t0)
 
+    # -- serving layer: batched/cached vs cold single-request ---------
+    from repro.core.tuner import AutoTuner
+    from repro.serve import ModelRegistry, PredictionService
+
+    library = get_library("Open MPI")
+    tuner = AutoTuner(
+        tiny_testbed, library, "bcast",
+        learner="KNN", bench_spec=BenchmarkSpec(max_nreps=5), seed=7,
+    )
+    tuner.benchmark(
+        GridSpec(nodes=(2, 4, 8), ppns=(1, 2), msizes=(64, 4096, 262144))
+    )
+    tuner.train()
+    queries = [
+        (n, p, m)
+        for n in (2, 4, 6, 8)
+        for p in (1, 2)
+        for m in (0, 64, 512, 4096, 32768, 262144, 1 << 20, 4 << 20)
+    ]
+    assert len(queries) == 64
+    registry = ModelRegistry(tiny_testbed, library)
+    registry.publish(tuner.servable(), tag="bench")
+    instances = [("bcast", n, p, m) for n, p, m in queries]
+
+    def cold_serial():
+        for n, p, m in queries:
+            tuner.recommend(n, p, m)
+
+    def batch_cold():
+        PredictionService(registry).recommend_many(instances)
+
+    warm = PredictionService(registry)
+    warm.recommend_many(instances)
+    out["serve_cold_64_s"] = _best_of(cold_serial, 3)
+    out["serve_batch64_s"] = _best_of(batch_cold, 5)
+    out["serve_cached_64_s"] = _best_of(
+        lambda: warm.recommend_many(instances), 7
+    )
+    out["serve_batch64_speedup_x"] = (
+        out["serve_cold_64_s"] / out["serve_batch64_s"]
+    )
+    out["serve_cached_speedup_x"] = (
+        out["serve_cold_64_s"] / out["serve_cached_64_s"]
+    )
+
     # -- fast-tier simulator throughput -------------------------------
     quiet = hydra.with_noise(NoiseModel(sigma=0.0, spike_prob=0.0, floor=0.0))
     algo = make_algorithm("bcast", "chain", segsize=4096, chains=4)

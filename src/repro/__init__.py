@@ -33,6 +33,7 @@ from repro.core import AlgorithmSelector, PerfDataset, evaluate_selector
 from repro.core.tuner import AutoTuner
 from repro.machine import MachineModel, Topology, get_machine
 from repro.mpilib import get_library
+from repro.serve import ModelRegistry, PredictionService
 
 __version__ = "1.0.0"
 
@@ -45,7 +46,9 @@ __all__ = [
     "DatasetRunner",
     "GridSpec",
     "MachineModel",
+    "ModelRegistry",
     "PerfDataset",
+    "PredictionService",
     "ReproMPIBenchmark",
     "Topology",
     "evaluate_selector",

@@ -10,6 +10,8 @@
     mpicollpred experiment fig4 --scale ci    # regenerate an exhibit
     mpicollpred experiment all --scale ci
     mpicollpred report --telemetry run.jsonl  # summarize a telemetry log
+    mpicollpred serve --machine Hydra --rules hydra_bcast_rules.conf
+                                              # JSONL request loop on stdin
 
 ``--telemetry PATH`` (on ``generate``/``tune``) streams structured
 JSONL events — hierarchical spans, counters — to ``PATH`` (``-`` for a
@@ -142,6 +144,66 @@ def _cmd_predict(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.machine.zoo import get_machine
+    from repro.mpilib import get_library
+    from repro.serve import ModelRegistry, PredictionService, serve_lines
+
+    machine = get_machine(args.machine)
+    library = get_library(args.library)
+    registry = ModelRegistry(machine, library)
+    for path in args.rules or ():
+        version = registry.load_rules(path)
+        print(
+            f"loaded {path} -> {version.collective} v{version.version}",
+            file=sys.stderr,
+        )
+    if args.tune:
+        from repro.bench.runner import GridSpec
+        from repro.core.tuner import AutoTuner
+
+        tuner = AutoTuner(
+            machine, library, args.tune, learner=args.learner, seed=args.seed
+        )
+        nodes_grid = sorted(
+            {max(1, args.nodes // 2), args.nodes,
+             min(machine.max_nodes, args.nodes * 2)}
+        )
+        ppns_grid = sorted({1, max(1, args.ppn // 2), args.ppn})
+        msizes = (1, 256, 4096, 65536, 524288, 4194304)
+        print(
+            f"tuning {library.name} {args.tune} on {machine.name} ...",
+            file=sys.stderr,
+        )
+        tuner.benchmark(GridSpec(tuple(nodes_grid), tuple(ppns_grid), msizes))
+        tuner.train()
+        version = registry.publish(tuner.servable(), tag="autotuner")
+        print(
+            f"trained {args.tune} -> v{version.version}", file=sys.stderr
+        )
+    if not registry.collectives():
+        print(
+            "serve: no models published (pass --rules and/or --tune); "
+            "requests will fall back to the library default",
+            file=sys.stderr,
+        )
+    service = PredictionService(
+        registry, mode=args.mode, cache_size=args.cache_size
+    )
+    source = open(args.requests) if args.requests else sys.stdin
+    try:
+        with _telemetry_to(args.telemetry):
+            served = serve_lines(service, source, sys.stdout)
+    except KeyboardInterrupt:
+        print("serve: interrupted", file=sys.stderr)
+        return 130
+    finally:
+        if args.requests:
+            source.close()
+    print(f"served {served} request(s)", file=sys.stderr)
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.obs import report_telemetry
 
@@ -257,6 +319,44 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scale", choices=[s.value for s in Scale], default="ci")
 
     p = sub.add_parser(
+        "serve",
+        help="JSONL prediction service over stdin (see docs/serving.md)",
+    )
+    p.add_argument("--machine", default="Hydra")
+    p.add_argument("--library", default="Open MPI")
+    p.add_argument(
+        "--rules", action="append", metavar="PATH", default=[],
+        help="publish a tuned rules file (repeatable; collective is "
+        "read from the file)",
+    )
+    p.add_argument(
+        "--tune", metavar="COLLECTIVE", default=None,
+        choices=["bcast", "allreduce", "alltoall", "reduce", "allgather"],
+        help="benchmark + train a model in-process before serving",
+    )
+    p.add_argument("--learner", default="KNN",
+                   help="learner for --tune (default: KNN)")
+    p.add_argument("--nodes", type=int, default=4,
+                   help="target allocation nodes for --tune")
+    p.add_argument("--ppn", type=int, default=2,
+                   help="target allocation ppn for --tune")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--mode", choices=["exact", "surface"], default="exact",
+        help="exact batched selection, or precomputed surface shards",
+    )
+    p.add_argument("--cache-size", type=int, default=4096,
+                   help="L1 recommendation LRU capacity")
+    p.add_argument(
+        "--requests", metavar="PATH", default=None,
+        help="read JSONL requests from PATH instead of stdin",
+    )
+    p.add_argument(
+        "--telemetry", metavar="PATH", default=None,
+        help="write JSONL telemetry events to PATH ('-' = pretty stderr)",
+    )
+
+    p = sub.add_parser(
         "report", help="summarize a telemetry JSONL log (top spans, counters)"
     )
     p.add_argument(
@@ -277,6 +377,7 @@ _COMMANDS = {
     "tune": _cmd_tune,
     "predict": _cmd_predict,
     "experiment": _cmd_experiment,
+    "serve": _cmd_serve,
     "report": _cmd_report,
 }
 

@@ -209,6 +209,26 @@ class AlgorithmSelector:
             ids = np.where(covered, ids, -1)
         return ids
 
+    def select_many(
+        self,
+        nodes: np.ndarray | int,
+        ppn: np.ndarray | int,
+        msize: np.ndarray | int,
+    ) -> list[AlgorithmConfig | None]:
+        """Batched :meth:`select` over broadcastable instance vectors.
+
+        One :meth:`predict_times` sweep answers every instance; rows no
+        model covers come back as ``None`` instead of raising, so batch
+        callers (the serving layer) can apply their fallback per row.
+        Per-row results are identical to calling :meth:`select` on each
+        instance alone — the serving layer's oracle-equivalence
+        property tests depend on that.
+        """
+        ids = self.select_ids(nodes, ppn, msize)
+        return [
+            self.configs_[int(cid)] if cid >= 0 else None for cid in ids
+        ]
+
     def select(self, nodes: int, ppn: int, msize: int) -> AlgorithmConfig:
         """The predicted-fastest configuration for one instance."""
         cid = int(self.select_ids(nodes, ppn, msize)[0])

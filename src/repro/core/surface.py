@@ -149,6 +149,22 @@ class DecisionSurface:
             )
         return self.configs[cid]
 
+    def on_grid(self, nodes: int, ppn: int, msize: int) -> bool:
+        """Whether the instance is an exact grid point (no snapping).
+
+        On-grid queries return the selector's *exact* argmin (the
+        surface cell was computed from a real ``predict_times`` row for
+        this very instance); off-grid queries are nearest-cell
+        approximations. The serving layer uses this to report whether a
+        surface-mode answer is exact or snapped.
+        """
+        i, j, k = self.cell_of(nodes, ppn, msize)
+        return bool(
+            self.nodes_axis[i[0]] == nodes
+            and self.ppn_axis[j[0]] == ppn
+            and self.msize_axis[k[0]] == msize
+        )
+
     def predicted_time(self, nodes: int, ppn: int, msize: int) -> float:
         """The winner's predicted runtime at the snapped cell."""
         i, j, k = self.cell_of(nodes, ppn, msize)

@@ -67,6 +67,8 @@ class AutoTuner:
         self.surface_: DecisionSurface | None = None
         #: quarantined measurement sites of the last campaign
         self.quarantine_: list = []
+        #: training-grid axes captured by train(); serves servable()
+        self._grid_axes: tuple[tuple[int, ...], ...] = ((), (), ())
 
     # ------------------------------------------------------------------
     def benchmark(
@@ -116,6 +118,13 @@ class AutoTuner:
             ds, n_jobs=n_jobs
         )
         self.surface_ = None  # stale: belongs to the previous selector
+        # remember the training grid: it is the natural serving grid for
+        # surface shards built over this selector (see servable())
+        self._grid_axes = (
+            tuple(int(v) for v in sorted(set(ds.nodes.tolist()))),
+            tuple(int(v) for v in sorted(set(ds.ppn.tolist()))),
+            tuple(int(v) for v in sorted(set(ds.msize.tolist()))),
+        )
         return self.selector_
 
     # ------------------------------------------------------------------
@@ -196,6 +205,33 @@ class AutoTuner:
             msize=msize, config=config.label,
         )
         return config
+
+    def servable(
+        self,
+        msizes: tuple[int, ...] | None = None,
+    ):
+        """Package the trained selector as a servable model.
+
+        Returns a :class:`repro.serve.registry.SelectorModel` whose
+        serving grid is the training grid (``msizes`` overrides the
+        message-size axis, e.g. to densify surface shards). Publish it
+        with :meth:`repro.serve.registry.ModelRegistry.publish` to put
+        this tuner behind a
+        :class:`~repro.serve.service.PredictionService`.
+        """
+        if self.selector_ is None:
+            raise RuntimeError("train() first")
+        from repro.serve.registry import SelectorModel  # avoid cycle
+
+        nodes_axis, ppn_axis, msize_axis = self._grid_axes
+        return SelectorModel(
+            selector=self.selector_,
+            collective=self.collective,
+            grid_axes=(
+                nodes_axis, ppn_axis,
+                tuple(msizes) if msizes is not None else msize_axis,
+            ),
+        )
 
     def write_rules(
         self,

@@ -22,6 +22,8 @@ GATE_METRICS: dict[str, bool] = {
     "booster_fit_2000_s": False,
     "campaign_samples_per_s": True,
     "fastsim_chain_eval_s": False,
+    "serve_batch64_speedup_x": True,
+    "serve_cached_speedup_x": True,
 }
 
 #: default thresholds (fractions of the baseline)

@@ -1,0 +1,58 @@
+"""Prediction serving layer: the tuner as a servable component.
+
+The paper's end product is an algorithm-selection oracle queried at
+``mpirun`` time; this package is the request path that makes the oracle
+cheap enough to sit on that critical path and safe enough to keep
+running while models change underneath it:
+
+* :class:`~repro.serve.registry.ModelRegistry` — one live, versioned
+  model per collective; atomic hot-reload of tuned rule sets with
+  validation **before** the swap and graceful degradation to the
+  library default.
+* :class:`~repro.serve.service.PredictionService` — request
+  batching/coalescing (concurrent misses for one collective merge into
+  a single vectorised lookup), an interned-key recommendation LRU, and
+  lazily materialised per-collective decision-surface shards.
+* :mod:`repro.serve.rules` — Open MPI dynamic rules files as servable
+  models, parsed and re-rendered byte-stably.
+* :mod:`repro.serve.loop` — the stdin/JSONL request loop behind
+  ``mpicollpred serve``.
+
+See ``docs/serving.md`` for the architecture, cache levels, reload
+protocol and failure modes.
+"""
+
+from repro.serve.cache import KeyInterner, LRUCache
+from repro.serve.loop import handle_request, serve_lines
+from repro.serve.registry import (
+    ModelRegistry,
+    ModelVersion,
+    ReloadError,
+    SelectorModel,
+    ServableModel,
+)
+from repro.serve.rules import (
+    RuleSet,
+    RulesModel,
+    RulesResolutionError,
+    config_rule_key,
+)
+from repro.serve.service import PredictionService, Recommendation
+
+__all__ = [
+    "KeyInterner",
+    "LRUCache",
+    "ModelRegistry",
+    "ModelVersion",
+    "PredictionService",
+    "Recommendation",
+    "ReloadError",
+    "RuleSet",
+    "RulesModel",
+    "RulesResolutionError",
+    "SelectorModel",
+    "ServableModel",
+    "config_rule_key",
+    "handle_request",
+    "serve_lines",
+]

@@ -1,0 +1,116 @@
+"""JSONL request loop for ``mpicollpred serve``.
+
+A line-oriented protocol made for scripting (pipe a file in, drive it
+from a job prolog, or keep a long-lived co-process):
+
+Request lines (JSON objects, one per line)::
+
+    {"collective": "bcast", "nodes": 8, "ppn": 4, "msize": 65536}
+    {"op": "recommend_many", "instances": [{"collective": "bcast", ...}]}
+    {"op": "reload", "path": "new_rules.conf"}
+    {"op": "stats"}
+    {"op": "quit"}
+
+Responses mirror requests one-for-one (same order), always carry
+``"ok"``, and echo a request's ``"id"`` field when present. Malformed
+input answers ``{"ok": false, "error": ...}`` and the loop keeps
+serving — a bad client line must not take the service down.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Iterable
+
+from repro.serve.registry import ReloadError
+from repro.serve.service import PredictionService
+from repro.utils.units import parse_bytes
+
+
+def _parse_instance(payload: dict) -> tuple[str, int, int, int]:
+    try:
+        collective = payload["collective"]
+        nodes = int(payload["nodes"])
+        ppn = int(payload["ppn"])
+        msize = payload["msize"]
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ValueError(
+            "instance needs collective, nodes, ppn, msize"
+        ) from exc
+    if isinstance(msize, str):
+        msize = parse_bytes(msize)
+    return collective, nodes, ppn, int(msize)
+
+
+def handle_request(service: PredictionService, payload: dict) -> dict:
+    """One request object -> one response object (never raises)."""
+    request_id = payload.get("id")
+    try:
+        op = payload.get("op", "recommend")
+        if op == "recommend":
+            rec = service.recommend(*_parse_instance(payload))
+            response = {"ok": True, **rec.to_dict()}
+        elif op == "recommend_many":
+            instances = payload.get("instances")
+            if not isinstance(instances, list):
+                raise ValueError("recommend_many needs an 'instances' list")
+            recs = service.recommend_many(
+                [_parse_instance(inst) for inst in instances]
+            )
+            response = {
+                "ok": True,
+                "results": [rec.to_dict() for rec in recs],
+            }
+        elif op == "reload":
+            path = payload.get("path")
+            if not path:
+                raise ValueError("reload needs a 'path'")
+            version = service.registry.load_rules(path)
+            response = {
+                "ok": True,
+                "collective": str(version.collective),
+                "version": version.version,
+                "tag": version.tag,
+            }
+        elif op == "stats":
+            response = {"ok": True, "stats": service.stats()}
+        elif op == "quit":
+            response = {"ok": True, "bye": True}
+        else:
+            raise ValueError(f"unknown op {op!r}")
+    except (ValueError, KeyError, ReloadError) as exc:
+        response = {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+    if request_id is not None:
+        response["id"] = request_id
+    return response
+
+
+def serve_lines(
+    service: PredictionService, lines: Iterable[str], out: IO[str]
+) -> int:
+    """Drive the service from an iterable of JSONL lines.
+
+    Returns the number of requests served. Stops early on
+    ``{"op": "quit"}``; blank lines are skipped; responses are flushed
+    per line so a co-process client never deadlocks on buffering.
+    """
+    served = 0
+    for raw in lines:
+        line = raw.strip()
+        if not line:
+            continue
+        try:
+            payload = json.loads(line)
+            if not isinstance(payload, dict):
+                raise ValueError("request must be a JSON object")
+        except ValueError as exc:
+            response = {"ok": False, "error": f"bad request line: {exc}"}
+            payload = None
+        else:
+            response = handle_request(service, payload)
+        out.write(json.dumps(response) + "\n")
+        out.flush()
+        served += 1
+        if payload is not None and payload.get("op") == "quit":
+            break
+    return served

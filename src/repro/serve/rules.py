@@ -1,0 +1,204 @@
+"""Rule-set backed servable models.
+
+The deployment artifact of the whole pipeline is an Open MPI
+``coll_tuned`` dynamic rules file (:mod:`repro.core.config_gen`): a
+per-allocation table mapping message sizes to forced algorithm
+configurations, loaded by ``mpirun`` at startup. The serving layer
+treats such a file as a *model*: :class:`RuleSet` parses one losslessly
+(structure **and** the allocation recorded in its comments), resolves
+every rule back to the library's :class:`~repro.collectives.base.AlgorithmConfig`
+space, and re-renders byte-identically — the golden round-trip tests
+pin this down, because a rules file that mutates on its way through the
+registry is a rules file we cannot trust to hot-reload.
+
+Selection semantics mirror Open MPI's ``coll_tuned`` lookup: the rule
+with the largest message size not exceeding the query wins; queries
+below the smallest rule use the first rule.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.collectives.base import AlgorithmConfig, CollectiveKind
+from repro.core.config_gen import (
+    parse_ompi_rules,
+    render_ompi_rules,
+    validate_rules,
+)
+from repro.mpilib.base import MPILibrary
+
+#: comm-size comment written by render_ompi_rules — carries the
+#: allocation split that the numeric payload (comm size only) loses
+_ALLOC_RE = re.compile(r"\((\d+)\s+nodes\s+x\s+(\d+)\s+ppn\)")
+
+
+class RulesResolutionError(ValueError):
+    """A parsed rule does not map back onto the library's config space."""
+
+
+def config_rule_key(config: AlgorithmConfig) -> tuple[int, int, int]:
+    """The ``(algid, fanout, segsize)`` triple a rules file stores.
+
+    Exactly the lossy projection :func:`~repro.core.config_gen.render_ompi_rules`
+    applies when writing a rule line; the inverse lookup table in
+    :meth:`RuleSet.resolve` is built from it.
+    """
+    params = config.param_dict
+    fanout = params.get("chains", params.get("radix", 0)) or 0
+    seg = params.get("segsize") or 0
+    return config.algid, int(fanout), int(seg)
+
+
+@dataclass(frozen=True)
+class RuleSet:
+    """One parsed rules file: allocation + ordered (msize -> rule) table."""
+
+    collective: CollectiveKind
+    nodes: int
+    ppn: int
+    rules: tuple[tuple[int, int, int, int], ...]  #: (msize, algid, fanout, seg)
+
+    @property
+    def comm_size(self) -> int:
+        return self.nodes * self.ppn
+
+    @staticmethod
+    def parse(text: str) -> "RuleSet":
+        """Parse a dynamic rules file, recovering the allocation.
+
+        The numeric payload goes through
+        :func:`~repro.core.config_gen.parse_ompi_rules`; the
+        ``(N nodes x P ppn)`` comment written by the renderer recovers
+        the allocation split. Hand-written files without the comment
+        degrade to ``(comm_size, 1)`` — still servable, no longer
+        byte-stable to re-render.
+        """
+        kind, comm_size, rules = parse_ompi_rules(text)
+        match = _ALLOC_RE.search(text)
+        if match:
+            nodes, ppn = int(match.group(1)), int(match.group(2))
+            if nodes * ppn != comm_size:
+                raise ValueError(
+                    f"allocation comment ({nodes} x {ppn}) contradicts "
+                    f"comm size {comm_size}"
+                )
+        else:
+            nodes, ppn = comm_size, 1
+        return RuleSet(
+            collective=kind, nodes=nodes, ppn=ppn, rules=tuple(rules)
+        )
+
+    @staticmethod
+    def load(path: str | Path) -> "RuleSet":
+        return RuleSet.parse(Path(path).read_text())
+
+    def resolve(self, library: MPILibrary) -> "RulesModel":
+        """Map every rule onto the library's configuration space.
+
+        Raises :class:`RulesResolutionError` when a rule names an
+        ``(algid, fanout, segsize)`` triple the library cannot force —
+        the registry rejects such a file instead of serving from it.
+        """
+        msizes = [m for m, _, _, _ in self.rules]
+        if msizes != sorted(msizes):
+            # the bracket lookup in select_configs binary-searches the
+            # msize column; an unsorted table would silently misroute
+            raise RulesResolutionError(
+                "rule message sizes must be sorted ascending"
+            )
+        space = library.config_space(self.collective).configs
+        by_key: dict[tuple[int, int, int], AlgorithmConfig] = {}
+        for config in space:
+            by_key.setdefault(config_rule_key(config), config)
+        configs: list[AlgorithmConfig] = []
+        for msize, algid, fanout, seg in self.rules:
+            config = by_key.get((algid, fanout, seg))
+            if config is None:
+                raise RulesResolutionError(
+                    f"rule (msize={msize}) forces (algid={algid}, "
+                    f"fanout={fanout}, segsize={seg}) which is not in "
+                    f"{library.name}'s {self.collective} space"
+                )
+            configs.append(config)
+        return RulesModel(rule_set=self, configs=tuple(configs))
+
+    def render(self, library: MPILibrary) -> str:
+        """Re-render through the canonical writer (byte-stable round trip)."""
+        model = self.resolve(library)
+        table = [(m, c) for (m, _, _, _), c in zip(self.rules, model.configs)]
+        return render_ompi_rules(self.collective, self.nodes, self.ppn, table)
+
+
+@dataclass(frozen=True)
+class RulesModel:
+    """A servable model backed by a resolved rules table.
+
+    ``select_configs`` implements the ``coll_tuned`` msize bracket
+    lookup; every instance is covered (a rules file always answers), so
+    the registry's default-config fallback never fires for it.
+    """
+
+    rule_set: RuleSet
+    configs: tuple[AlgorithmConfig, ...]
+
+    #: serving grids are anchored on the allocation the table was tuned
+    #: for — one (nodes, ppn) cell, the file's msize axis
+    @property
+    def grid_axes(self) -> tuple[tuple[int, ...], tuple[int, ...], tuple[int, ...]]:
+        return (
+            (self.rule_set.nodes,),
+            (self.rule_set.ppn,),
+            tuple(m for m, _, _, _ in self.rule_set.rules),
+        )
+
+    @property
+    def collective(self) -> CollectiveKind:
+        return self.rule_set.collective
+
+    def describe(self) -> str:
+        return (
+            f"rules[{self.collective} {self.rule_set.nodes}x"
+            f"{self.rule_set.ppn}, {len(self.configs)} rules]"
+        )
+
+    def select_configs(
+        self,
+        nodes: np.ndarray,
+        ppn: np.ndarray,
+        msize: np.ndarray,
+    ) -> list[AlgorithmConfig | None]:
+        """Rule bracket per query message size (allocation-independent).
+
+        ``nodes``/``ppn`` are accepted for protocol symmetry with
+        selector-backed models; a rules table is already specialised to
+        one allocation, so only ``msize`` steers the lookup.
+        """
+        del nodes, ppn
+        bounds = np.asarray(
+            [m for m, _, _, _ in self.rule_set.rules], dtype=np.int64
+        )
+        idx = np.clip(
+            np.searchsorted(bounds, np.asarray(msize, dtype=np.int64),
+                            side="right") - 1,
+            0,
+            len(bounds) - 1,
+        )
+        return [self.configs[int(i)] for i in idx]
+
+    def validate(self, library: MPILibrary) -> None:
+        """Round-trip self-check: render -> strict validate -> re-parse.
+
+        The registry runs this before every swap; a model that cannot
+        reproduce a valid rules file must never go live.
+        """
+        text = self.rule_set.render(library)
+        validate_rules(text, "ompi", self.collective)
+        if RuleSet.parse(text) != self.rule_set:
+            raise RulesResolutionError(
+                "rules table does not survive a render/parse round trip"
+            )

@@ -1,0 +1,342 @@
+"""The in-process prediction service: batched, cached, hot-reloadable.
+
+:class:`PredictionService` is the request path in front of a
+:class:`~repro.serve.registry.ModelRegistry`. A ``recommend`` call
+walks three levels:
+
+1. **L1 — recommendation LRU** (:class:`~repro.serve.cache.LRUCache`):
+   fully-resolved answers keyed by the interned instance tuple. A hit
+   whose model version still matches the live registry version returns
+   without touching any model; a version mismatch after a hot-reload is
+   treated as a miss, so a completed swap can never serve stale
+   answers.
+2. **L2 — surface shards** (``mode="surface"``): per
+   ``(collective, version)`` a lazily materialised
+   :class:`~repro.core.surface.DecisionSurface` over the model's
+   serving grid — built once with a single batched
+   ``predict_times`` sweep, then answering by O(1) nearest-cell
+   lookup. Stale shards are pruned when their version is unseated.
+3. **The model itself** (``mode="exact"``): concurrent misses for the
+   same collective are *coalesced* — the first caller becomes the
+   batch leader, drains everything queued for that collective, and
+   issues **one** vectorised ``select_configs`` call; followers block
+   on their own slot and receive per-caller-correct results. Exact
+   mode is bit-identical to a cold
+   :meth:`repro.core.tuner.AutoTuner.recommend` (the property tests
+   pin this), including the fallback: instances no model covers get
+   the library's default decision logic.
+
+Every level feeds :mod:`repro.obs` counters (``serve.requests``,
+``serve.l1.hits/misses``, ``serve.batches``, ``serve.coalesced``,
+``serve.fallback_default``, ``serve.surface.builds``), so a live
+service is observable through the same telemetry stream as the
+campaign and training layers.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, replace
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.collectives.base import AlgorithmConfig, CollectiveKind
+from repro.obs import get_telemetry
+from repro.serve.cache import InstanceKey, KeyInterner, LRUCache
+from repro.serve.registry import (
+    ModelRegistry,
+    ModelVersion,
+    SelectorModel,
+)
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """One fully-resolved answer: the config plus its provenance."""
+
+    collective: CollectiveKind
+    nodes: int
+    ppn: int
+    msize: int
+    config: AlgorithmConfig
+    #: "model" (a live model answered) or "default" (library fallback)
+    source: str
+    #: registry version that produced the answer (0 = no model published)
+    version: int
+    #: served straight from the L1 cache
+    cached: bool = False
+
+    def to_dict(self) -> dict:
+        """JSON-friendly rendering (what the serve loop emits)."""
+        return {
+            "collective": str(self.collective),
+            "nodes": self.nodes,
+            "ppn": self.ppn,
+            "msize": self.msize,
+            "algid": self.config.algid,
+            "algorithm": self.config.name,
+            "params": self.config.param_dict,
+            "label": self.config.label,
+            "source": self.source,
+            "version": self.version,
+            "cached": self.cached,
+        }
+
+
+class _Slot:
+    """One caller's seat in a coalesced batch."""
+
+    __slots__ = ("key", "done", "result", "error")
+
+    def __init__(self, key: InstanceKey) -> None:
+        self.key = key
+        self.done = threading.Event()
+        self.result: Recommendation | None = None
+        self.error: BaseException | None = None
+
+
+class _Batcher:
+    """Leader/follower request coalescing for one collective.
+
+    Arrivals enqueue their slot; whoever finds no active leader becomes
+    the leader, drains the queue (everything that arrived while any
+    previous leader was computing), and serves the whole batch with one
+    vectorised model call. There is no artificial delay: a lone request
+    is a batch of one, and coalescing emerges exactly when the service
+    is actually contended.
+    """
+
+    def __init__(self, service: "PredictionService",
+                 collective: CollectiveKind) -> None:
+        self._service = service
+        self._collective = collective
+        self._lock = threading.Lock()
+        self._pending: list[_Slot] = []
+        self._leader_active = False
+
+    def submit(self, key: InstanceKey) -> Recommendation:
+        slot = _Slot(key)
+        with self._lock:
+            self._pending.append(slot)
+            lead = not self._leader_active
+            if lead:
+                self._leader_active = True
+        while lead:
+            with self._lock:
+                batch = self._pending
+                self._pending = []
+                if not batch:
+                    self._leader_active = False
+                    break
+            self._execute(batch)
+            # drain again: followers may have queued while we computed
+        slot.done.wait()
+        if slot.error is not None:
+            raise slot.error
+        assert slot.result is not None
+        return slot.result
+
+    def _execute(self, batch: list[_Slot]) -> None:
+        try:
+            results = self._service._compute_batch(
+                self._collective, [slot.key for slot in batch]
+            )
+            for slot, result in zip(batch, results):
+                slot.result = result
+        except BaseException as exc:  # propagate to every caller
+            for slot in batch:
+                slot.error = exc
+        finally:
+            for slot in batch:
+                slot.done.set()
+
+
+class PredictionService:
+    """Batched + cached ``recommend`` front-end over a model registry."""
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        *,
+        mode: str = "exact",
+        cache_size: int = 4096,
+    ) -> None:
+        if mode not in ("exact", "surface"):
+            raise ValueError(f"mode must be 'exact' or 'surface', not {mode!r}")
+        self.registry = registry
+        self.mode = mode
+        self._interner = KeyInterner()
+        self._l1 = LRUCache(cache_size, namespace="serve.l1")
+        self._batchers: dict[CollectiveKind, _Batcher] = {}
+        self._batchers_lock = threading.Lock()
+        #: (collective, version) -> DecisionSurface, built lazily
+        self._shards: dict = {}
+        self._shards_lock = threading.Lock()
+
+    # -- public API ------------------------------------------------------
+    def recommend(
+        self, collective: CollectiveKind | str, nodes: int, ppn: int,
+        msize: int,
+    ) -> Recommendation:
+        """Predicted-fastest configuration for one instance."""
+        collective = CollectiveKind(collective)
+        telemetry = get_telemetry()
+        telemetry.add("serve.requests")
+        key = self._interner.key(str(collective), nodes, ppn, msize)
+        cached = self._l1_lookup(key, collective)
+        if cached is not None:
+            return cached
+        return self._batcher(collective).submit(key)
+
+    def recommend_many(
+        self,
+        instances: Iterable[tuple[CollectiveKind | str, int, int, int]],
+    ) -> list[Recommendation]:
+        """Explicit batch path: one vectorised call per collective.
+
+        Answers come back in input order; instances already in the L1
+        cache are served from it, the rest of each collective's group
+        goes through a single ``select_configs`` sweep.
+        """
+        instances = list(instances)
+        telemetry = get_telemetry()
+        telemetry.add("serve.requests", len(instances))
+        results: list[Recommendation | None] = [None] * len(instances)
+        misses: dict[CollectiveKind, list[tuple[int, InstanceKey]]] = {}
+        for pos, (coll, nodes, ppn, msize) in enumerate(instances):
+            coll = CollectiveKind(coll)
+            key = self._interner.key(str(coll), nodes, ppn, msize)
+            hit = self._l1_lookup(key, coll)
+            if hit is not None:
+                results[pos] = hit
+            else:
+                misses.setdefault(coll, []).append((pos, key))
+        for coll, group in misses.items():
+            computed = self._compute_batch(coll, [key for _, key in group])
+            for (pos, _), rec in zip(group, computed):
+                results[pos] = rec
+        return results  # type: ignore[return-value]
+
+    def stats(self) -> dict:
+        """Cache + version snapshot (what ``{"op": "stats"}`` returns)."""
+        counters = get_telemetry().counters_snapshot()
+        return {
+            "mode": self.mode,
+            "l1": self._l1.stats(),
+            "versions": {
+                str(coll): {
+                    "version": mv.version,
+                    "tag": mv.tag,
+                    "source": mv.source,
+                }
+                for coll, mv in self.registry.snapshot().items()
+            },
+            "counters": {
+                name: value
+                for name, value in counters.items()
+                if name.startswith("serve.")
+            },
+        }
+
+    # -- internals -------------------------------------------------------
+    def _l1_lookup(
+        self, key: InstanceKey, collective: CollectiveKind
+    ) -> Recommendation | None:
+        hit = self._l1.get(key)
+        if hit is None:
+            return None
+        live = self.registry.get(collective)
+        live_version = live.version if live is not None else 0
+        if hit.version != live_version:
+            # a hot-reload unseated the version this answer came from
+            get_telemetry().add("serve.l1.stale")
+            return None
+        return replace(hit, cached=True)
+
+    def _batcher(self, collective: CollectiveKind) -> _Batcher:
+        with self._batchers_lock:
+            batcher = self._batchers.get(collective)
+            if batcher is None:
+                batcher = self._batchers[collective] = _Batcher(
+                    self, collective
+                )
+            return batcher
+
+    def _compute_batch(
+        self, collective: CollectiveKind, keys: Sequence[InstanceKey]
+    ) -> list[Recommendation]:
+        """One vectorised lookup for a batch of cache misses."""
+        telemetry = get_telemetry()
+        telemetry.add("serve.batches")
+        if len(keys) > 1:
+            telemetry.add("serve.coalesced", len(keys))
+        mv = self.registry.get(collective)
+        nodes = np.asarray([k[1] for k in keys], dtype=np.int64)
+        ppn = np.asarray([k[2] for k in keys], dtype=np.int64)
+        msize = np.asarray([k[3] for k in keys], dtype=np.int64)
+        with telemetry.span(
+            "serve/batch", absolute=True, collective=str(collective),
+            size=len(keys), mode=self.mode,
+            version=mv.version if mv else 0,
+        ):
+            if mv is None:
+                configs: list[AlgorithmConfig | None] = [None] * len(keys)
+            elif self.mode == "surface" and isinstance(mv.model, SelectorModel):
+                shard = self._shard(collective, mv)
+                ids = shard.select_ids(nodes, ppn, msize)
+                configs = [
+                    shard.configs[int(i)] if i >= 0 else None for i in ids
+                ]
+            else:
+                configs = mv.model.select_configs(nodes, ppn, msize)
+        version = mv.version if mv is not None else 0
+        results = []
+        for key, config in zip(keys, configs):
+            if config is None:
+                config = self.registry.default_config(
+                    collective, key[1], key[2], key[3]
+                )
+                telemetry.add("serve.fallback_default")
+                source = "default"
+            else:
+                source = "model"
+            rec = Recommendation(
+                collective=collective, nodes=key[1], ppn=key[2],
+                msize=key[3], config=config, source=source, version=version,
+            )
+            self._l1.put(key, rec)
+            results.append(rec)
+        return results
+
+    def _shard(self, collective: CollectiveKind, mv: ModelVersion):
+        """The lazily-built decision-surface shard for one live version."""
+        shard_key = (collective, mv.version)
+        with self._shards_lock:
+            shard = self._shards.get(shard_key)
+            if shard is not None:
+                return shard
+        # build outside the lock: one batched sweep, potentially slow —
+        # a concurrent builder for the same key just wins the race
+        assert isinstance(mv.model, SelectorModel)
+        built = mv.model.build_surface()
+        telemetry = get_telemetry()
+        telemetry.add("serve.surface.builds")
+        with self._shards_lock:
+            shard = self._shards.setdefault(shard_key, built)
+            # prune shards of unseated versions for this collective
+            stale = [
+                k for k in self._shards
+                if k[0] == collective and k[1] != mv.version
+            ]
+            for k in stale:
+                del self._shards[k]
+            if stale:
+                telemetry.add("serve.surface.pruned", len(stale))
+        return shard
+
+
+__all__ = [
+    "PredictionService",
+    "Recommendation",
+]

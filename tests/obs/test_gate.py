@@ -23,6 +23,8 @@ BASE = {
     "booster_fit_2000_s": 2.0,
     "campaign_samples_per_s": 4000.0,
     "fastsim_chain_eval_s": 0.0005,
+    "serve_batch64_speedup_x": 8.0,
+    "serve_cached_speedup_x": 50.0,
 }
 
 

@@ -1,0 +1,62 @@
+"""Shared fixtures for the serving-layer suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.repro_mpi import BenchmarkSpec
+from repro.bench.runner import GridSpec
+from repro.core.config_gen import render_ompi_rules
+from repro.core.tuner import AutoTuner
+from repro.machine.zoo import tiny_testbed
+from repro.mpilib import get_library
+from repro.serve import ModelRegistry, PredictionService
+
+
+@pytest.fixture(scope="session")
+def library():
+    return get_library("Open MPI")
+
+
+@pytest.fixture(scope="session")
+def tuned_bcast(library):
+    """A small trained bcast tuner (the oracle the service must match)."""
+    tuner = AutoTuner(
+        tiny_testbed,
+        library,
+        "bcast",
+        learner="KNN",
+        bench_spec=BenchmarkSpec(max_nreps=5),
+        seed=1,
+    )
+    tuner.benchmark(
+        GridSpec(nodes=(2, 4, 8), ppns=(1, 2), msizes=(64, 4096, 262144))
+    )
+    tuner.train()
+    return tuner
+
+
+@pytest.fixture
+def registry(library):
+    return ModelRegistry(tiny_testbed, library)
+
+
+@pytest.fixture
+def service(registry, tuned_bcast):
+    registry.publish(tuned_bcast.servable(), tag="tuned-bcast")
+    return PredictionService(registry)
+
+
+def make_rules_text(
+    library, collective: str, nodes: int, ppn: int,
+    picks: list[tuple[int, int]],
+) -> str:
+    """Render a valid rules file choosing configs by space index.
+
+    ``picks`` is ``[(msize, config_index)]`` into the library's config
+    space for ``collective`` — a cheap way to fabricate distinct valid
+    rule sets without training anything.
+    """
+    space = library.config_space(collective).configs
+    table = [(msize, space[idx]) for msize, idx in picks]
+    return render_ompi_rules(collective, nodes, ppn, table)

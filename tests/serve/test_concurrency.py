@@ -1,0 +1,302 @@
+"""Serving-layer concurrency: hot-reload under fire, coalescing correctness.
+
+The two hard promises of the serving layer:
+
+* **No torn reads.** A response is internally consistent — the config
+  it carries is exactly what the model version it names would select.
+  Threads hammering mixed collectives while the registry swaps rule
+  sets back and forth (and rejects invalid candidates mid-stream) must
+  never observe a version/answer mismatch, and zero requests may fail.
+* **Per-caller-correct coalescing.** When concurrent misses merge into
+  one vectorised batch, every caller gets the answer for *its own*
+  instance, not a neighbour's.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.collectives.base import CollectiveKind
+from repro.obs import get_telemetry
+from repro.serve import (
+    ModelRegistry,
+    PredictionService,
+    ReloadError,
+)
+from repro.serve.rules import RuleSet, config_rule_key
+
+from tests.serve.conftest import make_rules_text
+
+
+def counter(name: str) -> int:
+    return get_telemetry().counters_snapshot().get(name, 0)
+
+
+MSIZES = (0, 512, 16384, 262144, 4 << 20)
+
+
+def write_rules(tmp_path, library, name, collective, picks):
+    path = tmp_path / name
+    path.write_text(make_rules_text(library, collective, 4, 2, picks))
+    return path
+
+
+class TestHotReloadUnderFire:
+    @pytest.mark.parametrize("n_threads", [8])
+    def test_no_torn_reads_and_zero_failures(
+        self, registry, library, tmp_path, n_threads
+    ):
+        # two distinct valid bcast rule sets to flip between, plus a
+        # static allreduce set so threads exercise mixed collectives
+        space_len = len(library.config_space("bcast").configs)
+        picks_a = [(0, 0), (1024, 1 % space_len), (65536, 2 % space_len)]
+        picks_b = [(0, 3 % space_len), (1024, 4 % space_len),
+                   (65536, 5 % space_len)]
+        path_a = write_rules(tmp_path, library, "a.conf", "bcast", picks_a)
+        path_b = write_rules(tmp_path, library, "b.conf", "bcast", picks_b)
+        path_ar = write_rules(
+            tmp_path, library, "ar.conf", "allreduce", [(0, 0), (4096, 1)]
+        )
+        bad = tmp_path / "bad.conf"
+        bad.write_text("99 bogus\n")
+
+        #: version number -> its RulesModel (the consistency oracle)
+        published = {}
+
+        def publish(path):
+            version = registry.load_rules(path)
+            published[version.version] = version.model
+            return version
+
+        publish(path_ar)
+        publish(path_a)
+
+        service = PredictionService(registry, cache_size=64)
+        observed: list[tuple[str, int, int, object]] = []
+        observed_lock = threading.Lock()
+        errors: list[BaseException] = []
+        stop = threading.Event()
+
+        def hammer(tid: int) -> None:
+            rng = np.random.default_rng(tid)
+            local = []
+            try:
+                while not stop.is_set():
+                    coll = "bcast" if rng.integers(2) else "allreduce"
+                    msize = int(MSIZES[rng.integers(len(MSIZES))])
+                    rec = service.recommend(coll, 4, 2, msize)
+                    local.append(
+                        (coll, msize, rec.version,
+                         config_rule_key(rec.config))
+                    )
+            except BaseException as exc:  # noqa: BLE001 - recorded, fails test
+                errors.append(exc)
+            with observed_lock:
+                observed.extend(local)
+
+        threads = [
+            threading.Thread(target=hammer, args=(tid,))
+            for tid in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        # flip rule sets while the hammering runs; sprinkle rejected
+        # reloads in between — they must not disturb anything
+        final_version = None
+        for round_ in range(10):
+            final_version = publish(path_b if round_ % 2 == 0 else path_a)
+            if round_ % 3 == 0:
+                with pytest.raises(ReloadError):
+                    registry.load_rules(bad)
+            time.sleep(0.005)
+        stop.set()
+        for t in threads:
+            t.join(timeout=30)
+        assert not errors, f"requests failed during reload: {errors!r}"
+        assert observed, "threads served nothing"
+
+        # consistency: every answer matches what its own version selects
+        # (dedup first: the hammer loop records the same hot tuples
+        # thousands of times, the distinct set is tiny)
+        for coll, msize, version, got_key in set(observed):
+            model = published.get(version)
+            assert model is not None, (
+                f"response names unknown version {version}"
+            )
+            assert model.collective is CollectiveKind(coll)
+            (want,) = model.select_configs(
+                None, None, np.asarray([msize], dtype=np.int64)
+            )
+            assert got_key == config_rule_key(want), (
+                f"torn read: v{version} {coll} msize={msize} served "
+                f"{got_key}, version's table says {config_rule_key(want)}"
+            )
+
+        # after the last swap completes: fresh requests must serve the
+        # final version only — no stale-model responses
+        for msize in MSIZES:
+            rec = service.recommend("bcast", 4, 2, msize)
+            assert rec.version == final_version.version
+            (want,) = final_version.model.select_configs(
+                None, None, np.asarray([msize], dtype=np.int64)
+            )
+            assert config_rule_key(rec.config) == config_rule_key(want)
+
+
+class _SlowModel:
+    """A servable that lingers in select_configs so misses pile up."""
+
+    def __init__(self, inner, delay_s: float) -> None:
+        self._inner = inner
+        self.delay_s = delay_s
+        self.calls = 0
+        self.batch_sizes: list[int] = []
+        self._lock = threading.Lock()
+
+    @property
+    def collective(self):
+        return self._inner.collective
+
+    @property
+    def grid_axes(self):
+        return self._inner.grid_axes
+
+    def describe(self) -> str:
+        return f"slow({self._inner.describe()})"
+
+    def select_configs(self, nodes, ppn, msize):
+        with self._lock:
+            self.calls += 1
+            self.batch_sizes.append(int(np.size(msize)))
+        time.sleep(self.delay_s)
+        return self._inner.select_configs(nodes, ppn, msize)
+
+
+class TestCoalescing:
+    def test_batches_are_per_caller_correct(
+        self, registry, library, tmp_path
+    ):
+        picks = [(0, 0), (1024, 1), (65536, 2), (1 << 20, 3)]
+        path = write_rules(tmp_path, library, "r.conf", "bcast", picks)
+        inner = RuleSet.load(path).resolve(library)
+        slow = _SlowModel(inner, delay_s=0.05)
+        registry.publish(slow, tag="slow")
+        service = PredictionService(registry)
+
+        n_threads = 8
+        queries = [(4, 2, int(m) + tid) for tid, m in
+                   zip(range(n_threads), [0, 10, 2000, 3000, 70000,
+                                          80000, 2 << 20, 3 << 20])]
+        barrier = threading.Barrier(n_threads)
+        results: dict[int, object] = {}
+        errors: list[BaseException] = []
+
+        def caller(tid: int) -> None:
+            try:
+                barrier.wait(timeout=10)
+                n, p, m = queries[tid]
+                results[tid] = service.recommend("bcast", n, p, m)
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=caller, args=(tid,))
+            for tid in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert not errors
+
+        # every caller got its own instance's answer
+        for tid, (n, p, m) in enumerate(queries):
+            rec = results[tid]
+            (want,) = inner.select_configs(
+                None, None, np.asarray([m], dtype=np.int64)
+            )
+            assert (rec.nodes, rec.ppn, rec.msize) == (n, p, m)
+            assert rec.config == want
+
+        # ... and they were actually coalesced: 8 concurrent misses
+        # against a 50 ms model cannot take 8 model calls
+        serve_calls = slow.calls - 1  # publish() probes once
+        assert serve_calls < n_threads
+        assert sum(slow.batch_sizes) - 1 == n_threads
+        assert max(slow.batch_sizes) > 1
+
+    def test_error_propagates_to_every_coalesced_caller(
+        self, registry, library, tmp_path
+    ):
+        path = write_rules(tmp_path, library, "r.conf", "bcast", [(0, 0)])
+        inner = RuleSet.load(path).resolve(library)
+
+        class Exploding(_SlowModel):
+            def select_configs(self, nodes, ppn, msize):
+                super().select_configs(nodes, ppn, msize)
+                raise RuntimeError("model melted")
+
+        boom = Exploding(inner, delay_s=0.0)
+        # publish probes the model, so swap it in around validation:
+        # publish a healthy model first, then break it in place
+        registry.publish(inner, tag="ok")
+        service = PredictionService(registry)
+        mv = registry.get("bcast")
+        object.__setattr__(mv, "model", boom)
+
+        failures: list[BaseException] = []
+        barrier = threading.Barrier(4)
+
+        def caller(msize: int) -> None:
+            try:
+                barrier.wait(timeout=10)
+                service.recommend("bcast", 2, 1, msize)
+            except RuntimeError as exc:
+                failures.append(exc)
+
+        threads = [
+            threading.Thread(target=caller, args=(m,))
+            for m in (1, 2, 3, 4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert len(failures) == 4
+        assert all("melted" in str(f) for f in failures)
+
+
+class TestThreadedOracleEquivalence:
+    def test_hammering_threads_match_oracle(self, service, tuned_bcast):
+        queries = [
+            (n, p, m)
+            for n in (2, 3, 5, 8)
+            for p in (1, 2)
+            for m in (0, 64, 5000, 262144)
+        ]
+        expected = {
+            q: tuned_bcast.recommend(*q) for q in queries
+        }
+        errors: list[BaseException] = []
+
+        def hammer(seed: int) -> None:
+            rng = np.random.default_rng(seed)
+            try:
+                for _ in range(50):
+                    q = queries[rng.integers(len(queries))]
+                    assert service.recommend("bcast", *q).config == expected[q]
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=hammer, args=(s,)) for s in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert not errors

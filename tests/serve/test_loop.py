@@ -1,0 +1,115 @@
+"""The JSONL request loop behind ``mpicollpred serve``."""
+
+from __future__ import annotations
+
+import io
+import json
+
+from repro.serve import handle_request, serve_lines
+
+from tests.serve.conftest import make_rules_text
+
+
+def run_lines(service, lines: list[str]) -> list[dict]:
+    out = io.StringIO()
+    serve_lines(service, lines, out)
+    return [json.loads(line) for line in out.getvalue().splitlines()]
+
+
+class TestHandleRequest:
+    def test_recommend_echoes_id(self, service):
+        response = handle_request(
+            service,
+            {"id": 7, "collective": "bcast", "nodes": 4, "ppn": 2,
+             "msize": 64},
+        )
+        assert response["ok"] and response["id"] == 7
+        assert response["algid"] >= 0 and response["source"] == "model"
+
+    def test_msize_accepts_unit_strings(self, service):
+        response = handle_request(
+            service,
+            {"collective": "bcast", "nodes": 4, "ppn": 2, "msize": "64K"},
+        )
+        assert response["ok"] and response["msize"] == 65536
+
+    def test_recommend_many(self, service):
+        response = handle_request(
+            service,
+            {
+                "op": "recommend_many",
+                "instances": [
+                    {"collective": "bcast", "nodes": n, "ppn": 1, "msize": 64}
+                    for n in (2, 4, 8)
+                ],
+            },
+        )
+        assert response["ok"]
+        assert [r["nodes"] for r in response["results"]] == [2, 4, 8]
+
+    def test_reload_ok_and_rejected(
+        self, service, library, tmp_path
+    ):
+        good = tmp_path / "good.conf"
+        good.write_text(make_rules_text(library, "bcast", 4, 2, [(0, 0)]))
+        response = handle_request(service, {"op": "reload", "path": str(good)})
+        assert response["ok"] and response["collective"] == "bcast"
+        bad = handle_request(
+            service, {"op": "reload", "path": str(tmp_path / "missing.conf")}
+        )
+        assert not bad["ok"] and "ReloadError" in bad["error"]
+
+    def test_stats_op(self, service):
+        response = handle_request(service, {"op": "stats"})
+        assert response["ok"] and "l1" in response["stats"]
+
+    def test_missing_fields_do_not_raise(self, service):
+        response = handle_request(service, {"collective": "bcast"})
+        assert not response["ok"]
+
+    def test_unknown_op(self, service):
+        response = handle_request(service, {"op": "compress"})
+        assert not response["ok"] and "unknown op" in response["error"]
+
+    def test_unknown_collective(self, service):
+        response = handle_request(
+            service,
+            {"collective": "scan", "nodes": 2, "ppn": 1, "msize": 8},
+        )
+        assert not response["ok"]
+
+
+class TestServeLines:
+    def test_bad_lines_keep_the_loop_alive(self, service):
+        responses = run_lines(
+            service,
+            [
+                "not json at all",
+                "",
+                '{"collective": "bcast", "nodes": 2, "ppn": 1, "msize": 8}',
+                '[1, 2, 3]',
+            ],
+        )
+        # blank line skipped; bad lines answered; good line served
+        assert [r["ok"] for r in responses] == [False, True, False]
+
+    def test_quit_stops_early(self, service):
+        responses = run_lines(
+            service,
+            [
+                '{"op": "quit"}',
+                '{"collective": "bcast", "nodes": 2, "ppn": 1, "msize": 8}',
+            ],
+        )
+        assert len(responses) == 1 and responses[0]["bye"]
+
+    def test_responses_mirror_requests_in_order(self, service):
+        lines = [
+            json.dumps(
+                {"id": i, "collective": "bcast", "nodes": 2 + i, "ppn": 1,
+                 "msize": 64}
+            )
+            for i in range(5)
+        ]
+        responses = run_lines(service, lines)
+        assert [r["id"] for r in responses] == list(range(5))

@@ -1,0 +1,97 @@
+"""Property: the service is bit-identical to a cold AutoTuner oracle.
+
+For any valid training grid and seed, and any query instance,
+``PredictionService.recommend`` (exact mode) must return exactly the
+configuration ``AutoTuner.recommend`` returns — cache hit or miss,
+serial or threaded. This is the serving layer's core contract: caching
+and batching are pure performance, never allowed to change an answer.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.repro_mpi import BenchmarkSpec
+from repro.bench.runner import GridSpec
+from repro.core.tuner import AutoTuner
+from repro.machine.zoo import tiny_testbed
+from repro.mpilib import get_library
+from repro.serve import ModelRegistry, PredictionService
+
+GRIDS = [
+    ((2, 4), (1, 2), (64, 4096, 262144)),
+    ((2, 4, 8), (1, 2), (16, 1024, 65536)),
+    ((3, 6), (1, 2, 4), (64, 8192, 1048576)),
+]
+
+#: (grid, seed) -> trained AutoTuner; hypothesis revisits combinations,
+#: training each oracle once keeps the property affordable
+_TUNERS: dict = {}
+
+
+def oracle(grid_idx: int, seed: int) -> AutoTuner:
+    key = (grid_idx, seed)
+    tuner = _TUNERS.get(key)
+    if tuner is None:
+        nodes, ppns, msizes = GRIDS[grid_idx]
+        tuner = AutoTuner(
+            tiny_testbed,
+            get_library("Open MPI"),
+            "bcast",
+            learner="KNN",
+            bench_spec=BenchmarkSpec(max_nreps=3),
+            seed=seed,
+        )
+        tuner.benchmark(GridSpec(nodes, ppns, msizes))
+        tuner.train()
+        _TUNERS[key] = tuner
+    return tuner
+
+
+instances = st.tuples(
+    st.integers(min_value=1, max_value=8),   # nodes
+    st.integers(min_value=1, max_value=4),   # ppn
+    st.integers(min_value=0, max_value=1 << 22),  # msize
+)
+
+
+@settings(max_examples=12)
+@given(
+    grid_idx=st.integers(min_value=0, max_value=len(GRIDS) - 1),
+    seed=st.integers(min_value=0, max_value=1),
+    queries=st.lists(instances, min_size=1, max_size=8),
+)
+def test_service_bit_identical_to_cold_tuner(grid_idx, seed, queries):
+    tuner = oracle(grid_idx, seed)
+    registry = ModelRegistry(tiny_testbed, tuner.library)
+    registry.publish(tuner.servable(), tag="oracle")
+    service = PredictionService(registry)
+
+    expected = [tuner.recommend(n, p, m) for n, p, m in queries]
+
+    # serial, cold cache (first touch = miss)
+    for (n, p, m), want in zip(queries, expected):
+        assert service.recommend("bcast", n, p, m).config == want
+
+    # serial, warm cache (hits must not change the answer)
+    for (n, p, m), want in zip(queries, expected):
+        rec = service.recommend("bcast", n, p, m)
+        assert rec.cached
+        assert rec.config == want
+
+    # threaded: coalesced/concurrent paths return the same configs
+    fresh = PredictionService(registry)  # empty cache -> real batches
+    with ThreadPoolExecutor(max_workers=4) as pool:
+        futures = [
+            pool.submit(fresh.recommend, "bcast", n, p, m)
+            for n, p, m in queries
+        ]
+        got = [f.result().config for f in futures]
+    assert got == expected
+
+    # and the explicit batch API agrees too
+    batch = fresh.recommend_many([("bcast", n, p, m) for n, p, m in queries])
+    assert [rec.config for rec in batch] == expected

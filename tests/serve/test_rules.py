@@ -1,0 +1,141 @@
+"""Rule-set models: parsing, resolution, bracket lookup, golden round trips."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.collectives.base import CollectiveKind
+from repro.serve.rules import (
+    RuleSet,
+    RulesResolutionError,
+    config_rule_key,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+GOLDEN_FILES = ["quickstart_rules.conf", "hydra_bcast_rules.conf"]
+
+
+class TestParsing:
+    def test_recovers_allocation_from_comment(self):
+        text = Path(REPO_ROOT / "hydra_bcast_rules.conf").read_text()
+        rs = RuleSet.parse(text)
+        assert (rs.nodes, rs.ppn) == (34, 32)
+        assert rs.comm_size == 1088
+        assert rs.collective is CollectiveKind.BCAST
+
+    def test_commentless_file_degrades_to_ppn_1(self, library):
+        space = library.config_space("bcast").configs
+        algid, fanout, seg = config_rule_key(space[0])
+        text = (
+            "1\n7\n1\n6\n1\n"
+            f"0 {algid} {fanout} {seg}\n"
+        )
+        rs = RuleSet.parse(text)
+        assert (rs.nodes, rs.ppn) == (6, 1)
+
+    def test_contradictory_comment_rejected(self):
+        text = Path(REPO_ROOT / "quickstart_rules.conf").read_text()
+        assert "(3 nodes x 3 ppn)" in text
+        broken = text.replace("(3 nodes x 3 ppn)", "(4 nodes x 3 ppn)")
+        with pytest.raises(ValueError, match="contradicts"):
+            RuleSet.parse(broken)
+
+
+class TestGoldenRoundTrips:
+    """The committed rules files re-emit byte-for-byte."""
+
+    @pytest.mark.parametrize("name", GOLDEN_FILES)
+    def test_parse_render_byte_stable(self, name, library):
+        text = (REPO_ROOT / name).read_text()
+        assert RuleSet.parse(text).render(library) == text
+
+    @pytest.mark.parametrize("name", GOLDEN_FILES)
+    def test_double_round_trip_fixed_point(self, name, library):
+        text = (REPO_ROOT / name).read_text()
+        once = RuleSet.parse(text).render(library)
+        assert RuleSet.parse(once).render(library) == once
+
+    @pytest.mark.parametrize("name", GOLDEN_FILES)
+    def test_model_validates(self, name, library):
+        model = RuleSet.load(REPO_ROOT / name).resolve(library)
+        model.validate(library)  # must not raise
+
+    @pytest.mark.parametrize("name", GOLDEN_FILES)
+    def test_hot_reload_preserves_every_selection(
+        self, name, registry, library
+    ):
+        """Serving a golden file through the registry loses no rule."""
+        from repro.serve import PredictionService
+
+        rs = RuleSet.load(REPO_ROOT / name)
+        version = registry.load_rules(REPO_ROOT / name)
+        service = PredictionService(registry)
+        for msize, algid, fanout, seg in rs.rules:
+            rec = service.recommend(rs.collective, rs.nodes, rs.ppn, msize)
+            assert rec.version == version.version
+            assert config_rule_key(rec.config) == (algid, fanout, seg)
+
+
+class TestResolution:
+    def test_unknown_triple_rejected(self, library):
+        text = "1\n7\n1\n4\n1\n0 99 0 0\n"
+        with pytest.raises(RulesResolutionError, match="algid=99"):
+            RuleSet.parse(text).resolve(library)
+
+    def test_unsorted_msizes_rejected(self, library):
+        space = library.config_space("bcast").configs
+        algid, fanout, seg = config_rule_key(space[0])
+        text = (
+            "1\n7\n1\n4\n2\n"
+            f"1024 {algid} {fanout} {seg}\n"
+            f"0 {algid} {fanout} {seg}\n"
+        )
+        with pytest.raises(RulesResolutionError, match="sorted"):
+            RuleSet.parse(text).resolve(library)
+
+
+class TestBracketLookup:
+    """coll_tuned semantics: largest rule msize <= query wins."""
+
+    @pytest.fixture(scope="class")
+    def model(self, library):
+        return RuleSet.load(REPO_ROOT / "quickstart_rules.conf").resolve(
+            library
+        )
+
+    def test_exact_rule_sizes_hit_their_rule(self, model):
+        msizes = [m for m, _, _, _ in model.rule_set.rules]
+        picks = model.select_configs(
+            None, None, np.asarray(msizes, dtype=np.int64)
+        )
+        for (_, algid, fanout, seg), config in zip(
+            model.rule_set.rules, picks
+        ):
+            assert config_rule_key(config) == (algid, fanout, seg)
+
+    def test_between_rules_uses_lower_bracket(self, model):
+        # quickstart has rules at 16 and 256: 100 brackets to 16's rule
+        (pick,) = model.select_configs(None, None, np.asarray([100]))
+        by_msize = {m: (a, f, s) for m, a, f, s in model.rule_set.rules}
+        assert config_rule_key(pick) == by_msize[16]
+
+    def test_below_first_rule_uses_first(self, library):
+        space = library.config_space("bcast").configs
+        keys = [config_rule_key(c) for c in space]
+        # two distinct rules starting above zero
+        text = (
+            "1\n7\n1\n4\n2\n"
+            f"64 {keys[0][0]} {keys[0][1]} {keys[0][2]}\n"
+            f"1024 {keys[1][0]} {keys[1][1]} {keys[1][2]}\n"
+        )
+        model = RuleSet.parse(text).resolve(library)
+        (pick,) = model.select_configs(None, None, np.asarray([1]))
+        assert config_rule_key(pick) == keys[0]
+
+    def test_above_last_rule_uses_last(self, model):
+        (pick,) = model.select_configs(None, None, np.asarray([1 << 30]))
+        last = model.rule_set.rules[-1]
+        assert config_rule_key(pick) == (last[1], last[2], last[3])
