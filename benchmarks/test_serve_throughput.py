@@ -1,12 +1,14 @@
 """Serving-layer throughput: batched/cached recommend vs the cold path.
 
-The serving acceptance bar: at batch 64, the batched (one vectorized
+The serving acceptance bars at batch 64: the batched (one vectorized
 selector call) and cached (L1 hit) paths must each deliver at least 5x
-the throughput of 64 sequential cold ``AutoTuner.recommend`` calls —
-while returning bit-identical recommendations. The speedups land in
-``BENCH_<pr>.json`` (via ``scripts/bench_report.py``) and are guarded
-by the regression gate (``serve_batch64_speedup_x``,
-``serve_cached_speedup_x``).
+the throughput of 64 sequential cold ``AutoTuner.recommend`` calls,
+and the compiled decision-table tier must deliver at least 5x the
+all-L1-hit cached path on top — while returning bit-identical
+recommendations throughout. The speedups land in ``BENCH_<pr>.json``
+(via ``scripts/bench_report.py``) and are guarded by the regression
+gate (``serve_batch64_speedup_x``, ``serve_cached_speedup_x``,
+``serve_compiled_speedup_x``).
 """
 
 from __future__ import annotations
@@ -52,6 +54,21 @@ def registry(tuned):
     return registry
 
 
+@pytest.fixture(scope="module")
+def rules_registry(tuned, tmp_path_factory):
+    """A rules-backed registry: full msize coverage for the L0 tier.
+
+    The selector grid only covers 18 of the 64 bench queries exactly;
+    the tuner's exported rules table covers every message size, which
+    is the deployment shape the compiled tier is built for.
+    """
+    path = tmp_path_factory.mktemp("bench-rules") / "bcast.conf"
+    tuned.write_rules(str(path), nodes=8, ppn=2)
+    registry = ModelRegistry(tiny_testbed, tuned.library)
+    registry.load_rules(path)
+    return registry
+
+
 def _best_of(fn, rounds: int) -> float:
     best = float("inf")
     for _ in range(rounds):
@@ -93,6 +110,46 @@ def test_batch64_meets_5x_bar_and_is_bit_identical(tuned, registry):
     assert cached_x >= 5.0, f"cached path only {cached_x:.1f}x over cold"
 
 
+def test_compiled_batch64_meets_5x_bar_over_cached(tuned, registry,
+                                                   rules_registry):
+    """The L0 tier beats even the all-L1-hit path by >= 5x at batch 64.
+
+    The 5x acceptance bar holds for the C-kernel build (what the gate's
+    ``serve_compiled_speedup_x`` measures); the numpy twin under
+    ``REPRO_NO_CKERNEL=1`` typically lands ~5x too but is only held to
+    3x here — its job is bit-identical coverage, not the record.
+    """
+    from repro.ml import _ckernel
+
+    bar = 5.0 if _ckernel.available() else 3.0
+    rules_model = rules_registry.get("bcast").model
+    import numpy as np
+
+    expected = rules_model.select_configs(
+        None, None, np.asarray([m for _, _, m in QUERIES], dtype=np.int64)
+    )
+
+    compiled = PredictionService(rules_registry, compiled=True)
+    first = compiled.recommend_many(INSTANCES)
+    # full coverage and bit-identity to the interpreted bracket
+    assert all(rec.compiled for rec in first)
+    assert [rec.config for rec in first] == expected
+
+    warm = PredictionService(registry)
+    warm.recommend_many(INSTANCES)
+    cached_s = _best_of(lambda: warm.recommend_many(INSTANCES), 30)
+    compiled_s = _best_of(lambda: compiled.recommend_many(INSTANCES), 50)
+
+    compiled_x = cached_s / compiled_s
+    print(
+        f"\nserve batch=64: cached {cached_s * 1e6:.0f} us, "
+        f"compiled {compiled_s * 1e6:.0f} us ({compiled_x:.1f}x)"
+    )
+    assert compiled_x >= bar, (
+        f"compiled path only {compiled_x:.1f}x over cached (bar {bar}x)"
+    )
+
+
 def test_serve_batched_recommend_64(benchmark, registry):
     recs = benchmark(
         lambda: PredictionService(registry).recommend_many(INSTANCES)
@@ -105,3 +162,10 @@ def test_serve_cached_recommend_64(benchmark, registry):
     warm.recommend_many(INSTANCES)
     recs = benchmark(warm.recommend_many, INSTANCES)
     assert all(rec.cached for rec in recs)
+
+
+def test_serve_compiled_recommend_64(benchmark, rules_registry):
+    service = PredictionService(rules_registry, compiled=True)
+    service.recommend_many(INSTANCES)  # builds the table once
+    recs = benchmark(service.recommend_many, INSTANCES)
+    assert all(rec.compiled for rec in recs)

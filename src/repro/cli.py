@@ -188,7 +188,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
     service = PredictionService(
-        registry, mode=args.mode, cache_size=args.cache_size
+        registry, mode=args.mode, cache_size=args.cache_size,
+        compiled=args.compiled,
     )
     source = open(args.requests) if args.requests else sys.stdin
     try:
@@ -344,6 +345,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--mode", choices=["exact", "surface"], default="exact",
         help="exact batched selection, or precomputed surface shards",
+    )
+    p.add_argument(
+        "--compiled", action=argparse.BooleanOptionalAction, default=True,
+        help="serve covered instances from compiled decision tables "
+        "(branchless flat lookup; uncovered instances fall through)",
     )
     p.add_argument("--cache-size", type=int, default=4096,
                    help="L1 recommendation LRU capacity")

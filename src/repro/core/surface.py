@@ -124,6 +124,37 @@ class DecisionSurface:
         )
         return i, j, k
 
+    def exact_cell_of(
+        self,
+        nodes: np.ndarray | int,
+        ppn: np.ndarray | int,
+        msize: np.ndarray | int,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Exact axis positions per query; ``-1`` where a value is off-axis.
+
+        Unlike :meth:`cell_of` this never snaps: a position is returned
+        only when the queried value is literally a grid point, which is
+        what the decision-table compiler (:mod:`repro.serve.compiled`)
+        needs — an exact cell's argmin came from a real
+        ``predict_times`` row for that very instance, so serving it is
+        bit-identical to the cold selector.
+        """
+
+        def exact(axis: np.ndarray, values: np.ndarray) -> np.ndarray:
+            pos = np.clip(np.searchsorted(axis, values), 0, len(axis) - 1)
+            return np.where(axis[pos] == values, pos, -1)
+
+        nodes_v, ppn_v, msize_v = np.broadcast_arrays(
+            np.atleast_1d(np.asarray(nodes, dtype=np.int64)),
+            np.atleast_1d(np.asarray(ppn, dtype=np.int64)),
+            np.atleast_1d(np.asarray(msize, dtype=np.int64)),
+        )
+        return (
+            exact(self.nodes_axis, nodes_v),
+            exact(self.ppn_axis, ppn_v),
+            exact(self.msize_axis, msize_v),
+        )
+
     def select_ids(
         self,
         nodes: np.ndarray | int,
@@ -158,12 +189,8 @@ class DecisionSurface:
         approximations. The serving layer uses this to report whether a
         surface-mode answer is exact or snapped.
         """
-        i, j, k = self.cell_of(nodes, ppn, msize)
-        return bool(
-            self.nodes_axis[i[0]] == nodes
-            and self.ppn_axis[j[0]] == ppn
-            and self.msize_axis[k[0]] == msize
-        )
+        i, j, k = self.exact_cell_of(nodes, ppn, msize)
+        return bool(i[0] >= 0 and j[0] >= 0 and k[0] >= 0)
 
     def predicted_time(self, nodes: int, ppn: int, msize: int) -> float:
         """The winner's predicted runtime at the snapped cell."""

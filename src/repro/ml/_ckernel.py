@@ -182,6 +182,46 @@ void repro_predict_sum(
         }
     }
 }
+
+/* Branchless decision-table lookup (repro.serve.compiled).
+ *
+ * A compiled decision table answers one query with three clamped
+ * gathers and one masked cell load:
+ *
+ *   - nodes/ppn clamp into small dense index maps whose final slot is
+ *     the overflow cell (-1 = off-table, falls through in Python),
+ *   - msize maps to its log2 bucket (bit_length: 0 -> 0, otherwise
+ *     64 - clzll), then validates against the bucket's [lo, hi]
+ *     admission range — buckets a table cannot answer exactly keep an
+ *     empty range (lo > hi), so the same comparison rejects them,
+ *   - the (bucket, node, ppn) cell holds the winning config id, -1 for
+ *     uncovered cells.
+ *
+ * out[q] is the config id, or -1 when the table must not answer (the
+ * service then falls through to the interpreted path). No branches
+ * beyond the loop: rejected queries still gather a (masked) cell. */
+void repro_table_lookup(
+    const int64_t *nodes, const int64_t *ppn, const int64_t *msize,
+    int64_t n_queries,
+    const int32_t *node_index, int64_t node_len,
+    const int32_t *ppn_index, int64_t ppn_len,
+    const int64_t *msize_lo, const int64_t *msize_hi,
+    const int32_t *cells, int64_t nn, int64_t np,
+    int32_t *out)
+{
+    for (int64_t q = 0; q < n_queries; ++q) {
+        int64_t n = nodes[q], p = ppn[q], m = msize[q];
+        int64_t nc = n < 0 ? 0 : (n >= node_len ? node_len - 1 : n);
+        int64_t pc = p < 0 ? 0 : (p >= ppn_len ? ppn_len - 1 : p);
+        int32_t i = node_index[nc], j = ppn_index[pc];
+        int64_t b = m <= 0 ? 0 : 64 - __builtin_clzll((uint64_t)m);
+        int ok = (i >= 0) & (j >= 0)
+                 & (m >= msize_lo[b]) & (m <= msize_hi[b]);
+        int64_t iz = i < 0 ? 0 : i, jz = j < 0 ? 0 : j;
+        int32_t cid = cells[(b * nn + iz) * np + jz];
+        out[q] = (ok & (cid >= 0)) ? cid : -1;
+    }
+}
 """
 
 _lib: ctypes.CDLL | None = None
@@ -246,6 +286,18 @@ def load() -> ctypes.CDLL | None:
         lib.repro_predict_sum.argtypes = common + [
             ctypes.c_double, ctypes.c_double, ptr(ctypes.c_double),
         ]
+        # raw-address argtypes: the serve hot path passes precomputed
+        # ``arr.ctypes.data`` integers, skipping per-call pointer wrapping
+        vp = ctypes.c_void_p
+        lib.repro_table_lookup.restype = None
+        lib.repro_table_lookup.argtypes = [
+            vp, vp, vp, ctypes.c_int64,          # nodes, ppn, msize, nq
+            vp, ctypes.c_int64,                  # node_index, node_len
+            vp, ctypes.c_int64,                  # ppn_index, ppn_len
+            vp, vp,                              # msize_lo, msize_hi
+            vp, ctypes.c_int64, ctypes.c_int64,  # cells, nn, np
+            vp,                                  # out
+        ]
         _lib = lib
     except Exception as exc:  # pragma: no cover - environment dependent
         logger.debug("tree-kernel load failed: %s", exc)
@@ -300,5 +352,50 @@ def predict_sum(X: np.ndarray, ens, scale: float, offset: float) -> np.ndarray:
         ctypes.c_double(scale),
         ctypes.c_double(offset),
         _as_ptr(out, ctypes.c_double),
+    )
+    return out
+
+
+def table_fixed_args(
+    node_index: np.ndarray,
+    ppn_index: np.ndarray,
+    msize_lo: np.ndarray,
+    msize_hi: np.ndarray,
+    cells: np.ndarray,
+) -> tuple:
+    """The per-table middle arguments of ``repro_table_lookup``.
+
+    Raw buffer addresses plus lengths, computed once per
+    :class:`~repro.serve.compiled.CompiledTable` — the owner must keep
+    the arrays alive for as long as it reuses the tuple (the table
+    holds them as attributes, so their lifetime brackets every call).
+    """
+    return (
+        node_index.ctypes.data, len(node_index),
+        ppn_index.ctypes.data, len(ppn_index),
+        msize_lo.ctypes.data, msize_hi.ctypes.data,
+        cells.ctypes.data, cells.shape[1], cells.shape[2],
+    )
+
+
+def table_lookup(
+    nodes: np.ndarray,
+    ppn: np.ndarray,
+    msize: np.ndarray,
+    fixed: tuple,
+) -> np.ndarray:
+    """Batched compiled-table lookup; -1 per query = fall through.
+
+    Caller (``repro.serve.compiled.CompiledTable``) guarantees
+    :func:`available`, contiguous int64 query columns, and ``fixed``
+    from :func:`table_fixed_args` over live table arrays.
+    """
+    lib = load()
+    assert lib is not None, "native kernel not available"
+    nq = len(msize)
+    out = np.empty(nq, dtype=np.int32)
+    lib.repro_table_lookup(
+        nodes.ctypes.data, ppn.ctypes.data, msize.ctypes.data, nq,
+        *fixed, out.ctypes.data,
     )
     return out

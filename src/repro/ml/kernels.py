@@ -316,3 +316,40 @@ class FlatEnsemble(_StepArraysMixin):
         for t in range(leaf_values.shape[1]):
             score += scale * leaf_values[:, t]
         return score
+
+
+# ----------------------------------------------------------------------
+#: powers of two up to 2^62; searchsorted(side="right") on this array is
+#: the vectorised ``int.bit_length`` for non-negative int64 values (and
+#: clamps negatives to bucket 0), mirroring the C kernel's
+#: ``64 - clzll`` bucket map bit for bit.
+_POW2_BUCKETS = np.asarray([1 << k for k in range(63)], dtype=np.int64)
+
+
+def table_lookup_numpy(
+    nodes: np.ndarray,
+    ppn: np.ndarray,
+    msize: np.ndarray,
+    node_index: np.ndarray,
+    ppn_index: np.ndarray,
+    msize_lo: np.ndarray,
+    msize_hi: np.ndarray,
+    cells: np.ndarray,
+) -> np.ndarray:
+    """Pure-numpy compiled-table lookup, identical to the C kernel.
+
+    The ``REPRO_NO_CKERNEL`` fallback for
+    ``repro.ml._ckernel.table_lookup``: nodes/ppn clamp into the dense
+    index maps (whose final slot is the off-table overflow cell),
+    msize maps to its ``bit_length`` bucket and must sit inside the
+    bucket's ``[lo, hi]`` admission range, and ``-1`` per query tells
+    the serving layer to fall through to the interpreted path.
+    """
+    i = node_index[np.clip(nodes, 0, len(node_index) - 1)]
+    j = ppn_index[np.clip(ppn, 0, len(ppn_index) - 1)]
+    b = np.searchsorted(_POW2_BUCKETS, msize, side="right")
+    ok = (i >= 0) & (j >= 0) & (msize >= msize_lo[b]) & (msize <= msize_hi[b])
+    cid = cells[b, np.maximum(i, 0), np.maximum(j, 0)]
+    return np.where(ok & (cid >= 0), cid, np.int32(-1)).astype(
+        np.int32, copy=False
+    )

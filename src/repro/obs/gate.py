@@ -24,6 +24,7 @@ GATE_METRICS: dict[str, bool] = {
     "fastsim_chain_eval_s": False,
     "serve_batch64_speedup_x": True,
     "serve_cached_speedup_x": True,
+    "serve_compiled_speedup_x": True,
 }
 
 #: default thresholds (fractions of the baseline)

@@ -15,6 +15,9 @@ running while models change underneath it:
   lazily materialised per-collective decision-surface shards.
 * :mod:`repro.serve.rules` — Open MPI dynamic rules files as servable
   models, parsed and re-rendered byte-stably.
+* :mod:`repro.serve.compiled` — the decision-table compiler: live
+  models lowered into flat branchless lookup tables, the opt-in L0
+  tier that answers covered instances in one array index.
 * :mod:`repro.serve.loop` — the stdin/JSONL request loop behind
   ``mpicollpred serve``.
 
@@ -23,6 +26,12 @@ protocol and failure modes.
 """
 
 from repro.serve.cache import KeyInterner, LRUCache
+from repro.serve.compiled import (
+    CompiledTable,
+    compile_rules_model,
+    compile_servable,
+    compile_surface,
+)
 from repro.serve.loop import handle_request, serve_lines
 from repro.serve.registry import (
     ModelRegistry,
@@ -40,6 +49,7 @@ from repro.serve.rules import (
 from repro.serve.service import PredictionService, Recommendation
 
 __all__ = [
+    "CompiledTable",
     "KeyInterner",
     "LRUCache",
     "ModelRegistry",
@@ -52,6 +62,9 @@ __all__ = [
     "RulesResolutionError",
     "SelectorModel",
     "ServableModel",
+    "compile_rules_model",
+    "compile_servable",
+    "compile_surface",
     "config_rule_key",
     "handle_request",
     "serve_lines",

@@ -120,7 +120,14 @@ class ModelRegistry:
     # -- read path -----------------------------------------------------
     def get(self, collective: CollectiveKind | str) -> ModelVersion | None:
         """The live version for ``collective`` (None = nothing published)."""
-        return self._live.get(CollectiveKind(collective))
+        # str-enum keys make the direct probe valid for both a
+        # CollectiveKind and its value; the coercion (which costs more
+        # than a whole compiled-table lookup) only runs on a miss
+        live = self._live
+        mv = live.get(collective)
+        if mv is None:
+            mv = live.get(CollectiveKind(collective))
+        return mv
 
     def snapshot(self) -> dict[CollectiveKind, ModelVersion]:
         """A point-in-time view of every live model (already immutable)."""
@@ -211,6 +218,7 @@ class ModelRegistry:
     ) -> None:
         if isinstance(model, RulesModel):
             model.validate(self.library)
+            self._probe_compiled(model)
         nodes_axis, ppn_axis, msize_axis = model.grid_axes
         if not (nodes_axis and ppn_axis and msize_axis):
             raise ValueError("model has an empty serving grid")
@@ -231,4 +239,35 @@ class ModelRegistry:
                 raise ValueError(
                     f"probe selected {config.label} which is outside "
                     f"{self.library.name}'s {collective} space"
+                )
+
+    def _probe_compiled(self, model: "RulesModel") -> None:
+        """Compiled/interpreted agreement probe, run before the swap.
+
+        The L0 decision-table lowering of a rules model is cheap enough
+        to build eagerly, so every rule boundary (and its neighbours,
+        where bracket-edge bugs live) is cross-checked against the
+        interpreted lookup here — a mis-lowered table is rejected at
+        publish time instead of serving wrong configs sub-microsecond
+        fast. Selector-backed models skip this: their lowering needs a
+        full surface sweep and is pinned by the property suite instead.
+        """
+        from repro.serve.compiled import compile_servable  # cycle guard
+
+        table = compile_servable(model, version=0)
+        if table is None:
+            return
+        probes: list[int] = []
+        for m in model.bracket_bounds.tolist():
+            probes.extend((max(m - 1, 0), m, m + 1))
+        probes.append(min(int(model.bracket_bounds[-1]) * 2 + 7, 1 << 62))
+        want = model.select_configs(
+            None, None, np.asarray(probes, dtype=np.int64)
+        )
+        for msize, expected in zip(probes, want):
+            cid = table.lookup(0, 0, msize)
+            if cid >= 0 and table.configs[cid] != expected:
+                raise ValueError(
+                    f"compiled table disagrees with the rules bracket at "
+                    f"msize={msize}"
                 )

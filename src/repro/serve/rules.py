@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass
+from functools import cached_property
 from pathlib import Path
 
 import numpy as np
@@ -160,6 +161,19 @@ class RulesModel:
     def collective(self) -> CollectiveKind:
         return self.rule_set.collective
 
+    @cached_property
+    def bracket_bounds(self) -> np.ndarray:
+        """The sorted rule msize column as int64 (bracket search keys).
+
+        Cached: the table is immutable, and both the interpreted lookup
+        and the decision-table compiler walk these bounds — rebuilding
+        the array per ``select_configs`` call was pure allocation
+        traffic on the serving hot path.
+        """
+        return np.asarray(
+            [m for m, _, _, _ in self.rule_set.rules], dtype=np.int64
+        )
+
     def describe(self) -> str:
         return (
             f"rules[{self.collective} {self.rule_set.nodes}x"
@@ -179,9 +193,7 @@ class RulesModel:
         one allocation, so only ``msize`` steers the lookup.
         """
         del nodes, ppn
-        bounds = np.asarray(
-            [m for m, _, _, _ in self.rule_set.rules], dtype=np.int64
-        )
+        bounds = self.bracket_bounds
         idx = np.clip(
             np.searchsorted(bounds, np.asarray(msize, dtype=np.int64),
                             side="right") - 1,

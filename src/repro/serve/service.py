@@ -2,8 +2,20 @@
 
 :class:`PredictionService` is the request path in front of a
 :class:`~repro.serve.registry.ModelRegistry`. A ``recommend`` call
-walks three levels:
+walks up to four levels:
 
+0. **L0 — compiled decision tables** (opt-in, ``compiled=True``):
+   per live ``(collective, version)`` a
+   :class:`~repro.serve.compiled.CompiledTable` — the model lowered
+   into a flat branchless ``msize-bucket x node x ppn -> config id``
+   buffer. A covered ``recommend`` is one bounds-clamp plus one array
+   index (no dict hop, no cache bookkeeping), ``recommend_many`` loops
+   entirely in the C kernel / vectorised numpy, and instances the
+   table cannot answer *exactly* fall through to the levels below.
+   Hot-reload safety rides the same version barrier as the L1: a
+   table whose version no longer matches the live registry version is
+   rebuilt before it answers, so a completed swap can never serve a
+   stale table.
 1. **L1 — recommendation LRU** (:class:`~repro.serve.cache.LRUCache`):
    fully-resolved answers keyed by the interned instance tuple. A hit
    whose model version still matches the live registry version returns
@@ -27,10 +39,10 @@ walks three levels:
    the library's default decision logic.
 
 Every level feeds :mod:`repro.obs` counters (``serve.requests``,
-``serve.l1.hits/misses``, ``serve.batches``, ``serve.coalesced``,
-``serve.fallback_default``, ``serve.surface.builds``), so a live
-service is observable through the same telemetry stream as the
-campaign and training layers.
+``serve.compiled.hit/fallthrough``, ``serve.l1.hits/misses``,
+``serve.batches``, ``serve.coalesced``, ``serve.fallback_default``,
+``serve.surface.builds``), so a live service is observable through the
+same telemetry stream as the campaign and training layers.
 """
 
 from __future__ import annotations
@@ -44,11 +56,24 @@ import numpy as np
 from repro.collectives.base import AlgorithmConfig, CollectiveKind
 from repro.obs import get_telemetry
 from repro.serve.cache import InstanceKey, KeyInterner, LRUCache
+from repro.serve.compiled import compile_servable
 from repro.serve.registry import (
     ModelRegistry,
     ModelVersion,
     SelectorModel,
 )
+
+#: memoised CollectiveKind coercion — the enum constructor costs more
+#: than a whole compiled-table lookup, and only valid names are cached
+#: (the ValueError for unknown collectives propagates unchanged)
+_KIND_CACHE: dict = {}
+
+
+def _kind(collective) -> CollectiveKind:
+    kind = _KIND_CACHE.get(collective)
+    if kind is None:
+        kind = _KIND_CACHE[collective] = CollectiveKind(collective)
+    return kind
 
 
 @dataclass(frozen=True)
@@ -66,6 +91,8 @@ class Recommendation:
     version: int
     #: served straight from the L1 cache
     cached: bool = False
+    #: answered by the L0 compiled decision table
+    compiled: bool = False
 
     def to_dict(self) -> dict:
         """JSON-friendly rendering (what the serve loop emits)."""
@@ -81,7 +108,28 @@ class Recommendation:
             "source": self.source,
             "version": self.version,
             "cached": self.cached,
+            "compiled": self.compiled,
         }
+
+
+class _CompiledEntry:
+    """One collective's L0 state for one registry version.
+
+    ``table is None`` marks an *uncompilable* version (wrappers, test
+    doubles, failed lowerings): the tier steps aside for it without
+    retrying the build on every request. ``template`` is the prototype
+    ``Recommendation.__dict__`` — covered answers are materialised by
+    copying it and filling the four per-instance slots, which skips the
+    frozen-dataclass ``__init__`` (one ``object.__setattr__`` per
+    field) on the hottest path in the service.
+    """
+
+    __slots__ = ("version", "table", "template")
+
+    def __init__(self, version: int, table, template: dict | None) -> None:
+        self.version = version
+        self.table = table
+        self.template = template
 
 
 class _Slot:
@@ -161,11 +209,13 @@ class PredictionService:
         *,
         mode: str = "exact",
         cache_size: int = 4096,
+        compiled: bool = False,
     ) -> None:
         if mode not in ("exact", "surface"):
             raise ValueError(f"mode must be 'exact' or 'surface', not {mode!r}")
         self.registry = registry
         self.mode = mode
+        self.compiled = compiled
         self._interner = KeyInterner()
         self._l1 = LRUCache(cache_size, namespace="serve.l1")
         self._batchers: dict[CollectiveKind, _Batcher] = {}
@@ -173,6 +223,9 @@ class PredictionService:
         #: (collective, version) -> DecisionSurface, built lazily
         self._shards: dict = {}
         self._shards_lock = threading.Lock()
+        #: collective -> _CompiledEntry for the last-seen version (L0)
+        self._tables: dict[CollectiveKind, _CompiledEntry] = {}
+        self._tables_lock = threading.Lock()
 
     # -- public API ------------------------------------------------------
     def recommend(
@@ -180,9 +233,15 @@ class PredictionService:
         msize: int,
     ) -> Recommendation:
         """Predicted-fastest configuration for one instance."""
-        collective = CollectiveKind(collective)
+        collective = _kind(collective)
         telemetry = get_telemetry()
         telemetry.add("serve.requests")
+        if self.compiled:
+            rec = self._compiled_lookup(collective, nodes, ppn, msize)
+            if rec is not None:
+                telemetry.add("serve.compiled.hit")
+                return rec
+            telemetry.add("serve.compiled.fallthrough")
         key = self._interner.key(str(collective), nodes, ppn, msize)
         cached = self._l1_lookup(key, collective)
         if cached is not None:
@@ -203,9 +262,13 @@ class PredictionService:
         telemetry = get_telemetry()
         telemetry.add("serve.requests", len(instances))
         results: list[Recommendation | None] = [None] * len(instances)
+        if self.compiled and instances:
+            self._compiled_lookup_many(instances, results)
         misses: dict[CollectiveKind, list[tuple[int, InstanceKey]]] = {}
         for pos, (coll, nodes, ppn, msize) in enumerate(instances):
-            coll = CollectiveKind(coll)
+            if results[pos] is not None:
+                continue
+            coll = _kind(coll)
             key = self._interner.key(str(coll), nodes, ppn, msize)
             hit = self._l1_lookup(key, coll)
             if hit is not None:
@@ -223,6 +286,20 @@ class PredictionService:
         counters = get_telemetry().counters_snapshot()
         return {
             "mode": self.mode,
+            "compiled": {
+                "enabled": self.compiled,
+                "hits": counters.get("serve.compiled.hit", 0),
+                "fallthroughs": counters.get("serve.compiled.fallthrough", 0),
+                "builds": counters.get("serve.compiled.builds", 0),
+                "tables": {
+                    str(coll): (
+                        {"version": entry.version, **entry.table.coverage()}
+                        if entry.table is not None
+                        else {"version": entry.version, "compilable": False}
+                    )
+                    for coll, entry in list(self._tables.items())
+                },
+            },
             "l1": self._l1.stats(),
             "versions": {
                 str(coll): {
@@ -238,6 +315,117 @@ class PredictionService:
                 if name.startswith("serve.")
             },
         }
+
+    # -- L0: compiled decision tables ------------------------------------
+    def _compiled_entry(
+        self, collective: CollectiveKind
+    ) -> _CompiledEntry | None:
+        """The live version's table entry, rebuilt after a hot-reload."""
+        mv = self.registry.get(collective)
+        if mv is None:
+            return None
+        entry = self._tables.get(collective)
+        if entry is None or entry.version != mv.version:
+            entry = self._build_table(collective, mv)
+        return entry
+
+    def _compiled_lookup(
+        self, collective: CollectiveKind, nodes: int, ppn: int, msize: int
+    ) -> Recommendation | None:
+        entry = self._compiled_entry(collective)
+        if entry is None or entry.table is None:
+            return None
+        cid = entry.table.lookup(nodes, ppn, msize)
+        if cid < 0:
+            return None
+        rec = object.__new__(Recommendation)
+        ns = rec.__dict__
+        ns.update(entry.template)
+        ns["nodes"] = nodes
+        ns["ppn"] = ppn
+        ns["msize"] = msize
+        ns["config"] = entry.table.configs[cid]
+        return rec
+
+    def _compiled_lookup_many(
+        self,
+        instances: Sequence[tuple],
+        results: list,
+    ) -> None:
+        """Fill ``results`` for every instance the compiled tier covers."""
+        groups: dict = {}
+        for pos, inst in enumerate(instances):
+            groups.setdefault(inst[0], []).append(pos)
+        hits = 0
+        for raw_coll, positions in groups.items():
+            entry = self._compiled_entry(_kind(raw_coll))
+            if entry is None or entry.table is None:
+                continue
+            try:
+                nodes = np.asarray(
+                    [instances[p][1] for p in positions], dtype=np.int64
+                )
+                ppn = np.asarray(
+                    [instances[p][2] for p in positions], dtype=np.int64
+                )
+                msize = np.asarray(
+                    [instances[p][3] for p in positions], dtype=np.int64
+                )
+            except OverflowError:
+                # beyond-int64 msize: the interpreted path owns it
+                continue
+            cids = entry.table.lookup_many(nodes, ppn, msize)
+            template = entry.template
+            configs = entry.table.configs
+            for pos, cid in zip(positions, cids.tolist()):
+                if cid < 0:
+                    continue
+                inst = instances[pos]
+                rec = object.__new__(Recommendation)
+                ns = rec.__dict__
+                ns.update(template)
+                ns["nodes"] = inst[1]
+                ns["ppn"] = inst[2]
+                ns["msize"] = inst[3]
+                ns["config"] = configs[cid]
+                results[pos] = rec
+                hits += 1
+        telemetry = get_telemetry()
+        if hits:
+            telemetry.add("serve.compiled.hit", hits)
+        if hits < len(instances):
+            telemetry.add("serve.compiled.fallthrough", len(instances) - hits)
+
+    def _build_table(
+        self, collective: CollectiveKind, mv: ModelVersion
+    ) -> _CompiledEntry:
+        """Lower ``mv.model`` into a table entry; version-barriered swap."""
+        telemetry = get_telemetry()
+        try:
+            with telemetry.span(
+                "serve/compile_table", collective=str(collective),
+                version=mv.version,
+            ):
+                table = compile_servable(mv.model, mv.version)
+        except Exception:
+            telemetry.add("serve.compiled.errors")
+            table = None
+        if table is None:
+            entry = _CompiledEntry(mv.version, None, None)
+        else:
+            telemetry.add("serve.compiled.builds")
+            template = {
+                "collective": collective, "nodes": 0, "ppn": 0, "msize": 0,
+                "config": None, "source": "model", "version": mv.version,
+                "cached": False, "compiled": True,
+            }
+            entry = _CompiledEntry(mv.version, table, template)
+        with self._tables_lock:
+            current = self._tables.get(collective)
+            if current is not None and current.version == mv.version:
+                return current  # a concurrent builder won the race
+            self._tables[collective] = entry
+        return entry
 
     # -- internals -------------------------------------------------------
     def _l1_lookup(

@@ -25,6 +25,7 @@ BASE = {
     "fastsim_chain_eval_s": 0.0005,
     "serve_batch64_speedup_x": 8.0,
     "serve_cached_speedup_x": 50.0,
+    "serve_compiled_speedup_x": 6.0,
 }
 
 

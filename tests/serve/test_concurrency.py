@@ -46,9 +46,13 @@ def write_rules(tmp_path, library, name, collective, picks):
 
 
 class TestHotReloadUnderFire:
+    # the compiled L0 tier must survive the same fire: its per-version
+    # tables swap under the registry's version barrier, so torn reads
+    # and failed requests stay impossible with the tier enabled
+    @pytest.mark.parametrize("compiled", [False, True])
     @pytest.mark.parametrize("n_threads", [8])
     def test_no_torn_reads_and_zero_failures(
-        self, registry, library, tmp_path, n_threads
+        self, registry, library, tmp_path, n_threads, compiled
     ):
         # two distinct valid bcast rule sets to flip between, plus a
         # static allreduce set so threads exercise mixed collectives
@@ -75,7 +79,9 @@ class TestHotReloadUnderFire:
         publish(path_ar)
         publish(path_a)
 
-        service = PredictionService(registry, cache_size=64)
+        service = PredictionService(
+            registry, cache_size=64, compiled=compiled
+        )
         observed: list[tuple[str, int, int, object]] = []
         observed_lock = threading.Lock()
         errors: list[BaseException] = []

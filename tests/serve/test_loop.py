@@ -5,7 +5,11 @@ from __future__ import annotations
 import io
 import json
 
-from repro.serve import handle_request, serve_lines
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine.zoo import tiny_testbed
+from repro.serve import ModelRegistry, PredictionService, handle_request, serve_lines
 
 from tests.serve.conftest import make_rules_text
 
@@ -77,6 +81,49 @@ class TestHandleRequest:
             {"collective": "scan", "nodes": 2, "ppn": 1, "msize": 8},
         )
         assert not response["ok"]
+
+
+#: msizes as the JSONL loop receives them: raw ints, numeric strings,
+#: and the unit suffixes parse_bytes accepts (binary multipliers)
+_msizes = st.one_of(
+    st.integers(min_value=0, max_value=1 << 22),
+    st.sampled_from(
+        ["64KiB", "1M", "512", "4K", "2M", "65536", "0", "262144", "1MiB"]
+    ),
+)
+
+
+class TestRecommendManyParity:
+    """Batch and scalar JSONL answers agree for any msize spelling."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        msizes=st.lists(_msizes, min_size=1, max_size=12),
+        compiled=st.booleans(),
+    )
+    def test_recommend_many_matches_scalar(
+        self, library, tuned_bcast, msizes, compiled
+    ):
+        registry = ModelRegistry(tiny_testbed, library)
+        registry.publish(tuned_bcast.servable(), tag="t")
+        service = PredictionService(registry, compiled=compiled)
+        instances = [
+            {"collective": "bcast", "nodes": 2 + (i % 3) * 2, "ppn": 1,
+             "msize": m}
+            for i, m in enumerate(msizes)
+        ]
+        batch = handle_request(
+            service, {"op": "recommend_many", "instances": instances}
+        )
+        assert batch["ok"]
+        fields = ("algid", "algorithm", "params", "label", "msize",
+                  "source", "version")
+        for inst, got in zip(instances, batch["results"]):
+            scalar = handle_request(service, dict(inst))
+            assert scalar["ok"]
+            assert {f: got[f] for f in fields} == {
+                f: scalar[f] for f in fields
+            }
 
 
 class TestServeLines:

@@ -139,3 +139,69 @@ class TestBracketLookup:
         (pick,) = model.select_configs(None, None, np.asarray([1 << 30]))
         last = model.rule_set.rules[-1]
         assert config_rule_key(pick) == (last[1], last[2], last[3])
+
+
+class TestCompiledBracketEdges:
+    """The compiled lowering agrees with the bracket exactly at its edges.
+
+    Bracket-edge bugs are off-by-one bugs: a query *exactly on* a rule
+    boundary, one byte below the first rule, or far above the last one
+    is where ``bisect_right`` conventions bite. The compiled table must
+    agree with the interpreted lookup byte-for-byte on all of them (or
+    decline to answer — never differ).
+    """
+
+    @pytest.fixture(scope="class")
+    def model(self, library):
+        return RuleSet.load(REPO_ROOT / "quickstart_rules.conf").resolve(
+            library
+        )
+
+    @pytest.fixture(scope="class")
+    def table(self, model):
+        from repro.serve.compiled import compile_rules_model
+
+        return compile_rules_model(model, version=1)
+
+    def _agree(self, model, table, msizes):
+        want = model.select_configs(
+            None, None, np.asarray(msizes, dtype=np.int64)
+        )
+        for msize, expected in zip(msizes, want):
+            cid = table.lookup(0, 0, msize)
+            if cid >= 0:
+                assert table.configs[cid] == expected, f"msize={msize}"
+        return [table.lookup(0, 0, m) for m in msizes]
+
+    def test_exactly_on_every_boundary(self, model, table):
+        bounds = [m for m, _, _, _ in model.rule_set.rules]
+        self._agree(model, table, bounds)
+
+    def test_one_off_every_boundary(self, model, table):
+        bounds = [m for m, _, _, _ in model.rule_set.rules]
+        probes = [max(m - 1, 0) for m in bounds] + [m + 1 for m in bounds]
+        self._agree(model, table, probes)
+
+    def test_below_first_bracket(self, library):
+        from repro.serve.compiled import compile_rules_model
+
+        space = library.config_space("bcast").configs
+        keys = [config_rule_key(c) for c in space]
+        text = (
+            "1\n7\n1\n4\n2\n"
+            f"64 {keys[0][0]} {keys[0][1]} {keys[0][2]}\n"
+            f"1024 {keys[1][0]} {keys[1][1]} {keys[1][2]}\n"
+        )
+        model = RuleSet.parse(text).resolve(library)
+        table = compile_rules_model(model, version=1)
+        # below the first rule the bracket clips to rule 0 — and so
+        # must every covered compiled cell down there
+        cids = self._agree(model, table, [0, 1, 63])
+        assert all(c >= 0 for c in cids)
+
+    def test_above_last_bracket(self, model, table):
+        top = max(m for m, _, _, _ in model.rule_set.rules)
+        self._agree(
+            model, table,
+            [top + 1, top * 2, 1 << 40, (1 << 62) + 5, (1 << 63) - 1],
+        )
