@@ -154,6 +154,87 @@ def direct_metrics() -> dict[str, float]:
     out["fastsim_chain_eval_s"] = _best_of(
         lambda: algo.base_time(quiet, topo, 4 << 20), 5
     )
+
+    out.update(fleet_metrics(tuner))
+    return out
+
+
+def fleet_metrics(tuner) -> dict[str, float]:
+    """Multi-worker socket fleet under concurrent clients.
+
+    Sized to the machine: one worker per two cores (min 2) and twice as
+    many client threads as workers, so the front-end loop, the worker
+    processes and the client side together saturate the available
+    cores. Reported client-side: requests/s over the timed window and
+    the p99 round-trip latency.
+    """
+    import os
+    import threading
+
+    from repro.serve.fleet import FleetSpec, FleetThread, client_request
+
+    cores = os.cpu_count() or 2
+    workers = max(2, min(4, cores // 2))
+    clients = workers * 2
+    per_client = 250
+    out: dict[str, float] = {}
+
+    with tempfile.TemporaryDirectory() as tmp:
+        rules_path = Path(tmp) / "bcast.conf"
+        tuner.write_rules(str(rules_path), nodes=8, ppn=2)
+        spec = FleetSpec(rules=(str(rules_path),), workers=workers)
+        with FleetThread(spec) as fleet:
+            keys = [
+                (n, p, m)
+                for n in (2, 4, 6, 8)
+                for p in (1, 2)
+                for m in (64, 4096, 262144, 1 << 20)
+            ]
+            # warm every worker's compiled tier + L1 through the socket
+            client_request("127.0.0.1", fleet.port, [
+                {"op": "recommend", "collective": "bcast",
+                 "nodes": n, "ppn": p, "msize": m}
+                for n, p, m in keys
+            ])
+            latencies: list[list[float]] = []
+
+            def hammer(seed: int, mine: list[float]) -> None:
+                import socket
+
+                with socket.create_connection(
+                    ("127.0.0.1", fleet.port), timeout=60
+                ) as sock:
+                    reader = sock.makefile("r", encoding="utf-8")
+                    for i in range(per_client):
+                        n, p, m = keys[(seed + i) % len(keys)]
+                        payload = json.dumps({
+                            "op": "recommend", "collective": "bcast",
+                            "nodes": n, "ppn": p, "msize": m,
+                        }) + "\n"
+                        t0 = time.perf_counter()
+                        sock.sendall(payload.encode())
+                        if not reader.readline():
+                            raise ConnectionError("fleet dropped a response")
+                        mine.append(time.perf_counter() - t0)
+
+            threads = []
+            for seed in range(clients):
+                mine: list[float] = []
+                latencies.append(mine)
+                threads.append(
+                    threading.Thread(target=hammer, args=(seed, mine))
+                )
+            t0 = time.perf_counter()
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            elapsed = time.perf_counter() - t0
+    flat = sorted(lat for per in latencies for lat in per)
+    assert len(flat) == clients * per_client
+    out["fleet_workers"] = float(workers)
+    out["fleet_req_per_s"] = len(flat) / elapsed
+    out["fleet_p99_us"] = flat[int(len(flat) * 0.99)] * 1e6
     return out
 
 

@@ -149,6 +149,30 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.mpilib import get_library
     from repro.serve import ModelRegistry, PredictionService, serve_lines
 
+    if args.workers:
+        # fleet mode: a socket front-end over worker subprocesses
+        # (stdin JSONL stays the --workers 0 default)
+        from repro.serve.fleet import FleetSpec, run_fleet
+
+        if args.tune:
+            print(
+                "serve: --tune is incompatible with --workers N (worker "
+                "specs ship rules files, not in-process models); tune "
+                "first, export rules, then serve them",
+                file=sys.stderr,
+            )
+            return 2
+        spec = FleetSpec(
+            machine=args.machine,
+            library=args.library,
+            rules=tuple(args.rules or ()),
+            workers=args.workers,
+            mode=args.mode,
+            cache_size=args.cache_size,
+            compiled=args.compiled,
+        )
+        return run_fleet(spec, host=args.host, port=args.port)
+
     machine = get_machine(args.machine)
     library = get_library(args.library)
     registry = ModelRegistry(machine, library)
@@ -360,6 +384,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--telemetry", metavar="PATH", default=None,
         help="write JSONL telemetry events to PATH ('-' = pretty stderr)",
+    )
+    p.add_argument(
+        "--workers", type=int, default=0, metavar="N",
+        help="run a socket fleet of N worker processes instead of the "
+        "stdin loop (consistent-hash routed, coordinated reload, "
+        "GET /metrics Prometheus scrape; see docs/serving.md)",
+    )
+    p.add_argument("--host", default="127.0.0.1",
+                   help="fleet listen address (with --workers)")
+    p.add_argument(
+        "--port", type=int, default=8077,
+        help="fleet listen port (with --workers; 0 = ephemeral, the "
+        "chosen port is printed to stderr)",
     )
 
     p = sub.add_parser(

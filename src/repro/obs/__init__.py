@@ -34,12 +34,22 @@ from repro.obs.report import (
     summarize,
 )
 from repro.obs.sinks import FileSink, MemorySink, NullSink, Sink, StderrSink
-from repro.obs.telemetry import Span, Telemetry, get_telemetry
+from repro.obs.telemetry import (
+    DEFAULT_BUCKETS_US,
+    Histogram,
+    HistogramSnapshot,
+    Span,
+    Telemetry,
+    get_telemetry,
+)
 
 __all__ = [
     "TelemetryEvent",
     "Telemetry",
     "Span",
+    "Histogram",
+    "HistogramSnapshot",
+    "DEFAULT_BUCKETS_US",
     "get_telemetry",
     "Sink",
     "MemorySink",

@@ -10,7 +10,7 @@ any run after the fact.
 Schema (all events)::
 
     ts      float   unix timestamp at emission
-    kind    str     "span" | "counter" | "gauge" | "event"
+    kind    str     "span" | "counter" | "gauge" | "histogram" | "event"
     name    str     hierarchical, "/"-separated (e.g. "campaign/d1/n=16")
     pid     int     emitting process
     thread  str     emitting thread name
@@ -23,6 +23,8 @@ Kind-specific ``fields``:
   instrumented code attached (``samples``, ``rows``, ``kernel`` ...).
 * ``counter`` — ``value`` (cumulative count at flush time).
 * ``gauge`` — ``value`` (last-write-wins scalar).
+* ``histogram`` — ``count``, ``sum``, and (when non-empty) the
+  interpolated ``p50``/``p99``/``p999`` quantiles at flush time.
 * ``event`` — free-form payload (e.g. ``cache_corrupt`` carries
   ``path`` and ``error``).
 """
@@ -37,7 +39,7 @@ from dataclasses import dataclass, field
 from typing import Any, Mapping
 
 #: the event kinds the schema admits
-KINDS = ("span", "counter", "gauge", "event")
+KINDS = ("span", "counter", "gauge", "histogram", "event")
 
 
 @dataclass(frozen=True)

@@ -25,6 +25,8 @@ GATE_METRICS: dict[str, bool] = {
     "serve_batch64_speedup_x": True,
     "serve_cached_speedup_x": True,
     "serve_compiled_speedup_x": True,
+    "fleet_req_per_s": True,
+    "fleet_p99_us": False,
 }
 
 #: default thresholds (fractions of the baseline)

@@ -17,6 +17,12 @@ One :class:`Telemetry` hub per process (module-level singleton,
   emitted once per :meth:`flush` as ``counter`` events.
 * :meth:`Telemetry.gauge` — last-write-wins scalars (worker
   utilization, cache sizes), emitted immediately.
+* :meth:`Telemetry.observe` / :meth:`Telemetry.histogram` —
+  fixed-bucket latency distributions (Prometheus-shaped cumulative
+  buckets, p50/p99/p999 by interpolation); accumulated silently like
+  counters and emitted once per :meth:`flush` as ``histogram`` events.
+  :mod:`repro.serve.exporter` renders the same snapshots as scrapeable
+  Prometheus text.
 
 With no sinks attached, every primitive degrades to a few arithmetic
 operations and one lock acquisition — cheap enough to leave the
@@ -82,6 +88,115 @@ class _Counter:
             return self.value
 
 
+#: default latency buckets (microseconds): 1-2-5 decades from 1 us to
+#: 10 s — wide enough for a sub-microsecond compiled hit and a cold
+#: multi-second campaign probe on the same axis
+DEFAULT_BUCKETS_US: tuple[float, ...] = (
+    1, 2, 5, 10, 20, 50, 100, 200, 500,
+    1_000, 2_000, 5_000, 10_000, 20_000, 50_000, 100_000, 200_000,
+    500_000, 1_000_000, 2_000_000, 5_000_000, 10_000_000,
+)
+
+
+class Histogram:
+    """A fixed-bucket distribution: thread-safe observe + quantiles.
+
+    Buckets are *upper bounds* (ascending); an observation lands in the
+    first bucket whose bound is >= the value, or the overflow bucket
+    (``+Inf``) past the last bound — the classic Prometheus histogram
+    shape, which is exactly how :mod:`repro.serve.exporter` renders it.
+    Quantiles are estimated by linear interpolation inside the bucket
+    where the cumulative count crosses ``q * count`` (the same estimate
+    a Prometheus ``histogram_quantile`` query would make server-side).
+    """
+
+    __slots__ = ("name", "bounds", "counts", "total", "sum", "_lock")
+
+    def __init__(
+        self, name: str, bounds: tuple[float, ...] = DEFAULT_BUCKETS_US
+    ) -> None:
+        if not bounds or list(bounds) != sorted(set(bounds)):
+            raise ValueError("histogram bounds must be ascending and unique")
+        self.name = name
+        self.bounds = tuple(float(b) for b in bounds)
+        #: one slot per bound plus the +Inf overflow slot
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.total = 0
+        self.sum = 0.0
+        self._lock = threading.Lock()
+
+    def _bucket_index(self, value: float) -> int:
+        lo, hi = 0, len(self.bounds)
+        while lo < hi:  # first bound >= value (bisect_left on bounds)
+            mid = (lo + hi) // 2
+            if self.bounds[mid] < value:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    def observe(self, value: float) -> None:
+        index = self._bucket_index(value)
+        with self._lock:
+            self.counts[index] += 1
+            self.total += 1
+            self.sum += value
+
+    def snapshot(self) -> "HistogramSnapshot":
+        with self._lock:
+            return HistogramSnapshot(
+                self.name, self.bounds, tuple(self.counts), self.total,
+                self.sum,
+            )
+
+
+class HistogramSnapshot:
+    """Immutable point-in-time view of a :class:`Histogram`."""
+
+    __slots__ = ("name", "bounds", "counts", "total", "sum")
+
+    def __init__(
+        self, name: str, bounds: tuple[float, ...],
+        counts: tuple[int, ...], total: int, sum_: float,
+    ) -> None:
+        self.name = name
+        self.bounds = bounds
+        self.counts = counts
+        self.total = total
+        self.sum = sum_
+
+    def quantile(self, q: float) -> float:
+        """Interpolated value at quantile ``q`` (0 <= q <= 1); NaN if empty."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.total == 0:
+            return float("nan")
+        rank = q * self.total
+        cumulative = 0
+        for index, count in enumerate(self.counts):
+            if count == 0:
+                continue
+            if cumulative + count >= rank:
+                lower = self.bounds[index - 1] if index > 0 else 0.0
+                if index >= len(self.bounds):
+                    # overflow bucket has no upper bound to interpolate
+                    # against: report its lower edge (a floor, not a lie)
+                    return self.bounds[-1]
+                upper = self.bounds[index]
+                frac = (rank - cumulative) / count
+                return lower + (upper - lower) * min(max(frac, 0.0), 1.0)
+            cumulative += count
+        return self.bounds[-1]
+
+    def percentiles(self) -> dict[str, float]:
+        """The serving headline trio: p50 / p99 / p999."""
+        return {
+            "p50": self.quantile(0.50),
+            "p99": self.quantile(0.99),
+            "p999": self.quantile(0.999),
+        }
+
+
 class Telemetry:
     """Process-wide telemetry hub: spans, counters, gauges, sinks."""
 
@@ -90,6 +205,7 @@ class Telemetry:
         self._sinks_lock = threading.Lock()
         self._counters: dict[str, _Counter] = {}
         self._gauges: dict[str, float] = {}
+        self._histograms: dict[str, Histogram] = {}
         self._state_lock = threading.Lock()
         self._stack = threading.local()
 
@@ -185,6 +301,25 @@ class Telemetry:
             TelemetryEvent(kind="gauge", name=name, fields={"value": value})
         )
 
+    def histogram(
+        self, name: str, bounds: tuple[float, ...] = DEFAULT_BUCKETS_US
+    ) -> Histogram:
+        """Get-or-create the named histogram (atomic ``.observe``).
+
+        ``bounds`` only applies on first creation; later callers get
+        the existing instance regardless (bucket layouts are fixed for
+        a histogram's lifetime — scrapers rely on that).
+        """
+        with self._state_lock:
+            histogram = self._histograms.get(name)
+            if histogram is None:
+                histogram = self._histograms[name] = Histogram(name, bounds)
+            return histogram
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one observation into the named histogram."""
+        self.histogram(name).observe(value)
+
     def counters_snapshot(self) -> dict[str, int]:
         """Current value of every counter (stable name order)."""
         with self._state_lock:
@@ -195,11 +330,32 @@ class Telemetry:
         with self._state_lock:
             return dict(self._gauges)
 
+    def histograms_snapshot(self) -> dict[str, HistogramSnapshot]:
+        """Point-in-time view of every histogram (stable name order)."""
+        with self._state_lock:
+            histograms = list(self._histograms.values())
+        return {
+            h.name: h.snapshot()
+            for h in sorted(histograms, key=lambda h: h.name)
+        }
+
     def flush(self) -> None:
-        """Emit one ``counter`` event per counter with its current value."""
+        """Emit one ``counter`` event per counter with its current value.
+
+        Histograms flush alongside, one ``histogram`` event each, with
+        count/sum and the p50/p99/p999 trio — the log form a
+        ``report --telemetry`` reader digests without bucket math.
+        """
         for name, value in self.counters_snapshot().items():
             self._emit(
                 TelemetryEvent(kind="counter", name=name, fields={"value": value})
+            )
+        for name, snap in self.histograms_snapshot().items():
+            fields = {"count": snap.total, "sum": snap.sum}
+            if snap.total:  # NaN quantiles would poison the JSONL log
+                fields.update(snap.percentiles())
+            self._emit(
+                TelemetryEvent(kind="histogram", name=name, fields=fields)
             )
 
     # -- ad-hoc events ----------------------------------------------------
@@ -209,10 +365,11 @@ class Telemetry:
 
     # -- lifecycle -------------------------------------------------------
     def reset(self) -> None:
-        """Zero counters/gauges and detach all sinks (tests)."""
+        """Zero counters/gauges/histograms and detach all sinks (tests)."""
         with self._state_lock:
             self._counters.clear()
             self._gauges.clear()
+            self._histograms.clear()
         self.configure(())
 
 

@@ -33,12 +33,15 @@ from repro.serve.compiled import (
     compile_surface,
 )
 from repro.serve.loop import handle_request, serve_lines
+from repro.serve.exporter import render_prometheus, sanitize_metric_name
+from repro.serve.fleet import Fleet, FleetSpec, FleetThread, HashRing
 from repro.serve.registry import (
     ModelRegistry,
     ModelVersion,
     ReloadError,
     SelectorModel,
     ServableModel,
+    StagedModel,
 )
 from repro.serve.rules import (
     RuleSet,
@@ -50,6 +53,10 @@ from repro.serve.service import PredictionService, Recommendation
 
 __all__ = [
     "CompiledTable",
+    "Fleet",
+    "FleetSpec",
+    "FleetThread",
+    "HashRing",
     "KeyInterner",
     "LRUCache",
     "ModelRegistry",
@@ -62,10 +69,13 @@ __all__ = [
     "RulesResolutionError",
     "SelectorModel",
     "ServableModel",
+    "StagedModel",
     "compile_rules_model",
     "compile_servable",
     "compile_surface",
     "config_rule_key",
     "handle_request",
+    "render_prometheus",
+    "sanitize_metric_name",
     "serve_lines",
 ]

@@ -1,0 +1,184 @@
+"""Prometheus text-format export of the serving layer's telemetry.
+
+One pure function, :func:`render_prometheus`, turns counter / gauge /
+histogram snapshots (the :class:`repro.obs.Telemetry` shapes) into the
+`Prometheus text exposition format
+<https://prometheus.io/docs/instrumenting/exposition_formats/>`_ that a
+``GET /metrics`` scrape returns. Everything here is deterministic and
+stateless so the fleet front-end can render a scrape from freshly
+merged worker counters without touching the telemetry hub, and the
+golden-file test can pin the exact bytes.
+
+Naming rules (pinned by ``tests/serve/test_exporter.py``):
+
+* dotted telemetry names flatten to underscores
+  (``serve.l1.hits`` -> ``serve_l1_hits``), any other invalid
+  character is replaced by ``_`` too;
+* counters gain the conventional ``_total`` suffix;
+* a small rename table normalises grammatical-singular counter names
+  to the plural Prometheus convention (``serve.compiled.hit`` ->
+  ``serve_compiled_hits_total``);
+* histograms render the native cumulative ``_bucket{le="..."}`` series
+  plus ``_sum``/``_count``, and the interpolated p50/p99/p999 ride
+  along as ``<name>_p50`` ... gauges so a dashboards query needs no
+  ``histogram_quantile`` round trip.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Mapping
+
+from repro.obs.telemetry import HistogramSnapshot
+
+#: telemetry-name -> metric-name overrides (before the _total suffix);
+#: everything not listed goes through :func:`sanitize_metric_name`
+COUNTER_RENAMES: dict[str, str] = {
+    "serve.compiled.hit": "serve_compiled_hits",
+    "serve.compiled.fallthrough": "serve_compiled_fallthroughs",
+    "serve.l1.stale": "serve_l1_stale_hits",
+}
+
+_INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+_INVALID_FIRST = re.compile(r"^[^a-zA-Z_:]")
+
+
+def sanitize_metric_name(name: str) -> str:
+    """A valid Prometheus metric name for a dotted telemetry name."""
+    flat = _INVALID_CHARS.sub("_", name.replace(".", "_"))
+    if _INVALID_FIRST.match(flat):
+        flat = f"_{flat}"
+    return flat
+
+
+def escape_help(text: str) -> str:
+    """Escape a ``# HELP`` line payload (backslash and newline)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value (backslash, double-quote, newline)."""
+    return (
+        value.replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _format_value(value: float) -> str:
+    """Numbers the way Prometheus expects them (ints stay integral)."""
+    if isinstance(value, bool):  # bool is an int subclass; be explicit
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    if value != value:  # NaN
+        return "NaN"
+    if value in (float("inf"), float("-inf")):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _le_label(bound: float) -> str:
+    return _format_value(bound)
+
+
+def render_counter(name: str, value: int, *, help_text: str = "") -> list[str]:
+    metric = COUNTER_RENAMES.get(name) or sanitize_metric_name(name)
+    if not metric.endswith("_total"):
+        metric += "_total"
+    lines = []
+    if help_text:
+        lines.append(f"# HELP {metric} {escape_help(help_text)}")
+    lines.append(f"# TYPE {metric} counter")
+    lines.append(f"{metric} {_format_value(value)}")
+    return lines
+
+
+def render_gauge(name: str, value: float, *, help_text: str = "") -> list[str]:
+    metric = sanitize_metric_name(name)
+    lines = []
+    if help_text:
+        lines.append(f"# HELP {metric} {escape_help(help_text)}")
+    lines.append(f"# TYPE {metric} gauge")
+    lines.append(f"{metric} {_format_value(value)}")
+    return lines
+
+
+def render_histogram(
+    name: str, snap: HistogramSnapshot, *, help_text: str = ""
+) -> list[str]:
+    """Native histogram series plus p50/p99/p999 convenience gauges."""
+    metric = sanitize_metric_name(name)
+    lines = []
+    if help_text:
+        lines.append(f"# HELP {metric} {escape_help(help_text)}")
+    lines.append(f"# TYPE {metric} histogram")
+    cumulative = 0
+    for bound, count in zip(snap.bounds, snap.counts):
+        cumulative += count
+        lines.append(
+            f'{metric}_bucket{{le="{_le_label(bound)}"}} {cumulative}'
+        )
+    lines.append(f'{metric}_bucket{{le="+Inf"}} {snap.total}')
+    lines.append(f"{metric}_sum {_format_value(snap.sum)}")
+    lines.append(f"{metric}_count {snap.total}")
+    if snap.total:
+        for quantile_name, value in snap.percentiles().items():
+            lines.append(f"# TYPE {metric}_{quantile_name} gauge")
+            lines.append(
+                f"{metric}_{quantile_name} {_format_value(value)}"
+            )
+    return lines
+
+
+def render_prometheus(
+    counters: Mapping[str, int],
+    gauges: Mapping[str, float] | None = None,
+    histograms: Mapping[str, HistogramSnapshot] | None = None,
+    *,
+    help_texts: Mapping[str, str] | None = None,
+) -> str:
+    """The full scrape payload: counters, then gauges, then histograms.
+
+    Families are emitted in sorted-name order inside each section so
+    successive scrapes of the same process diff cleanly and the golden
+    test stays byte-stable. The returned text ends with a newline and
+    an ``# EOF`` marker (harmless to Prometheus, makes truncated
+    responses detectable to the smoke tests).
+    """
+    help_texts = help_texts or {}
+    lines: list[str] = []
+    for name in sorted(counters):
+        lines.extend(
+            render_counter(
+                name, counters[name], help_text=help_texts.get(name, "")
+            )
+        )
+    for name in sorted(gauges or {}):
+        lines.extend(
+            render_gauge(
+                name, gauges[name], help_text=help_texts.get(name, "")
+            )
+        )
+    for name in sorted(histograms or {}):
+        lines.extend(
+            render_histogram(
+                name, histograms[name], help_text=help_texts.get(name, "")
+            )
+        )
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+__all__ = [
+    "COUNTER_RENAMES",
+    "escape_help",
+    "escape_label_value",
+    "render_counter",
+    "render_gauge",
+    "render_histogram",
+    "render_prometheus",
+    "sanitize_metric_name",
+]

@@ -1,0 +1,879 @@
+"""Multi-worker serving fleet: asyncio front-end over worker processes.
+
+``mpicollpred serve --workers N --port P`` turns the single-process
+:class:`~repro.serve.service.PredictionService` into an operating
+fleet:
+
+* **N worker processes** (:mod:`repro.serve.worker`), each holding its
+  own registry + service (compiled L0 tables and L1 LRU intact),
+  spawned as subprocesses and spoken to over stdio JSONL with
+  pipelined, ``rid``-matched requests.
+* **Consistent-hash routing** on ``(collective, nodes, ppn)``
+  (:class:`HashRing`): the same allocation always lands on the same
+  worker, so each worker's caches and surface shards stay hot instead
+  of every worker cold-missing the whole key space. ``recommend_many``
+  batches split into per-worker sub-batches that run concurrently.
+* **One listening socket, two protocols**: a connection that opens
+  with an HTTP verb gets the scrape surface (``GET /metrics``
+  Prometheus text, ``GET /healthz``, ``GET /stats``); anything else is
+  the line-oriented JSONL protocol of :mod:`repro.serve.loop`.
+* **Coordinated hot reload** — a two-phase version barrier
+  (:meth:`Fleet._handle_reload`): phase one stages the candidate on
+  every worker while traffic still flows (a worker that rejects it
+  aborts the whole reload, old version keeps serving everywhere);
+  phase two closes the request gate, waits for in-flight requests to
+  drain, commits every worker (commit cannot fail — validation already
+  happened), and reopens. Queued requests are *delayed, never
+  dropped*, and no response can mix versions: every response either
+  completed before the barrier (old version on all workers) or started
+  after it (new version on all workers).
+* **Metrics export**: per-request latency lands in a
+  :class:`repro.obs.Histogram`; a scrape merges ``serve.*`` counters
+  across workers and renders everything with
+  :func:`repro.serve.exporter.render_prometheus`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import bisect
+import contextlib
+import hashlib
+import itertools
+import json
+import os
+import signal
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.obs import get_telemetry
+from repro.serve.exporter import render_prometheus
+
+#: how many points each worker contributes to the hash ring — enough
+#: that removing a worker moves ~1/N of the key space, not half of it
+VNODES_PER_WORKER = 64
+
+#: fleet-side latency buckets (microseconds): routed requests cross two
+#: pipe hops, so the floor sits around tens of microseconds
+LATENCY_BUCKETS_US = (
+    50.0, 100.0, 200.0, 500.0, 1_000.0, 2_000.0, 5_000.0, 10_000.0,
+    20_000.0, 50_000.0, 100_000.0, 200_000.0, 500_000.0, 1_000_000.0,
+    5_000_000.0,
+)
+
+HELP_TEXTS = {
+    "fleet.request_latency_us": "front-end request latency in microseconds",
+    "fleet.reload_pause_us": "request-gate pause during reload commits (us)",
+    "fleet.requests": "requests handled by the fleet front-end",
+    "fleet.reloads": "coordinated reloads committed across all workers",
+    "fleet.reload_rejected": "reloads aborted in the prepare phase",
+    "fleet.worker_failures": "requests failed because a worker died",
+    "serve.compiled.hit": "requests answered by the compiled L0 table",
+    "serve.l1.hits": "requests answered by the L1 recommendation LRU",
+    "serve.requests": "recommend requests across all workers",
+}
+
+
+class WorkerError(RuntimeError):
+    """A worker process died or answered garbage."""
+
+
+@dataclass(frozen=True)
+class FleetSpec:
+    """Everything needed to boot a fleet (JSON-safe, worker-shippable)."""
+
+    machine: str = "Hydra"
+    library: str = "Open MPI"
+    rules: tuple[str, ...] = ()
+    workers: int = 2
+    mode: str = "exact"
+    cache_size: int = 4096
+    compiled: bool = True
+
+    def worker_spec(self, worker_id: int) -> dict:
+        return {
+            "worker_id": worker_id,
+            "machine": self.machine,
+            "library": self.library,
+            "rules": list(self.rules),
+            "mode": self.mode,
+            "cache_size": self.cache_size,
+            "compiled": self.compiled,
+        }
+
+
+def _stable_hash(text: str) -> int:
+    """64-bit hash that is identical across processes and runs.
+
+    (Python's builtin ``hash`` is salted per process — useless for
+    routing decisions that tests and restarted front-ends must agree
+    on.)
+    """
+    digest = hashlib.blake2b(text.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+class HashRing:
+    """Consistent hashing of routing keys onto worker indices."""
+
+    def __init__(self, n_workers: int, vnodes: int = VNODES_PER_WORKER) -> None:
+        if n_workers < 1:
+            raise ValueError("need at least one worker")
+        points = sorted(
+            (_stable_hash(f"worker-{worker}/vnode-{vnode}"), worker)
+            for worker in range(n_workers)
+            for vnode in range(vnodes)
+        )
+        self.n_workers = n_workers
+        self._hashes = [point for point, _ in points]
+        self._owners = [worker for _, worker in points]
+
+    @staticmethod
+    def route_key(collective: str, nodes: int, ppn: int) -> str:
+        """The routing identity: message size deliberately excluded,
+        so one allocation's whole msize sweep shares one worker's
+        compiled table and LRU."""
+        return f"{collective}|{nodes}|{ppn}"
+
+    def worker_for(self, collective: str, nodes: int, ppn: int) -> int:
+        point = _stable_hash(self.route_key(collective, nodes, ppn))
+        index = bisect.bisect_right(self._hashes, point) % len(self._hashes)
+        return self._owners[index]
+
+
+class _ReloadGate:
+    """Requests are readers, a reload commit is the (sole) writer.
+
+    ``close()`` stops admitting new requests and waits for in-flight
+    ones to drain; ``open()`` releases the queue. Requests arriving
+    while closed *wait* — nothing is ever rejected, which is the "zero
+    dropped responses" half of the reload contract. Single event loop,
+    so counter updates need no lock.
+    """
+
+    def __init__(self) -> None:
+        self.inflight = 0
+        self._admitting = asyncio.Event()
+        self._admitting.set()
+        self._drained = asyncio.Event()
+        self._drained.set()
+
+    async def acquire(self) -> None:
+        while not self._admitting.is_set():
+            await self._admitting.wait()
+        self.inflight += 1
+
+    def release(self) -> None:
+        self.inflight -= 1
+        if self.inflight == 0:
+            self._drained.set()
+
+    async def close(self) -> None:
+        self._admitting.clear()
+        if self.inflight:
+            self._drained.clear()
+            await self._drained.wait()
+
+    def open(self) -> None:
+        self._admitting.set()
+
+
+class WorkerHandle:
+    """One worker subprocess: pipelined rid-matched request/response."""
+
+    def __init__(self, worker_id: int,
+                 process: asyncio.subprocess.Process) -> None:
+        self.worker_id = worker_id
+        self.process = process
+        self._rids = itertools.count(1)
+        self._pending: dict[int, asyncio.Future] = {}
+        self._reader: asyncio.Task | None = None
+        self.ready_info: dict = {}
+
+    async def start(self, timeout: float = 30.0) -> None:
+        """Wait for the worker's ready line, then start the dispatcher."""
+        line = await asyncio.wait_for(
+            self.process.stdout.readline(), timeout
+        )
+        info = json.loads(line) if line else {}
+        if not info.get("ready"):
+            raise WorkerError(
+                f"worker {self.worker_id} failed to start: "
+                f"{info.get('error', 'no ready line')}"
+            )
+        self.ready_info = info
+        self._reader = asyncio.create_task(self._read_loop())
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                line = await self.process.stdout.readline()
+                if not line:
+                    break
+                try:
+                    response = json.loads(line)
+                except ValueError:
+                    continue  # a torn line cannot be matched to a caller
+                future = self._pending.pop(response.pop("rid", None), None)
+                if future is not None and not future.done():
+                    future.set_result(response)
+        finally:
+            # EOF or reader cancellation: nothing further will arrive
+            for future in self._pending.values():
+                if not future.done():
+                    future.set_exception(
+                        WorkerError(f"worker {self.worker_id} died")
+                    )
+            self._pending.clear()
+
+    async def call(self, payload: dict) -> dict:
+        """Send one request; resolves when its rid-matched answer lands."""
+        if self.process.returncode is not None:
+            raise WorkerError(f"worker {self.worker_id} is not running")
+        rid = next(self._rids)
+        future = asyncio.get_running_loop().create_future()
+        self._pending[rid] = future
+        data = json.dumps({**payload, "rid": rid}) + "\n"
+        try:
+            self.process.stdin.write(data.encode("utf-8"))
+            await self.process.stdin.drain()
+        except (ConnectionResetError, BrokenPipeError) as exc:
+            self._pending.pop(rid, None)
+            raise WorkerError(f"worker {self.worker_id} died") from exc
+        return await future
+
+    async def stop(self, timeout: float = 5.0) -> None:
+        if self._reader is not None:
+            self._reader.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._reader
+        if self.process.returncode is None:
+            with contextlib.suppress(
+                ConnectionResetError, BrokenPipeError, RuntimeError
+            ):
+                self.process.stdin.write(b'{"op": "quit"}\n')
+                await self.process.stdin.drain()
+                self.process.stdin.close()
+            try:
+                await asyncio.wait_for(self.process.wait(), timeout)
+            except asyncio.TimeoutError:
+                self.process.kill()
+                await self.process.wait()
+
+
+def _worker_env() -> dict[str, str]:
+    """Child env whose PYTHONPATH can import this very repro package."""
+    import repro
+
+    src_root = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH", "")
+    if src_root not in existing.split(os.pathsep):
+        env["PYTHONPATH"] = (
+            f"{src_root}{os.pathsep}{existing}" if existing else src_root
+        )
+    return env
+
+
+@dataclass
+class _FleetStats:
+    connections: int = 0
+    served: int = 0
+    started_at: float = field(default_factory=time.time)
+
+
+class Fleet:
+    """The front-end: socket server + worker pool + reload coordinator."""
+
+    def __init__(self, spec: FleetSpec, host: str = "127.0.0.1",
+                 port: int = 0) -> None:
+        if spec.workers < 1:
+            raise ValueError("a fleet needs at least one worker")
+        self.spec = spec
+        self.host = host
+        self.port = port  # 0 = ephemeral; rewritten by start()
+        self.workers: list[WorkerHandle] = []
+        self.ring = HashRing(spec.workers)
+        self._gate = _ReloadGate()
+        self._reload_lock: asyncio.Lock | None = None
+        self._reload_tokens = itertools.count(1)
+        self._server: asyncio.AbstractServer | None = None
+        self._stats = _FleetStats()
+
+    # -- lifecycle -------------------------------------------------------
+    async def start(self) -> None:
+        self._reload_lock = asyncio.Lock()
+        env = _worker_env()
+        for worker_id in range(self.spec.workers):
+            process = await asyncio.create_subprocess_exec(
+                sys.executable, "-m", "repro.serve.worker",
+                "--spec", json.dumps(self.spec.worker_spec(worker_id)),
+                stdin=asyncio.subprocess.PIPE,
+                stdout=asyncio.subprocess.PIPE,
+                env=env,
+            )
+            self.workers.append(WorkerHandle(worker_id, process))
+        await asyncio.gather(*(worker.start() for worker in self.workers))
+        self._server = await asyncio.start_server(
+            self._on_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        telemetry = get_telemetry()
+        telemetry.gauge("fleet.workers", len(self.workers))
+        # pre-create the latency histogram so an early scrape sees it
+        telemetry.histogram("fleet.request_latency_us", LATENCY_BUCKETS_US)
+        print(
+            f"fleet: listening on {self.host}:{self.port} "
+            f"({len(self.workers)} workers)",
+            file=sys.stderr, flush=True,
+        )
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        await asyncio.gather(
+            *(worker.stop() for worker in self.workers),
+            return_exceptions=True,
+        )
+
+    # -- connection handling --------------------------------------------
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._stats.connections += 1
+        try:
+            first = await reader.readline()
+            if not first:
+                return
+            if first.split(b" ", 1)[0] in (b"GET", b"POST", b"HEAD"):
+                await self._handle_http(first, reader, writer)
+                return
+            await self._handle_jsonl(first, reader, writer)
+        except (ConnectionResetError, BrokenPipeError):
+            pass  # client went away; nothing to answer
+        finally:
+            with contextlib.suppress(Exception):
+                writer.close()
+                await writer.wait_closed()
+
+    async def _handle_jsonl(
+        self, first: bytes, reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        """The JSONL protocol of :mod:`repro.serve.loop`, fleet-routed."""
+        line = first
+        while line:
+            stripped = line.strip()
+            if stripped:
+                response, is_quit = await self._serve_line(stripped)
+                writer.write((json.dumps(response) + "\n").encode("utf-8"))
+                await writer.drain()
+                if is_quit:
+                    return
+            line = await reader.readline()
+
+    async def _serve_line(self, raw: bytes) -> tuple[dict, bool]:
+        telemetry = get_telemetry()
+        telemetry.add("fleet.requests")
+        t0 = time.perf_counter()
+        request_id = None
+        is_quit = False
+        try:
+            payload = json.loads(raw)
+            if not isinstance(payload, dict):
+                raise ValueError("request must be a JSON object")
+        except ValueError as exc:
+            telemetry.add("fleet.bad_lines")
+            return {"ok": False, "error": f"bad request line: {exc}"}, False
+        request_id = payload.get("id")
+        op = payload.get("op", "recommend")
+        try:
+            if op in ("recommend", "recommend_many"):
+                await self._gate.acquire()
+                try:
+                    response = await self._route(op, payload)
+                finally:
+                    self._gate.release()
+            elif op == "reload":
+                response = await self._handle_reload(payload)
+            elif op == "stats":
+                response = await self._handle_stats()
+            elif op == "quit":
+                response, is_quit = {"ok": True, "bye": True}, True
+            else:
+                response = {
+                    "ok": False, "error": f"ValueError: unknown op {op!r}",
+                }
+        except WorkerError as exc:
+            telemetry.add("fleet.worker_failures")
+            response = {"ok": False, "error": f"WorkerError: {exc}"}
+        if request_id is not None:
+            response["id"] = request_id
+        self._stats.served += 1
+        telemetry.observe(
+            "fleet.request_latency_us",
+            (time.perf_counter() - t0) * 1e6,
+        )
+        return response, is_quit
+
+    # -- request routing -------------------------------------------------
+    def _route_instance(self, instance: dict) -> int:
+        try:
+            return self.ring.worker_for(
+                str(instance.get("collective")),
+                int(instance.get("nodes", 0)),
+                int(instance.get("ppn", 0)),
+            )
+        except (TypeError, ValueError):
+            return 0  # malformed: any worker can render the error
+
+    async def _route(self, op: str, payload: dict) -> dict:
+        payload = {k: v for k, v in payload.items() if k != "id"}
+        if op == "recommend":
+            worker = self.workers[self._route_instance(payload)]
+            return await worker.call(payload)
+        instances = payload.get("instances")
+        if not isinstance(instances, list):
+            return {
+                "ok": False,
+                "error": "ValueError: recommend_many needs an "
+                "'instances' list",
+            }
+        groups: dict[int, list[int]] = {}
+        for position, instance in enumerate(instances):
+            target = (
+                self._route_instance(instance)
+                if isinstance(instance, dict) else 0
+            )
+            groups.setdefault(target, []).append(position)
+        ordered = sorted(groups.items())
+        responses = await asyncio.gather(*(
+            self.workers[target].call({
+                "op": "recommend_many",
+                "instances": [instances[p] for p in positions],
+            })
+            for target, positions in ordered
+        ))
+        results: list = [None] * len(instances)
+        for (_, positions), response in zip(ordered, responses):
+            if not response.get("ok"):
+                return response  # first sub-batch error wins, verbatim
+            for position, result in zip(positions, response["results"]):
+                results[position] = result
+        return {"ok": True, "results": results}
+
+    # -- coordinated reload ----------------------------------------------
+    async def _handle_reload(self, payload: dict) -> dict:
+        path = payload.get("path")
+        if not path:
+            return {"ok": False, "error": "ValueError: reload needs a 'path'"}
+        telemetry = get_telemetry()
+        assert self._reload_lock is not None
+        async with self._reload_lock:  # one reload at a time, fleet-wide
+            token = f"reload-{next(self._reload_tokens)}"
+            # phase 1 — stage everywhere, traffic still flowing
+            prepares = await asyncio.gather(
+                *(
+                    worker.call(
+                        {"op": "prepare_reload", "path": path, "token": token}
+                    )
+                    for worker in self.workers
+                ),
+                return_exceptions=True,
+            )
+            failures = [
+                p for p in prepares
+                if isinstance(p, BaseException) or not p.get("ok")
+            ]
+            if failures:
+                await asyncio.gather(
+                    *(
+                        worker.call({"op": "abort_reload", "token": token})
+                        for worker in self.workers
+                    ),
+                    return_exceptions=True,
+                )
+                telemetry.add("fleet.reload_rejected")
+                first = failures[0]
+                error = (
+                    f"WorkerError: {first}" if isinstance(first, BaseException)
+                    else first.get("error", "prepare_reload failed")
+                )
+                return {"ok": False, "error": error}
+            # phase 2 — barrier: drain in-flight, commit everywhere,
+            # reopen; queued requests resume on the new version only
+            pause_t0 = time.perf_counter()
+            await self._gate.close()
+            try:
+                commits = await asyncio.gather(
+                    *(
+                        worker.call(
+                            {"op": "commit_reload", "token": token}
+                        )
+                        for worker in self.workers
+                    )
+                )
+            finally:
+                self._gate.open()
+            telemetry.observe(
+                "fleet.reload_pause_us",
+                (time.perf_counter() - pause_t0) * 1e6,
+            )
+            telemetry.add("fleet.reloads")
+        versions = {commit.get("version") for commit in commits}
+        if len(versions) != 1:  # the barrier makes this unreachable
+            telemetry.add("fleet.version_skew")
+            return {
+                "ok": False,
+                "error": f"RuntimeError: version skew after commit: "
+                f"{sorted(versions)}",
+            }
+        return {
+            "ok": True,
+            "collective": commits[0].get("collective"),
+            "version": commits[0].get("version"),
+            "tag": commits[0].get("tag"),
+            "workers": len(self.workers),
+        }
+
+    # -- stats + metrics --------------------------------------------------
+    async def _worker_counters(self) -> dict[str, int]:
+        responses = await asyncio.gather(
+            *(worker.call({"op": "counters"}) for worker in self.workers),
+            return_exceptions=True,
+        )
+        merged: dict[str, int] = {}
+        for response in responses:
+            if isinstance(response, BaseException) or not response.get("ok"):
+                continue
+            for name, value in response.get("counters", {}).items():
+                merged[name] = merged.get(name, 0) + int(value)
+        return merged
+
+    async def _handle_stats(self) -> dict:
+        worker_stats = await asyncio.gather(
+            *(worker.call({"op": "stats"}) for worker in self.workers),
+            return_exceptions=True,
+        )
+        telemetry = get_telemetry()
+        latency = telemetry.histograms_snapshot().get(
+            "fleet.request_latency_us"
+        )
+        versions: dict[str, set] = {}
+        per_worker = []
+        for worker, response in zip(self.workers, worker_stats):
+            if isinstance(response, BaseException) or not response.get("ok"):
+                per_worker.append({"worker": worker.worker_id, "ok": False})
+                continue
+            stats = response["stats"]
+            per_worker.append(
+                {"worker": worker.worker_id, "ok": True, **stats}
+            )
+            for collective, info in stats.get("versions", {}).items():
+                versions.setdefault(collective, set()).add(info["version"])
+        fleet_counters = {
+            name: value
+            for name, value in telemetry.counters_snapshot().items()
+            if name.startswith("fleet.")
+        }
+        return {
+            "ok": True,
+            "stats": {
+                "fleet": {
+                    "workers": len(self.workers),
+                    "connections": self._stats.connections,
+                    "served": self._stats.served,
+                    "uptime_s": time.time() - self._stats.started_at,
+                    "versions_consistent": all(
+                        len(seen) == 1 for seen in versions.values()
+                    ),
+                    "counters": fleet_counters,
+                    "latency_us": (
+                        latency.percentiles()
+                        if latency is not None and latency.total else {}
+                    ),
+                    "counters_merged": await self._worker_counters(),
+                },
+                "workers": per_worker,
+            },
+        }
+
+    async def metrics_text(self) -> str:
+        """The ``GET /metrics`` payload: merged counters + histograms."""
+        telemetry = get_telemetry()
+        counters = dict(await self._worker_counters())
+        for name, value in telemetry.counters_snapshot().items():
+            if name.startswith("fleet."):
+                counters[name] = value
+        gauges = {
+            "fleet.workers": float(len(self.workers)),
+            "fleet.workers_alive": float(
+                sum(
+                    1 for worker in self.workers
+                    if worker.process.returncode is None
+                )
+            ),
+            "fleet.uptime_seconds": time.time() - self._stats.started_at,
+        }
+        return render_prometheus(
+            counters, gauges, telemetry.histograms_snapshot(),
+            help_texts=HELP_TEXTS,
+        )
+
+    # -- minimal HTTP (scrape surface only) --------------------------------
+    async def _handle_http(
+        self, first: bytes, reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        get_telemetry().add("fleet.http_requests")
+        try:
+            method, target, _version = (
+                first.decode("latin-1").rstrip("\r\n").split(" ", 2)
+            )
+        except ValueError:
+            await self._http_response(writer, 400, "bad request line\n")
+            return
+        while True:  # drain headers; the scrape surface ignores them
+            line = await reader.readline()
+            if line in (b"", b"\r\n", b"\n"):
+                break
+        if method not in ("GET", "HEAD"):
+            await self._http_response(writer, 405, "method not allowed\n")
+            return
+        target = target.split("?", 1)[0]
+        if target == "/metrics":
+            body = await self.metrics_text()
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+        elif target == "/healthz":
+            alive = sum(
+                1 for worker in self.workers
+                if worker.process.returncode is None
+            )
+            healthy = alive == len(self.workers)
+            body = json.dumps(
+                {"ok": healthy, "workers": len(self.workers), "alive": alive}
+            ) + "\n"
+            content_type = "application/json"
+            if not healthy:
+                await self._http_response(
+                    writer, 503, body, content_type=content_type
+                )
+                return
+        elif target == "/stats":
+            body = json.dumps((await self._handle_stats())["stats"]) + "\n"
+            content_type = "application/json"
+        else:
+            await self._http_response(writer, 404, "not found\n")
+            return
+        await self._http_response(
+            writer, 200, body if method == "GET" else "",
+            content_type=content_type,
+        )
+
+    @staticmethod
+    async def _http_response(
+        writer: asyncio.StreamWriter, status: int, body: str,
+        content_type: str = "text/plain; charset=utf-8",
+    ) -> None:
+        reason = {
+            200: "OK", 400: "Bad Request", 404: "Not Found",
+            405: "Method Not Allowed", 503: "Service Unavailable",
+        }.get(status, "OK")
+        payload = body.encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            "Connection: close\r\n"
+            "\r\n"
+        )
+        writer.write(head.encode("latin-1") + payload)
+        await writer.drain()
+
+
+# -- entry points ---------------------------------------------------------
+async def _run_until_signalled(spec: FleetSpec, host: str, port: int) -> None:
+    fleet = Fleet(spec, host, port)
+    await fleet.start()
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        with contextlib.suppress(NotImplementedError, RuntimeError):
+            loop.add_signal_handler(signum, stop.set)
+    try:
+        await stop.wait()
+    finally:
+        print("fleet: shutting down", file=sys.stderr, flush=True)
+        await fleet.stop()
+
+
+def run_fleet(spec: FleetSpec, host: str = "127.0.0.1", port: int = 8077) -> int:
+    """Blocking fleet entry point (what ``mpicollpred serve --workers N``
+    calls); runs until SIGINT/SIGTERM."""
+    try:
+        asyncio.run(_run_until_signalled(spec, host, port))
+    except KeyboardInterrupt:
+        return 130
+    return 0
+
+
+class FleetThread:
+    """A fleet on a private event-loop thread (tests and benchmarks).
+
+    ``start()`` blocks until the socket is listening and exposes
+    ``port``; ``stop()`` tears everything down. The context-manager
+    form keeps worker processes from leaking on assertion failures.
+    """
+
+    def __init__(self, spec: FleetSpec, host: str = "127.0.0.1",
+                 port: int = 0) -> None:
+        self._spec = spec
+        self._host = host
+        self._port = port
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._fleet: Fleet | None = None
+        self._ready = threading.Event()
+        self._stop: asyncio.Event | None = None
+        self._error: BaseException | None = None
+        self.port: int | None = None
+
+    def __enter__(self) -> "FleetThread":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def start(self, timeout: float = 60.0) -> "FleetThread":
+        self._thread = threading.Thread(
+            target=self._thread_main, name="fleet", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout):
+            raise TimeoutError("fleet did not start listening in time")
+        if self._error is not None:
+            raise self._error
+        return self
+
+    def _thread_main(self) -> None:
+        self._loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(self._loop)
+        try:
+            self._loop.run_until_complete(self._main())
+        except BaseException as exc:  # surfaced to start()/stop() callers
+            self._error = exc
+            self._ready.set()
+        finally:
+            self._loop.close()
+
+    async def _main(self) -> None:
+        self._fleet = Fleet(self._spec, self._host, self._port)
+        self._stop = asyncio.Event()
+        await self._fleet.start()
+        self.port = self._fleet.port
+        self._ready.set()
+        try:
+            await self._stop.wait()
+        finally:
+            await self._fleet.stop()
+
+    def stop(self, timeout: float = 30.0) -> None:
+        if self._loop is None or self._thread is None:
+            return
+        if self._stop is not None and not self._loop.is_closed():
+            with contextlib.suppress(RuntimeError):
+                self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout)
+
+
+def client_request(
+    host: str, port: int, payloads: Iterable[dict], timeout: float = 30.0
+) -> list[dict]:
+    """Tiny synchronous JSONL client (smoke tests, benchmarks).
+
+    Opens one connection, sends every payload, reads one response per
+    payload, closes. Raises on short reads — a dropped response must
+    fail loudly, that is the whole point of the reload contract.
+    """
+    import socket
+
+    payloads = list(payloads)
+    with socket.create_connection((host, port), timeout=timeout) as sock:
+        blob = "".join(json.dumps(p) + "\n" for p in payloads)
+        sock.sendall(blob.encode("utf-8"))
+        reader = sock.makefile("r", encoding="utf-8")
+        responses = []
+        for _ in payloads:
+            line = reader.readline()
+            if not line:
+                raise ConnectionError(
+                    f"connection closed after {len(responses)} of "
+                    f"{len(payloads)} responses"
+                )
+            responses.append(json.loads(line))
+    return responses
+
+
+def http_get(host: str, port: int, target: str, timeout: float = 30.0
+             ) -> tuple[int, str]:
+    """Tiny HTTP GET against the fleet's scrape surface -> (status, body)."""
+    import socket
+
+    with socket.create_connection((host, port), timeout=timeout) as sock:
+        sock.sendall(
+            f"GET {target} HTTP/1.1\r\nHost: {host}\r\n"
+            "Connection: close\r\n\r\n".encode("latin-1")
+        )
+        raw = b""
+        while True:
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            raw += chunk
+    head, _, body = raw.partition(b"\r\n\r\n")
+    status = int(head.split(b" ", 2)[1])
+    return status, body.decode("utf-8")
+
+
+__all__ = [
+    "Fleet",
+    "FleetSpec",
+    "FleetThread",
+    "HashRing",
+    "WorkerError",
+    "WorkerHandle",
+    "client_request",
+    "http_get",
+    "run_fleet",
+]
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """``python -m repro.serve.fleet`` — a bare fleet for quick pokes."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro.serve.fleet",
+        description="boot a prediction fleet (prefer `mpicollpred serve "
+        "--workers N`)",
+    )
+    parser.add_argument("--machine", default="Hydra")
+    parser.add_argument("--library", default="Open MPI")
+    parser.add_argument("--rules", action="append", default=[])
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8077)
+    args = parser.parse_args(argv)
+    spec = FleetSpec(
+        machine=args.machine, library=args.library,
+        rules=tuple(args.rules), workers=args.workers,
+    )
+    return run_fleet(spec, host=args.host, port=args.port)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

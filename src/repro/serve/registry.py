@@ -105,6 +105,26 @@ class ModelVersion:
     model: ServableModel
 
 
+@dataclass(frozen=True)
+class StagedModel:
+    """A validated candidate that has *not* swapped in yet.
+
+    The two-phase currency of coordinated reloads: the fleet's prepare
+    phase calls :meth:`ModelRegistry.stage_rules` on every worker (full
+    parse/resolve/validate, traffic still flowing on the old version),
+    and only when **all** workers hold a staged candidate does the
+    commit phase swap them in under the front-end's request barrier —
+    :meth:`ModelRegistry.commit` cannot fail, so no worker can be left
+    on a different version than its peers. Discarding a staged model
+    (the abort path) is just dropping the reference.
+    """
+
+    collective: CollectiveKind
+    tag: str
+    source: str
+    model: ServableModel
+
+
 class ModelRegistry:
     """Per-(machine, library) registry of live models, one per collective."""
 
@@ -147,15 +167,15 @@ class ModelRegistry:
         )
 
     # -- write path ----------------------------------------------------
-    def publish(
+    def stage(
         self, model: ServableModel, *, tag: str = "", source: str = "selector"
-    ) -> ModelVersion:
-        """Validate ``model`` and atomically make it the live version.
+    ) -> StagedModel:
+        """Validate ``model`` into a :class:`StagedModel` — no swap yet.
 
-        The probe selection below runs *before* the swap: a model that
+        The probe selection runs here, *before* any swap: a model that
         cannot answer for its own grid centre (or answers with a config
         outside the library's space) is rejected with
-        :class:`ReloadError` and the previous version keeps serving.
+        :class:`ReloadError` and the live version is untouched.
         """
         telemetry = get_telemetry()
         collective = CollectiveKind(model.collective)
@@ -170,29 +190,55 @@ class ModelRegistry:
             raise ReloadError(
                 f"candidate model for {collective} rejected: {exc}"
             ) from exc
+        return StagedModel(
+            collective=collective, tag=tag or model.describe(),
+            source=source, model=model,
+        )
+
+    def commit(self, staged: StagedModel) -> ModelVersion:
+        """Atomically make a staged candidate the live version.
+
+        Pure swap — all validation already happened in :meth:`stage`,
+        so this cannot raise: the property the fleet's commit barrier
+        depends on (once every worker has staged, every worker *will*
+        swap, and version numbers stay in lockstep).
+        """
+        telemetry = get_telemetry()
         with self._write_lock:
-            previous = self._live.get(collective)
+            previous = self._live.get(staged.collective)
             version = ModelVersion(
-                collective=collective,
+                collective=staged.collective,
                 version=self._next_version,
-                tag=tag or model.describe(),
-                source=source,
-                model=model,
+                tag=staged.tag,
+                source=staged.source,
+                model=staged.model,
             )
             self._next_version += 1
             # wholesale replacement: readers holding the old dict keep a
             # fully consistent old view; new readers see the new one
-            self._live = {**self._live, collective: version}
+            self._live = {**self._live, staged.collective: version}
         telemetry.add("serve.reloads")
         telemetry.event(
-            "serve_reload", status="ok", collective=str(collective),
-            version=version.version, tag=version.tag, source=source,
+            "serve_reload", status="ok", collective=str(staged.collective),
+            version=version.version, tag=version.tag, source=staged.source,
             replaces=previous.version if previous else None,
         )
         return version
 
-    def load_rules(self, path: str | Path, *, tag: str | None = None) -> ModelVersion:
-        """Parse, resolve and validate a rules file, then hot-swap it in.
+    def publish(
+        self, model: ServableModel, *, tag: str = "", source: str = "selector"
+    ) -> ModelVersion:
+        """Validate ``model`` and atomically make it the live version.
+
+        One-shot :meth:`stage` + :meth:`commit` — the single-process
+        reload path (the fleet splits the two phases across workers).
+        """
+        return self.commit(self.stage(model, tag=tag, source=source))
+
+    def stage_rules(
+        self, path: str | Path, *, tag: str | None = None
+    ) -> StagedModel:
+        """Parse, resolve and validate a rules file — no swap yet.
 
         Any failure — unreadable file, malformed table, rule outside the
         library's space, failed round trip — raises
@@ -210,7 +256,11 @@ class ModelRegistry:
                 error=f"{type(exc).__name__}: {exc}",
             )
             raise ReloadError(f"cannot load rules from {path}: {exc}") from exc
-        return self.publish(model, tag=tag or path.name, source="rules")
+        return self.stage(model, tag=tag or path.name, source="rules")
+
+    def load_rules(self, path: str | Path, *, tag: str | None = None) -> ModelVersion:
+        """Parse, resolve and validate a rules file, then hot-swap it in."""
+        return self.commit(self.stage_rules(path, tag=tag))
 
     # -- validation ----------------------------------------------------
     def _validate(

@@ -1,0 +1,221 @@
+"""One fleet worker: a :class:`PredictionService` behind stdio JSONL.
+
+The front-end (:mod:`repro.serve.fleet`) spawns N of these as child
+processes (``python -m repro.serve.worker --spec '<json>'``) and talks
+line-delimited JSON over their stdin/stdout — the same request shapes
+as the single-process loop (:mod:`repro.serve.loop`) plus the fleet
+coordination ops:
+
+* ``prepare_reload`` — parse/resolve/validate a rules file into a
+  staged candidate (:meth:`~repro.serve.registry.ModelRegistry.stage_rules`),
+  keyed by the front-end's reload token. Traffic keeps serving the old
+  version; a validation failure answers ``ok: false`` and stages
+  nothing.
+* ``commit_reload`` — swap the staged candidate in
+  (:meth:`~repro.serve.registry.ModelRegistry.commit`; cannot fail).
+  The front-end only sends this once **every** worker has prepared and
+  all in-flight requests have drained — the second half of the
+  two-phase version barrier.
+* ``abort_reload`` — drop a staged candidate (another worker failed to
+  prepare).
+* ``counters`` — this process's ``serve.*``/``bench.*`` counter
+  snapshot, merged fleet-wide by the front-end for ``/metrics``.
+* ``ping`` — liveness probe.
+
+Every request carries a front-end routing id (``rid``) that is echoed
+verbatim on the response, so the front-end can pipeline requests and
+match answers without per-request framing state. The worker itself is
+deliberately single-threaded: fleet concurrency comes from running N
+workers, and each worker's caches stay consistent without locks.
+
+Protocol hygiene: stdout carries protocol lines *only* — everything
+human-readable goes to stderr.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from dataclasses import dataclass, field
+from typing import IO
+
+from repro.machine.zoo import get_machine
+from repro.mpilib import get_library
+from repro.obs import get_telemetry
+from repro.serve.loop import handle_request
+from repro.serve.registry import ModelRegistry, ReloadError, StagedModel
+from repro.serve.service import PredictionService
+
+#: counter prefixes a worker reports to the fleet metrics merge
+EXPORTED_COUNTER_PREFIXES = ("serve.", "bench.")
+
+
+@dataclass
+class WorkerState:
+    """Everything one worker process serves from."""
+
+    worker_id: int
+    registry: ModelRegistry
+    service: PredictionService
+    #: reload token -> staged-but-not-committed candidate
+    staged: dict[str, StagedModel] = field(default_factory=dict)
+
+
+def build_state(spec: dict) -> WorkerState:
+    """Construct the registry + service a worker spec describes.
+
+    The spec is plain JSON (machine/library names, rules paths, service
+    knobs) so the same models are rebuilt identically in every worker —
+    model *objects* never cross the process boundary, which is what
+    keeps workers restartable and the protocol text-only.
+    """
+    machine = get_machine(spec.get("machine", "Hydra"))
+    library = get_library(spec.get("library", "Open MPI"))
+    registry = ModelRegistry(machine, library)
+    for path in spec.get("rules", ()):
+        registry.load_rules(path)
+    service = PredictionService(
+        registry,
+        mode=spec.get("mode", "exact"),
+        cache_size=int(spec.get("cache_size", 4096)),
+        compiled=bool(spec.get("compiled", True)),
+    )
+    return WorkerState(
+        worker_id=int(spec.get("worker_id", 0)),
+        registry=registry,
+        service=service,
+    )
+
+
+def handle_worker_request(state: WorkerState, payload: dict) -> dict:
+    """One request -> one response; fleet ops first, then the loop ops."""
+    op = payload.get("op", "recommend")
+    if op == "prepare_reload":
+        token = str(payload.get("token", ""))
+        path = payload.get("path")
+        try:
+            if not path:
+                raise ValueError("prepare_reload needs a 'path'")
+            staged = state.registry.stage_rules(path)
+        except (ValueError, ReloadError) as exc:
+            return {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+        state.staged[token] = staged
+        return {
+            "ok": True,
+            "token": token,
+            "collective": str(staged.collective),
+            "tag": staged.tag,
+        }
+    if op == "commit_reload":
+        token = str(payload.get("token", ""))
+        staged = state.staged.pop(token, None)
+        if staged is None:
+            return {
+                "ok": False,
+                "error": f"ValueError: no staged reload for token {token!r}",
+            }
+        version = state.registry.commit(staged)
+        return {
+            "ok": True,
+            "token": token,
+            "collective": str(version.collective),
+            "version": version.version,
+            "tag": version.tag,
+        }
+    if op == "abort_reload":
+        token = str(payload.get("token", ""))
+        return {"ok": True, "aborted": state.staged.pop(token, None) is not None}
+    if op == "counters":
+        counters = get_telemetry().counters_snapshot()
+        return {
+            "ok": True,
+            "worker": state.worker_id,
+            "counters": {
+                name: value
+                for name, value in counters.items()
+                if name.startswith(EXPORTED_COUNTER_PREFIXES)
+            },
+        }
+    if op == "ping":
+        return {"ok": True, "worker": state.worker_id, "pid": os.getpid()}
+    return handle_request(state.service, payload)
+
+
+def serve_worker(state: WorkerState, lines, out: IO[str]) -> int:
+    """The worker's request loop: JSONL in -> JSONL out, rid echoed.
+
+    Mirrors :func:`repro.serve.loop.serve_lines` (bad lines answer
+    ``ok: false`` and the loop keeps serving) with the fleet additions:
+    a ``ready`` line is emitted before the first request so the
+    front-end knows when models finished loading, and ``rid`` rides
+    every response.
+    """
+    out.write(
+        json.dumps(
+            {"ok": True, "ready": True, "worker": state.worker_id,
+             "pid": os.getpid()}
+        )
+        + "\n"
+    )
+    out.flush()
+    served = 0
+    for raw in lines:
+        line = raw.strip()
+        if not line:
+            continue
+        rid = None
+        try:
+            payload = json.loads(line)
+            if not isinstance(payload, dict):
+                raise ValueError("request must be a JSON object")
+        except ValueError as exc:
+            response = {"ok": False, "error": f"bad request line: {exc}"}
+            payload = None
+        else:
+            rid = payload.get("rid")
+            response = handle_worker_request(state, payload)
+        if rid is not None:
+            response["rid"] = rid
+        out.write(json.dumps(response) + "\n")
+        out.flush()
+        served += 1
+        if payload is not None and payload.get("op") == "quit":
+            break
+    return served
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.serve.worker",
+        description="fleet worker process (spawned by mpicollpred serve "
+        "--workers N; not meant to be run by hand)",
+    )
+    parser.add_argument(
+        "--spec", required=True,
+        help="JSON worker spec: machine, library, rules, worker_id, "
+        "mode, cache_size, compiled",
+    )
+    args = parser.parse_args(argv)
+    try:
+        spec = json.loads(args.spec)
+        state = build_state(spec)
+    except Exception as exc:  # surfaced as a protocol line, then die
+        sys.stdout.write(
+            json.dumps(
+                {"ok": False, "ready": False,
+                 "error": f"{type(exc).__name__}: {exc}"}
+            )
+            + "\n"
+        )
+        sys.stdout.flush()
+        return 1
+    served = serve_worker(state, sys.stdin, sys.stdout)
+    print(f"worker {state.worker_id}: served {served} request(s)",
+          file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

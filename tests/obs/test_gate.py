@@ -26,6 +26,8 @@ BASE = {
     "serve_batch64_speedup_x": 8.0,
     "serve_cached_speedup_x": 50.0,
     "serve_compiled_speedup_x": 6.0,
+    "fleet_req_per_s": 3000.0,
+    "fleet_p99_us": 5000.0,
 }
 
 

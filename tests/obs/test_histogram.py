@@ -1,0 +1,138 @@
+"""Histogram primitive: bucketing, quantiles, hub wiring, flush."""
+
+import math
+import threading
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_BUCKETS_US,
+    Histogram,
+    MemorySink,
+    Telemetry,
+)
+
+
+@pytest.fixture
+def telemetry():
+    return Telemetry()
+
+
+class TestBucketing:
+    def test_observation_lands_in_first_bound_geq(self):
+        h = Histogram("lat", bounds=(1.0, 10.0, 100.0))
+        for value in (0.5, 1.0):  # both <= 1.0
+            h.observe(value)
+        h.observe(10.0)  # exactly on a bound -> that bucket (le semantics)
+        h.observe(11.0)
+        h.observe(1e9)  # beyond the last bound -> +Inf overflow slot
+        snap = h.snapshot()
+        assert snap.counts == (2, 1, 1, 1)
+        assert snap.total == 5
+        assert snap.sum == pytest.approx(0.5 + 1.0 + 10.0 + 11.0 + 1e9)
+
+    def test_bounds_must_be_ascending_unique(self):
+        with pytest.raises(ValueError):
+            Histogram("bad", bounds=(1.0, 1.0, 2.0))
+        with pytest.raises(ValueError):
+            Histogram("bad", bounds=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("bad", bounds=())
+
+    def test_default_buckets_cover_serving_latencies(self):
+        assert DEFAULT_BUCKETS_US[0] <= 1  # sub-microsecond compiled hits
+        assert DEFAULT_BUCKETS_US[-1] >= 1e6  # cold multi-second probes
+        assert list(DEFAULT_BUCKETS_US) == sorted(set(DEFAULT_BUCKETS_US))
+
+
+class TestQuantiles:
+    def test_empty_histogram_is_nan(self):
+        snap = Histogram("lat").snapshot()
+        assert math.isnan(snap.quantile(0.5))
+
+    def test_quantile_bounds_validated(self):
+        snap = Histogram("lat").snapshot()
+        with pytest.raises(ValueError):
+            snap.quantile(1.5)
+        with pytest.raises(ValueError):
+            snap.quantile(-0.1)
+
+    def test_single_bucket_interpolation(self):
+        h = Histogram("lat", bounds=(0.0, 100.0))
+        for _ in range(100):
+            h.observe(50.0)
+        snap = h.snapshot()
+        # all mass in (0, 100]: quantiles interpolate inside that bucket
+        assert snap.quantile(0.5) == pytest.approx(50.0)
+        assert snap.quantile(1.0) == pytest.approx(100.0)
+
+    def test_quantiles_are_monotone_and_bracketing(self):
+        h = Histogram("lat")
+        # skewed synthetic latencies: bulk fast, a slow tail
+        for _ in range(900):
+            h.observe(8.0)
+        for _ in range(90):
+            h.observe(300.0)
+        for _ in range(10):
+            h.observe(40_000.0)
+        snap = h.snapshot()
+        p = snap.percentiles()
+        assert p["p50"] <= p["p99"] <= p["p999"]
+        assert 5.0 <= p["p50"] <= 10.0
+        assert 200.0 <= p["p99"] <= 500.0
+        assert p["p999"] >= 20_000.0
+
+    def test_overflow_bucket_reports_last_bound(self):
+        h = Histogram("lat", bounds=(1.0, 2.0))
+        h.observe(1e9)
+        assert h.snapshot().quantile(0.5) == 2.0
+
+
+class TestHubWiring:
+    def test_observe_creates_and_accumulates(self, telemetry):
+        telemetry.observe("serve.latency_us", 3.0)
+        telemetry.observe("serve.latency_us", 7.0)
+        snaps = telemetry.histograms_snapshot()
+        assert list(snaps) == ["serve.latency_us"]
+        assert snaps["serve.latency_us"].total == 2
+
+    def test_bounds_fixed_after_first_creation(self, telemetry):
+        first = telemetry.histogram("h", bounds=(1.0, 2.0))
+        again = telemetry.histogram("h", bounds=(5.0, 6.0))
+        assert again is first
+        assert again.bounds == (1.0, 2.0)
+
+    def test_threaded_observes_all_counted(self, telemetry):
+        h = telemetry.histogram("h", bounds=(10.0, 1000.0))
+
+        def worker():
+            for i in range(1000):
+                h.observe(float(i))
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        snap = h.snapshot()
+        assert snap.total == 8000
+        assert sum(snap.counts) == 8000
+
+    def test_flush_emits_histogram_events(self, telemetry):
+        sink = MemorySink()
+        telemetry.configure([sink])
+        telemetry.observe("fleet.request_latency_us", 12.0)
+        telemetry.histogram("empty.histogram")
+        telemetry.flush()
+        events = {e.name: e for e in sink.events if e.kind == "histogram"}
+        full = events["fleet.request_latency_us"]
+        assert full.fields["count"] == 1
+        assert full.fields["sum"] == pytest.approx(12.0)
+        assert {"p50", "p99", "p999"} <= set(full.fields)
+        # an empty histogram must not leak NaN into the JSONL log
+        assert "p50" not in events["empty.histogram"].fields
+
+    def test_reset_clears_histograms(self, telemetry):
+        telemetry.observe("h", 1.0)
+        telemetry.reset()
+        assert telemetry.histograms_snapshot() == {}

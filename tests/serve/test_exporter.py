@@ -1,0 +1,185 @@
+"""Prometheus exporter: naming, escaping, type lines, golden bytes.
+
+The golden file pins the exporter's exact output for a fixed snapshot:
+any change to metric naming, ordering, or formatting shows up as a
+golden diff — scrape consumers (dashboards, recording rules) depend on
+those names being stable across releases.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.obs import Histogram
+from repro.serve.exporter import (
+    escape_help,
+    escape_label_value,
+    render_counter,
+    render_gauge,
+    render_histogram,
+    render_prometheus,
+    sanitize_metric_name,
+)
+
+GOLDEN = Path(__file__).parent / "data" / "metrics.golden.txt"
+
+#: metric line: name, optional {labels}, space, value
+_METRIC_LINE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"
+    r'(\{[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"'
+    r'(,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*")*\})?'
+    r" (?:[+-]?(?:\d+(?:\.\d+)?(?:e[+-]?\d+)?|Inf)|NaN)$"
+)
+
+
+def _snapshot():
+    """The fixed telemetry state the golden file renders."""
+    latency = Histogram("fleet.request_latency_us", bounds=(10.0, 100.0, 1000.0))
+    for value in (3.0, 7.0, 55.0, 250.0, 250.0, 5000.0):
+        latency.observe(value)
+    empty = Histogram("fleet.reload_pause_us", bounds=(100.0, 10000.0))
+    counters = {
+        "serve.compiled.hit": 1203,
+        "serve.compiled.fallthrough": 47,
+        "serve.l1.hits": 912,
+        "serve.l1.stale": 3,
+        "serve.requests": 2162,
+        "bench.retry": 5,
+        "fleet.requests": 2162,
+    }
+    gauges = {
+        "fleet.workers": 4,
+        "serve.l1.fill_ratio": 0.625,
+    }
+    histograms = {
+        "fleet.request_latency_us": latency.snapshot(),
+        "fleet.reload_pause_us": empty.snapshot(),
+    }
+    help_texts = {
+        "serve.compiled.hit": "requests answered by the compiled L0 table",
+        "fleet.request_latency_us": "front-end request latency (us)",
+    }
+    return counters, gauges, histograms, help_texts
+
+
+def parse_metric_lines(text: str) -> list[str]:
+    """Every non-comment, non-blank line; asserts each is well-formed."""
+    lines = []
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        assert _METRIC_LINE.match(line), f"malformed metric line: {line!r}"
+        lines.append(line)
+    return lines
+
+
+class TestNaming:
+    def test_dots_flatten_to_underscores(self):
+        assert sanitize_metric_name("serve.l1.hits") == "serve_l1_hits"
+
+    def test_invalid_chars_replaced(self):
+        assert sanitize_metric_name("serve.l1 hits-EMA") == "serve_l1_hits_EMA"
+
+    def test_leading_digit_prefixed(self):
+        assert sanitize_metric_name("99th.pct").startswith("_")
+
+    def test_counter_rename_table_applies(self):
+        lines = render_counter("serve.compiled.hit", 5)
+        assert "serve_compiled_hits_total 5" in lines
+        assert "# TYPE serve_compiled_hits_total counter" in lines
+
+    def test_plain_counter_gets_total_suffix(self):
+        lines = render_counter("serve.requests", 7)
+        assert "serve_requests_total 7" in lines
+
+
+class TestEscaping:
+    def test_help_escapes_backslash_and_newline(self):
+        assert escape_help("a\\b\nc") == "a\\\\b\\nc"
+
+    def test_label_value_escapes_quote_too(self):
+        assert escape_label_value('say "hi"\n') == 'say \\"hi\\"\\n'
+
+    def test_help_line_renders_escaped(self):
+        (help_line, *_rest) = render_gauge(
+            "g", 1.0, help_text="line one\nline two"
+        )
+        assert help_line == "# HELP g line one\\nline two"
+
+
+class TestHistogramRendering:
+    def test_buckets_are_cumulative_with_inf(self):
+        h = Histogram("lat", bounds=(1.0, 10.0))
+        for value in (0.5, 5.0, 100.0):
+            h.observe(value)
+        lines = render_histogram("lat", h.snapshot())
+        assert 'lat_bucket{le="1"} 1' in lines
+        assert 'lat_bucket{le="10"} 2' in lines
+        assert 'lat_bucket{le="+Inf"} 3' in lines
+        assert "lat_count 3" in lines
+        assert any(line.startswith("lat_sum ") for line in lines)
+
+    def test_quantile_gauges_ride_along(self):
+        h = Histogram("lat", bounds=(1.0, 10.0, 100.0))
+        for _ in range(100):
+            h.observe(5.0)
+        lines = render_histogram("lat", h.snapshot())
+        for quantile in ("p50", "p99", "p999"):
+            assert f"# TYPE lat_{quantile} gauge" in lines
+            assert any(line.startswith(f"lat_{quantile} ") for line in lines)
+
+    def test_empty_histogram_has_no_quantiles(self):
+        lines = render_histogram("lat", Histogram("lat").snapshot())
+        assert not any("p50" in line for line in lines)
+        assert 'lat_bucket{le="+Inf"} 0' in lines
+
+
+class TestFullRender:
+    def test_matches_golden_file(self):
+        counters, gauges, histograms, help_texts = _snapshot()
+        text = render_prometheus(
+            counters, gauges, histograms, help_texts=help_texts
+        )
+        golden = GOLDEN.read_text().split("# --8<--\n", 1)[1]
+        assert text == golden, (
+            "exporter output drifted from the golden file; if the change "
+            "is intentional, regenerate tests/serve/data/metrics.golden.txt "
+            "(see that file's header comment) and review the diff"
+        )
+
+    def test_every_metric_line_is_well_formed(self):
+        counters, gauges, histograms, help_texts = _snapshot()
+        text = render_prometheus(
+            counters, gauges, histograms, help_texts=help_texts
+        )
+        lines = parse_metric_lines(text)
+        assert len(lines) > 10
+
+    def test_required_serve_names_present(self):
+        counters, gauges, histograms, _ = _snapshot()
+        text = render_prometheus(counters, gauges, histograms)
+        assert "serve_compiled_hits_total 1203" in text
+        assert "fleet_request_latency_us_bucket" in text
+        assert text.endswith("# EOF\n")
+
+    def test_sections_sorted_for_stable_diffs(self):
+        counters, gauges, histograms, _ = _snapshot()
+        text = render_prometheus(counters, gauges, histograms)
+        type_lines = [
+            line for line in text.splitlines() if line.startswith("# TYPE")
+        ]
+        counter_metrics = [
+            line.split()[2] for line in type_lines
+            if line.endswith(" counter")
+        ]
+        assert counter_metrics == sorted(counter_metrics)
+
+    @pytest.mark.parametrize("value,rendered", [
+        (3, "3"), (3.0, "3"), (0.625, "0.625"),
+        (float("inf"), "+Inf"), (True, "1"),
+    ])
+    def test_value_formatting(self, value, rendered):
+        assert render_gauge("g", value)[-1] == f"g {rendered}"

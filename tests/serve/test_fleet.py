@@ -1,0 +1,479 @@
+"""Fleet: routing, reload barrier, worker protocol, end-to-end socket.
+
+The end-to-end class boots a real 2-worker fleet (subprocesses + socket)
+and extends the PR-4/5 reload-under-fire contract to the fleet: client
+threads hammer the socket while coordinated reloads flip the live rules
+back and forth — zero failed responses, and no response may mix model
+versions (every ``recommend_many`` answer is served entirely by one
+version, and each client observes versions monotonically).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import io
+import json
+import socket
+import threading
+from collections import Counter
+
+import pytest
+
+from repro.serve.fleet import (
+    FleetSpec,
+    FleetThread,
+    HashRing,
+    _ReloadGate,
+    http_get,
+)
+from repro.serve.registry import ReloadError, StagedModel
+from repro.serve.worker import (
+    build_state,
+    handle_worker_request,
+    serve_worker,
+)
+
+from tests.serve.conftest import make_rules_text
+from tests.serve.test_exporter import parse_metric_lines
+
+
+class TestHashRing:
+    def test_deterministic_across_instances(self):
+        a, b = HashRing(4), HashRing(4)
+        for n in (1, 2, 4, 8, 16, 32):
+            for p in (1, 2, 16, 32):
+                assert a.worker_for("bcast", n, p) == b.worker_for(
+                    "bcast", n, p
+                )
+
+    def test_every_worker_owns_a_share(self):
+        ring = HashRing(4)
+        owners = Counter(
+            ring.worker_for("bcast", nodes, ppn)
+            for nodes in range(1, 65)
+            for ppn in range(1, 33)
+        )
+        total = sum(owners.values())
+        assert set(owners) == {0, 1, 2, 3}
+        # consistent hashing with 64 vnodes/worker: no worker should own
+        # a wildly lopsided share of a 2048-key space
+        for worker, count in owners.items():
+            assert count / total > 0.05, (worker, owners)
+
+    def test_adding_a_worker_moves_a_minority_of_keys(self):
+        before, after = HashRing(3), HashRing(4)
+        keys = [
+            ("bcast", nodes, ppn)
+            for nodes in range(1, 65)
+            for ppn in range(1, 17)
+        ]
+        moved = sum(
+            1 for key in keys
+            if before.worker_for(*key) != after.worker_for(*key)
+        )
+        # naive modulo routing would move ~3/4 of the keys; consistent
+        # hashing moves ~1/4 (the new worker's share)
+        assert moved / len(keys) < 0.5
+
+    def test_msize_not_in_routing_key(self):
+        # one allocation's whole message-size sweep must share a worker,
+        # or compiled tables / LRUs shard pointlessly
+        assert "msize" not in HashRing.route_key("bcast", 8, 16)
+        ring = HashRing(5)
+        workers = {
+            ring.worker_for("bcast", 8, 16) for _ in range(3)
+        }
+        assert len(workers) == 1
+
+    def test_collective_is_in_routing_key(self):
+        assert HashRing.route_key("bcast", 8, 16) != HashRing.route_key(
+            "allreduce", 8, 16
+        )
+
+    def test_rejects_empty_fleet(self):
+        with pytest.raises(ValueError):
+            HashRing(0)
+
+
+class TestReloadGate:
+    def _run(self, coro):
+        return asyncio.run(coro)
+
+    def test_close_waits_for_inflight_drain(self):
+        async def scenario():
+            gate = _ReloadGate()
+            await gate.acquire()
+            order = []
+
+            async def closer():
+                await gate.close()
+                order.append("closed")
+
+            task = asyncio.create_task(closer())
+            await asyncio.sleep(0.01)
+            assert not task.done()  # still draining
+            order.append("released")
+            gate.release()
+            await task
+            return order
+
+        assert self._run(scenario()) == ["released", "closed"]
+
+    def test_requests_queue_while_closed_and_resume_on_open(self):
+        async def scenario():
+            gate = _ReloadGate()
+            await gate.close()
+            admitted = []
+
+            async def request(name):
+                await gate.acquire()
+                admitted.append(name)
+                gate.release()
+
+            tasks = [asyncio.create_task(request(i)) for i in range(3)]
+            await asyncio.sleep(0.01)
+            assert admitted == []  # queued, not dropped, not admitted
+            gate.open()
+            await asyncio.gather(*tasks)
+            return admitted
+
+        assert sorted(self._run(scenario())) == [0, 1, 2]
+
+    def test_close_with_no_inflight_is_immediate(self):
+        async def scenario():
+            gate = _ReloadGate()
+            await asyncio.wait_for(gate.close(), timeout=1.0)
+            gate.open()
+            await asyncio.wait_for(gate.acquire(), timeout=1.0)
+            gate.release()
+
+        self._run(scenario())
+
+
+@pytest.fixture
+def rules_pair(tmp_path, library):
+    """Two distinct valid bcast rules files (reload flips between them)."""
+    a = tmp_path / "rules_a.conf"
+    b = tmp_path / "rules_b.conf"
+    a.write_text(make_rules_text(library, "bcast", 16, 32, [(0, 1), (65536, 2)]))
+    b.write_text(make_rules_text(library, "bcast", 16, 32, [(0, 3), (65536, 4)]))
+    return str(a), str(b)
+
+
+@pytest.fixture
+def worker_state(rules_pair):
+    return build_state(
+        {"worker_id": 3, "machine": "Hydra", "library": "Open MPI",
+         "rules": [rules_pair[0]]}
+    )
+
+
+class TestRegistryStaging:
+    def test_stage_does_not_touch_live(self, registry, library, tmp_path):
+        path = tmp_path / "r.conf"
+        path.write_text(make_rules_text(library, "bcast", 8, 8, [(0, 1)]))
+        staged = registry.stage_rules(path)
+        assert isinstance(staged, StagedModel)
+        assert registry.get("bcast") is None  # still nothing live
+
+    def test_commit_swaps_staged_in(self, registry, library, tmp_path):
+        path = tmp_path / "r.conf"
+        path.write_text(make_rules_text(library, "bcast", 8, 8, [(0, 1)]))
+        version = registry.commit(registry.stage_rules(path))
+        assert registry.get("bcast").version == version.version
+
+    def test_stage_rejects_bad_file_without_side_effects(self, registry):
+        with pytest.raises(ReloadError):
+            registry.stage_rules("/does/not/exist.conf")
+        assert registry.get("bcast") is None
+
+    def test_publish_is_stage_plus_commit(self, registry, tuned_bcast):
+        version = registry.publish(tuned_bcast.servable(), tag="t")
+        assert registry.get("bcast").version == version.version
+        assert version.tag == "t"
+
+
+class TestWorkerProtocol:
+    def test_prepare_then_commit_bumps_version(self, worker_state, rules_pair):
+        before = worker_state.registry.get("bcast").version
+        prep = handle_worker_request(
+            worker_state,
+            {"op": "prepare_reload", "path": rules_pair[1], "token": "t1"},
+        )
+        assert prep["ok"] and prep["collective"] == "bcast"
+        # staged only: live version untouched until commit
+        assert worker_state.registry.get("bcast").version == before
+        commit = handle_worker_request(
+            worker_state, {"op": "commit_reload", "token": "t1"}
+        )
+        assert commit["ok"] and commit["version"] == before + 1
+
+    def test_prepare_bad_path_stages_nothing(self, worker_state):
+        response = handle_worker_request(
+            worker_state,
+            {"op": "prepare_reload", "path": "/nope.conf", "token": "t"},
+        )
+        assert not response["ok"]
+        assert worker_state.staged == {}
+
+    def test_abort_drops_staged(self, worker_state, rules_pair):
+        handle_worker_request(
+            worker_state,
+            {"op": "prepare_reload", "path": rules_pair[1], "token": "t"},
+        )
+        response = handle_worker_request(
+            worker_state, {"op": "abort_reload", "token": "t"}
+        )
+        assert response["ok"] and response["aborted"]
+        assert worker_state.staged == {}
+
+    def test_commit_unknown_token_fails_softly(self, worker_state):
+        response = handle_worker_request(
+            worker_state, {"op": "commit_reload", "token": "ghost"}
+        )
+        assert not response["ok"]
+
+    def test_counters_filtered_to_serve_prefixes(self, worker_state):
+        handle_worker_request(
+            worker_state,
+            {"collective": "bcast", "nodes": 8, "ppn": 8, "msize": 1024},
+        )
+        response = handle_worker_request(worker_state, {"op": "counters"})
+        assert response["ok"]
+        assert response["counters"]  # served one request, counted it
+        assert all(
+            name.startswith(("serve.", "bench."))
+            for name in response["counters"]
+        )
+
+    def test_recommend_delegates_to_loop(self, worker_state):
+        response = handle_worker_request(
+            worker_state,
+            {"op": "recommend", "collective": "bcast", "nodes": 8,
+             "ppn": 8, "msize": 1024},
+        )
+        assert response["ok"] and "algorithm" in response
+
+    def test_serve_worker_emits_ready_line_and_echoes_rid(self, worker_state):
+        lines = [
+            json.dumps({"op": "ping", "rid": 7}),
+            "not json at all",
+            json.dumps({"op": "quit", "rid": 8}),
+        ]
+        out = io.StringIO()
+        served = serve_worker(worker_state, lines, out)
+        responses = [json.loads(line) for line in out.getvalue().splitlines()]
+        assert served == 3
+        assert responses[0]["ready"] is True  # before any request
+        assert responses[1] == {
+            **responses[1], "ok": True, "rid": 7, "worker": 3,
+        }
+        assert responses[2]["ok"] is False  # bad line answered, loop lives
+        assert responses[3] == {**responses[3], "ok": True, "rid": 8}
+
+
+# -- end to end ----------------------------------------------------------
+
+
+@pytest.fixture
+def fleet(rules_pair):
+    spec = FleetSpec(rules=(rules_pair[0],), workers=2)
+    with FleetThread(spec) as running:
+        yield running
+
+
+class _Client:
+    """One persistent JSONL connection with request/response framing."""
+
+    def __init__(self, port):
+        self.sock = socket.create_connection(("127.0.0.1", port), timeout=30)
+        self.reader = self.sock.makefile("r", encoding="utf-8")
+
+    def ask(self, payload):
+        self.sock.sendall((json.dumps(payload) + "\n").encode())
+        line = self.reader.readline()
+        if not line:
+            raise ConnectionError("fleet dropped the connection")
+        return json.loads(line)
+
+    def close(self):
+        self.sock.close()
+
+
+@pytest.mark.slow
+class TestFleetEndToEnd:
+    def test_recommend_and_batch_order(self, fleet):
+        client = _Client(fleet.port)
+        try:
+            one = client.ask(
+                {"op": "recommend", "collective": "bcast", "nodes": 8,
+                 "ppn": 16, "msize": 4096, "id": "x"}
+            )
+            assert one["ok"] and one["id"] == "x" and one["version"] >= 1
+            # instances routed to different workers must come back in
+            # input order
+            instances = [
+                {"collective": "bcast", "nodes": nodes, "ppn": ppn,
+                 "msize": 1024}
+                for nodes in (2, 4, 8, 16, 32)
+                for ppn in (1, 4, 16)
+            ]
+            many = client.ask(
+                {"op": "recommend_many", "instances": instances}
+            )
+            assert many["ok"]
+            echoed = [
+                (r["nodes"], r["ppn"]) for r in many["results"]
+            ]
+            assert echoed == [(i["nodes"], i["ppn"]) for i in instances]
+        finally:
+            client.close()
+
+    def test_reload_under_fire_drops_and_mixes_nothing(
+        self, fleet, rules_pair
+    ):
+        """The fleet version of the PR-4 reload-under-fire contract."""
+        stop = threading.Event()
+        failures: list = []
+        observed_versions: list[list[int]] = []
+
+        def hammer(seed):
+            client = _Client(fleet.port)
+            versions = []
+            observed_versions.append(versions)
+            try:
+                n = 0
+                while not stop.is_set():
+                    n += 1
+                    if n % 3 == 0:
+                        response = client.ask({
+                            "op": "recommend_many",
+                            "instances": [
+                                {"collective": "bcast", "nodes": 4 << (seed % 3),
+                                 "ppn": 8, "msize": 1024 * (1 + n % 5)},
+                                {"collective": "bcast", "nodes": 8,
+                                 "ppn": 2 << (seed % 4), "msize": 65536},
+                            ],
+                        })
+                        if not response.get("ok"):
+                            failures.append(response)
+                            continue
+                        batch_versions = {
+                            r["version"] for r in response["results"]
+                        }
+                        if len(batch_versions) != 1:  # mixed-version answer
+                            failures.append(response)
+                        versions.append(max(batch_versions))
+                    else:
+                        response = client.ask({
+                            "op": "recommend", "collective": "bcast",
+                            "nodes": 2 << (n % 5), "ppn": 1 + seed,
+                            "msize": 512 << (n % 8),
+                        })
+                        if not response.get("ok"):
+                            failures.append(response)
+                        else:
+                            versions.append(response["version"])
+            except Exception as exc:  # any transport failure is a failure
+                failures.append(exc)
+            finally:
+                client.close()
+
+        threads = [
+            threading.Thread(target=hammer, args=(seed,)) for seed in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        admin = _Client(fleet.port)
+        try:
+            reloads = 0
+            for round_ in range(6):
+                response = admin.ask(
+                    {"op": "reload", "path": rules_pair[round_ % 2]}
+                )
+                assert response["ok"], response
+                assert response["workers"] == 2
+                reloads += 1
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=30)
+            admin.close()
+        assert failures == []
+        # each client saw versions only ever increase (no worker lagging
+        # behind the fleet), and the reloads actually landed mid-traffic
+        for versions in observed_versions:
+            assert versions == sorted(versions)
+            assert versions, "hammer thread never completed a request"
+        assert max(max(v) for v in observed_versions) > 1
+
+    def test_reload_rejection_leaves_fleet_serving_old_version(self, fleet):
+        client = _Client(fleet.port)
+        try:
+            before = client.ask(
+                {"op": "recommend", "collective": "bcast", "nodes": 8,
+                 "ppn": 16, "msize": 4096}
+            )
+            rejected = client.ask({"op": "reload", "path": "/nope.conf"})
+            assert not rejected["ok"]
+            after = client.ask(
+                {"op": "recommend", "collective": "bcast", "nodes": 8,
+                 "ppn": 16, "msize": 4096}
+            )
+            assert after["ok"]
+            assert after["version"] == before["version"]
+            assert after["label"] == before["label"]
+        finally:
+            client.close()
+
+    def test_stats_reports_consistent_versions(self, fleet):
+        client = _Client(fleet.port)
+        try:
+            stats = client.ask({"op": "stats"})["stats"]
+        finally:
+            client.close()
+        assert stats["fleet"]["workers"] == 2
+        assert stats["fleet"]["versions_consistent"] is True
+        assert [w["ok"] for w in stats["workers"]] == [True, True]
+
+    def test_metrics_scrape_is_wellformed_prometheus(self, fleet):
+        client = _Client(fleet.port)
+        try:
+            # drive enough repeats that the compiled tier takes hits
+            for _ in range(3):
+                client.ask(
+                    {"op": "recommend", "collective": "bcast", "nodes": 8,
+                     "ppn": 16, "msize": 4096}
+                )
+        finally:
+            client.close()
+        status, body = http_get("127.0.0.1", fleet.port, "/metrics")
+        assert status == 200
+        lines = parse_metric_lines(body)  # asserts per-line wellformedness
+        assert lines
+        assert any(
+            line.startswith("serve_compiled_hits_total ")
+            and int(line.split()[-1]) > 0
+            for line in lines
+        ), body
+        assert any(
+            line.startswith("fleet_request_latency_us_bucket") for line in lines
+        )
+        for quantile in ("p50", "p99", "p999"):
+            assert f"fleet_request_latency_us_{quantile} " in body
+        assert body.endswith("# EOF\n")
+
+    def test_healthz_and_unknown_route(self, fleet):
+        status, body = http_get("127.0.0.1", fleet.port, "/healthz")
+        assert status == 200 and json.loads(body)["alive"] == 2
+        status, _ = http_get("127.0.0.1", fleet.port, "/unknown")
+        assert status == 404
+
+    def test_quit_op_answers_then_closes(self, fleet):
+        client = _Client(fleet.port)
+        try:
+            response = client.ask({"op": "quit"})
+            assert response["ok"] and response["bye"]
+            assert client.reader.readline() == ""  # connection closed
+        finally:
+            client.close()
