@@ -56,6 +56,17 @@ from repro.serve.exporter import render_prometheus
 #: that removing a worker moves ~1/N of the key space, not half of it
 VNODES_PER_WORKER = 64
 
+#: asyncio StreamReader line limit for worker pipes *and* client
+#: connections — the default 64 KiB truncates a few-hundred-instance
+#: ``recommend_many`` response, and an overflowing readline() raises
+#: ValueError, not a short read
+STREAM_LIMIT = 16 * 1024 * 1024
+
+#: per-request deadline on a worker call — a wedged-but-alive worker
+#: must fail the request (and be killed) rather than hold the reload
+#: gate open forever
+CALL_TIMEOUT_S = 60.0
+
 #: fleet-side latency buckets (microseconds): routed requests cross two
 #: pipe hops, so the floor sits around tens of microseconds
 LATENCY_BUCKETS_US = (
@@ -191,7 +202,13 @@ class WorkerHandle:
         self._rids = itertools.count(1)
         self._pending: dict[int, asyncio.Future] = {}
         self._reader: asyncio.Task | None = None
+        self._write_lock = asyncio.Lock()
+        self.dead_reason: str | None = None
         self.ready_info: dict = {}
+
+    @property
+    def alive(self) -> bool:
+        return self.dead_reason is None and self.process.returncode is None
 
     async def start(self, timeout: float = 30.0) -> None:
         """Wait for the worker's ready line, then start the dispatcher."""
@@ -208,9 +225,18 @@ class WorkerHandle:
         self._reader = asyncio.create_task(self._read_loop())
 
     async def _read_loop(self) -> None:
+        reason = "died"
         try:
             while True:
-                line = await self.process.stdout.readline()
+                try:
+                    line = await self.process.stdout.readline()
+                except ValueError:
+                    # response line over STREAM_LIMIT: the stream has
+                    # discarded it, so some rid can never be matched
+                    # again — the pipe protocol is broken, fail the
+                    # worker rather than hang its callers
+                    reason = "overflowed its response pipe"
+                    break
                 if not line:
                     break
                 try:
@@ -221,16 +247,31 @@ class WorkerHandle:
                 if future is not None and not future.done():
                     future.set_result(response)
         finally:
-            # EOF or reader cancellation: nothing further will arrive
-            for future in self._pending.values():
-                if not future.done():
-                    future.set_exception(
-                        WorkerError(f"worker {self.worker_id} died")
-                    )
-            self._pending.clear()
+            # EOF, overflow, or reader cancellation: nothing further
+            # will arrive — fail in-flight callers and refuse new ones
+            self._fail(reason)
 
-    async def call(self, payload: dict) -> dict:
+    def _fail(self, reason: str) -> None:
+        """Mark this worker unusable: fail pending + future callers."""
+        if self.dead_reason is None:
+            self.dead_reason = reason
+        for future in self._pending.values():
+            if not future.done():
+                future.set_exception(
+                    WorkerError(f"worker {self.worker_id} {reason}")
+                )
+        self._pending.clear()
+        if self.process.returncode is None:
+            with contextlib.suppress(ProcessLookupError):
+                self.process.kill()
+
+    async def call(self, payload: dict,
+                   timeout: float = CALL_TIMEOUT_S) -> dict:
         """Send one request; resolves when its rid-matched answer lands."""
+        if self.dead_reason is not None:
+            raise WorkerError(
+                f"worker {self.worker_id} {self.dead_reason}"
+            )
         if self.process.returncode is not None:
             raise WorkerError(f"worker {self.worker_id} is not running")
         rid = next(self._rids)
@@ -238,30 +279,49 @@ class WorkerHandle:
         self._pending[rid] = future
         data = json.dumps({**payload, "rid": rid}) + "\n"
         try:
-            self.process.stdin.write(data.encode("utf-8"))
-            await self.process.stdin.drain()
+            # one writer at a time: concurrent drain() on the same
+            # transport is not supported by asyncio (bpo-29930)
+            async with self._write_lock:
+                self.process.stdin.write(data.encode("utf-8"))
+                await self.process.stdin.drain()
         except (ConnectionResetError, BrokenPipeError) as exc:
             self._pending.pop(rid, None)
             raise WorkerError(f"worker {self.worker_id} died") from exc
-        return await future
+        try:
+            return await asyncio.wait_for(future, timeout)
+        except asyncio.TimeoutError:
+            self._pending.pop(rid, None)
+            # a wedged worker must not wedge the fleet: kill it so the
+            # reload gate can drain and callers get a clean error
+            self._fail(f"timed out after {timeout:.0f}s")
+            raise WorkerError(
+                f"worker {self.worker_id} timed out after {timeout:.0f}s"
+            ) from None
 
     async def stop(self, timeout: float = 5.0) -> None:
-        if self._reader is not None:
-            self._reader.cancel()
-            with contextlib.suppress(asyncio.CancelledError):
-                await self._reader
-        if self.process.returncode is None:
+        # quit-then-reap order matters: cancelling the reader first
+        # would run _fail() and kill the process before the graceful
+        # quit; instead the quit's EOF lets the reader exit on its own
+        if self.process.returncode is None and self.dead_reason is None:
             with contextlib.suppress(
                 ConnectionResetError, BrokenPipeError, RuntimeError
             ):
-                self.process.stdin.write(b'{"op": "quit"}\n')
-                await self.process.stdin.drain()
-                self.process.stdin.close()
+                async with self._write_lock:
+                    self.process.stdin.write(b'{"op": "quit"}\n')
+                    await self.process.stdin.drain()
+                    self.process.stdin.close()
             try:
                 await asyncio.wait_for(self.process.wait(), timeout)
             except asyncio.TimeoutError:
                 self.process.kill()
                 await self.process.wait()
+        elif self.process.returncode is None:
+            self.process.kill()
+            await self.process.wait()
+        if self._reader is not None:
+            self._reader.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._reader
 
 
 def _worker_env() -> dict[str, str]:
@@ -314,11 +374,12 @@ class Fleet:
                 stdin=asyncio.subprocess.PIPE,
                 stdout=asyncio.subprocess.PIPE,
                 env=env,
+                limit=STREAM_LIMIT,
             )
             self.workers.append(WorkerHandle(worker_id, process))
         await asyncio.gather(*(worker.start() for worker in self.workers))
         self._server = await asyncio.start_server(
-            self._on_connection, self.host, self.port
+            self._on_connection, self.host, self.port, limit=STREAM_LIMIT
         )
         self.port = self._server.sockets[0].getsockname()[1]
         telemetry = get_telemetry()
@@ -346,7 +407,11 @@ class Fleet:
     ) -> None:
         self._stats.connections += 1
         try:
-            first = await reader.readline()
+            try:
+                first = await reader.readline()
+            except ValueError:
+                await self._reject_oversized(writer)
+                return
             if not first:
                 return
             if first.split(b" ", 1)[0] in (b"GET", b"POST", b"HEAD"):
@@ -359,6 +424,21 @@ class Fleet:
             with contextlib.suppress(Exception):
                 writer.close()
                 await writer.wait_closed()
+
+    async def _reject_oversized(self, writer: asyncio.StreamWriter) -> None:
+        """A request line over STREAM_LIMIT still gets *a* response.
+
+        The stream has discarded the oversized line, so byte positions
+        after it are mid-line garbage — answer the error, then the
+        caller closes the connection (it cannot be re-synchronised).
+        """
+        get_telemetry().add("fleet.bad_lines")
+        writer.write((json.dumps({
+            "ok": False,
+            "error": "ValueError: request line exceeds "
+            f"{STREAM_LIMIT} bytes",
+        }) + "\n").encode("utf-8"))
+        await writer.drain()
 
     async def _handle_jsonl(
         self, first: bytes, reader: asyncio.StreamReader,
@@ -374,7 +454,11 @@ class Fleet:
                 await writer.drain()
                 if is_quit:
                     return
-            line = await reader.readline()
+            try:
+                line = await reader.readline()
+            except ValueError:
+                await self._reject_oversized(writer)
+                return
 
     async def _serve_line(self, raw: bytes) -> tuple[dict, bool]:
         telemetry = get_telemetry()
@@ -509,13 +593,17 @@ class Fleet:
             pause_t0 = time.perf_counter()
             await self._gate.close()
             try:
+                # return_exceptions so a worker dying mid-commit still
+                # reaches the skew accounting below instead of leaving
+                # survivors silently on the new version
                 commits = await asyncio.gather(
                     *(
                         worker.call(
                             {"op": "commit_reload", "token": token}
                         )
                         for worker in self.workers
-                    )
+                    ),
+                    return_exceptions=True,
                 )
             finally:
                 self._gate.open()
@@ -523,20 +611,34 @@ class Fleet:
                 "fleet.reload_pause_us",
                 (time.perf_counter() - pause_t0) * 1e6,
             )
+            good = [
+                commit for commit in commits
+                if not isinstance(commit, BaseException) and commit.get("ok")
+            ]
+            versions = {commit.get("version") for commit in good}
+            if len(good) != len(self.workers) or len(versions) != 1:
+                # partial commit: surviving workers already swapped —
+                # the fleet is version-skewed until the dead workers
+                # are replaced; say so loudly instead of claiming ok
+                telemetry.add("fleet.version_skew")
+                dead = [
+                    worker.worker_id
+                    for worker, commit in zip(self.workers, commits)
+                    if isinstance(commit, BaseException)
+                    or not commit.get("ok")
+                ]
+                return {
+                    "ok": False,
+                    "error": "RuntimeError: partial reload commit: "
+                    f"workers {dead} failed, surviving workers serve "
+                    f"version(s) {sorted(versions)}",
+                }
             telemetry.add("fleet.reloads")
-        versions = {commit.get("version") for commit in commits}
-        if len(versions) != 1:  # the barrier makes this unreachable
-            telemetry.add("fleet.version_skew")
-            return {
-                "ok": False,
-                "error": f"RuntimeError: version skew after commit: "
-                f"{sorted(versions)}",
-            }
         return {
             "ok": True,
-            "collective": commits[0].get("collective"),
-            "version": commits[0].get("version"),
-            "tag": commits[0].get("tag"),
+            "collective": good[0].get("collective"),
+            "version": good[0].get("version"),
+            "tag": good[0].get("tag"),
             "workers": len(self.workers),
         }
 
@@ -612,10 +714,7 @@ class Fleet:
         gauges = {
             "fleet.workers": float(len(self.workers)),
             "fleet.workers_alive": float(
-                sum(
-                    1 for worker in self.workers
-                    if worker.process.returncode is None
-                )
+                sum(1 for worker in self.workers if worker.alive)
             ),
             "fleet.uptime_seconds": time.time() - self._stats.started_at,
         }
@@ -649,10 +748,7 @@ class Fleet:
             body = await self.metrics_text()
             content_type = "text/plain; version=0.0.4; charset=utf-8"
         elif target == "/healthz":
-            alive = sum(
-                1 for worker in self.workers
-                if worker.process.returncode is None
-            )
+            alive = sum(1 for worker in self.workers if worker.alive)
             healthy = alive == len(self.workers)
             body = json.dumps(
                 {"ok": healthy, "workers": len(self.workers), "alive": alive}

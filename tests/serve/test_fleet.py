@@ -23,6 +23,8 @@ from repro.serve.fleet import (
     FleetSpec,
     FleetThread,
     HashRing,
+    WorkerError,
+    WorkerHandle,
     _ReloadGate,
     http_get,
 )
@@ -272,6 +274,88 @@ class TestWorkerProtocol:
         assert responses[3] == {**responses[3], "ok": True, "rid": 8}
 
 
+class _StubStdin:
+    def write(self, data):
+        pass
+
+    async def drain(self):
+        pass
+
+    def close(self):
+        pass
+
+
+class _StubProcess:
+    """Just enough of asyncio.subprocess.Process for WorkerHandle."""
+
+    def __init__(self):
+        self.returncode = None
+        self.killed = False
+        self.stdin = _StubStdin()
+        self.stdout = None
+
+    def kill(self):
+        self.killed = True
+        self.returncode = -9
+
+
+class TestWorkerHandleFailure:
+    """A broken worker must fail its callers, never hang them."""
+
+    def test_call_timeout_kills_worker_and_fails_fast_after(self):
+        async def scenario():
+            process = _StubProcess()
+            handle = WorkerHandle(0, process)
+            # no reader, no worker: the response never arrives
+            with pytest.raises(WorkerError, match="timed out"):
+                await handle.call({"op": "ping"}, timeout=0.05)
+            assert process.killed  # a wedged worker is put down
+            # later calls raise immediately instead of waiting again
+            with pytest.raises(WorkerError, match="timed out"):
+                await handle.call({"op": "ping"})
+
+        asyncio.run(scenario())
+
+    def test_reader_overflow_fails_pending_and_marks_dead(self):
+        class _OverflowStdout:
+            async def readline(self):
+                raise ValueError("Separator is not found, chunk exceeds limit")
+
+        async def scenario():
+            process = _StubProcess()
+            process.stdout = _OverflowStdout()
+            handle = WorkerHandle(0, process)
+            pending = asyncio.get_running_loop().create_future()
+            handle._pending[1] = pending
+            await handle._read_loop()
+            # the in-flight caller got an error, not an eternal await
+            with pytest.raises(WorkerError, match="overflowed"):
+                pending.result()
+            assert process.killed
+            assert not handle.alive
+            with pytest.raises(WorkerError, match="overflowed"):
+                await handle.call({"op": "ping"})
+
+        asyncio.run(scenario())
+
+    def test_reader_eof_fails_pending(self):
+        class _EOFStdout:
+            async def readline(self):
+                return b""
+
+        async def scenario():
+            process = _StubProcess()
+            process.stdout = _EOFStdout()
+            handle = WorkerHandle(0, process)
+            pending = asyncio.get_running_loop().create_future()
+            handle._pending[1] = pending
+            await handle._read_loop()
+            with pytest.raises(WorkerError, match="died"):
+                pending.result()
+
+        asyncio.run(scenario())
+
+
 # -- end to end ----------------------------------------------------------
 
 
@@ -328,6 +412,57 @@ class TestFleetEndToEnd:
             assert echoed == [(i["nodes"], i["ppn"]) for i in instances]
         finally:
             client.close()
+
+    def test_large_batch_roundtrip_past_64k_pipe_limit(self, fleet):
+        # a ~1200-instance batch makes both the request line (~75 KiB)
+        # and the per-worker response lines (hundreds of KiB) exceed
+        # asyncio's default 64 KiB stream limit, which used to kill the
+        # worker read loop and hang every later request on that worker
+        instances = [
+            {"collective": "bcast", "nodes": 2 << (i % 5),
+             "ppn": 1 << (i % 5), "msize": 1024 * (1 + i % 7)}
+            for i in range(1200)
+        ]
+        client = _Client(fleet.port)
+        try:
+            response = client.ask(
+                {"op": "recommend_many", "instances": instances}
+            )
+            assert response["ok"], response.get("error")
+            assert len(response["results"]) == len(instances)
+            echoed = [(r["nodes"], r["ppn"]) for r in response["results"]]
+            assert echoed == [(i["nodes"], i["ppn"]) for i in instances]
+            # the fleet must still be serving afterwards
+            after = client.ask(
+                {"op": "recommend", "collective": "bcast", "nodes": 8,
+                 "ppn": 16, "msize": 4096}
+            )
+            assert after["ok"]
+        finally:
+            client.close()
+
+    def test_oversized_request_line_answers_error(
+        self, rules_pair, monkeypatch
+    ):
+        """A request line over STREAM_LIMIT gets ok:false, not a dropped
+        connection (the stream cannot be re-synchronised, so the fleet
+        answers once and closes)."""
+        import repro.serve.fleet as fleet_mod
+
+        monkeypatch.setattr(fleet_mod, "STREAM_LIMIT", 1024)
+        spec = FleetSpec(rules=(rules_pair[0],), workers=1)
+        with FleetThread(spec) as running:
+            client = _Client(running.port)
+            try:
+                response = client.ask(
+                    {"op": "recommend", "collective": "bcast", "nodes": 8,
+                     "ppn": 16, "msize": 4096, "pad": "x" * 4096}
+                )
+                assert response["ok"] is False
+                assert "exceeds" in response["error"]
+                assert client.reader.readline() == ""  # then closed
+            finally:
+                client.close()
 
     def test_reload_under_fire_drops_and_mixes_nothing(
         self, fleet, rules_pair
