@@ -166,9 +166,14 @@ def fleet_metrics(tuner) -> dict[str, float]:
     many client threads as workers, so the front-end loop, the worker
     processes and the client side together saturate the available
     cores. Reported client-side: requests/s over the timed window and
-    the p99 round-trip latency.
+    the p99 round-trip latency — then the same hammer again with one
+    worker SIGKILLed ~0.3 s in (``fleet_degraded_req_per_s``): the
+    supervisor respawns it and failover routing keeps every response
+    flowing, so the metric captures self-healing throughput, not
+    availability (any dropped response still fails the run).
     """
     import os
+    import signal
     import threading
 
     from repro.serve.fleet import FleetSpec, FleetThread, client_request
@@ -196,7 +201,6 @@ def fleet_metrics(tuner) -> dict[str, float]:
                  "nodes": n, "ppn": p, "msize": m}
                 for n, p, m in keys
             ])
-            latencies: list[list[float]] = []
 
             def hammer(seed: int, mine: list[float]) -> None:
                 import socket
@@ -213,28 +217,51 @@ def fleet_metrics(tuner) -> dict[str, float]:
                         }) + "\n"
                         t0 = time.perf_counter()
                         sock.sendall(payload.encode())
-                        if not reader.readline():
+                        line = reader.readline()
+                        if not line:
                             raise ConnectionError("fleet dropped a response")
+                        response = json.loads(line)
+                        if not response.get("ok"):
+                            raise AssertionError(
+                                f"fleet failed a request: {response}"
+                            )
                         mine.append(time.perf_counter() - t0)
 
-            threads = []
-            for seed in range(clients):
-                mine: list[float] = []
-                latencies.append(mine)
-                threads.append(
-                    threading.Thread(target=hammer, args=(seed, mine))
-                )
-            t0 = time.perf_counter()
-            for thread in threads:
-                thread.start()
-            for thread in threads:
-                thread.join()
-            elapsed = time.perf_counter() - t0
-    flat = sorted(lat for per in latencies for lat in per)
-    assert len(flat) == clients * per_client
-    out["fleet_workers"] = float(workers)
-    out["fleet_req_per_s"] = len(flat) / elapsed
-    out["fleet_p99_us"] = flat[int(len(flat) * 0.99)] * 1e6
+            def run_round(mid_round=None) -> tuple[float, list[float]]:
+                latencies: list[list[float]] = []
+                threads = []
+                for seed in range(clients):
+                    mine: list[float] = []
+                    latencies.append(mine)
+                    threads.append(
+                        threading.Thread(target=hammer, args=(seed, mine))
+                    )
+                t0 = time.perf_counter()
+                for thread in threads:
+                    thread.start()
+                if mid_round is not None:
+                    time.sleep(0.3)
+                    mid_round()
+                for thread in threads:
+                    thread.join()
+                elapsed = time.perf_counter() - t0
+                flat = sorted(lat for per in latencies for lat in per)
+                assert len(flat) == clients * per_client
+                return elapsed, flat
+
+            elapsed, flat = run_round()
+            out["fleet_workers"] = float(workers)
+            out["fleet_req_per_s"] = len(flat) / elapsed
+            out["fleet_p99_us"] = flat[int(len(flat) * 0.99)] * 1e6
+
+            # degraded throughput: SIGKILL one worker mid-hammer; the
+            # supervisor respawns it and failover keeps every response
+            # flowing (a failed or dropped response fails the bench)
+            victim = fleet.worker_pids()[0]
+            elapsed, flat = run_round(
+                mid_round=lambda: os.kill(victim, signal.SIGKILL)
+            )
+            out["fleet_degraded_req_per_s"] = len(flat) / elapsed
     return out
 
 

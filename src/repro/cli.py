@@ -170,6 +170,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             mode=args.mode,
             cache_size=args.cache_size,
             compiled=args.compiled,
+            queue_depth=args.queue_depth,
+            max_worker_restarts=args.max_worker_restarts,
+            call_timeout_s=args.call_timeout,
+            chaos_ops=args.chaos_ops,
         )
         return run_fleet(spec, host=args.host, port=args.port)
 
@@ -397,6 +401,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--port", type=int, default=8077,
         help="fleet listen port (with --workers; 0 = ephemeral, the "
         "chosen port is printed to stderr)",
+    )
+    p.add_argument(
+        "--queue-depth", type=int, default=128, metavar="N",
+        help="per-worker in-flight high-water mark; beyond it requests "
+        "are shed with error='overloaded' instead of queueing (fleet)",
+    )
+    p.add_argument(
+        "--max-worker-restarts", type=int, default=5, metavar="N",
+        help="crashes per worker inside a 30s window before its circuit "
+        "breaker holds it open (fleet; see docs/robustness.md)",
+    )
+    p.add_argument(
+        "--call-timeout", type=float, default=60.0, metavar="SECONDS",
+        help="per-request worker deadline; a wedged worker is killed "
+        "and respawned when a call exceeds it (fleet)",
+    )
+    p.add_argument(
+        "--chaos-ops", action="store_true",
+        help="admit seeded fault-injection ops (kill/wedge/garbage/"
+        "crash) over the socket — chaos harness only, never production",
     )
 
     p = sub.add_parser(

@@ -27,6 +27,7 @@ GATE_METRICS: dict[str, bool] = {
     "serve_compiled_speedup_x": True,
     "fleet_req_per_s": True,
     "fleet_p99_us": False,
+    "fleet_degraded_req_per_s": True,
 }
 
 #: default thresholds (fractions of the baseline)

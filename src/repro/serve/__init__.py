@@ -26,6 +26,7 @@ protocol and failure modes.
 """
 
 from repro.serve.cache import KeyInterner, LRUCache
+from repro.serve.chaos import ChaosEvent, FleetChaosPlan, build_plan
 from repro.serve.compiled import (
     CompiledTable,
     compile_rules_model,
@@ -34,7 +35,15 @@ from repro.serve.compiled import (
 )
 from repro.serve.loop import handle_request, serve_lines
 from repro.serve.exporter import render_prometheus, sanitize_metric_name
-from repro.serve.fleet import Fleet, FleetSpec, FleetThread, HashRing
+from repro.serve.fleet import (
+    Fleet,
+    FleetSpec,
+    FleetSupervisor,
+    FleetThread,
+    HashRing,
+    OverloadedError,
+    WorkerError,
+)
 from repro.serve.registry import (
     ModelRegistry,
     ModelVersion,
@@ -52,15 +61,19 @@ from repro.serve.rules import (
 from repro.serve.service import PredictionService, Recommendation
 
 __all__ = [
+    "ChaosEvent",
     "CompiledTable",
     "Fleet",
+    "FleetChaosPlan",
     "FleetSpec",
+    "FleetSupervisor",
     "FleetThread",
     "HashRing",
     "KeyInterner",
     "LRUCache",
     "ModelRegistry",
     "ModelVersion",
+    "OverloadedError",
     "PredictionService",
     "Recommendation",
     "ReloadError",
@@ -70,6 +83,8 @@ __all__ = [
     "SelectorModel",
     "ServableModel",
     "StagedModel",
+    "WorkerError",
+    "build_plan",
     "compile_rules_model",
     "compile_servable",
     "compile_surface",

@@ -1,0 +1,224 @@
+"""Deterministic fault plans for the serving fleet.
+
+The offline pipeline already treats faults as first-class, seeded
+inputs (:mod:`repro.bench.faults`): every fault decision is a pure
+function of ``(seed, site identity)``, which is what makes chaos runs
+replayable bit for bit. This module applies the same discipline to the
+*online* tier. A :class:`FleetChaosPlan` decides — before a single
+request is sent — exactly which worker gets killed, wedged
+(``SIGSTOP``), garbage-corrupted, or crashed mid-line, and at which
+request index, as a pure function of
+``stable_seed("fleet-chaos", seed, n_requests, n_workers)``.
+
+The driver (``scripts/smoke_fleet_chaos.py``) walks a request sequence,
+fires ``plan.at(i)`` events through the fleet's gated ``chaos`` op, and
+asserts the acceptance bar of ISSUE 8: zero client-visible failures and
+answers bit-identical to a fault-free twin fleet, across repeated
+worker kills and one hot reload with a wedge in its prepare phase.
+
+Fault kinds (see the failure-classes table in ``docs/robustness.md``):
+
+==========  =========================================================
+kind        what happens to the worker
+==========  =========================================================
+``kill``    ``SIGKILL`` from the front-end — pipe EOF, no goodbye
+``wedge``   ``SIGSTOP`` — alive but unresponsive; only the per-call
+            deadline can detect it (scheduled to land *mid-reload*)
+``garbage``  the worker emits an unparseable stdout line before its
+            next response (a torn log write leaking into the protocol)
+``crash``   the worker answers, writes a *partial* line, and
+            ``os._exit(23)`` s — EOF with a torn tail
+==========  =========================================================
+
+Plan shape: every worker is killed once in an early stratum of the
+request range and crashed once in a late stratum (so respawned workers
+die again — the supervisor's crash-window accounting is exercised, not
+just its happy path), the wedge lands exactly at ``reload_at``, and
+garbage events scatter between the strata. Events never share a
+request index, so the driver's event loop stays a simple dict lookup.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.utils.rng import stable_seed
+
+#: fault kinds a plan may schedule (mirrors Fleet._handle_chaos)
+CHAOS_KINDS = ("kill", "wedge", "garbage", "crash")
+
+#: per-round strata as fractions of the request range: each worker is
+#: killed somewhere in the first window and crashed in the second, with
+#: the reload (and its wedge) in the gap between them
+KILL_WINDOW = (0.05, 0.45)
+CRASH_WINDOW = (0.65, 0.92)
+RELOAD_AT_FRACTION = 0.55
+
+
+@dataclass(frozen=True)
+class ChaosEvent:
+    """One scheduled fault: *kind* hits *worker* at request *index*."""
+
+    index: int
+    kind: str
+    worker: int
+
+    def __post_init__(self) -> None:
+        if self.kind not in CHAOS_KINDS:
+            raise ValueError(f"unknown chaos kind {self.kind!r}")
+        if self.index < 0 or self.worker < 0:
+            raise ValueError("chaos event index/worker must be >= 0")
+
+
+@dataclass(frozen=True)
+class FleetChaosPlan:
+    """A fully resolved fault schedule for one chaos campaign."""
+
+    seed: int
+    n_requests: int
+    n_workers: int
+    reload_at: int
+    events: tuple[ChaosEvent, ...]
+    _by_index: dict[int, ChaosEvent] = field(
+        init=False, repr=False, compare=False, default_factory=dict
+    )
+
+    def __post_init__(self) -> None:
+        by_index: dict[int, ChaosEvent] = {}
+        for event in self.events:
+            if event.index in by_index:
+                raise ValueError(
+                    f"two chaos events share request index {event.index}"
+                )
+            if not 0 <= event.index < self.n_requests:
+                raise ValueError(
+                    f"event index {event.index} outside the request range"
+                )
+            if event.worker >= self.n_workers:
+                raise ValueError(
+                    f"event worker {event.worker} outside the fleet"
+                )
+            by_index[event.index] = event
+        object.__setattr__(self, "_by_index", by_index)
+
+    def at(self, index: int) -> ChaosEvent | None:
+        """The event scheduled at request ``index`` (None = clean)."""
+        return self._by_index.get(index)
+
+    def kinds(self) -> dict[str, int]:
+        """Event count per kind (smoke-report summary)."""
+        counts: dict[str, int] = {}
+        for event in self.events:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        return counts
+
+    def describe(self) -> str:
+        rows = ", ".join(
+            f"{event.kind}@{event.index}->w{event.worker}"
+            for event in self.events
+        )
+        return (
+            f"FleetChaosPlan(seed={self.seed}, n={self.n_requests}, "
+            f"workers={self.n_workers}, reload_at={self.reload_at}: {rows})"
+        )
+
+
+def build_plan(
+    seed: int,
+    n_requests: int,
+    n_workers: int,
+    *,
+    crash_round: bool = True,
+    garbage_events: int = 2,
+    wedge: bool = True,
+) -> FleetChaosPlan:
+    """A deterministic fault schedule for ``n_requests`` requests.
+
+    Pure function of its arguments: the RNG is keyed by
+    ``stable_seed("fleet-chaos", seed, n_requests, n_workers)``, so the
+    same campaign shape always yields the same schedule — on any
+    machine, in any process, which is what lets the smoke run be
+    replayed exactly when it fails.
+
+    Guarantees (property-tested in ``tests/serve/test_chaos.py``):
+
+    * every worker appears in exactly one ``kill`` event inside
+      ``KILL_WINDOW`` and (when ``crash_round``) one ``crash`` event
+      inside ``CRASH_WINDOW``;
+    * kill events for different workers are spaced at least one
+      stratum apart, so the supervisor always has room to respawn the
+      previous victim before the next one dies (the plan exercises
+      degraded serving, never a total outage by construction);
+    * the wedge lands exactly at ``reload_at`` — the driver fires it
+      and then immediately issues the reload, putting the stopped
+      worker inside the reload's prepare phase;
+    * no two events share a request index.
+    """
+    if n_requests < 40 * max(n_workers, 1):
+        raise ValueError(
+            "chaos plan needs >= 40 requests per worker to spread "
+            f"events (got {n_requests} for {n_workers} workers)"
+        )
+    if n_workers < 1:
+        raise ValueError("chaos plan needs at least one worker")
+    rng = random.Random(
+        stable_seed("fleet-chaos", seed, n_requests, n_workers)
+    )
+    taken: set[int] = set()
+
+    def pick(lo: int, hi: int) -> int:
+        for _ in range(10_000):
+            index = rng.randrange(lo, max(hi, lo + 1))
+            if index not in taken:
+                taken.add(index)
+                return index
+        raise RuntimeError("could not place a chaos event")  # pragma: no cover
+
+    events: list[ChaosEvent] = []
+    windows = [(KILL_WINDOW, "kill")]
+    if crash_round:
+        windows.append((CRASH_WINDOW, "crash"))
+    for (lo_frac, hi_frac), kind in windows:
+        lo = int(lo_frac * n_requests)
+        hi = int(hi_frac * n_requests)
+        stratum = (hi - lo) // n_workers
+        order = list(range(n_workers))
+        rng.shuffle(order)
+        for slot, worker in enumerate(order):
+            index = pick(lo + slot * stratum, lo + (slot + 1) * stratum)
+            events.append(ChaosEvent(index, kind, worker))
+
+    reload_at = int(RELOAD_AT_FRACTION * n_requests)
+    reload_at += rng.randrange(-max(n_requests // 100, 1),
+                               max(n_requests // 100, 1) + 1)
+    while reload_at in taken:
+        reload_at += 1
+    taken.add(reload_at)
+    if wedge:
+        events.append(ChaosEvent(reload_at, "wedge",
+                                 rng.randrange(n_workers)))
+
+    garbage_lo = int(KILL_WINDOW[0] * n_requests)
+    garbage_hi = int(CRASH_WINDOW[1] * n_requests)
+    for _ in range(garbage_events):
+        index = pick(garbage_lo, garbage_hi)
+        events.append(
+            ChaosEvent(index, "garbage", rng.randrange(n_workers))
+        )
+
+    return FleetChaosPlan(
+        seed=seed,
+        n_requests=n_requests,
+        n_workers=n_workers,
+        reload_at=reload_at,
+        events=tuple(sorted(events, key=lambda event: event.index)),
+    )
+
+
+__all__ = [
+    "CHAOS_KINDS",
+    "ChaosEvent",
+    "FleetChaosPlan",
+    "build_plan",
+]

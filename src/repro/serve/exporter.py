@@ -96,13 +96,28 @@ def render_counter(name: str, value: int, *, help_text: str = "") -> list[str]:
     return lines
 
 
-def render_gauge(name: str, value: float, *, help_text: str = "") -> list[str]:
+def render_gauge(
+    name: str, value: float | Mapping[str, float], *, help_text: str = ""
+) -> list[str]:
+    """One gauge family; a mapping value renders one labelled series
+    per entry (keys are pre-rendered label bodies, e.g. ``worker="0"``),
+    sorted so scrapes stay byte-stable."""
     metric = sanitize_metric_name(name)
     lines = []
     if help_text:
         lines.append(f"# HELP {metric} {escape_help(help_text)}")
     lines.append(f"# TYPE {metric} gauge")
-    lines.append(f"{metric} {_format_value(value)}")
+    if isinstance(value, Mapping):
+        for labels in sorted(value):
+            lines.append(
+                f"{metric}{{{labels}}} {_format_value(value[labels])}"
+            )
+        if not value:
+            # an empty family still needs a sample or the TYPE line
+            # dangles; 0 with no labels is the conventional placeholder
+            lines.append(f"{metric} 0")
+    else:
+        lines.append(f"{metric} {_format_value(value)}")
     return lines
 
 
@@ -135,7 +150,7 @@ def render_histogram(
 
 def render_prometheus(
     counters: Mapping[str, int],
-    gauges: Mapping[str, float] | None = None,
+    gauges: Mapping[str, float | Mapping[str, float]] | None = None,
     histograms: Mapping[str, HistogramSnapshot] | None = None,
     *,
     help_texts: Mapping[str, str] | None = None,

@@ -13,24 +13,49 @@ fleet:
   worker, so each worker's caches and surface shards stay hot instead
   of every worker cold-missing the whole key space. ``recommend_many``
   batches split into per-worker sub-batches that run concurrently.
+* **Self-healing** (:class:`FleetSupervisor`): a dead worker (pipe
+  EOF, response-pipe overflow, call timeout, process exit) is
+  respawned with exponential backoff and **warm-restored** — every
+  reload committed since boot is replayed through the normal
+  ``prepare``/``commit`` path before the worker rejoins the ring, so a
+  respawned worker never serves a stale registry or skews version
+  numbers. A per-worker circuit breaker (more than
+  ``max_worker_restarts`` crashes inside ``restart_window_s``) holds a
+  crash-looping worker open instead of thrashing.
+* **Failover routing & bounded retry**: while a worker is down its
+  keys route to the next live owner on the hash ring (deterministic —
+  keys return to the original owner after respawn), and a request that
+  dies with its worker is retried once on the failover owner instead
+  of surfacing :class:`WorkerError` to the client.
+* **Backpressure**: each worker has a bounded in-flight queue
+  (``queue_depth``); beyond the high-water mark the front-end answers
+  ``ok: false, error: "overloaded"`` (HTTP 503 on the scrape paths
+  that fan out to workers) instead of queueing unboundedly
+  (``fleet.shed`` counter, per-worker ``fleet_queue_depth`` gauges).
 * **One listening socket, two protocols**: a connection that opens
   with an HTTP verb gets the scrape surface (``GET /metrics``
-  Prometheus text, ``GET /healthz``, ``GET /stats``); anything else is
-  the line-oriented JSONL protocol of :mod:`repro.serve.loop`.
+  Prometheus text, ``GET /healthz`` — ``ok``/``degraded``/``down``
+  with 503 when no live worker owns the ring — ``GET /stats``);
+  anything else is the line-oriented JSONL protocol of
+  :mod:`repro.serve.loop`.
 * **Coordinated hot reload** — a two-phase version barrier
   (:meth:`Fleet._handle_reload`): phase one stages the candidate on
-  every worker while traffic still flows (a worker that rejects it
-  aborts the whole reload, old version keeps serving everywhere);
-  phase two closes the request gate, waits for in-flight requests to
-  drain, commits every worker (commit cannot fail — validation already
-  happened), and reopens. Queued requests are *delayed, never
-  dropped*, and no response can mix versions: every response either
-  completed before the barrier (old version on all workers) or started
-  after it (new version on all workers).
+  every *live* worker while traffic still flows (a live worker that
+  rejects it aborts the whole reload; a worker that dies mid-phase is
+  simply excluded — its replacement warm-restores to whatever the
+  reload decides); phase two closes the request gate, waits for
+  in-flight requests to drain, commits every staged worker, and
+  reopens. Queued requests are *delayed, never dropped*, and no
+  response can mix versions.
 * **Metrics export**: per-request latency lands in a
   :class:`repro.obs.Histogram`; a scrape merges ``serve.*`` counters
   across workers and renders everything with
   :func:`repro.serve.exporter.render_prometheus`.
+
+Deterministic fault injection for all of the above lives in
+:mod:`repro.serve.chaos` (seeded kill/wedge/garbage/crash plans) and is
+reachable over the socket via the ``chaos`` op when the fleet is booted
+with ``chaos_ops=True`` (``--chaos-ops``) — disabled by default.
 """
 
 from __future__ import annotations
@@ -46,8 +71,9 @@ import signal
 import sys
 import threading
 import time
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import Callable, Iterable, Mapping, Sequence
 
 from repro.obs import get_telemetry
 from repro.serve.exporter import render_prometheus
@@ -67,6 +93,21 @@ STREAM_LIMIT = 16 * 1024 * 1024
 #: gate open forever
 CALL_TIMEOUT_S = 60.0
 
+#: trailing stderr lines of a worker kept in its quarantine buffer and
+#: surfaced in the ``fleet_worker_died`` event when it crashes
+STDERR_TAIL_LINES = 20
+
+#: how often the supervisor rescans worker liveness when nothing kicks
+#: it awake (deaths kick it immediately via ``WorkerHandle.on_death``)
+SUPERVISOR_POLL_S = 0.5
+
+#: ceiling on the supervisor's exponential respawn backoff
+BACKOFF_CAP_S = 5.0
+
+#: how long Fleet.stop() waits for in-flight requests to drain before
+#: tearing the workers down anyway
+DRAIN_TIMEOUT_S = 5.0
+
 #: fleet-side latency buckets (microseconds): routed requests cross two
 #: pipe hops, so the floor sits around tens of microseconds
 LATENCY_BUCKETS_US = (
@@ -81,7 +122,15 @@ HELP_TEXTS = {
     "fleet.requests": "requests handled by the fleet front-end",
     "fleet.reloads": "coordinated reloads committed across all workers",
     "fleet.reload_rejected": "reloads aborted in the prepare phase",
-    "fleet.worker_failures": "requests failed because a worker died",
+    "fleet.worker_failures": "requests failed because no live worker could answer",
+    "fleet.failover_retries": "requests retried on a failover ring owner",
+    "fleet.shed": "requests shed because a worker queue hit its high-water mark",
+    "fleet.worker_restarts": "dead workers respawned and warm-restored",
+    "fleet.breaker_open": "per-worker circuit breakers opened on crash loops",
+    "fleet.worker_garbage_lines": "unparseable worker stdout lines skipped",
+    "fleet.queue_depth": "in-flight requests per worker",
+    "fleet.workers_alive": "workers currently alive",
+    "fleet.breakers_open": "workers currently held open by their breaker",
     "serve.compiled.hit": "requests answered by the compiled L0 table",
     "serve.l1.hits": "requests answered by the L1 recommendation LRU",
     "serve.requests": "recommend requests across all workers",
@@ -90,6 +139,10 @@ HELP_TEXTS = {
 
 class WorkerError(RuntimeError):
     """A worker process died or answered garbage."""
+
+
+class OverloadedError(RuntimeError):
+    """A worker's in-flight queue is past the high-water mark."""
 
 
 @dataclass(frozen=True)
@@ -103,6 +156,21 @@ class FleetSpec:
     mode: str = "exact"
     cache_size: int = 4096
     compiled: bool = True
+    #: per-worker in-flight high-water mark; beyond it requests are
+    #: shed with ``ok: false, error: "overloaded"`` instead of queueing
+    queue_depth: int = 128
+    #: crashes per worker inside ``restart_window_s`` before its
+    #: circuit breaker holds it open (no further respawns)
+    max_worker_restarts: int = 5
+    restart_window_s: float = 30.0
+    #: first respawn delay; doubles per crash in the window (cap 5 s)
+    backoff_base_s: float = 0.25
+    #: per-request worker deadline — a wedged worker is killed and
+    #: respawned when a call exceeds it
+    call_timeout_s: float = CALL_TIMEOUT_S
+    #: admit deterministic fault-injection ops (kill/wedge/garbage/
+    #: crash) over the socket — chaos harness only, default off
+    chaos_ops: bool = False
 
     def worker_spec(self, worker_id: int) -> dict:
         return {
@@ -113,6 +181,7 @@ class FleetSpec:
             "mode": self.mode,
             "cache_size": self.cache_size,
             "compiled": self.compiled,
+            "chaos_ops": self.chaos_ops,
         }
 
 
@@ -149,10 +218,42 @@ class HashRing:
         compiled table and LRU."""
         return f"{collective}|{nodes}|{ppn}"
 
-    def worker_for(self, collective: str, nodes: int, ppn: int) -> int:
+    def owners_for(self, collective: str, nodes: int, ppn: int) -> tuple[int, ...]:
+        """Every worker in ring order starting at the key's point.
+
+        The first element is the key's home owner; the rest is the
+        deterministic failover chain — while the home owner is down its
+        keys belong to the next *live* entry, and they return home the
+        moment it is respawned (the chain is a pure function of the
+        ring, not of liveness history).
+        """
         point = _stable_hash(self.route_key(collective, nodes, ppn))
-        index = bisect.bisect_right(self._hashes, point) % len(self._hashes)
-        return self._owners[index]
+        start = bisect.bisect_right(self._hashes, point)
+        size = len(self._hashes)
+        seen: set[int] = set()
+        chain: list[int] = []
+        for step in range(size):
+            owner = self._owners[(start + step) % size]
+            if owner not in seen:
+                seen.add(owner)
+                chain.append(owner)
+                if len(chain) == self.n_workers:
+                    break
+        return tuple(chain)
+
+    def worker_for(
+        self, collective: str, nodes: int, ppn: int,
+        alive: Iterable[int] | None = None,
+    ) -> int:
+        """The key's owner; with ``alive`` given, its first live owner."""
+        chain = self.owners_for(collective, nodes, ppn)
+        if alive is None:
+            return chain[0]
+        live = set(alive)
+        for owner in chain:
+            if owner in live:
+                return owner
+        raise WorkerError("no live worker owns the ring")
 
 
 class _ReloadGate:
@@ -196,22 +297,35 @@ class WorkerHandle:
     """One worker subprocess: pipelined rid-matched request/response."""
 
     def __init__(self, worker_id: int,
-                 process: asyncio.subprocess.Process) -> None:
+                 process: asyncio.subprocess.Process,
+                 on_death: Callable[[], None] | None = None) -> None:
         self.worker_id = worker_id
         self.process = process
         self._rids = itertools.count(1)
         self._pending: dict[int, asyncio.Future] = {}
         self._reader: asyncio.Task | None = None
+        self._stderr_task: asyncio.Task | None = None
         self._write_lock = asyncio.Lock()
         self.dead_reason: str | None = None
         self.ready_info: dict = {}
+        #: quarantined trailing stderr of the worker — surfaced in the
+        #: fleet_worker_died event instead of being lost with the crash
+        self.stderr_tail: deque[str] = deque(maxlen=STDERR_TAIL_LINES)
+        self._on_death = on_death
 
     @property
     def alive(self) -> bool:
         return self.dead_reason is None and self.process.returncode is None
 
+    @property
+    def inflight(self) -> int:
+        """Requests sent but not yet answered (the bounded queue)."""
+        return len(self._pending)
+
     async def start(self, timeout: float = 30.0) -> None:
         """Wait for the worker's ready line, then start the dispatcher."""
+        if self.process.stderr is not None:
+            self._stderr_task = asyncio.create_task(self._drain_stderr())
         line = await asyncio.wait_for(
             self.process.stdout.readline(), timeout
         )
@@ -223,6 +337,27 @@ class WorkerHandle:
             )
         self.ready_info = info
         self._reader = asyncio.create_task(self._read_loop())
+
+    async def _drain_stderr(self) -> None:
+        """Quarantine + forward worker stderr line by line.
+
+        The tail survives the process so a crash's last words end up in
+        the ``fleet_worker_died`` event; the live stream is forwarded to
+        the front-end's stderr (prefixed) so operators still see it.
+        """
+        stream = self.process.stderr
+        while True:
+            try:
+                line = await stream.readline()
+            except ValueError:
+                self.stderr_tail.append("<oversized stderr line dropped>")
+                break
+            if not line:
+                return
+            text = line.decode("utf-8", "replace").rstrip()
+            self.stderr_tail.append(text)
+            print(f"[worker {self.worker_id}] {text}",
+                  file=sys.stderr, flush=True)
 
     async def _read_loop(self) -> None:
         reason = "died"
@@ -242,7 +377,11 @@ class WorkerHandle:
                 try:
                     response = json.loads(line)
                 except ValueError:
-                    continue  # a torn line cannot be matched to a caller
+                    # a torn/garbage line cannot be matched to a caller;
+                    # skip it — the caller's deadline (or the worker's
+                    # death) resolves the orphaned rid
+                    get_telemetry().add("fleet.worker_garbage_lines")
+                    continue
                 future = self._pending.pop(response.pop("rid", None), None)
                 if future is not None and not future.done():
                     future.set_result(response)
@@ -264,6 +403,9 @@ class WorkerHandle:
         if self.process.returncode is None:
             with contextlib.suppress(ProcessLookupError):
                 self.process.kill()
+        if self._on_death is not None:
+            with contextlib.suppress(Exception):
+                self._on_death()
 
     async def call(self, payload: dict,
                    timeout: float = CALL_TIMEOUT_S) -> dict:
@@ -284,8 +426,9 @@ class WorkerHandle:
             async with self._write_lock:
                 self.process.stdin.write(data.encode("utf-8"))
                 await self.process.stdin.drain()
-        except (ConnectionResetError, BrokenPipeError) as exc:
+        except (ConnectionResetError, BrokenPipeError, RuntimeError) as exc:
             self._pending.pop(rid, None)
+            self._fail("died (stdin closed)")
             raise WorkerError(f"worker {self.worker_id} died") from exc
         try:
             return await asyncio.wait_for(future, timeout)
@@ -318,10 +461,11 @@ class WorkerHandle:
         elif self.process.returncode is None:
             self.process.kill()
             await self.process.wait()
-        if self._reader is not None:
-            self._reader.cancel()
-            with contextlib.suppress(asyncio.CancelledError):
-                await self._reader
+        for task in (self._reader, self._stderr_task):
+            if task is not None:
+                task.cancel()
+                with contextlib.suppress(asyncio.CancelledError):
+                    await task
 
 
 def _worker_env() -> dict[str, str]:
@@ -345,6 +489,144 @@ class _FleetStats:
     started_at: float = field(default_factory=time.time)
 
 
+class FleetSupervisor:
+    """Watches worker liveness; respawns, warm-restores, opens breakers.
+
+    Deaths kick the watch loop awake immediately (``kick``); a slow
+    poll catches anything the kick missed. Each dead slot gets its own
+    respawn task: emit the ``fleet_worker_died`` event (with the
+    quarantined stderr tail), reap the corpse, back off exponentially
+    on repeated crashes, spawn a replacement, **warm-restore** it (every
+    committed reload replayed through prepare/commit under the reload
+    lock, so it cannot race a concurrent reload), and only then install
+    it back into the routing table. More than
+    ``spec.max_worker_restarts`` crashes inside ``spec.restart_window_s``
+    open the slot's circuit breaker: the worker is held open (no more
+    respawns, ``fleet.breaker_open``) and the fleet keeps serving
+    degraded on the survivors.
+    """
+
+    def __init__(self, fleet: "Fleet") -> None:
+        self.fleet = fleet
+        self.kick = asyncio.Event()
+        self._task: asyncio.Task | None = None
+        self._restarting: set[int] = set()
+        self._breakers: set[int] = set()
+        self._crashes: dict[int, list[float]] = {}
+        self._respawns: dict[int, asyncio.Task] = {}
+
+    # -- state the health surface reports --------------------------------
+    def restarting_ids(self) -> list[int]:
+        return sorted(self._restarting)
+
+    def breaker_ids(self) -> list[int]:
+        return sorted(self._breakers)
+
+    def start(self) -> None:
+        self._task = asyncio.create_task(self._watch())
+
+    async def stop(self) -> None:
+        tasks = [self._task, *self._respawns.values()]
+        self._task = None
+        self._respawns = {}
+        for task in tasks:
+            if task is not None:
+                task.cancel()
+                with contextlib.suppress(asyncio.CancelledError):
+                    await task
+
+    async def _watch(self) -> None:
+        while not self.fleet._stopping:
+            with contextlib.suppress(asyncio.TimeoutError):
+                await asyncio.wait_for(self.kick.wait(), SUPERVISOR_POLL_S)
+            self.kick.clear()
+            if self.fleet._stopping:
+                return
+            for slot, handle in enumerate(self.fleet.workers):
+                if (
+                    handle.alive
+                    or slot in self._restarting
+                    or slot in self._breakers
+                ):
+                    continue
+                self._restarting.add(slot)
+                self._respawns[slot] = asyncio.create_task(
+                    self._respawn(slot, handle)
+                )
+
+    def _note_crash(self, slot: int) -> bool:
+        """Record a crash; True when the breaker must open."""
+        now = time.monotonic()
+        window = self.fleet.spec.restart_window_s
+        crashes = self._crashes.setdefault(slot, [])
+        crashes.append(now)
+        while crashes and now - crashes[0] > window:
+            crashes.pop(0)
+        return len(crashes) > self.fleet.spec.max_worker_restarts
+
+    async def _respawn(self, slot: int, dead: WorkerHandle) -> None:
+        fleet = self.fleet
+        telemetry = get_telemetry()
+        telemetry.event(
+            "fleet_worker_died", worker=slot,
+            reason=dead.dead_reason
+            or f"exited with code {dead.process.returncode}",
+            stderr_tail=list(dead.stderr_tail),
+        )
+        with contextlib.suppress(ProcessLookupError):
+            dead.process.kill()
+        with contextlib.suppress(Exception):
+            await dead.process.wait()
+        try:
+            while not fleet._stopping:
+                if self._note_crash(slot):
+                    self._breakers.add(slot)
+                    telemetry.add("fleet.breaker_open")
+                    telemetry.event(
+                        "fleet_breaker_open", worker=slot,
+                        crashes_in_window=len(self._crashes[slot]),
+                        window_s=fleet.spec.restart_window_s,
+                    )
+                    return
+                attempts = len(self._crashes[slot])
+                delay = min(
+                    fleet.spec.backoff_base_s * (2 ** max(attempts - 1, 0)),
+                    BACKOFF_CAP_S,
+                )
+                await asyncio.sleep(delay)
+                if fleet._stopping:
+                    return
+                handle: WorkerHandle | None = None
+                try:
+                    handle = await fleet._spawn_handle(slot)
+                    # warm-restore under the reload lock: no reload can
+                    # land between the replay and the install, so the
+                    # rejoined worker can never be version-skewed
+                    async with fleet._reload_lock:
+                        await fleet._warm_restore(handle)
+                        fleet.workers[slot] = handle
+                except Exception as exc:
+                    if handle is not None:
+                        handle._fail("failed warm restore")
+                        with contextlib.suppress(Exception):
+                            await handle.process.wait()
+                    telemetry.event(
+                        "fleet_worker_respawn_failed", worker=slot,
+                        error=f"{type(exc).__name__}: {exc}",
+                    )
+                    continue
+                telemetry.add("fleet.worker_restarts")
+                telemetry.event(
+                    "fleet_worker_respawned", worker=slot,
+                    pid=handle.process.pid,
+                    restored_reloads=len(fleet._committed),
+                )
+                return
+        finally:
+            self._restarting.discard(slot)
+            self._respawns.pop(slot, None)
+
+
 class Fleet:
     """The front-end: socket server + worker pool + reload coordinator."""
 
@@ -357,27 +639,57 @@ class Fleet:
         self.port = port  # 0 = ephemeral; rewritten by start()
         self.workers: list[WorkerHandle] = []
         self.ring = HashRing(spec.workers)
+        self.supervisor: FleetSupervisor | None = None
         self._gate = _ReloadGate()
         self._reload_lock: asyncio.Lock | None = None
         self._reload_tokens = itertools.count(1)
+        self._restore_tokens = itertools.count(1)
         self._server: asyncio.AbstractServer | None = None
         self._stats = _FleetStats()
+        #: rules paths committed by coordinated reloads since boot, in
+        #: order — the warm-restore replay script for respawned workers
+        self._committed: list[str] = []
+        self._connections: set[asyncio.Task] = set()
+        self._stopping = False
+        self._stopped = False
 
     # -- lifecycle -------------------------------------------------------
+    async def _make_handle(self, worker_id: int) -> WorkerHandle:
+        process = await asyncio.create_subprocess_exec(
+            sys.executable, "-m", "repro.serve.worker",
+            "--spec", json.dumps(self.spec.worker_spec(worker_id)),
+            stdin=asyncio.subprocess.PIPE,
+            stdout=asyncio.subprocess.PIPE,
+            stderr=asyncio.subprocess.PIPE,
+            env=_worker_env(),
+            limit=STREAM_LIMIT,
+        )
+        return WorkerHandle(worker_id, process, on_death=self._kick_supervisor)
+
+    async def _spawn_handle(self, worker_id: int) -> WorkerHandle:
+        """Spawn + await readiness, reaping the process on failure."""
+        handle = await self._make_handle(worker_id)
+        try:
+            await handle.start()
+        except BaseException:
+            with contextlib.suppress(ProcessLookupError):
+                handle.process.kill()
+            with contextlib.suppress(Exception):
+                await handle.process.wait()
+            raise
+        return handle
+
+    def _kick_supervisor(self) -> None:
+        if self.supervisor is not None:
+            self.supervisor.kick.set()
+
     async def start(self) -> None:
         self._reload_lock = asyncio.Lock()
-        env = _worker_env()
+        self.supervisor = FleetSupervisor(self)
         for worker_id in range(self.spec.workers):
-            process = await asyncio.create_subprocess_exec(
-                sys.executable, "-m", "repro.serve.worker",
-                "--spec", json.dumps(self.spec.worker_spec(worker_id)),
-                stdin=asyncio.subprocess.PIPE,
-                stdout=asyncio.subprocess.PIPE,
-                env=env,
-                limit=STREAM_LIMIT,
-            )
-            self.workers.append(WorkerHandle(worker_id, process))
+            self.workers.append(await self._make_handle(worker_id))
         await asyncio.gather(*(worker.start() for worker in self.workers))
+        self.supervisor.start()
         self._server = await asyncio.start_server(
             self._on_connection, self.host, self.port, limit=STREAM_LIMIT
         )
@@ -393,9 +705,34 @@ class Fleet:
         )
 
     async def stop(self) -> None:
+        """Idempotent teardown: safe twice, safe mid-startup, safe with
+        already-reaped workers.
+
+        Order: stop supervising (no respawns during teardown), stop
+        accepting connections, give in-flight requests a bounded window
+        to drain, then quit/reap the workers.
+        """
+        if self._stopped:
+            return
+        self._stopped = True
+        self._stopping = True
+        if self.supervisor is not None:
+            await self.supervisor.stop()
         if self._server is not None:
             self._server.close()
-            await self._server.wait_closed()
+            with contextlib.suppress(Exception):
+                await self._server.wait_closed()
+        if self._gate.inflight:
+            with contextlib.suppress(asyncio.TimeoutError):
+                await asyncio.wait_for(self._gate.close(), DRAIN_TIMEOUT_S)
+            self._gate.open()
+        # lingering connections (idle clients) would outlive the loop
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(
+                *self._connections, return_exceptions=True
+            )
         await asyncio.gather(
             *(worker.stop() for worker in self.workers),
             return_exceptions=True,
@@ -406,6 +743,10 @@ class Fleet:
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         self._stats.connections += 1
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+            task.add_done_callback(self._connections.discard)
         try:
             try:
                 first = await reader.readline()
@@ -459,7 +800,6 @@ class Fleet:
             except ValueError:
                 await self._reject_oversized(writer)
                 return
-
     async def _serve_line(self, raw: bytes) -> tuple[dict, bool]:
         telemetry = get_telemetry()
         telemetry.add("fleet.requests")
@@ -486,12 +826,16 @@ class Fleet:
                 response = await self._handle_reload(payload)
             elif op == "stats":
                 response = await self._handle_stats()
+            elif op == "chaos":
+                response = await self._handle_chaos(payload)
             elif op == "quit":
                 response, is_quit = {"ok": True, "bye": True}, True
             else:
                 response = {
                     "ok": False, "error": f"ValueError: unknown op {op!r}",
                 }
+        except OverloadedError:
+            response = {"ok": False, "error": "overloaded"}
         except WorkerError as exc:
             telemetry.add("fleet.worker_failures")
             response = {"ok": False, "error": f"WorkerError: {exc}"}
@@ -505,21 +849,64 @@ class Fleet:
         return response, is_quit
 
     # -- request routing -------------------------------------------------
-    def _route_instance(self, instance: dict) -> int:
+    def _owners_of(self, instance: dict) -> tuple[int, ...]:
         try:
-            return self.ring.worker_for(
+            return self.ring.owners_for(
                 str(instance.get("collective")),
                 int(instance.get("nodes", 0)),
                 int(instance.get("ppn", 0)),
             )
         except (TypeError, ValueError):
-            return 0  # malformed: any worker can render the error
+            # malformed: any worker can render the error
+            return tuple(range(len(self.workers)))
+
+    def _admit(self, handle: WorkerHandle) -> None:
+        """Backpressure: shed instead of queueing past the high-water
+        mark — an overloaded worker answers *some* requests fast rather
+        than all requests late."""
+        if handle.inflight >= self.spec.queue_depth:
+            get_telemetry().add("fleet.shed")
+            raise OverloadedError(
+                f"worker {handle.worker_id} at queue depth "
+                f"{handle.inflight} >= {self.spec.queue_depth}"
+            )
+
+    async def _call_with_failover(
+        self, owners: tuple[int, ...], payload: dict
+    ) -> dict:
+        """One request against its owner chain: primary, then one retry
+        on the next live owner if the primary dies mid-call."""
+        telemetry = get_telemetry()
+        tried: set[int] = set()
+        last: WorkerError | None = None
+        for attempt in range(2):
+            handle = next(
+                (
+                    self.workers[owner] for owner in owners
+                    if self.workers[owner].alive and owner not in tried
+                ),
+                None,
+            )
+            if handle is None:
+                break
+            tried.add(handle.worker_id)
+            if attempt:
+                telemetry.add("fleet.failover_retries")
+            self._admit(handle)
+            try:
+                return await handle.call(
+                    payload, timeout=self.spec.call_timeout_s
+                )
+            except WorkerError as exc:
+                last = exc
+        raise last or WorkerError("no live worker owns the ring")
 
     async def _route(self, op: str, payload: dict) -> dict:
         payload = {k: v for k, v in payload.items() if k != "id"}
         if op == "recommend":
-            worker = self.workers[self._route_instance(payload)]
-            return await worker.call(payload)
+            return await self._call_with_failover(
+                self._owners_of(payload), payload
+            )
         instances = payload.get("instances")
         if not isinstance(instances, list):
             return {
@@ -527,30 +914,106 @@ class Fleet:
                 "error": "ValueError: recommend_many needs an "
                 "'instances' list",
             }
-        groups: dict[int, list[int]] = {}
-        for position, instance in enumerate(instances):
-            target = (
-                self._route_instance(instance)
-                if isinstance(instance, dict) else 0
-            )
-            groups.setdefault(target, []).append(position)
-        ordered = sorted(groups.items())
-        responses = await asyncio.gather(*(
-            self.workers[target].call({
-                "op": "recommend_many",
-                "instances": [instances[p] for p in positions],
-            })
-            for target, positions in ordered
-        ))
         results: list = [None] * len(instances)
-        for (_, positions), response in zip(ordered, responses):
-            if not response.get("ok"):
-                return response  # first sub-batch error wins, verbatim
-            for position, result in zip(positions, response["results"]):
-                results[position] = result
+        error = await self._scatter(
+            instances, list(range(len(instances))), results, retry=True
+        )
+        if error is not None:
+            return error
         return {"ok": True, "results": results}
 
+    async def _scatter(
+        self, instances: list, positions: list[int], results: list,
+        retry: bool,
+    ) -> dict | None:
+        """Fan sub-batches to their live owners; fill ``results`` in
+        input order. Sub-batches whose worker dies mid-call regroup by
+        the new live owners and retry once. Returns the first error
+        response (verbatim), or None on success."""
+        groups: dict[int, list[int]] = {}
+        for position in positions:
+            instance = instances[position]
+            owners = (
+                self._owners_of(instance)
+                if isinstance(instance, dict)
+                else tuple(range(len(self.workers)))
+            )
+            target = next(
+                (o for o in owners if self.workers[o].alive), None
+            )
+            if target is None:
+                raise WorkerError("no live worker owns the ring")
+            groups.setdefault(target, []).append(position)
+        ordered = sorted(groups.items())
+        for target, _ in ordered:
+            self._admit(self.workers[target])
+        outcomes = await asyncio.gather(
+            *(
+                self.workers[target].call(
+                    {
+                        "op": "recommend_many",
+                        "instances": [instances[p] for p in subset],
+                    },
+                    timeout=self.spec.call_timeout_s,
+                )
+                for target, subset in ordered
+            ),
+            return_exceptions=True,
+        )
+        for (target, subset), outcome in zip(ordered, outcomes):
+            if isinstance(outcome, WorkerError):
+                if not retry:
+                    raise outcome
+                get_telemetry().add("fleet.failover_retries")
+                error = await self._scatter(
+                    instances, subset, results, retry=False
+                )
+                if error is not None:
+                    return error
+            elif isinstance(outcome, BaseException):
+                raise outcome
+            elif not outcome.get("ok"):
+                return outcome  # first sub-batch error wins, verbatim
+            else:
+                for position, result in zip(subset, outcome["results"]):
+                    results[position] = result
+        return None
+
     # -- coordinated reload ----------------------------------------------
+    async def _warm_restore(self, handle: WorkerHandle) -> None:
+        """Replay every committed reload into a respawned worker.
+
+        The worker booted from the base spec (version numbers 1..R for
+        R base rules files); replaying the committed paths in order
+        through the same prepare/commit ops lands it on exactly the
+        version numbers its peers serve. Runs under the reload lock —
+        the loop re-checks ``_committed`` so a reload that landed while
+        the worker was booting is replayed too, never missed.
+        """
+        applied = 0
+        while applied < len(self._committed):
+            path = self._committed[applied]
+            token = f"restore-{handle.worker_id}-{next(self._restore_tokens)}"
+            prepare = await handle.call(
+                {"op": "prepare_reload", "path": path, "token": token},
+                timeout=self.spec.call_timeout_s,
+            )
+            if not prepare.get("ok"):
+                raise WorkerError(
+                    f"worker {handle.worker_id} failed to restore {path}: "
+                    f"{prepare.get('error')}"
+                )
+            commit = await handle.call(
+                {"op": "commit_reload", "token": token},
+                timeout=self.spec.call_timeout_s,
+            )
+            if not commit.get("ok"):
+                raise WorkerError(
+                    f"worker {handle.worker_id} failed to commit restored "
+                    f"{path}: {commit.get('error')}"
+                )
+            applied += 1
+
     async def _handle_reload(self, payload: dict) -> dict:
         path = payload.get("path")
         if not path:
@@ -559,33 +1022,50 @@ class Fleet:
         assert self._reload_lock is not None
         async with self._reload_lock:  # one reload at a time, fleet-wide
             token = f"reload-{next(self._reload_tokens)}"
-            # phase 1 — stage everywhere, traffic still flowing
+            # phase 1 — stage on every live worker, traffic still
+            # flowing; a dead worker is excluded (its replacement
+            # warm-restores to whatever this reload decides)
+            participants = [w for w in self.workers if w.alive]
+            if not participants:
+                telemetry.add("fleet.reload_rejected")
+                return {"ok": False, "error": "WorkerError: no live workers"}
             prepares = await asyncio.gather(
                 *(
                     worker.call(
-                        {"op": "prepare_reload", "path": path, "token": token}
+                        {"op": "prepare_reload", "path": path, "token": token},
+                        timeout=self.spec.call_timeout_s,
                     )
-                    for worker in self.workers
+                    for worker in participants
                 ),
                 return_exceptions=True,
             )
-            failures = [
+            rejections = [
                 p for p in prepares
-                if isinstance(p, BaseException) or not p.get("ok")
+                if not isinstance(p, BaseException) and not p.get("ok")
             ]
-            if failures:
+            # workers that *died* during prepare (WorkerError, incl. a
+            # wedge hitting the call timeout) drop out of the barrier
+            staged = [
+                worker for worker, prepared in zip(participants, prepares)
+                if not isinstance(prepared, BaseException)
+                and prepared.get("ok")
+            ]
+            if rejections or not staged:
                 await asyncio.gather(
                     *(
-                        worker.call({"op": "abort_reload", "token": token})
-                        for worker in self.workers
+                        worker.call(
+                            {"op": "abort_reload", "token": token},
+                            timeout=self.spec.call_timeout_s,
+                        )
+                        for worker in staged
                     ),
                     return_exceptions=True,
                 )
                 telemetry.add("fleet.reload_rejected")
-                first = failures[0]
                 error = (
-                    f"WorkerError: {first}" if isinstance(first, BaseException)
-                    else first.get("error", "prepare_reload failed")
+                    rejections[0].get("error", "prepare_reload failed")
+                    if rejections
+                    else "WorkerError: every live worker died during prepare"
                 )
                 return {"ok": False, "error": error}
             # phase 2 — barrier: drain in-flight, commit everywhere,
@@ -594,14 +1074,15 @@ class Fleet:
             await self._gate.close()
             try:
                 # return_exceptions so a worker dying mid-commit still
-                # reaches the skew accounting below instead of leaving
+                # reaches the accounting below instead of leaving
                 # survivors silently on the new version
                 commits = await asyncio.gather(
                     *(
                         worker.call(
-                            {"op": "commit_reload", "token": token}
+                            {"op": "commit_reload", "token": token},
+                            timeout=self.spec.call_timeout_s,
                         )
-                        for worker in self.workers
+                        for worker in staged
                     ),
                     return_exceptions=True,
                 )
@@ -616,36 +1097,96 @@ class Fleet:
                 if not isinstance(commit, BaseException) and commit.get("ok")
             ]
             versions = {commit.get("version") for commit in good}
-            if len(good) != len(self.workers) or len(versions) != 1:
-                # partial commit: surviving workers already swapped —
-                # the fleet is version-skewed until the dead workers
-                # are replaced; say so loudly instead of claiming ok
+            # a worker that died mid-commit is not skew — it is dead,
+            # and its replacement warm-restores to the committed
+            # version; skew is a *live* worker on a different version
+            bad_live = [
+                worker.worker_id
+                for worker, commit in zip(staged, commits)
+                if worker.alive and (
+                    isinstance(commit, BaseException) or not commit.get("ok")
+                )
+            ]
+            if not good or bad_live or len(versions) != 1:
                 telemetry.add("fleet.version_skew")
-                dead = [
-                    worker.worker_id
-                    for worker, commit in zip(self.workers, commits)
-                    if isinstance(commit, BaseException)
-                    or not commit.get("ok")
-                ]
                 return {
                     "ok": False,
                     "error": "RuntimeError: partial reload commit: "
-                    f"workers {dead} failed, surviving workers serve "
-                    f"version(s) {sorted(versions)}",
+                    f"live workers {bad_live} failed, committed workers "
+                    f"serve version(s) {sorted(versions)}",
                 }
+            # committed: respawned workers must replay this reload
+            self._committed.append(str(path))
             telemetry.add("fleet.reloads")
         return {
             "ok": True,
             "collective": good[0].get("collective"),
             "version": good[0].get("version"),
             "tag": good[0].get("tag"),
-            "workers": len(self.workers),
+            "workers": len(good),
+        }
+
+    # -- deterministic fault injection (chaos harness only) ---------------
+    async def _handle_chaos(self, payload: dict) -> dict:
+        """Seeded fault-plan ops (see :mod:`repro.serve.chaos`).
+
+        Gated behind ``spec.chaos_ops`` (``--chaos-ops``): a production
+        fleet answers "unknown op". Kinds: ``kill`` (SIGKILL the worker
+        process), ``wedge`` (SIGSTOP — alive but unresponsive, caught
+        by the call timeout), ``garbage`` (worker emits an unparseable
+        stdout line before its next response), ``crash`` (worker
+        answers, writes a torn line, and dies).
+        """
+        if not self.spec.chaos_ops:
+            return {"ok": False, "error": "ValueError: unknown op 'chaos'"}
+        kind = payload.get("kind")
+        try:
+            slot = int(payload.get("worker", -1))
+            handle = self.workers[slot]
+        except (TypeError, ValueError, IndexError):
+            return {
+                "ok": False,
+                "error": "ValueError: chaos needs a valid 'worker' index",
+            }
+        if kind in ("kill", "wedge"):
+            signum = signal.SIGKILL if kind == "kill" else signal.SIGSTOP
+            if not handle.alive:
+                return {"ok": True, "kind": kind, "worker": slot,
+                        "skipped": "worker already dead"}
+            with contextlib.suppress(ProcessLookupError):
+                os.kill(handle.process.pid, signum)
+            return {"ok": True, "kind": kind, "worker": slot}
+        if kind in ("garbage", "crash"):
+            if not handle.alive:
+                return {"ok": True, "kind": kind, "worker": slot,
+                        "skipped": "worker already dead"}
+            try:
+                response = await handle.call(
+                    {"op": f"chaos_{kind}"}, timeout=self.spec.call_timeout_s
+                )
+            except WorkerError as exc:
+                # the worker died applying the fault — that *is* the
+                # fault landing, not an injection failure
+                return {"ok": True, "kind": kind, "worker": slot,
+                        "note": str(exc)}
+            return {**response, "kind": kind, "worker": slot}
+        return {
+            "ok": False,
+            "error": f"ValueError: unknown chaos kind {kind!r}",
         }
 
     # -- stats + metrics --------------------------------------------------
     async def _worker_counters(self) -> dict[str, int]:
+        live = [worker for worker in self.workers if worker.alive]
+        for worker in live:
+            self._admit(worker)
         responses = await asyncio.gather(
-            *(worker.call({"op": "counters"}) for worker in self.workers),
+            *(
+                worker.call(
+                    {"op": "counters"}, timeout=self.spec.call_timeout_s
+                )
+                for worker in live
+            ),
             return_exceptions=True,
         )
         merged: dict[str, int] = {}
@@ -656,24 +1197,60 @@ class Fleet:
                 merged[name] = merged.get(name, 0) + int(value)
         return merged
 
+    def _health(self) -> dict:
+        """The shared health snapshot behind /healthz and stats."""
+        alive = [w.worker_id for w in self.workers if w.alive]
+        restarting = (
+            self.supervisor.restarting_ids() if self.supervisor else []
+        )
+        breakers = self.supervisor.breaker_ids() if self.supervisor else []
+        if len(alive) == len(self.workers):
+            status = "ok"
+        elif alive:
+            # failover still covers the whole ring from the survivors
+            status = "degraded"
+        else:
+            status = "down"  # no live worker owns any part of the ring
+        return {
+            "ok": status == "ok",
+            "status": status,
+            "workers": len(self.workers),
+            "alive": len(alive),
+            "restarting": restarting,
+            "breakers_open": breakers,
+        }
+
     async def _handle_stats(self) -> dict:
+        live = [worker for worker in self.workers if worker.alive]
+        for worker in live:
+            self._admit(worker)
         worker_stats = await asyncio.gather(
-            *(worker.call({"op": "stats"}) for worker in self.workers),
+            *(
+                worker.call({"op": "stats"}, timeout=self.spec.call_timeout_s)
+                for worker in live
+            ),
             return_exceptions=True,
         )
+        by_worker = dict(zip(live, worker_stats))
         telemetry = get_telemetry()
         latency = telemetry.histograms_snapshot().get(
             "fleet.request_latency_us"
         )
         versions: dict[str, set] = {}
         per_worker = []
-        for worker, response in zip(self.workers, worker_stats):
-            if isinstance(response, BaseException) or not response.get("ok"):
+        for worker in self.workers:
+            response = by_worker.get(worker)
+            if (
+                response is None
+                or isinstance(response, BaseException)
+                or not response.get("ok")
+            ):
                 per_worker.append({"worker": worker.worker_id, "ok": False})
                 continue
             stats = response["stats"]
             per_worker.append(
-                {"worker": worker.worker_id, "ok": True, **stats}
+                {"worker": worker.worker_id, "ok": True,
+                 "inflight": worker.inflight, **stats}
             )
             for collective, info in stats.get("versions", {}).items():
                 versions.setdefault(collective, set()).add(info["version"])
@@ -693,6 +1270,8 @@ class Fleet:
                     "versions_consistent": all(
                         len(seen) == 1 for seen in versions.values()
                     ),
+                    "health": self._health(),
+                    "committed_reloads": len(self._committed),
                     "counters": fleet_counters,
                     "latency_us": (
                         latency.percentiles()
@@ -711,11 +1290,15 @@ class Fleet:
         for name, value in telemetry.counters_snapshot().items():
             if name.startswith("fleet."):
                 counters[name] = value
-        gauges = {
+        health = self._health()
+        gauges: dict[str, float | Mapping[str, float]] = {
             "fleet.workers": float(len(self.workers)),
-            "fleet.workers_alive": float(
-                sum(1 for worker in self.workers if worker.alive)
-            ),
+            "fleet.workers_alive": float(health["alive"]),
+            "fleet.breakers_open": float(len(health["breakers_open"])),
+            "fleet.queue_depth": {
+                f'worker="{worker.worker_id}"': float(worker.inflight)
+                for worker in self.workers
+            },
             "fleet.uptime_seconds": time.time() - self._stats.started_at,
         }
         return render_prometheus(
@@ -744,26 +1327,28 @@ class Fleet:
             await self._http_response(writer, 405, "method not allowed\n")
             return
         target = target.split("?", 1)[0]
-        if target == "/metrics":
-            body = await self.metrics_text()
-            content_type = "text/plain; version=0.0.4; charset=utf-8"
-        elif target == "/healthz":
-            alive = sum(1 for worker in self.workers if worker.alive)
-            healthy = alive == len(self.workers)
-            body = json.dumps(
-                {"ok": healthy, "workers": len(self.workers), "alive": alive}
-            ) + "\n"
-            content_type = "application/json"
-            if not healthy:
-                await self._http_response(
-                    writer, 503, body, content_type=content_type
-                )
+        try:
+            if target == "/metrics":
+                body = await self.metrics_text()
+                content_type = "text/plain; version=0.0.4; charset=utf-8"
+            elif target == "/healthz":
+                health = self._health()
+                body = json.dumps(health) + "\n"
+                content_type = "application/json"
+                if health["status"] == "down":
+                    await self._http_response(
+                        writer, 503, body, content_type=content_type
+                    )
+                    return
+            elif target == "/stats":
+                body = json.dumps((await self._handle_stats())["stats"]) + "\n"
+                content_type = "application/json"
+            else:
+                await self._http_response(writer, 404, "not found\n")
                 return
-        elif target == "/stats":
-            body = json.dumps((await self._handle_stats())["stats"]) + "\n"
-            content_type = "application/json"
-        else:
-            await self._http_response(writer, 404, "not found\n")
+        except OverloadedError:
+            # scrape fan-out would pile onto saturated workers: shed it
+            await self._http_response(writer, 503, "overloaded\n")
             return
         await self._http_response(
             writer, 200, body if method == "GET" else "",
@@ -794,15 +1379,28 @@ class Fleet:
 # -- entry points ---------------------------------------------------------
 async def _run_until_signalled(spec: FleetSpec, host: str, port: int) -> None:
     fleet = Fleet(spec, host, port)
-    await fleet.start()
     stop = asyncio.Event()
     loop = asyncio.get_running_loop()
+    # handlers registered *before* start(): SIGTERM during a slow boot
+    # must tear the partial fleet down, not kill the process uncleanly
     for signum in (signal.SIGINT, signal.SIGTERM):
         with contextlib.suppress(NotImplementedError, RuntimeError):
             loop.add_signal_handler(signum, stop.set)
+    start_task = asyncio.create_task(fleet.start())
+    stop_task = asyncio.create_task(stop.wait())
     try:
-        await stop.wait()
+        done, _ = await asyncio.wait(
+            {start_task, stop_task}, return_when=asyncio.FIRST_COMPLETED
+        )
+        if start_task in done:
+            start_task.result()  # boot failures propagate
+            await stop_task
     finally:
+        stop_task.cancel()
+        if not start_task.done():
+            start_task.cancel()
+        with contextlib.suppress(BaseException):
+            await start_task
         print("fleet: shutting down", file=sys.stderr, flush=True)
         await fleet.stop()
 
@@ -854,6 +1452,12 @@ class FleetThread:
         if self._error is not None:
             raise self._error
         return self
+
+    def worker_pids(self) -> list[int]:
+        """Current worker process ids (chaos harnesses, benchmarks)."""
+        if self._fleet is None:
+            return []
+        return [worker.process.pid for worker in self._fleet.workers]
 
     def _thread_main(self) -> None:
         self._loop = asyncio.new_event_loop()
@@ -938,8 +1542,10 @@ def http_get(host: str, port: int, target: str, timeout: float = 30.0
 __all__ = [
     "Fleet",
     "FleetSpec",
+    "FleetSupervisor",
     "FleetThread",
     "HashRing",
+    "OverloadedError",
     "WorkerError",
     "WorkerHandle",
     "client_request",

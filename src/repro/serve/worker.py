@@ -20,7 +20,14 @@ coordination ops:
   prepare).
 * ``counters`` — this process's ``serve.*``/``bench.*`` counter
   snapshot, merged fleet-wide by the front-end for ``/metrics``.
+* ``versions`` — the registry's live version number per collective
+  (the fleet-chaos harness asserts these stay lockstep across
+  respawns and reloads).
 * ``ping`` — liveness probe.
+* ``chaos_garbage`` / ``chaos_crash`` — deterministic fault injection
+  (:mod:`repro.serve.chaos`), only honoured when the worker spec sets
+  ``chaos_ops``: emit an unparseable stdout line, or answer and then
+  die mid-line. A production worker answers ``ok: false``.
 
 Every request carries a front-end routing id (``rid``) that is echoed
 verbatim on the response, so the front-end can pipeline requests and
@@ -61,6 +68,8 @@ class WorkerState:
     service: PredictionService
     #: reload token -> staged-but-not-committed candidate
     staged: dict[str, StagedModel] = field(default_factory=dict)
+    #: honour chaos_garbage/chaos_crash fault-injection ops
+    chaos_ops: bool = False
 
 
 def build_state(spec: dict) -> WorkerState:
@@ -86,6 +95,7 @@ def build_state(spec: dict) -> WorkerState:
         worker_id=int(spec.get("worker_id", 0)),
         registry=registry,
         service=service,
+        chaos_ops=bool(spec.get("chaos_ops", False)),
     )
 
 
@@ -138,9 +148,48 @@ def handle_worker_request(state: WorkerState, payload: dict) -> dict:
                 if name.startswith(EXPORTED_COUNTER_PREFIXES)
             },
         }
+    if op == "versions":
+        return {
+            "ok": True,
+            "worker": state.worker_id,
+            "versions": state.registry.live_versions(),
+        }
     if op == "ping":
         return {"ok": True, "worker": state.worker_id, "pid": os.getpid()}
     return handle_request(state.service, payload)
+
+
+def handle_chaos_op(state: WorkerState, payload: dict, out: IO[str]
+                    ) -> dict | None:
+    """Deterministic in-worker fault injection (chaos harness only).
+
+    ``chaos_garbage`` writes a newline-terminated unparseable line to
+    stdout — the front-end reader must skip it without losing rid sync
+    — then answers normally. ``chaos_crash`` answers first (the
+    injection is not allowed to be a client-visible failure), writes a
+    *torn* line (no newline), and dies with ``os._exit`` so no atexit
+    machinery can tidy the pipe. Returns the response to write, or
+    ``None`` when the response was already written (crash path).
+    """
+    if not state.chaos_ops:
+        op = payload.get("op")
+        return {"ok": False, "error": f"ValueError: unknown op {op!r}"}
+    if payload.get("op") == "chaos_garbage":
+        out.write('#### chaos garbage: not json {"torn": \n')
+        out.flush()
+        return {"ok": True, "injected": "garbage", "worker": state.worker_id}
+    response = {"ok": True, "injected": "crash", "worker": state.worker_id}
+    rid = payload.get("rid")
+    if rid is not None:
+        response["rid"] = rid
+    out.write(json.dumps(response) + "\n")
+    out.flush()
+    print(f"worker {state.worker_id}: chaos crash injected, exiting 23",
+          file=sys.stderr, flush=True)
+    out.write('{"torn": ')
+    out.flush()
+    os._exit(23)
+    return None  # unreachable except under a stubbed os._exit (tests)
 
 
 def serve_worker(state: WorkerState, lines, out: IO[str]) -> int:
@@ -175,7 +224,13 @@ def serve_worker(state: WorkerState, lines, out: IO[str]) -> int:
             payload = None
         else:
             rid = payload.get("rid")
-            response = handle_worker_request(state, payload)
+            if str(payload.get("op", "")).startswith("chaos_"):
+                response = handle_chaos_op(state, payload, out)
+                if response is None:  # crash path answered for itself
+                    served += 1
+                    continue
+            else:
+                response = handle_worker_request(state, payload)
         if rid is not None:
             response["rid"] = rid
         out.write(json.dumps(response) + "\n")

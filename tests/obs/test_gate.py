@@ -28,6 +28,7 @@ BASE = {
     "serve_compiled_speedup_x": 6.0,
     "fleet_req_per_s": 3000.0,
     "fleet_p99_us": 5000.0,
+    "fleet_degraded_req_per_s": 1500.0,
 }
 
 

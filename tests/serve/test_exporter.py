@@ -49,9 +49,19 @@ def _snapshot():
         "serve.requests": 2162,
         "bench.retry": 5,
         "fleet.requests": 2162,
+        "fleet.shed": 12,
+        "fleet.worker_restarts": 3,
     }
     gauges = {
         "fleet.workers": 4,
+        "fleet.workers_alive": 3,
+        "fleet.breakers_open": 1,
+        "fleet.queue_depth": {
+            'worker="0"': 2,
+            'worker="1"': 0,
+            'worker="2"': 117,
+            'worker="3"': 0,
+        },
         "serve.l1.fill_ratio": 0.625,
     }
     histograms = {
@@ -61,6 +71,9 @@ def _snapshot():
     help_texts = {
         "serve.compiled.hit": "requests answered by the compiled L0 table",
         "fleet.request_latency_us": "front-end request latency (us)",
+        "fleet.shed": "requests shed at the queue high-water mark",
+        "fleet.worker_restarts": "dead workers respawned and warm-restored",
+        "fleet.queue_depth": "in-flight requests per worker",
     }
     return counters, gauges, histograms, help_texts
 
@@ -135,6 +148,44 @@ class TestHistogramRendering:
         lines = render_histogram("lat", Histogram("lat").snapshot())
         assert not any("p50" in line for line in lines)
         assert 'lat_bucket{le="+Inf"} 0' in lines
+
+
+class TestLabeledGauges:
+    """Mapping-valued gauges: one labelled series per entry."""
+
+    def test_labelled_series_render_sorted(self):
+        lines = render_gauge(
+            "fleet.queue_depth",
+            {'worker="1"': 5, 'worker="0"': 2},
+        )
+        assert lines == [
+            "# TYPE fleet_queue_depth gauge",
+            'fleet_queue_depth{worker="0"} 2',
+            'fleet_queue_depth{worker="1"} 5',
+        ]
+
+    def test_empty_mapping_still_emits_a_sample(self):
+        # a dangling TYPE line with no sample is invalid exposition
+        lines = render_gauge("fleet.queue_depth", {})
+        assert lines == [
+            "# TYPE fleet_queue_depth gauge",
+            "fleet_queue_depth 0",
+        ]
+
+    def test_labelled_lines_are_wellformed(self):
+        text = render_prometheus(
+            {},
+            {"fleet.queue_depth": {'worker="0"': 1, 'worker="1"': 0.5}},
+        )
+        lines = parse_metric_lines(text)
+        assert 'fleet_queue_depth{worker="0"} 1' in lines
+        assert 'fleet_queue_depth{worker="1"} 0.5' in lines
+
+    def test_help_text_applies_to_the_family(self):
+        lines = render_gauge(
+            "fleet.queue_depth", {'worker="0"': 1}, help_text="depth"
+        )
+        assert lines[0] == "# HELP fleet_queue_depth depth"
 
 
 class TestFullRender:

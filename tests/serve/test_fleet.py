@@ -15,11 +15,17 @@ import io
 import json
 import socket
 import threading
+import time
 from collections import Counter
 
 import pytest
 
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import get_telemetry
 from repro.serve.fleet import (
+    Fleet,
     FleetSpec,
     FleetThread,
     HashRing,
@@ -95,6 +101,71 @@ class TestHashRing:
     def test_rejects_empty_fleet(self):
         with pytest.raises(ValueError):
             HashRing(0)
+
+
+class TestFailoverRouting:
+    """owners_for: the deterministic failover chain behind self-healing."""
+
+    def test_chain_is_a_full_permutation(self):
+        ring = HashRing(4)
+        chain = ring.owners_for("bcast", 8, 16)
+        assert sorted(chain) == [0, 1, 2, 3]
+
+    def test_chain_head_is_the_home_owner(self):
+        ring = HashRing(4)
+        assert ring.owners_for("bcast", 8, 16)[0] == ring.worker_for(
+            "bcast", 8, 16
+        )
+
+    def test_dead_owner_routes_to_next_live_in_chain(self):
+        ring = HashRing(4)
+        chain = ring.owners_for("bcast", 8, 16)
+        alive = [w for w in range(4) if w != chain[0]]
+        assert ring.worker_for("bcast", 8, 16, alive=alive) == chain[1]
+
+    def test_key_returns_home_after_respawn(self):
+        ring = HashRing(4)
+        home = ring.worker_for("bcast", 8, 16)
+        without = ring.worker_for(
+            "bcast", 8, 16, alive=[w for w in range(4) if w != home]
+        )
+        assert without != home
+        assert ring.worker_for("bcast", 8, 16, alive=range(4)) == home
+
+    def test_no_live_worker_raises(self):
+        ring = HashRing(2)
+        with pytest.raises(WorkerError, match="no live worker"):
+            ring.worker_for("bcast", 8, 16, alive=[])
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        collective=st.sampled_from(["bcast", "allreduce", "alltoall"]),
+        nodes=st.integers(1, 64),
+        ppn=st.integers(1, 64),
+        n_workers=st.integers(2, 8),
+        data=st.data(),
+    )
+    def test_failover_deterministic_for_any_liveness(
+        self, collective, nodes, ppn, n_workers, data
+    ):
+        ring = HashRing(n_workers)
+        chain = ring.owners_for(collective, nodes, ppn)
+        assert sorted(chain) == list(range(n_workers))
+        assert chain == ring.owners_for(collective, nodes, ppn)
+        dead = data.draw(
+            st.sets(
+                st.integers(0, n_workers - 1), max_size=n_workers - 1
+            )
+        )
+        alive = [w for w in range(n_workers) if w not in dead]
+        owner = ring.worker_for(collective, nodes, ppn, alive=alive)
+        # the first live entry of the chain owns the key...
+        assert owner == next(w for w in chain if w in alive)
+        # ...and the key returns to its home owner on full health
+        assert (
+            ring.worker_for(collective, nodes, ppn, alive=range(n_workers))
+            == chain[0]
+        )
 
 
 class TestReloadGate:
@@ -355,6 +426,80 @@ class TestWorkerHandleFailure:
 
         asyncio.run(scenario())
 
+    def test_death_kicks_the_on_death_callback(self):
+        class _EOFStdout:
+            async def readline(self):
+                return b""
+
+        async def scenario():
+            kicked = []
+            process = _StubProcess()
+            process.stdout = _EOFStdout()
+            handle = WorkerHandle(0, process, on_death=lambda: kicked.append(1))
+            await handle._read_loop()
+            assert kicked == [1]
+
+        asyncio.run(scenario())
+
+    def test_garbage_response_line_skipped_not_fatal(self):
+        class _GarbageStdout:
+            def __init__(self):
+                self._lines = [
+                    b'#### chaos garbage: not json\n',
+                    b'{"rid": 1, "ok": true}\n',
+                    b"",
+                ]
+
+            async def readline(self):
+                return self._lines.pop(0)
+
+        async def scenario():
+            process = _StubProcess()
+            process.stdout = _GarbageStdout()
+            handle = WorkerHandle(0, process)
+            pending = asyncio.get_running_loop().create_future()
+            handle._pending[1] = pending
+            before = get_telemetry().counters_snapshot().get(
+                "fleet.worker_garbage_lines", 0
+            )
+            await handle._read_loop()
+            # the garbage line was skipped; the real answer still landed
+            assert pending.result() == {"ok": True}
+            after = get_telemetry().counters_snapshot()[
+                "fleet.worker_garbage_lines"
+            ]
+            assert after == before + 1
+
+        asyncio.run(scenario())
+
+
+class TestStderrQuarantine:
+    """A crashed worker's last words survive it (satellite: quarantine)."""
+
+    def test_tail_keeps_only_the_last_lines(self, capsys):
+        class _Stream:
+            def __init__(self, lines):
+                self._lines = lines
+
+            async def readline(self):
+                return self._lines.pop(0) if self._lines else b""
+
+        async def scenario():
+            process = _StubProcess()
+            process.stderr = _Stream(
+                [f"line {i}\n".encode() for i in range(30)]
+            )
+            handle = WorkerHandle(4, process)
+            await handle._drain_stderr()
+            return handle
+
+        handle = asyncio.run(scenario())
+        assert len(handle.stderr_tail) == 20  # bounded buffer
+        assert handle.stderr_tail[-1] == "line 29"
+        assert handle.stderr_tail[0] == "line 10"
+        # the live stream is still forwarded, prefixed per worker
+        assert "[worker 4] line 29" in capsys.readouterr().err
+
 
 # -- end to end ----------------------------------------------------------
 
@@ -612,3 +757,214 @@ class TestFleetEndToEnd:
             assert client.reader.readline() == ""  # connection closed
         finally:
             client.close()
+
+
+class TestStopLifecycle:
+    """stop() is idempotent at every point in the lifecycle (satellite)."""
+
+    def test_stop_before_start_is_a_no_op(self, rules_pair):
+        spec = FleetSpec(rules=(rules_pair[0],), workers=1)
+
+        async def scenario():
+            fleet_obj = Fleet(spec)
+            await fleet_obj.stop()
+            await fleet_obj.stop()  # and again
+
+        asyncio.run(scenario())
+
+    @pytest.mark.slow
+    def test_stop_twice_after_start(self, rules_pair):
+        spec = FleetSpec(rules=(rules_pair[0],), workers=1)
+
+        async def scenario():
+            fleet_obj = Fleet(spec)
+            await fleet_obj.start()
+            await fleet_obj.stop()
+            await fleet_obj.stop()  # second stop must not raise
+
+        asyncio.run(scenario())
+
+
+@pytest.mark.slow
+class TestBackpressure:
+    """Over the high-water mark the fleet sheds instead of queueing."""
+
+    def test_zero_depth_sheds_requests_and_scrapes(self, rules_pair):
+        spec = FleetSpec(rules=(rules_pair[0],), workers=1, queue_depth=0)
+        with FleetThread(spec) as running:
+            shed_before = get_telemetry().counters_snapshot().get(
+                "fleet.shed", 0
+            )
+            client = _Client(running.port)
+            try:
+                response = client.ask(
+                    {"op": "recommend", "collective": "bcast", "nodes": 8,
+                     "ppn": 16, "msize": 4096}
+                )
+            finally:
+                client.close()
+            assert response == {"ok": False, "error": "overloaded"}
+            # the scrape fan-outs shed too (they pile work on workers)
+            assert http_get("127.0.0.1", running.port, "/stats")[0] == 503
+            assert http_get("127.0.0.1", running.port, "/metrics")[0] == 503
+            # ...but /healthz never fans out: it must answer even when
+            # every worker is saturated
+            status, body = http_get("127.0.0.1", running.port, "/healthz")
+            assert status == 200 and json.loads(body)["status"] == "ok"
+            shed_after = get_telemetry().counters_snapshot()["fleet.shed"]
+            assert shed_after > shed_before
+
+
+def _wait_until(predicate, timeout=30.0, message="condition"):
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        if predicate():
+            return
+        time.sleep(0.05)
+    pytest.fail(f"timed out waiting for {message}")
+
+
+def _healthz(port):
+    return json.loads(http_get("127.0.0.1", port, "/healthz")[1])
+
+
+@pytest.mark.slow
+class TestSelfHealing:
+    """Supervision end to end: kill, failover, respawn, warm-restore."""
+
+    def test_kill_respawn_warm_restore(self, rules_pair):
+        spec = FleetSpec(
+            rules=(rules_pair[0],), workers=2, chaos_ops=True,
+            backoff_base_s=0.05,
+        )
+        with FleetThread(spec) as running:
+            client = _Client(running.port)
+            try:
+                # commit a reload first: the respawned worker must
+                # warm-restore to v2, not rejoin the ring at boot v1
+                reloaded = client.ask(
+                    {"op": "reload", "path": rules_pair[1]}
+                )
+                assert reloaded["ok"], reloaded
+                restarts_before = get_telemetry().counters_snapshot().get(
+                    "fleet.worker_restarts", 0
+                )
+                killed = client.ask(
+                    {"op": "chaos", "kind": "kill", "worker": 0}
+                )
+                assert killed["ok"], killed
+                # the hammer runs straight through the outage: failover
+                # routes the dead worker's keys to the survivor
+                for n in range(40):
+                    response = client.ask({
+                        "op": "recommend", "collective": "bcast",
+                        "nodes": 2 << (n % 5), "ppn": 1 + (n % 4),
+                        "msize": 512 << (n % 8),
+                    })
+                    assert response["ok"], (n, response)
+                _wait_until(
+                    lambda: get_telemetry().counters_snapshot().get(
+                        "fleet.worker_restarts", 0
+                    ) > restarts_before,
+                    message="the supervisor to respawn worker 0",
+                )
+                _wait_until(
+                    lambda: _healthz(running.port)["status"] == "ok",
+                    message="the fleet to re-heal",
+                )
+                stats = client.ask({"op": "stats"})["stats"]
+                assert stats["fleet"]["versions_consistent"] is True
+                assert stats["fleet"]["committed_reloads"] == 1
+                assert stats["fleet"]["health"]["alive"] == 2
+                # warm-restore replayed the committed reload: both
+                # workers (including the respawn) serve version 2
+                versions = {
+                    worker["versions"]["bcast"]["version"]
+                    for worker in stats["workers"] if worker["ok"]
+                }
+                assert versions == {2}
+            finally:
+                client.close()
+
+    def test_breaker_holds_a_crashing_worker_down(self, rules_pair):
+        spec = FleetSpec(
+            rules=(rules_pair[0],), workers=2, chaos_ops=True,
+            max_worker_restarts=0, backoff_base_s=0.05,
+        )
+        with FleetThread(spec) as running:
+            client = _Client(running.port)
+            try:
+                killed = client.ask(
+                    {"op": "chaos", "kind": "kill", "worker": 0}
+                )
+                assert killed["ok"], killed
+                _wait_until(
+                    lambda: _healthz(running.port)["breakers_open"] == [0],
+                    message="the breaker to open for worker 0",
+                )
+                health = _healthz(running.port)
+                assert health["status"] == "degraded"
+                assert health["alive"] == 1
+                # degraded still serves: the survivor owns the whole ring
+                response = client.ask(
+                    {"op": "recommend", "collective": "bcast", "nodes": 8,
+                     "ppn": 16, "msize": 4096}
+                )
+                assert response["ok"], response
+                # now take out the survivor: no live worker owns any key
+                killed = client.ask(
+                    {"op": "chaos", "kind": "kill", "worker": 1}
+                )
+                assert killed["ok"], killed
+                _wait_until(
+                    lambda: http_get(
+                        "127.0.0.1", running.port, "/healthz"
+                    )[0] == 503,
+                    message="healthz to go down",
+                )
+                status, body = http_get(
+                    "127.0.0.1", running.port, "/healthz"
+                )
+                assert status == 503
+                assert json.loads(body)["status"] == "down"
+                response = client.ask(
+                    {"op": "recommend", "collective": "bcast", "nodes": 8,
+                     "ppn": 16, "msize": 4096}
+                )
+                assert response["ok"] is False
+                assert "no live worker" in response["error"]
+            finally:
+                client.close()
+
+    def test_reload_commits_on_the_survivors(self, rules_pair):
+        spec = FleetSpec(
+            rules=(rules_pair[0],), workers=2, chaos_ops=True,
+            max_worker_restarts=0, backoff_base_s=0.05,
+        )
+        with FleetThread(spec) as running:
+            client = _Client(running.port)
+            try:
+                killed = client.ask(
+                    {"op": "chaos", "kind": "kill", "worker": 0}
+                )
+                assert killed["ok"], killed
+                _wait_until(
+                    lambda: _healthz(running.port)["status"] == "degraded",
+                    message="the fleet to notice the dead worker",
+                )
+                # a reload with a dead worker commits on the live set
+                reloaded = client.ask(
+                    {"op": "reload", "path": rules_pair[1]}
+                )
+                assert reloaded["ok"], reloaded
+                assert reloaded["workers"] == 1
+                response = client.ask(
+                    {"op": "recommend", "collective": "bcast", "nodes": 8,
+                     "ppn": 16, "msize": 4096}
+                )
+                assert response["ok"] and response["version"] == 2
+                stats = client.ask({"op": "stats"})["stats"]
+                assert stats["fleet"]["versions_consistent"] is True
+                assert stats["fleet"]["committed_reloads"] == 1
+            finally:
+                client.close()
