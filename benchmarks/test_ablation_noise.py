@@ -22,5 +22,5 @@ def test_ablation_noise(benchmark, record_exhibit, scale):
                 f"{learner} lost its edge already at sigma={sigma}"
             )
     # Heavy noise may hurt but must not collapse below the default.
-    for j, learner in enumerate(learners, start=1):
+    for j, _learner in enumerate(learners, start=1):
         assert rows[0.3][j] > 0.9

@@ -26,7 +26,7 @@ def test_table4_speedups(benchmark, record_exhibit, scale, small):
     dids = exhibit.columns[1:-1]
     for row in exhibit.rows:
         learner, *cells, mean = row
-        per_did = dict(zip(dids, cells))
+        per_did = dict(zip(dids, cells, strict=True))
         ompi_mean = np.mean([per_did[d] for d in OMPI_DATASETS])
         intel_mean = np.mean([per_did[d] for d in INTEL_DATASETS])
         assert ompi_mean > 1.1, (
@@ -48,7 +48,7 @@ def test_table4_speedups(benchmark, record_exhibit, scale, small):
 def test_table4_small_split_loses_little(scale):
     large = table4(scale, dids=("d1", "d4"))
     small = table4(scale, dids=("d1", "d4"), small=True)
-    for row_l, row_s in zip(large.rows, small.rows):
+    for row_l, row_s in zip(large.rows, small.rows, strict=True):
         assert row_s[-1] > row_l[-1] * 0.75, (
             f"{row_l[0]}: small split degraded too much "
             f"({row_s[-1]:.2f} vs {row_l[-1]:.2f})"

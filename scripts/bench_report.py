@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import subprocess
 import sys
 import tempfile
@@ -314,7 +315,9 @@ def main() -> None:
         existing = json.loads(out_path.read_text())
     if "baseline" in existing and "baseline" not in report:
         report["baseline"] = existing["baseline"]  # keep recorded baseline
-    out_path.write_text(json.dumps(report, indent=2) + "\n")
+    tmp_path = out_path.with_name(f".{out_path.name}.{os.getpid()}.tmp")
+    tmp_path.write_text(json.dumps(report, indent=2) + "\n")
+    os.replace(tmp_path, out_path)
     print(json.dumps(report, indent=2))
     print(f"\nwrote {out_path}")
 

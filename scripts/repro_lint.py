@@ -1,0 +1,19 @@
+#!/usr/bin/env python
+"""CI entry point for the repo-aware static analyzer.
+
+Equivalent to ``mpicollpred lint``; kept as a standalone script so the
+lint-analysis CI job (and pre-commit hooks) can run it without
+installing the package:
+
+    PYTHONPATH=src python scripts/repro_lint.py --fail-on-findings
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.analysis.cli import main  # noqa: E402
+
+if __name__ == "__main__":
+    raise SystemExit(main())

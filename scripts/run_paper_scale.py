@@ -24,7 +24,10 @@ OUT.mkdir(parents=True, exist_ok=True)
 
 def record(name: str, exhibit) -> None:
     text = exhibit.render()
-    (OUT / f"{name}.txt").write_text(text + "\n")
+    final = OUT / f"{name}.txt"
+    tmp = OUT / f".{name}.txt.{os.getpid()}.tmp"
+    tmp.write_text(text + "\n")
+    os.replace(tmp, final)
     print(f"--- {name} ---\n{text}\n", flush=True)
 
 

@@ -285,7 +285,7 @@ def main() -> int:
     # -- bit-identity -------------------------------------------------
     mismatches = 0
     for index, (chaotic, clean) in enumerate(
-        zip(chaos_answers, clean_answers)
+        zip(chaos_answers, clean_answers, strict=True)
     ):
         if chaotic != clean:
             mismatches += 1

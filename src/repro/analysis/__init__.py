@@ -1,0 +1,40 @@
+"""Repo-aware static analysis for the reproduction's own invariants.
+
+The runtime enforces determinism (every RNG flows from ``stable_seed``),
+atomic persistence (tmp + ``os.replace``), and a never-blocked asyncio
+front-end — but only at runtime, where a regression can hide until a
+campaign or a p99 chart goes wrong. ``repro.analysis`` checks the same
+invariants mechanically at the AST level:
+
+- REP001 determinism — no unseeded ``random.*`` / ``np.random`` global
+  state or wall-clock reads on bench/simulator/ml/serve paths
+- REP002 atomic-write — no bare write-mode ``open`` outside the
+  tmp + ``os.replace`` idiom
+- REP003 asyncio-safety — no blocking calls inside ``async def``, no
+  dropped ``create_task`` results
+- REP004 lock-discipline — known shared attributes mutated only under
+  their ``with <lock>`` block
+- REP005 obs-naming — metric/event names snake_case under registered
+  prefixes
+- REP006 exception-hygiene — no bare/blind ``except`` in serve and
+  checkpoint paths
+
+Entry points: ``mpicollpred lint`` and ``scripts/repro_lint.py``; see
+``docs/static-analysis.md`` for the baseline and suppression workflow.
+"""
+
+from repro.analysis.core import (
+    Analyzer,
+    Checker,
+    FileContext,
+    Finding,
+    iter_python_files,
+)
+
+__all__ = [
+    "Analyzer",
+    "Checker",
+    "FileContext",
+    "Finding",
+    "iter_python_files",
+]

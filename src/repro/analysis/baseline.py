@@ -1,0 +1,98 @@
+"""Committed-baseline support: grandfathered findings that don't fail CI.
+
+The baseline is a small JSON document listing fingerprints of findings
+we have decided to live with, each with a human justification. New
+findings (not in the baseline) fail the lint run; stale entries (in the
+baseline but no longer produced) are reported so the file shrinks over
+time. The file itself is written atomically — the tool practices the
+REP002 idiom it preaches.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis.core import Finding
+
+BASELINE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    fingerprint: str
+    rule: str
+    path: str
+    justification: str = ""
+
+
+@dataclass
+class Baseline:
+    entries: list[BaselineEntry] = field(default_factory=list)
+
+    def fingerprints(self) -> set[str]:
+        return {entry.fingerprint for entry in self.entries}
+
+    def split(
+        self, findings: Sequence[Finding]
+    ) -> tuple[list[Finding], list[Finding], list[BaselineEntry]]:
+        """Partition findings into (new, baselined); third element is the
+        stale baseline entries no finding matched."""
+        known = self.fingerprints()
+        new = [f for f in findings if f.fingerprint not in known]
+        matched = [f for f in findings if f.fingerprint in known]
+        live = {f.fingerprint for f in matched}
+        stale = [entry for entry in self.entries if entry.fingerprint not in live]
+        return new, matched, stale
+
+
+def load_baseline(path: Path) -> Baseline:
+    if not path.exists():
+        return Baseline()
+    doc = json.loads(path.read_text(encoding="utf-8"))
+    if doc.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"unsupported baseline version {doc.get('version')!r} in {path}"
+        )
+    entries = [
+        BaselineEntry(
+            fingerprint=str(item["fingerprint"]),
+            rule=str(item.get("rule", "")),
+            path=str(item.get("path", "")),
+            justification=str(item.get("justification", "")),
+        )
+        for item in doc.get("findings", [])
+    ]
+    return Baseline(entries=entries)
+
+
+def save_baseline(path: Path, findings: Sequence[Finding]) -> Baseline:
+    """Write the current findings out as the new baseline, atomically."""
+    entries = [
+        BaselineEntry(
+            fingerprint=f.fingerprint,
+            rule=f.rule,
+            path=f.path,
+            justification="TODO: justify or fix",
+        )
+        for f in sorted(findings, key=lambda f: (f.path, f.line, f.rule))
+    ]
+    doc = {
+        "version": BASELINE_VERSION,
+        "findings": [
+            {
+                "fingerprint": e.fingerprint,
+                "rule": e.rule,
+                "path": e.path,
+                "justification": e.justification,
+            }
+            for e in entries
+        ],
+    }
+    tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+    tmp.write_text(json.dumps(doc, indent=2) + "\n", encoding="utf-8")
+    os.replace(tmp, path)
+    return Baseline(entries=entries)

@@ -1,0 +1,28 @@
+"""The repo-specific rule set. ``ALL_CHECKERS`` is the registry used by
+the CLI; tests import individual checkers to run them on fixtures."""
+
+from repro.analysis.checkers.rep001_determinism import DeterminismChecker
+from repro.analysis.checkers.rep002_atomic_write import AtomicWriteChecker
+from repro.analysis.checkers.rep003_async_blocking import AsyncBlockingChecker
+from repro.analysis.checkers.rep004_lock_discipline import LockDisciplineChecker
+from repro.analysis.checkers.rep005_obs_naming import ObsNamingChecker
+from repro.analysis.checkers.rep006_exception_hygiene import ExceptionHygieneChecker
+
+ALL_CHECKERS = (
+    DeterminismChecker,
+    AtomicWriteChecker,
+    AsyncBlockingChecker,
+    LockDisciplineChecker,
+    ObsNamingChecker,
+    ExceptionHygieneChecker,
+)
+
+__all__ = [
+    "ALL_CHECKERS",
+    "DeterminismChecker",
+    "AtomicWriteChecker",
+    "AsyncBlockingChecker",
+    "LockDisciplineChecker",
+    "ObsNamingChecker",
+    "ExceptionHygieneChecker",
+]

@@ -1,0 +1,153 @@
+"""REP001 — determinism: RNGs must flow from ``stable_seed`` and time
+must come from the monotonic clock on measurement/serving paths.
+
+Campaigns are bit-identical for any ``REPRO_JOBS`` because every RNG
+stream derives from :func:`repro.utils.rng.stable_seed` and no code on
+the bench/simulator/ml/serve paths reads global RNG state or the wall
+clock. This rule flags:
+
+- calls on the ``random`` module's global instance (``random.random()``,
+  ``random.shuffle(...)``, ...) and unseeded ``random.Random()``
+- ``numpy.random`` legacy global-state calls (``np.random.seed``,
+  ``np.random.rand``, ...); ``default_rng``/``Generator`` are fine
+- wall-clock reads (``time.time``, ``datetime.now``, ...); the
+  monotonic/perf_counter clocks are fine
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from repro.analysis.core import Checker, FileContext, dotted_name
+
+_SCOPE_RE = re.compile(r"(^|/)src/repro/(bench|simulator|ml|serve)/")
+
+# Methods on random's hidden global Random instance.
+_RANDOM_GLOBAL_FNS = {
+    "betavariate",
+    "choice",
+    "choices",
+    "expovariate",
+    "gauss",
+    "getrandbits",
+    "getstate",
+    "lognormvariate",
+    "normalvariate",
+    "paretovariate",
+    "randbytes",
+    "randint",
+    "random",
+    "randrange",
+    "sample",
+    "seed",
+    "setstate",
+    "shuffle",
+    "triangular",
+    "uniform",
+    "vonmisesvariate",
+    "weibullvariate",
+}
+
+# Legacy numpy global-state API (np.random.<fn> without a Generator).
+_NP_RANDOM_GLOBAL_FNS = {
+    "seed",
+    "get_state",
+    "set_state",
+    "rand",
+    "randn",
+    "randint",
+    "random",
+    "random_sample",
+    "random_integers",
+    "ranf",
+    "sample",
+    "choice",
+    "shuffle",
+    "permutation",
+    "uniform",
+    "normal",
+    "standard_normal",
+    "exponential",
+    "poisson",
+    "binomial",
+    "beta",
+    "gamma",
+    "bytes",
+}
+
+_WALL_CLOCK = {
+    "time.time",
+    "time.time_ns",
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.today",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+    "date.today",
+}
+
+_RNG_HINT = (
+    "derive the stream from stable_seed(...) / as_generator(...) or take an"
+    " injected Generator"
+)
+_CLOCK_HINT = "use time.monotonic()/time.perf_counter() for intervals"
+
+
+class DeterminismChecker(Checker):
+    rule = "REP001"
+    severity = "error"
+    default_fix_hint = _RNG_HINT
+
+    @classmethod
+    def applies_to(cls, ctx: FileContext) -> bool:
+        return _SCOPE_RE.search(ctx.rel) is not None
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = dotted_name(node.func)
+        if name is not None:
+            self._check_dotted(node, name)
+        self.generic_visit(node)
+
+    def _check_dotted(self, node: ast.Call, name: str) -> None:
+        parts = name.split(".")
+        if name.startswith("random.") and parts[1] in _RANDOM_GLOBAL_FNS:
+            self.report(
+                node,
+                f"call to the global random instance: {name}()",
+            )
+            return
+        if name in ("random.Random", "random.SystemRandom") and not (
+            node.args or node.keywords
+        ):
+            self.report(
+                node,
+                f"{name}() without a seed is nondeterministic",
+            )
+            return
+        if name == "random.SystemRandom":
+            self.report(node, "random.SystemRandom is nondeterministic by design")
+            return
+        if (
+            len(parts) == 3
+            and parts[0] in ("np", "numpy")
+            and parts[1] == "random"
+            and parts[2] in _NP_RANDOM_GLOBAL_FNS
+        ):
+            self.report(
+                node,
+                f"numpy legacy global-state RNG call: {name}()",
+                fix_hint=(
+                    "use numpy.random.default_rng(stable_seed(...)) or an injected"
+                    " Generator"
+                ),
+            )
+            return
+        if name in _WALL_CLOCK:
+            self.report(
+                node,
+                f"wall-clock read on a deterministic path: {name}()",
+                fix_hint=_CLOCK_HINT,
+            )

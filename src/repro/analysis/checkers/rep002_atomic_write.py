@@ -1,0 +1,120 @@
+"""REP002 — atomic-write: persistent artifacts are written tmp + replace.
+
+Every artifact the repo persists (datasets, checkpoints, rules files,
+bench reports) is written to a ``.tmp`` sibling and moved into place
+with ``os.replace`` so readers never observe a torn file and a crash
+never corrupts the previous good copy (see ``Dataset.save`` and
+``CampaignJournal._write_locked`` for the canonical idiom).
+
+This rule flags write-mode opens (``open(p, "w")``, ``p.open("w")``,
+``p.write_text(...)``, ``p.write_bytes(...)``) unless either
+
+- the target expression mentions ``tmp``/``temp`` (it *is* the scratch
+  file), or
+- the nearest enclosing function also calls ``os.replace`` (the idiom
+  is present in that scope).
+
+Append-mode opens are exempt: appending is not a replace and is how the
+JSONL telemetry sinks work.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.core import Checker, dotted_name
+
+_HINT = "write to a tmp sibling and os.replace() it into place"
+
+
+def _contains_os_replace(node: ast.AST) -> bool:
+    for child in ast.walk(node):
+        if isinstance(child, ast.Call) and dotted_name(child.func) == "os.replace":
+            return True
+    return False
+
+
+def _mode_is_write(mode: str) -> bool:
+    return ("w" in mode or "x" in mode) and "a" not in mode
+
+
+def _target_is_scratch(node: ast.AST) -> bool:
+    try:
+        text = ast.unparse(node).lower()
+    except Exception:  # pragma: no cover - unparse is total on parsed trees
+        return False
+    return "tmp" in text or "temp" in text or "devnull" in text
+
+
+class AtomicWriteChecker(Checker):
+    rule = "REP002"
+    severity = "error"
+    default_fix_hint = _HINT
+
+    def __init__(self, ctx) -> None:
+        super().__init__(ctx)
+        self._replace_scope: list[bool] = []
+
+    def _in_replace_scope(self) -> bool:
+        return bool(self._replace_scope) and self._replace_scope[-1]
+
+    def _visit_function(self, node: ast.AST) -> None:
+        self._replace_scope.append(_contains_os_replace(node))
+        self.generic_visit(node)
+        self._replace_scope.pop()
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+    visit_Lambda = _visit_function
+
+    def visit_Call(self, node: ast.Call) -> None:
+        self._check_call(node)
+        self.generic_visit(node)
+
+    def _check_call(self, node: ast.Call) -> None:
+        if self._in_replace_scope():
+            return
+        func = node.func
+        if isinstance(func, ast.Name) and func.id == "open":
+            mode = self._extract_mode(node, arg_index=1)
+            if mode is not None and _mode_is_write(mode) and node.args:
+                if not _target_is_scratch(node.args[0]):
+                    self.report(
+                        node,
+                        f'bare open(..., "{mode}") to a persistent path',
+                    )
+            return
+        if not isinstance(func, ast.Attribute):
+            return
+        if func.attr == "open":
+            mode = self._extract_mode(node, arg_index=0)
+            if mode is not None and _mode_is_write(mode):
+                if not _target_is_scratch(func.value):
+                    self.report(
+                        node,
+                        f'bare .open("{mode}") to a persistent path',
+                    )
+        elif func.attr in ("write_text", "write_bytes"):
+            if not _target_is_scratch(func.value):
+                self.report(
+                    node,
+                    f"bare .{func.attr}(...) to a persistent path",
+                )
+
+    @staticmethod
+    def _extract_mode(node: ast.Call, arg_index: int) -> str | None:
+        """The mode string if statically known; None when absent (read
+        mode) or dynamic (give the benefit of the doubt)."""
+        candidate: ast.AST | None = None
+        if len(node.args) > arg_index:
+            candidate = node.args[arg_index]
+        else:
+            for kw in node.keywords:
+                if kw.arg == "mode":
+                    candidate = kw.value
+                    break
+        if candidate is None:
+            return None
+        if isinstance(candidate, ast.Constant) and isinstance(candidate.value, str):
+            return candidate.value
+        return None

@@ -1,0 +1,148 @@
+"""REP003 — asyncio-safety: coroutines never block the event loop.
+
+The fleet front-end (``repro/serve/fleet.py``) multiplexes every client
+over one event loop; a single synchronous call inside a coroutine
+stalls the whole fleet's p99. This rule flags, inside ``async def``:
+
+- ``time.sleep(...)`` (use ``asyncio.sleep``)
+- synchronous subprocess spawns (``subprocess.run`` et al.; use
+  ``asyncio.create_subprocess_exec``)
+- synchronous file IO (``open``, ``Path.read_text`` and friends; do it
+  in a thread or before entering the loop)
+- non-awaited ``.acquire()`` (a blocking ``threading.Lock.acquire``
+  wedges the loop; ``await lock.acquire()`` on an asyncio lock is fine)
+- ``input(...)``
+
+Anywhere (sync or async): an ``asyncio.create_task``/``ensure_future``
+call whose result is dropped — the event loop only holds a weak
+reference, so the task can be garbage-collected mid-flight.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.core import Checker, dotted_name
+
+_SYNC_SUBPROCESS = {
+    "subprocess.run",
+    "subprocess.call",
+    "subprocess.check_call",
+    "subprocess.check_output",
+    "subprocess.Popen",
+    "os.system",
+    "os.popen",
+}
+
+_SYNC_IO_METHODS = {
+    "read_text",
+    "write_text",
+    "read_bytes",
+    "write_bytes",
+}
+
+_TASK_SPAWNERS = {"create_task", "ensure_future"}
+
+
+class AsyncBlockingChecker(Checker):
+    rule = "REP003"
+    severity = "error"
+    default_fix_hint = "use the asyncio-native equivalent or offload to a thread"
+
+    def __init__(self, ctx) -> None:
+        super().__init__(ctx)
+        # Stack of True (async def) / False (sync def or lambda) frames.
+        self._func_stack: list[bool] = []
+        self._awaited: set[int] = set()
+
+    def _in_async(self) -> bool:
+        return bool(self._func_stack) and self._func_stack[-1]
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._func_stack.append(False)
+        self.generic_visit(node)
+        self._func_stack.pop()
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._func_stack.append(False)
+        self.generic_visit(node)
+        self._func_stack.pop()
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._func_stack.append(True)
+        self.generic_visit(node)
+        self._func_stack.pop()
+
+    def visit_Await(self, node: ast.Await) -> None:
+        self._awaited.add(id(node.value))
+        self.generic_visit(node)
+
+    def visit_Expr(self, node: ast.Expr) -> None:
+        # A bare-expression statement whose value is create_task(...) is a
+        # dropped task handle.
+        value = node.value
+        if isinstance(value, ast.Call):
+            name = dotted_name(value.func)
+            if name is not None and name.split(".")[-1] in _TASK_SPAWNERS:
+                self.report(
+                    value,
+                    f"result of {name}(...) is dropped; the loop keeps only a"
+                    " weak reference",
+                    fix_hint="store the task handle (and await or cancel it)",
+                )
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self._in_async():
+            self._check_blocking(node)
+        self.generic_visit(node)
+
+    def _check_blocking(self, node: ast.Call) -> None:
+        name = dotted_name(node.func)
+        if name == "time.sleep":
+            self.report(
+                node,
+                "time.sleep inside async def blocks the event loop",
+                fix_hint="await asyncio.sleep(...)",
+            )
+            return
+        if name in _SYNC_SUBPROCESS:
+            self.report(
+                node,
+                f"synchronous subprocess call {name}(...) inside async def",
+                fix_hint="await asyncio.create_subprocess_exec(...)",
+            )
+            return
+        if name == "open" or name == "input":
+            self.report(
+                node,
+                f"blocking builtin {name}(...) inside async def",
+                fix_hint="use asyncio.to_thread(...) or do the IO off-loop",
+            )
+            return
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            # `.open(...)` with arguments is file IO (`path.open("w")`);
+            # zero-arg `.open()` is ambiguous with domain methods like
+            # `_ReloadGate.open()` and is left to REP002 / review.
+            if func.attr == "open" and (node.args or node.keywords):
+                self.report(
+                    node,
+                    "synchronous file IO .open(...) inside async def",
+                    fix_hint="use asyncio.to_thread(...) or do the IO off-loop",
+                )
+                return
+            if func.attr in _SYNC_IO_METHODS:
+                self.report(
+                    node,
+                    f"synchronous file IO .{func.attr}(...) inside async def",
+                    fix_hint="use asyncio.to_thread(...) or do the IO off-loop",
+                )
+                return
+            if func.attr == "acquire" and id(node) not in self._awaited:
+                self.report(
+                    node,
+                    "non-awaited .acquire() inside async def can block the"
+                    " event loop",
+                    fix_hint="await the asyncio primitive (async with lock:)",
+                )

@@ -1,0 +1,106 @@
+"""REP005 — obs-naming: telemetry names are snake_case under registered
+prefixes.
+
+The Prometheus exporter flattens dotted telemetry names into metric
+names (``serve.compiled.hit`` -> ``serve_compiled_hit_total``) and the
+golden scrape files in tests assert exact names. A typo'd or
+camelCased name silently forks a new time series. This rule checks
+every statically-known name passed to a telemetry call
+(``telemetry.add/counter/gauge/observe/histogram/event``):
+
+- metric names must be lowercase dotted snake_case with at least two
+  segments, and the first segment must be a registered prefix
+- event names must be a single snake_case token
+
+f-strings and computed names are skipped (validated at runtime by the
+exporter instead). New subsystems register their prefix in
+``REGISTERED_PREFIXES`` (and in docs/static-analysis.md).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from repro.analysis.core import Checker, dotted_name
+
+REGISTERED_PREFIXES = (
+    "bench",
+    "cache",
+    "campaign",
+    "dataset",
+    "fleet",
+    "selector",
+    "serve",
+    "surface",
+    "tuner",
+)
+
+_METRIC_METHODS = {"add", "counter", "gauge", "observe", "histogram", "set_gauge"}
+_EVENT_METHODS = {"event"}
+
+_SEGMENT_RE = re.compile(r"^[a-z][a-z0-9_]*$")
+
+
+def _receiver_is_telemetry(node: ast.AST) -> bool:
+    name = dotted_name(node)
+    if name is not None:
+        return "telemetry" in name.lower()
+    if isinstance(node, ast.Call):
+        inner = dotted_name(node.func)
+        return inner is not None and inner.split(".")[-1] == "get_telemetry"
+    return False
+
+
+class ObsNamingChecker(Checker):
+    rule = "REP005"
+    severity = "error"
+    default_fix_hint = (
+        "use lowercase dotted snake_case under a registered prefix"
+        f" ({', '.join(REGISTERED_PREFIXES)})"
+    )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in (_METRIC_METHODS | _EVENT_METHODS)
+            and _receiver_is_telemetry(func.value)
+            and node.args
+        ):
+            first = node.args[0]
+            if isinstance(first, ast.Constant) and isinstance(first.value, str):
+                if func.attr in _EVENT_METHODS:
+                    self._check_event(node, first.value)
+                else:
+                    self._check_metric(node, first.value)
+        self.generic_visit(node)
+
+    def _check_metric(self, node: ast.Call, name: str) -> None:
+        segments = name.split(".")
+        if len(segments) < 2:
+            self.report(
+                node,
+                f"metric name {name!r} must be dotted (prefix.metric)",
+            )
+            return
+        if not all(_SEGMENT_RE.match(seg) for seg in segments):
+            self.report(
+                node,
+                f"metric name {name!r} is not lowercase dotted snake_case",
+            )
+            return
+        if segments[0] not in REGISTERED_PREFIXES:
+            self.report(
+                node,
+                f"metric prefix {segments[0]!r} is not registered"
+                " (REGISTERED_PREFIXES in rep005_obs_naming.py)",
+                fix_hint="use a registered prefix or register the new subsystem",
+            )
+
+    def _check_event(self, node: ast.Call, name: str) -> None:
+        if not _SEGMENT_RE.match(name):
+            self.report(
+                node,
+                f"event name {name!r} is not a snake_case token",
+            )

@@ -1,0 +1,112 @@
+"""REP006 — exception-hygiene: no bare/blind ``except`` on serve and
+checkpoint paths.
+
+A swallowed exception in the serving stack turns a crash into silent
+wrong answers; in the checkpoint/journal stack it turns a torn write
+into silent data loss. Scope: ``src/repro/serve/`` and
+``src/repro/bench/`` (the checkpoint/journal path lives there).
+
+Flags:
+
+- ``except:`` — always (catches KeyboardInterrupt/SystemExit too)
+- ``except Exception:`` / ``except BaseException:`` that neither
+  re-raises, nor uses the bound exception (``as exc`` referenced in the
+  body), nor records evidence (a telemetry/log/print call in the body)
+
+A handler that re-raises, inspects the exception, or emits a counter is
+deliberate degradation, not swallowing.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from repro.analysis.core import Checker, FileContext, dotted_name
+
+_SCOPE_RE = re.compile(r"(^|/)src/repro/(serve|bench)/")
+
+_BLIND_TYPES = {"Exception", "BaseException"}
+
+_EVIDENCE_CALL_RE = re.compile(r"telemetry|logger|logging|warn", re.IGNORECASE)
+
+
+def _handler_types(node: ast.excepthandler) -> list[str]:
+    if node.type is None:
+        return []
+    types = (
+        list(node.type.elts) if isinstance(node.type, ast.Tuple) else [node.type]
+    )
+    names: list[str] = []
+    for item in types:
+        name = dotted_name(item)
+        if name is not None:
+            names.append(name.split(".")[-1])
+    return names
+
+
+def _body_reraises(node: ast.ExceptHandler) -> bool:
+    return any(
+        isinstance(child, ast.Raise)
+        for stmt in node.body
+        for child in ast.walk(stmt)
+    )
+
+
+def _body_uses_name(node: ast.ExceptHandler, name: str) -> bool:
+    for stmt in node.body:
+        for child in ast.walk(stmt):
+            if isinstance(child, ast.Name) and child.id == name:
+                return True
+    return False
+
+
+def _body_records_evidence(node: ast.ExceptHandler) -> bool:
+    for stmt in node.body:
+        for child in ast.walk(stmt):
+            if not isinstance(child, ast.Call):
+                continue
+            name = dotted_name(child.func)
+            if name is None:
+                continue
+            if name == "print" or _EVIDENCE_CALL_RE.search(name):
+                return True
+    return False
+
+
+class ExceptionHygieneChecker(Checker):
+    rule = "REP006"
+    severity = "error"
+    default_fix_hint = (
+        "catch the specific exception, or re-raise / record the failure"
+        " (telemetry counter, event, log) before degrading"
+    )
+
+    @classmethod
+    def applies_to(cls, ctx: FileContext) -> bool:
+        return _SCOPE_RE.search(ctx.rel) is not None
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            self.report(
+                node,
+                "bare `except:` catches KeyboardInterrupt/SystemExit",
+                fix_hint="catch Exception (or a specific type) at most",
+            )
+        else:
+            blind = [t for t in _handler_types(node) if t in _BLIND_TYPES]
+            if blind and not self._is_deliberate(node):
+                self.report(
+                    node,
+                    f"blind `except {blind[0]}` swallows the failure"
+                    " (no re-raise, no use of the exception, no telemetry)",
+                )
+        self.generic_visit(node)
+
+    @staticmethod
+    def _is_deliberate(node: ast.ExceptHandler) -> bool:
+        if _body_reraises(node):
+            return True
+        if node.name is not None and _body_uses_name(node, node.name):
+            return True
+        return _body_records_evidence(node)

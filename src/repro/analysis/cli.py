@@ -1,0 +1,162 @@
+"""Command-line front-end shared by ``mpicollpred lint`` and
+``scripts/repro_lint.py``.
+
+Exit codes: 0 clean (modulo baseline), 1 new findings (or stale
+baseline entries under ``--fail-on-findings``), 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections import Counter
+from pathlib import Path
+from typing import Sequence, TextIO
+
+from repro.analysis.baseline import Baseline, load_baseline, save_baseline
+from repro.analysis.checkers import ALL_CHECKERS
+from repro.analysis.core import Analyzer
+
+DEFAULT_PATHS = ("src", "scripts")
+DEFAULT_BASELINE = "analysis-baseline.json"
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=list(DEFAULT_PATHS),
+        help="files or directories to scan (default: src scripts)",
+    )
+    parser.add_argument(
+        "--root",
+        default=".",
+        help="repo root; findings are reported relative to it (default: cwd)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=DEFAULT_BASELINE,
+        help=f"baseline JSON path (default: {DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file; report every finding as new",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="accept the current findings into the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--select",
+        default="",
+        help="comma-separated rule ids to run (default: all REP rules)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format",
+    )
+    parser.add_argument(
+        "--fail-on-findings",
+        action="store_true",
+        help=(
+            "strict CI mode: also fail (exit 1) on stale baseline entries so"
+            " the baseline can only shrink deliberately"
+        ),
+    )
+
+
+def run_lint(args: argparse.Namespace, *, out: TextIO | None = None) -> int:
+    out = sys.stdout if out is None else out
+    root = Path(args.root)
+    if not root.is_dir():
+        print(f"error: --root {root} is not a directory", file=sys.stderr)
+        return 2
+    paths = [root / p if not Path(p).is_absolute() else Path(p) for p in args.paths]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        joined = ", ".join(str(p) for p in missing)
+        print(f"error: no such path(s): {joined}", file=sys.stderr)
+        return 2
+
+    select = [s.strip() for s in args.select.split(",") if s.strip()] or None
+    if select:
+        # A typo here would silently select zero checkers and pass CI.
+        known = {checker.rule for checker in ALL_CHECKERS}
+        unknown = sorted(set(select) - known)
+        if unknown:
+            print(
+                f"error: unknown rule id(s): {', '.join(unknown)}"
+                f" (known: {', '.join(sorted(known))})",
+                file=sys.stderr,
+            )
+            return 2
+    analyzer = Analyzer(ALL_CHECKERS, select=select)
+    result = analyzer.analyze_paths(paths, root)
+
+    baseline_path = root / args.baseline
+    if args.write_baseline:
+        save_baseline(baseline_path, result.findings)
+        print(
+            f"wrote {len(result.findings)} finding(s) to {baseline_path}",
+            file=out,
+        )
+        return 0
+
+    baseline = Baseline() if args.no_baseline else load_baseline(baseline_path)
+    new, baselined, stale = baseline.split(result.findings)
+
+    if args.format == "json":
+        doc = {
+            "files_scanned": result.files_scanned,
+            "new": [f.to_json() for f in new],
+            "baselined": [f.to_json() for f in baselined],
+            "suppressed": len(result.suppressed),
+            "stale_baseline_entries": [e.fingerprint for e in stale],
+        }
+        print(json.dumps(doc, indent=2), file=out)
+    else:
+        for finding in new:
+            print(finding.render(), file=out)
+        counts = ", ".join(
+            f"{rule}={n}"
+            for rule, n in sorted(Counter(f.rule for f in new).items())
+        )
+        print(
+            f"repro-lint: {result.files_scanned} files scanned,"
+            f" {len(new)} new finding(s)"
+            + (f" [{counts}]" if counts else "")
+            + f", {len(baselined)} baselined,"
+            f" {len(result.suppressed)} suppressed",
+            file=out,
+        )
+        for entry in stale:
+            print(
+                f"repro-lint: stale baseline entry {entry.fingerprint}"
+                f" ({entry.rule} {entry.path}) — remove it from"
+                f" {baseline_path.name}",
+                file=out,
+            )
+
+    if new:
+        return 1
+    if stale and args.fail_on_findings:
+        return 1
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="repo-aware static analysis (REP001-REP006)",
+    )
+    add_lint_arguments(parser)
+    return run_lint(parser.parse_args(argv))
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,275 @@
+"""Framework core: findings model, per-file context, checker base, analyzer.
+
+A :class:`Checker` is an ``ast.NodeVisitor`` bound to one rule id. The
+:class:`Analyzer` parses each file once into a :class:`FileContext`,
+runs every applicable checker over the shared tree, and filters the
+raw findings through inline suppressions (``# repro: allow REP00X``).
+
+Findings carry a line-independent *fingerprint* (hash of rule, path and
+the stripped source line) so a committed baseline survives unrelated
+edits that merely shift line numbers.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import re
+from collections import Counter
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Callable, Iterable, Iterator, Sequence
+
+SEVERITIES = ("error", "warning")
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro:\s*allow\s+(?P<rules>REP\d{3}(?:\s*,\s*REP\d{3})*)"
+    r"(?:\s*--\s*(?P<why>.*))?"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a specific source location."""
+
+    rule: str
+    severity: str
+    path: str  # repo-relative posix path
+    line: int
+    col: int
+    message: str
+    fix_hint: str = ""
+    fingerprint: str = ""
+
+    def render(self) -> str:
+        loc = f"{self.path}:{self.line}:{self.col}"
+        text = f"{loc}: {self.rule} [{self.severity}] {self.message}"
+        if self.fix_hint:
+            text += f" (fix: {self.fix_hint})"
+        return text
+
+    def to_json(self) -> dict[str, object]:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "fix_hint": self.fix_hint,
+            "fingerprint": self.fingerprint,
+        }
+
+
+class FileContext:
+    """A parsed source file plus everything checkers need to inspect it."""
+
+    def __init__(self, rel: str, source: str, *, path: Path | None = None) -> None:
+        self.rel = rel.replace("\\", "/")
+        self.path = path
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree: ast.Module | None = None
+        self.parse_error: SyntaxError | None = None
+        try:
+            self.tree = ast.parse(source, filename=self.rel)
+        except SyntaxError as exc:
+            self.parse_error = exc
+        self.suppressions = self._collect_suppressions()
+
+    @classmethod
+    def from_path(cls, path: Path, root: Path) -> "FileContext":
+        try:
+            rel = path.resolve().relative_to(root.resolve()).as_posix()
+        except ValueError:
+            rel = path.as_posix()
+        return cls(rel, path.read_text(encoding="utf-8"), path=path)
+
+    def _collect_suppressions(self) -> dict[int, set[str]]:
+        """Map 1-based line number -> set of rule ids allowed on that line."""
+        out: dict[int, set[str]] = {}
+        for lineno, text in enumerate(self.lines, start=1):
+            match = _SUPPRESS_RE.search(text)
+            if match is None:
+                continue
+            rules = {part.strip() for part in match.group("rules").split(",")}
+            out.setdefault(lineno, set()).update(rules)
+        return out
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        allowed = self.suppressions.get(finding.line)
+        return allowed is not None and finding.rule in allowed
+
+    def line_text(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+
+class Checker(ast.NodeVisitor):
+    """Base class for one rule. Subclasses set ``rule``/``severity`` and
+    call :meth:`report` from their ``visit_*`` methods."""
+
+    rule = "REP000"
+    severity = "error"
+    default_fix_hint = ""
+
+    def __init__(self, ctx: FileContext) -> None:
+        self.ctx = ctx
+        self.findings: list[Finding] = []
+
+    @classmethod
+    def applies_to(cls, ctx: FileContext) -> bool:
+        """Whether this rule is in scope for the file (path-based)."""
+        return True
+
+    def run(self) -> list[Finding]:
+        if self.ctx.tree is not None:
+            self.visit(self.ctx.tree)
+        return self.findings
+
+    def report(
+        self,
+        node: ast.AST,
+        message: str,
+        *,
+        fix_hint: str | None = None,
+    ) -> None:
+        self.findings.append(
+            Finding(
+                rule=self.rule,
+                severity=self.severity,
+                path=self.ctx.rel,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0) + 1,
+                message=message,
+                fix_hint=self.default_fix_hint if fix_hint is None else fix_hint,
+            )
+        )
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """Unparse a Name/Attribute chain like ``np.random.seed``; None for
+    anything with calls or subscripts in the chain."""
+    parts: list[str] = []
+    cur = node
+    while isinstance(cur, ast.Attribute):
+        parts.append(cur.attr)
+        cur = cur.value
+    if isinstance(cur, ast.Name):
+        parts.append(cur.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _fingerprint(rule: str, path: str, line_text: str, occurrence: int) -> str:
+    payload = f"{rule}|{path}|{line_text.strip()}|{occurrence}"
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:12]
+
+
+def fingerprint_findings(
+    findings: Sequence[Finding], ctx_by_path: dict[str, FileContext]
+) -> list[Finding]:
+    """Attach stable fingerprints; duplicate identical lines get an
+    occurrence index so each keeps a distinct fingerprint."""
+    seen: Counter[tuple[str, str, str]] = Counter()
+    out: list[Finding] = []
+    for finding in sorted(findings, key=lambda f: (f.path, f.line, f.col, f.rule)):
+        ctx = ctx_by_path.get(finding.path)
+        text = ctx.line_text(finding.line) if ctx is not None else ""
+        key = (finding.rule, finding.path, text.strip())
+        occurrence = seen[key]
+        seen[key] += 1
+        out.append(
+            replace(
+                finding,
+                fingerprint=_fingerprint(finding.rule, finding.path, text, occurrence),
+            )
+        )
+    return out
+
+
+_SKIP_DIR_NAMES = {"__pycache__", ".git", ".venv", "node_modules", ".repro_cache"}
+
+
+def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
+    seen: set[Path] = set()
+    for path in paths:
+        if path.is_file():
+            candidates: Iterable[Path] = [path] if path.suffix == ".py" else []
+        else:
+            candidates = sorted(path.rglob("*.py"))
+        for candidate in candidates:
+            if any(part in _SKIP_DIR_NAMES for part in candidate.parts):
+                continue
+            resolved = candidate.resolve()
+            if resolved in seen:
+                continue
+            seen.add(resolved)
+            yield candidate
+
+
+@dataclass
+class AnalysisResult:
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+
+    def by_rule(self) -> dict[str, int]:
+        counts: Counter[str] = Counter(f.rule for f in self.findings)
+        return dict(sorted(counts.items()))
+
+
+class Analyzer:
+    """Run a set of checkers over files and collect fingerprinted findings."""
+
+    def __init__(
+        self,
+        checkers: Sequence[type[Checker]],
+        *,
+        select: Sequence[str] | None = None,
+    ) -> None:
+        if select:
+            wanted = set(select)
+            checkers = [c for c in checkers if c.rule in wanted]
+        self.checkers = list(checkers)
+
+    def analyze_context(self, ctx: FileContext) -> list[Finding]:
+        """Raw (un-fingerprinted, un-suppressed) findings for one file."""
+        if ctx.parse_error is not None:
+            exc = ctx.parse_error
+            return [
+                Finding(
+                    rule="REP000",
+                    severity="error",
+                    path=ctx.rel,
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 0) + 1,
+                    message=f"syntax error: {exc.msg}",
+                    fix_hint="file must parse before it can be analyzed",
+                )
+            ]
+        findings: list[Finding] = []
+        for checker_cls in self.checkers:
+            if checker_cls.applies_to(ctx):
+                findings.extend(checker_cls(ctx).run())
+        return findings
+
+    def analyze_paths(self, paths: Sequence[Path], root: Path) -> AnalysisResult:
+        result = AnalysisResult()
+        raw: list[Finding] = []
+        ctx_by_path: dict[str, FileContext] = {}
+        for file_path in iter_python_files(paths):
+            ctx = FileContext.from_path(file_path, root)
+            ctx_by_path[ctx.rel] = ctx
+            result.files_scanned += 1
+            for finding in self.analyze_context(ctx):
+                if ctx.is_suppressed(finding):
+                    result.suppressed.append(finding)
+                else:
+                    raw.append(finding)
+        result.findings = fingerprint_findings(raw, ctx_by_path)
+        return result
+
+
+CheckerFactory = Callable[[], Sequence[type[Checker]]]

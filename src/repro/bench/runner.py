@@ -390,7 +390,9 @@ class DatasetRunner:
         cols_ppn: list[int] = []
         cols_msize: list[int] = []
         cols_time: list[float] = []
-        for (n, ppn), (part_cid, part_msize, part_time) in zip(pairs, parts):
+        for (n, ppn), (part_cid, part_msize, part_time) in zip(
+            pairs, parts, strict=True
+        ):
             cols_cid.extend(part_cid)
             cols_nodes.extend([n] * len(part_cid))
             cols_ppn.extend([ppn] * len(part_cid))

@@ -424,6 +424,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     p = sub.add_parser(
+        "lint",
+        help="repo-aware static analysis: determinism, atomic writes, "
+        "asyncio-safety, lock discipline (REP001-REP006; see "
+        "docs/static-analysis.md)",
+    )
+    from repro.analysis.cli import add_lint_arguments
+
+    add_lint_arguments(p)
+
+    p = sub.add_parser(
         "report", help="summarize a telemetry JSONL log (top spans, counters)"
     )
     p.add_argument(
@@ -438,6 +448,12 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.cli import run_lint
+
+    return run_lint(args)
+
+
 _COMMANDS = {
     "machines": _cmd_machines,
     "generate": _cmd_generate,
@@ -445,6 +461,7 @@ _COMMANDS = {
     "predict": _cmd_predict,
     "experiment": _cmd_experiment,
     "serve": _cmd_serve,
+    "lint": _cmd_lint,
     "report": _cmd_report,
 }
 

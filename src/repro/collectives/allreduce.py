@@ -335,7 +335,7 @@ def _ring_programs(
                 send_b = (rank - k) % p
                 recv_b = (rank - k - 1) % p
                 handles = []
-                for s, size in enumerate(sizes):
+                for s, _size in enumerate(sizes):
                     tag = phase_tag(0, k * len(sizes) + s)
                     handles.append((yield Irecv(prev, tag=tag)))
                 for s, size in enumerate(sizes):
@@ -352,14 +352,14 @@ def _ring_programs(
                 send_b = (rank + 1 - k) % p
                 recv_b = (rank - k) % p
                 handles = []
-                for s, size in enumerate(sizes):
+                for s, _size in enumerate(sizes):
                     tag = phase_tag(1, k * len(sizes) + s)
                     handles.append((yield Irecv(prev, tag=tag)))
                 for s, size in enumerate(sizes):
                     tag = phase_tag(1, k * len(sizes) + s)
                     yield Isend(nxt, int(size), blocks[send_b], tag=tag)
                 got = None
-                for s, size in enumerate(sizes):
+                for s, _size in enumerate(sizes):
                     got = yield Wait(handles[s])
                 blocks[recv_b] = got
             return blocks

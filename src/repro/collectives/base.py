@@ -149,8 +149,10 @@ class ConfigSpace:
         """Stable integer id of a config within this space (the u id)."""
         try:
             return self.configs.index(config)
-        except ValueError:
-            raise KeyError(f"{config.label} not in {self.library}/{self.collective}")
+        except ValueError as exc:
+            raise KeyError(
+                f"{config.label} not in {self.library}/{self.collective}"
+            ) from exc
 
     def algids(self) -> list[int]:
         return sorted({c.algid for c in self.configs})

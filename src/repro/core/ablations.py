@@ -65,7 +65,7 @@ class SpeedupRatioSelector:
             if cid is not None and cid in measured:
                 default_time[(n, ppn, m)] = measured[cid]
         X_all = instance_features(dataset.nodes, dataset.ppn, dataset.msize)
-        keys = list(zip(dataset.nodes, dataset.ppn, dataset.msize))
+        keys = list(zip(dataset.nodes, dataset.ppn, dataset.msize, strict=True))
         denominators = np.array(
             [default_time.get((int(n), int(p), int(m)), np.nan) for n, p, m in keys]
         )

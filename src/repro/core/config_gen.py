@@ -76,7 +76,7 @@ def selection_table(
         return []
     cids = selector.select_ids(nodes, ppn, np.asarray(msizes, dtype=np.int64))
     table: list[tuple[int, AlgorithmConfig]] = []
-    for m, cid in zip(msizes, cids):
+    for m, cid in zip(msizes, cids, strict=True):
         if cid >= 0:
             table.append((int(m), selector.configs_[int(cid)]))
         elif fallback is not None:

@@ -157,7 +157,8 @@ class PerfDataset:
         """
         table: dict[tuple[int, int, int], dict[int, float]] = {}
         for cid, n, ppn, m, t in zip(
-            self.config_id, self.nodes, self.ppn, self.msize, self.time
+            self.config_id, self.nodes, self.ppn, self.msize, self.time,
+            strict=True,
         ):
             table.setdefault((int(n), int(ppn), int(m)), {})[int(cid)] = float(t)
         return table
@@ -234,17 +235,26 @@ class PerfDataset:
         name/parameters, and the measured runtime in seconds.
         """
         path = Path(path)
-        with path.open("w") as fh:
-            fh.write("config_id,algid,algorithm,params,nodes,ppn,msize,time_s\n")
-            for cid, n, ppn, m, t in zip(
-                self.config_id, self.nodes, self.ppn, self.msize, self.time
-            ):
-                cfg = self.configs[int(cid)]
-                params = ";".join(f"{k}={v}" for k, v in cfg.params)
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        try:
+            with tmp.open("w") as fh:
                 fh.write(
-                    f"{int(cid)},{cfg.algid},{cfg.name},{params},"
-                    f"{int(n)},{int(ppn)},{int(m)},{t:.9e}\n"
+                    "config_id,algid,algorithm,params,nodes,ppn,msize,time_s\n"
                 )
+                for cid, n, ppn, m, t in zip(
+                    self.config_id, self.nodes, self.ppn, self.msize,
+                    self.time, strict=True,
+                ):
+                    cfg = self.configs[int(cid)]
+                    params = ";".join(f"{k}={v}" for k, v in cfg.params)
+                    fh.write(
+                        f"{int(cid)},{cfg.algid},{cfg.name},{params},"
+                        f"{int(n)},{int(ppn)},{int(m)},{t:.9e}\n"
+                    )
+            os.replace(tmp, path)
+        finally:
+            if tmp.exists():
+                tmp.unlink()
 
     @staticmethod
     def load(path: str | Path) -> "PerfDataset":

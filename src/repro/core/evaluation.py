@@ -118,7 +118,7 @@ def evaluate_selector(
     pred_matrix = selector.predict_times(
         instances[:, 0], instances[:, 1], instances[:, 2]
     )
-    for row, pred_times in zip(instances, pred_matrix):
+    for row, pred_times in zip(instances, pred_matrix, strict=True):
         n, ppn, m = (int(v) for v in row)
         measured = table[(n, ppn, m)]
         if not measured:

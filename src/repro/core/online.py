@@ -109,7 +109,7 @@ class OnlineSelector:
         algos = [algorithm_from_config(cfg) for cfg in space]
         candidates = [
             (cfg, algo)
-            for cfg, algo in zip(space, algos)
+            for cfg, algo in zip(space, algos, strict=True)
             if algo.supported(topo, nbytes)
         ]
         if not candidates:

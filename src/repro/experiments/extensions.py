@@ -244,7 +244,7 @@ def randomized_split(
     order = rng.permutation(len(instances))
     n_test = max(1, int(round(len(instances) * test_fraction)))
     test_keys = {tuple(int(v) for v in instances[i]) for i in order[:n_test]}
-    keys = list(zip(dataset.nodes, dataset.ppn, dataset.msize))
+    keys = list(zip(dataset.nodes, dataset.ppn, dataset.msize, strict=True))
     test_mask = np.array(
         [(int(n), int(p), int(m)) in test_keys for n, p, m in keys]
     )
@@ -253,7 +253,7 @@ def randomized_split(
     # (a) the paper's node split.
     node_train, node_test = split_dataset(dataset, scale)
 
-    for name, factory in PAPER_LEARNERS.items():
+    for factory in PAPER_LEARNERS.values():
         node_sel = AlgorithmSelector(factory).fit(node_train)
         node_speedup = evaluate_selector(
             node_sel, node_test, library, machine

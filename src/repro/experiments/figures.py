@@ -222,7 +222,7 @@ def figure5(
                     np.full(len(test_msizes), ppn),
                     test_msizes,
                 )
-                for m, cid in zip(test_msizes, ids):
+                for m, cid in zip(test_msizes, ids, strict=True):
                     cfg = dataset.configs[int(cid)]
                     fig.rows.append(
                         (learner, int(n), int(ppn), int(m), cfg.algid, cfg.label)

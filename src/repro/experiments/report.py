@@ -35,10 +35,10 @@ def render_table(
     if title:
         lines.append(title)
     sep = "-+-".join("-" * w for w in widths)
-    lines.append(" | ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append(" | ".join(str(h).ljust(w) for h, w in zip(headers, widths, strict=True)))
     lines.append(sep)
     for row in cells:
-        lines.append(" | ".join(v.rjust(w) for v, w in zip(row, widths)))
+        lines.append(" | ".join(v.rjust(w) for v, w in zip(row, widths, strict=True)))
     return "\n".join(lines)
 
 

@@ -243,8 +243,12 @@ def _compile() -> Path | None:
     if so_path.exists():
         return so_path
     cache.mkdir(parents=True, exist_ok=True)
+    # the .c lands via tmp+replace too: a parallel compiler racing this
+    # one must never read a torn source file from the shared cache
     src_path = cache / f"treekernel-{digest}.c"
-    src_path.write_text(_SOURCE)
+    tmp_src = cache / f".treekernel-{digest}.{os.getpid()}.c"
+    tmp_src.write_text(_SOURCE)
+    os.replace(tmp_src, src_path)
     tmp_so = cache / f".treekernel-{digest}.{os.getpid()}.so"
     cmd = [
         "cc", "-O2", "-ffp-contract=off", "-shared", "-fPIC",

@@ -179,7 +179,7 @@ class GAMRegressor(Regressor):
         blocks = [np.ones((len(X), 1))]
         for j, term in enumerate(self._terms):
             blocks.append(term.design(X[:, j]))
-        for (j1, j2), tensor in zip(self.interactions, self._tensors):
+        for (j1, j2), tensor in zip(self.interactions, self._tensors, strict=True):
             blocks.append(tensor.design(X[:, j1], X[:, j2]))
         return np.hstack(blocks)
 
@@ -257,7 +257,7 @@ class GAMRegressor(Regressor):
                     np.clip(X[:, j], term.lo, term.hi), term.knots, term.degree
                 ).toarray()
                 term.center_ = raw.mean(axis=0, keepdims=True)
-        for (j1, j2), tensor in zip(self.interactions, self._tensors):
+        for (j1, j2), tensor in zip(self.interactions, self._tensors, strict=True):
             if not tensor.degenerate:
                 raw = tensor.raw_design(X[:, j1], X[:, j2])
                 tensor.center_ = raw.mean(axis=0, keepdims=True)

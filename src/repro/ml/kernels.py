@@ -263,7 +263,7 @@ class FlatEnsemble(_StepArraysMixin):
         value = np.concatenate([p[4] for p in shifted])
         depth = max(
             _tree_depth(p[0], p[2] - r, p[3] - r)
-            for p, r in zip(shifted, roots)
+            for p, r in zip(shifted, roots, strict=True)
         )
         return FlatEnsemble(
             feature=feature,

@@ -38,10 +38,10 @@ def _render_table(
         for i, h in enumerate(headers)
     ]
     lines = [] if title is None else [title]
-    lines.append(" | ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append(" | ".join(str(h).ljust(w) for h, w in zip(headers, widths, strict=True)))
     lines.append("-+-".join("-" * w for w in widths))
     for row in cells:
-        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths, strict=True)))
     return "\n".join(lines)
 
 

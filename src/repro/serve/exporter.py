@@ -131,7 +131,7 @@ def render_histogram(
         lines.append(f"# HELP {metric} {escape_help(help_text)}")
     lines.append(f"# TYPE {metric} histogram")
     cumulative = 0
-    for bound, count in zip(snap.bounds, snap.counts):
+    for bound, count in zip(snap.bounds, snap.counts, strict=False):
         cumulative += count
         lines.append(
             f'{metric}_bucket{{le="{_le_label(bound)}"}} {cumulative}'

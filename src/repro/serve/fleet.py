@@ -326,9 +326,9 @@ class WorkerHandle:
         """Wait for the worker's ready line, then start the dispatcher."""
         if self.process.stderr is not None:
             self._stderr_task = asyncio.create_task(self._drain_stderr())
-        line = await asyncio.wait_for(
-            self.process.stdout.readline(), timeout
-        )
+        stdout = self.process.stdout
+        assert stdout is not None  # PIPE-spawned (see _spawn_worker)
+        line = await asyncio.wait_for(stdout.readline(), timeout)
         info = json.loads(line) if line else {}
         if not info.get("ready"):
             raise WorkerError(
@@ -346,6 +346,7 @@ class WorkerHandle:
         the front-end's stderr (prefixed) so operators still see it.
         """
         stream = self.process.stderr
+        assert stream is not None  # PIPE-spawned (see _spawn_worker)
         while True:
             try:
                 line = await stream.readline()
@@ -361,10 +362,12 @@ class WorkerHandle:
 
     async def _read_loop(self) -> None:
         reason = "died"
+        stdout = self.process.stdout
+        assert stdout is not None  # PIPE-spawned (see _spawn_worker)
         try:
             while True:
                 try:
-                    line = await self.process.stdout.readline()
+                    line = await stdout.readline()
                 except ValueError:
                     # response line over STREAM_LIMIT: the stream has
                     # discarded it, so some rid can never be matched
@@ -424,8 +427,10 @@ class WorkerHandle:
             # one writer at a time: concurrent drain() on the same
             # transport is not supported by asyncio (bpo-29930)
             async with self._write_lock:
-                self.process.stdin.write(data.encode("utf-8"))
-                await self.process.stdin.drain()
+                stdin = self.process.stdin
+                assert stdin is not None  # PIPE-spawned
+                stdin.write(data.encode("utf-8"))
+                await stdin.drain()
         except (ConnectionResetError, BrokenPipeError, RuntimeError) as exc:
             self._pending.pop(rid, None)
             self._fail("died (stdin closed)")
@@ -450,9 +455,11 @@ class WorkerHandle:
                 ConnectionResetError, BrokenPipeError, RuntimeError
             ):
                 async with self._write_lock:
-                    self.process.stdin.write(b'{"op": "quit"}\n')
-                    await self.process.stdin.drain()
-                    self.process.stdin.close()
+                    stdin = self.process.stdin
+                    assert stdin is not None  # PIPE-spawned
+                    stdin.write(b'{"op": "quit"}\n')
+                    await stdin.drain()
+                    stdin.close()
             try:
                 await asyncio.wait_for(self.process.wait(), timeout)
             except asyncio.TimeoutError:
@@ -486,7 +493,9 @@ def _worker_env() -> dict[str, str]:
 class _FleetStats:
     connections: int = 0
     served: int = 0
-    started_at: float = field(default_factory=time.time)
+    # monotonic, not wall clock: uptime is an interval and must not jump
+    # under NTP adjustments (and REP001 bans time.time on serve paths)
+    started_at: float = field(default_factory=time.monotonic)
 
 
 class FleetSupervisor:
@@ -960,7 +969,7 @@ class Fleet:
             ),
             return_exceptions=True,
         )
-        for (target, subset), outcome in zip(ordered, outcomes):
+        for (_target, subset), outcome in zip(ordered, outcomes, strict=True):
             if isinstance(outcome, WorkerError):
                 if not retry:
                     raise outcome
@@ -975,7 +984,7 @@ class Fleet:
             elif not outcome.get("ok"):
                 return outcome  # first sub-batch error wins, verbatim
             else:
-                for position, result in zip(subset, outcome["results"]):
+                for position, result in zip(subset, outcome["results"], strict=False):
                     results[position] = result
         return None
 
@@ -1046,7 +1055,7 @@ class Fleet:
             # workers that *died* during prepare (WorkerError, incl. a
             # wedge hitting the call timeout) drop out of the barrier
             staged = [
-                worker for worker, prepared in zip(participants, prepares)
+                worker for worker, prepared in zip(participants, prepares, strict=True)
                 if not isinstance(prepared, BaseException)
                 and prepared.get("ok")
             ]
@@ -1102,7 +1111,7 @@ class Fleet:
             # version; skew is a *live* worker on a different version
             bad_live = [
                 worker.worker_id
-                for worker, commit in zip(staged, commits)
+                for worker, commit in zip(staged, commits, strict=True)
                 if worker.alive and (
                     isinstance(commit, BaseException) or not commit.get("ok")
                 )
@@ -1231,7 +1240,7 @@ class Fleet:
             ),
             return_exceptions=True,
         )
-        by_worker = dict(zip(live, worker_stats))
+        by_worker = dict(zip(live, worker_stats, strict=True))
         telemetry = get_telemetry()
         latency = telemetry.histograms_snapshot().get(
             "fleet.request_latency_us"
@@ -1266,7 +1275,7 @@ class Fleet:
                     "workers": len(self.workers),
                     "connections": self._stats.connections,
                     "served": self._stats.served,
-                    "uptime_s": time.time() - self._stats.started_at,
+                    "uptime_s": time.monotonic() - self._stats.started_at,
                     "versions_consistent": all(
                         len(seen) == 1 for seen in versions.values()
                     ),
@@ -1299,7 +1308,7 @@ class Fleet:
                 f'worker="{worker.worker_id}"': float(worker.inflight)
                 for worker in self.workers
             },
-            "fleet.uptime_seconds": time.time() - self._stats.started_at,
+            "fleet.uptime_seconds": time.monotonic() - self._stats.started_at,
         }
         return render_prometheus(
             counters, gauges, telemetry.histograms_snapshot(),

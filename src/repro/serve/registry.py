@@ -328,7 +328,7 @@ class ModelRegistry:
         want = model.select_configs(
             None, None, np.asarray(probes, dtype=np.int64)
         )
-        for msize, expected in zip(probes, want):
+        for msize, expected in zip(probes, want, strict=True):
             cid = table.lookup(0, 0, msize)
             if cid >= 0 and table.configs[cid] != expected:
                 raise ValueError(

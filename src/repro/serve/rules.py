@@ -131,7 +131,7 @@ class RuleSet:
     def render(self, library: MPILibrary) -> str:
         """Re-render through the canonical writer (byte-stable round trip)."""
         model = self.resolve(library)
-        table = [(m, c) for (m, _, _, _), c in zip(self.rules, model.configs)]
+        table = [(m, c) for (m, _, _, _), c in zip(self.rules, model.configs, strict=True)]
         return render_ompi_rules(self.collective, self.nodes, self.ppn, table)
 
 

@@ -190,7 +190,7 @@ class _Batcher:
             results = self._service._compute_batch(
                 self._collective, [slot.key for slot in batch]
             )
-            for slot, result in zip(batch, results):
+            for slot, result in zip(batch, results, strict=True):
                 slot.result = result
         except BaseException as exc:  # propagate to every caller
             for slot in batch:
@@ -277,7 +277,7 @@ class PredictionService:
                 misses.setdefault(coll, []).append((pos, key))
         for coll, group in misses.items():
             computed = self._compute_batch(coll, [key for _, key in group])
-            for (pos, _), rec in zip(group, computed):
+            for (pos, _), rec in zip(group, computed, strict=True):
                 results[pos] = rec
         return results  # type: ignore[return-value]
 
@@ -377,7 +377,7 @@ class PredictionService:
             cids = entry.table.lookup_many(nodes, ppn, msize)
             template = entry.template
             configs = entry.table.configs
-            for pos, cid in zip(positions, cids.tolist()):
+            for pos, cid in zip(positions, cids.tolist(), strict=True):
                 if cid < 0:
                     continue
                 inst = instances[pos]
@@ -480,7 +480,7 @@ class PredictionService:
                 configs = mv.model.select_configs(nodes, ppn, msize)
         version = mv.version if mv is not None else 0
         results = []
-        for key, config in zip(keys, configs):
+        for key, config in zip(keys, configs, strict=True):
             if config is None:
                 config = self.registry.default_config(
                     collective, key[1], key[2], key[3]

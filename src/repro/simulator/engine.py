@@ -41,6 +41,10 @@ from repro.machine.model import MachineModel
 from repro.machine.topology import Topology
 from repro.utils.rng import SeedLike, as_generator
 
+#: default horizon for _advance — hoisted so the signature has no
+#: call in a default argument (ruff B008)
+_INF = float("inf")
+
 
 class DeadlockError(RuntimeError):
     """Raised when every unfinished rank is blocked on a message."""
@@ -259,7 +263,7 @@ class Engine:
 
     # ------------------------------------------------------------------
     def _advance(
-        self, rank: int, state: _RankState, horizon: float = float("inf")
+        self, rank: int, state: _RankState, horizon: float = _INF
     ) -> list[int]:
         """Run ``rank`` until it finishes, blocks, or passes ``horizon``.
 

@@ -240,7 +240,7 @@ def pipeline_tree_time(
             # Child c's copy of segment s arrives when its send (the
             # c-th in the batch) completes plus the in-flight part.
             prefix = np.full(nseg, recv_o)
-            for cost, child in zip(costs, kids):
+            for cost, child in zip(costs, kids, strict=True):
                 prefix += cost.busy(sizes)
                 ready[child] = start + prefix + cost.in_flight(sizes)
         return float(finish.max())

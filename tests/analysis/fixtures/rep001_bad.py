@@ -1,0 +1,31 @@
+"""REP001 fixture: every statement here should fire the determinism rule
+(when analyzed under a bench/simulator/ml/serve path)."""
+
+import random
+import time
+from datetime import datetime
+
+import numpy as np
+
+
+def jitter() -> float:
+    return random.random()  # global random instance
+
+
+def shuffled(xs: list) -> list:
+    random.shuffle(xs)  # global random instance
+    return xs
+
+
+def unseeded() -> random.Random:
+    return random.Random()  # no seed
+
+
+def legacy_numpy() -> float:
+    np.random.seed(0)  # legacy global state
+    return float(np.random.rand())  # legacy global state
+
+
+def stamp() -> float:
+    _ = datetime.now()  # wall clock
+    return time.time()  # wall clock

@@ -1,0 +1,26 @@
+"""REP001 clean twin: seeded/injected RNGs and monotonic clocks only."""
+
+import random
+import time
+
+import numpy as np
+
+
+def jitter(rng: np.random.Generator) -> float:
+    return float(rng.random())
+
+
+def seeded(seed: int) -> random.Random:
+    return random.Random(seed)
+
+
+def fresh(seed: int) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+def elapsed(t0: float) -> float:
+    return time.perf_counter() - t0
+
+
+def tick() -> float:
+    return time.monotonic()

@@ -1,0 +1,23 @@
+"""REP002 fixture: non-atomic writes to persistent paths."""
+
+import json
+from pathlib import Path
+
+
+def dump_report(path: Path, doc: dict) -> None:
+    path.write_text(json.dumps(doc))  # torn on crash
+
+
+def dump_rows(path: str, rows: list) -> None:
+    with open(path, "w") as fh:  # torn on crash
+        for row in rows:
+            fh.write(f"{row}\n")
+
+
+def dump_blob(path: Path, blob: bytes) -> None:
+    path.write_bytes(blob)  # torn on crash
+
+
+def dump_via_method(path: Path, text: str) -> None:
+    with path.open("w") as fh:  # torn on crash
+        fh.write(text)

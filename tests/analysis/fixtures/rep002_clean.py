@@ -1,0 +1,26 @@
+"""REP002 clean twin: the tmp + os.replace idiom, append logs, reads."""
+
+import json
+import os
+from pathlib import Path
+
+
+def dump_report(path: Path, doc: dict) -> None:
+    tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+    tmp.write_text(json.dumps(doc))
+    os.replace(tmp, path)
+
+
+def append_log(path: Path, line: str) -> None:
+    with path.open("a") as fh:  # append is not a replace
+        fh.write(line + "\n")
+
+
+def read_doc(path: Path) -> dict:
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def read_mode_kw(path: Path) -> str:
+    with open(path, mode="r") as fh:
+        return fh.read()

@@ -1,0 +1,39 @@
+"""REP003 fixture: blocking calls inside coroutines, dropped tasks."""
+
+import asyncio
+import subprocess
+import threading
+import time
+from pathlib import Path
+
+_lock = threading.Lock()
+
+
+async def napper() -> None:
+    time.sleep(0.1)  # blocks the loop
+
+
+async def sheller() -> str:
+    return subprocess.run(["true"], capture_output=True).stdout.decode()
+
+
+async def reader(path: Path) -> str:
+    return path.read_text()  # sync file IO on the loop
+
+
+async def opener(path: Path) -> str:
+    with path.open("r") as fh:  # sync file IO on the loop
+        return fh.read()
+
+
+async def builtin_opener(path: str) -> str:
+    with open(path) as fh:  # sync file IO on the loop
+        return fh.read()
+
+
+async def grabber() -> None:
+    _lock.acquire()  # blocking acquire on the loop
+
+
+def spawner(coro) -> None:
+    asyncio.create_task(coro)  # dropped task handle

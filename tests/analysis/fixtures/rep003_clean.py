@@ -1,0 +1,31 @@
+"""REP003 clean twin: asyncio-native equivalents."""
+
+import asyncio
+from pathlib import Path
+
+
+async def napper() -> None:
+    await asyncio.sleep(0.1)
+
+
+async def sheller() -> int:
+    proc = await asyncio.create_subprocess_exec("true")
+    return await proc.wait()
+
+
+async def reader(path: Path) -> str:
+    return await asyncio.to_thread(path.read_text)
+
+
+async def grabber(lock: asyncio.Lock) -> None:
+    await lock.acquire()
+    lock.release()
+
+
+def sync_reader(path: Path) -> str:
+    return path.read_text()  # sync IO in a sync function is fine
+
+
+def spawner(coro) -> asyncio.Task:
+    task = asyncio.create_task(coro)  # handle is kept
+    return task

@@ -1,0 +1,35 @@
+"""REP004 fixture: shared attributes mutated outside their lock.
+
+Class names mirror the real contract in ``LOCKED_ATTRS``.
+"""
+
+import threading
+
+
+class ModelRegistry:
+    def __init__(self) -> None:
+        self._write_lock = threading.Lock()
+        self._live = {}
+        self._next_version = 1
+
+    def commit(self, key: str, model: object) -> None:
+        self._live[key] = model  # unlocked subscript store
+        self._next_version += 1  # unlocked augmented assignment
+
+
+class Telemetry:
+    def __init__(self) -> None:
+        self._state_lock = threading.Lock()
+        self._sinks_lock = threading.Lock()
+        self._counters = {}
+        self._sinks = []
+
+    def reset(self) -> None:
+        self._counters.clear()  # unlocked mutator call
+
+    def add_sink(self, sink: object) -> None:
+        self._sinks.append(sink)  # unlocked mutator call
+
+    def wrong_lock(self, sink: object) -> None:
+        with self._state_lock:  # holds the *other* lock
+            self._sinks.append(sink)

@@ -1,0 +1,37 @@
+"""REP004 clean twin: every mutation under the contracted lock."""
+
+import threading
+
+
+class ModelRegistry:
+    def __init__(self) -> None:
+        self._write_lock = threading.Lock()
+        self._live = {}
+        self._next_version = 1
+
+    def commit(self, key: str, model: object) -> None:
+        with self._write_lock:
+            self._live[key] = model
+            self._next_version += 1
+
+    def lookup(self, key: str) -> object:
+        return self._live.get(key)  # reads are the reader's problem
+
+
+class Telemetry:
+    def __init__(self) -> None:
+        self._state_lock = threading.Lock()
+        self._sinks_lock = threading.Lock()
+        self._counters = {}
+        self._sinks = []
+
+    def reset(self) -> None:
+        with self._state_lock:
+            self._counters.clear()
+
+    def add_sink(self, sink: object) -> None:
+        with self._sinks_lock:
+            self._sinks.append(sink)
+
+    def _flush_locked(self) -> None:
+        self._counters.clear()  # *_locked helper: caller holds the lock

@@ -1,0 +1,13 @@
+"""REP005 fixture: malformed or unregistered telemetry names."""
+
+from repro.obs import get_telemetry
+
+telemetry = get_telemetry()
+
+
+def count_things() -> None:
+    telemetry.add("serve.CamelCase.hits")  # not snake_case
+    telemetry.add("frobnicator.requests")  # unregistered prefix
+    telemetry.gauge("uptime", 1.0)  # missing prefix segment
+    telemetry.event("fleet worker died")  # spaces, not a token
+    get_telemetry().add("Serve.hits")  # capitalized prefix

@@ -1,0 +1,15 @@
+"""REP005 clean twin: registered snake_case dotted names."""
+
+from repro.obs import get_telemetry
+
+telemetry = get_telemetry()
+
+
+def count_things(key: str) -> None:
+    telemetry.add("serve.compiled.hit")
+    telemetry.add("fleet.request_latency_us")
+    telemetry.gauge("fleet.workers_alive", 3.0)
+    telemetry.event("fleet_worker_died", worker="w0")
+    telemetry.add(f"cache.{key}.hits")  # dynamic: runtime-validated
+    seen = set()
+    seen.add("not a metric")  # non-telemetry receiver is out of scope

@@ -1,0 +1,23 @@
+"""REP006 fixture: bare and blind exception handlers (analyzed under a
+serve/checkpoint path)."""
+
+
+def swallow_everything(fn) -> None:
+    try:
+        fn()
+    except:  # noqa: E722  — the point of the fixture
+        pass
+
+
+def swallow_blind(fn) -> object:
+    try:
+        return fn()
+    except Exception:
+        return None  # no re-raise, no telemetry, no inspection
+
+
+def swallow_bound_unused(fn) -> object:
+    try:
+        return fn()
+    except BaseException as exc:
+        return None  # bound but never used

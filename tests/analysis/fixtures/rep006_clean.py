@@ -1,0 +1,34 @@
+"""REP006 clean twin: deliberate degradation, not swallowing."""
+
+from repro.obs import get_telemetry
+
+telemetry = get_telemetry()
+
+
+def counted(fn) -> object:
+    try:
+        return fn()
+    except Exception:
+        telemetry.add("serve.compiled.errors")
+        return None  # counted degradation
+
+
+def inspect(fn) -> object:
+    try:
+        return fn()
+    except Exception as exc:
+        return {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+
+
+def propagate(fn) -> object:
+    try:
+        return fn()
+    except BaseException:
+        raise
+
+
+def specific(fn) -> object:
+    try:
+        return fn()
+    except (KeyError, ValueError):
+        return None  # narrow catch is fine without evidence

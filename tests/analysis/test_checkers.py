@@ -1,0 +1,114 @@
+"""Each REP rule fires on its bad fixture and stays silent on the clean
+twin — the fixtures pin the checkers' semantics."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.checkers import (
+    ALL_CHECKERS,
+    AsyncBlockingChecker,
+    AtomicWriteChecker,
+    DeterminismChecker,
+    ExceptionHygieneChecker,
+    LockDisciplineChecker,
+    ObsNamingChecker,
+)
+from repro.analysis.core import FileContext
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+# Scoped rules are exercised under an in-scope fake path; unscoped rules
+# use a neutral one.
+_SERVE_REL = "src/repro/serve/fixture.py"
+_NEUTRAL_REL = "scripts/fixture.py"
+
+CASES = [
+    (DeterminismChecker, "rep001", _SERVE_REL, 7),
+    (AtomicWriteChecker, "rep002", _NEUTRAL_REL, 4),
+    (AsyncBlockingChecker, "rep003", _NEUTRAL_REL, 7),
+    (LockDisciplineChecker, "rep004", _NEUTRAL_REL, 5),
+    (ObsNamingChecker, "rep005", _NEUTRAL_REL, 5),
+    (ExceptionHygieneChecker, "rep006", _SERVE_REL, 3),
+]
+
+
+def _run(checker_cls, rel: str, fixture: str):
+    source = (FIXTURES / fixture).read_text()
+    ctx = FileContext(rel, source)
+    assert checker_cls.applies_to(ctx), f"{checker_cls.rule} out of scope for {rel}"
+    return checker_cls(ctx).run()
+
+
+@pytest.mark.parametrize(
+    "checker_cls,stem,rel,expected", CASES, ids=[c[1] for c in CASES]
+)
+def test_rule_fires_on_bad_fixture(checker_cls, stem, rel, expected):
+    findings = _run(checker_cls, rel, f"{stem}_bad.py")
+    assert len(findings) == expected, [f.render() for f in findings]
+    assert all(f.rule == checker_cls.rule for f in findings)
+    assert all(f.line > 0 and f.col > 0 for f in findings)
+    assert all(f.message for f in findings)
+
+
+@pytest.mark.parametrize(
+    "checker_cls,stem,rel,expected", CASES, ids=[c[1] for c in CASES]
+)
+def test_rule_silent_on_clean_twin(checker_cls, stem, rel, expected):
+    findings = _run(checker_cls, rel, f"{stem}_clean.py")
+    assert findings == [], [f.render() for f in findings]
+
+
+def test_scoped_rules_skip_out_of_scope_paths():
+    source = (FIXTURES / "rep001_bad.py").read_text()
+    for rel in ("src/repro/core/dataset.py", "scripts/tool.py", "tests/x.py"):
+        assert not DeterminismChecker.applies_to(FileContext(rel, source))
+    source = (FIXTURES / "rep006_bad.py").read_text()
+    for rel in ("src/repro/core/dataset.py", "src/repro/ml/model.py"):
+        assert not ExceptionHygieneChecker.applies_to(FileContext(rel, source))
+
+
+def test_scoped_rules_cover_their_paths():
+    src = "x = 1\n"
+    for rel in (
+        "src/repro/bench/runner.py",
+        "src/repro/simulator/machine.py",
+        "src/repro/ml/booster.py",
+        "src/repro/serve/fleet.py",
+    ):
+        assert DeterminismChecker.applies_to(FileContext(rel, src))
+    for rel in ("src/repro/serve/fleet.py", "src/repro/bench/checkpoint.py"):
+        assert ExceptionHygieneChecker.applies_to(FileContext(rel, src))
+
+
+def test_every_checker_has_distinct_rule_and_hint():
+    rules = [c.rule for c in ALL_CHECKERS]
+    assert len(set(rules)) == len(rules) == 6
+    assert all(r.startswith("REP00") for r in rules)
+    assert all(c.default_fix_hint for c in ALL_CHECKERS)
+
+
+def test_rep003_gate_open_is_not_file_io():
+    # regression: `self._gate.open()` (reload gate) must not be flagged
+    source = (
+        "async def stop(self):\n"
+        "    self._gate.open()\n"
+    )
+    ctx = FileContext(_NEUTRAL_REL, source)
+    assert AsyncBlockingChecker(ctx).run() == []
+
+
+def test_rep002_write_mode_via_keyword():
+    ctx = FileContext(
+        _NEUTRAL_REL,
+        "def f(path):\n    fh = open(path, mode='w')\n",
+    )
+    findings = AtomicWriteChecker(ctx).run()
+    assert len(findings) == 1 and findings[0].rule == "REP002"
+
+
+def test_rep001_seeded_random_allowed_unseeded_flagged():
+    good = FileContext(_SERVE_REL, "import random\nr = random.Random(42)\n")
+    assert DeterminismChecker(good).run() == []
+    bad = FileContext(_SERVE_REL, "import random\nr = random.Random()\n")
+    assert len(DeterminismChecker(bad).run()) == 1

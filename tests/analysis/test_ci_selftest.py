@@ -1,0 +1,95 @@
+"""Self-test for the lint-analysis CI job: the exact command CI runs
+must exit 0 on a clean tree and exit 1 when a violation is injected
+into a fleet coroutine — the acceptance scenario for this subsystem."""
+
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.cli import main as cli_main
+
+ROOT = Path(__file__).resolve().parents[2]
+LINT = ROOT / "scripts" / "repro_lint.py"
+
+_INJECTION = """
+
+async def _injected_regression(self):
+    time.sleep(0.25)
+"""
+
+
+def _shadow_repo(tmp_path: Path) -> Path:
+    """A miniature checkout: the real fleet module under its real path."""
+    serve = tmp_path / "src" / "repro" / "serve"
+    serve.mkdir(parents=True)
+    shutil.copy(ROOT / "src" / "repro" / "serve" / "fleet.py", serve / "fleet.py")
+    return tmp_path
+
+
+def _run_lint(cwd: Path) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(LINT), "--fail-on-findings", "src"],
+        cwd=cwd,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+
+
+def test_ci_command_green_on_clean_tree_red_on_injection(tmp_path):
+    shadow = _shadow_repo(tmp_path)
+
+    clean = _run_lint(shadow)
+    assert clean.returncode == 0, clean.stdout + clean.stderr
+
+    fleet = shadow / "src" / "repro" / "serve" / "fleet.py"
+    fleet.write_text(fleet.read_text() + _INJECTION)
+
+    dirty = _run_lint(shadow)
+    assert dirty.returncode == 1, dirty.stdout + dirty.stderr
+    assert "REP003" in dirty.stdout
+    assert "time.sleep" in dirty.stdout
+    assert "fleet.py" in dirty.stdout
+
+
+def test_mpicollpred_lint_subcommand(tmp_path, capsys):
+    shadow = _shadow_repo(tmp_path)
+    assert (
+        cli_main(["lint", "src", "--root", str(shadow), "--fail-on-findings"])
+        == 0
+    )
+    fleet = shadow / "src" / "repro" / "serve" / "fleet.py"
+    fleet.write_text(fleet.read_text() + _INJECTION)
+    assert cli_main(["lint", "src", "--root", str(shadow)]) == 1
+    out = capsys.readouterr().out
+    assert "REP003" in out
+
+
+def test_usage_errors_exit_2(tmp_path):
+    assert cli_main(["lint", "no/such/dir", "--root", str(tmp_path)]) == 2
+    assert cli_main(["lint", "--root", str(tmp_path / "missing")]) == 2
+
+
+def test_unknown_select_rule_exits_2(tmp_path, capsys):
+    """A typo'd --select must not silently select zero checkers."""
+    shadow = _shadow_repo(tmp_path)
+    assert cli_main(["lint", "src", "--root", str(shadow), "--select", "REP999"]) == 2
+    assert cli_main(["lint", "src", "--root", str(shadow), "--select", "REP003"]) == 0
+    capsys.readouterr()
+
+
+def test_write_baseline_then_strict_run_is_green(tmp_path, capsys):
+    shadow = _shadow_repo(tmp_path)
+    fleet = shadow / "src" / "repro" / "serve" / "fleet.py"
+    fleet.write_text(fleet.read_text() + _INJECTION)
+
+    assert cli_main(["lint", "src", "--root", str(shadow)]) == 1
+    assert cli_main(["lint", "src", "--root", str(shadow), "--write-baseline"]) == 0
+    assert (shadow / "analysis-baseline.json").exists()
+    # grandfathered: strict mode passes until the line changes again
+    assert (
+        cli_main(["lint", "src", "--root", str(shadow), "--fail-on-findings"])
+        == 0
+    )
+    capsys.readouterr()

@@ -1,0 +1,120 @@
+"""Framework behavior: suppressions, fingerprints, baselines, REP000."""
+
+import json
+
+from repro.analysis.baseline import load_baseline, save_baseline
+from repro.analysis.checkers import ALL_CHECKERS
+from repro.analysis.core import Analyzer, FileContext, iter_python_files
+
+_BAD_WRITE = 'def f(path):\n    with open(path, "w") as fh:\n        fh.write("x")\n'
+
+
+def _write_tree(root, files):
+    for rel, source in files.items():
+        target = root / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(source)
+
+
+def test_inline_suppression_silences_named_rule(tmp_path):
+    suppressed = _BAD_WRITE.replace(
+        '"w") as fh:',
+        '"w") as fh:  # repro: allow REP002 -- scratch file in tests',
+    )
+    _write_tree(tmp_path, {"scripts/a.py": _BAD_WRITE, "scripts/b.py": suppressed})
+    analyzer = Analyzer(ALL_CHECKERS)
+    result = analyzer.analyze_paths([tmp_path / "scripts"], tmp_path)
+    assert [f.path for f in result.findings] == ["scripts/a.py"]
+    assert len(result.suppressed) == 1
+    assert result.suppressed[0].path == "scripts/b.py"
+
+
+def test_suppression_for_other_rule_does_not_apply():
+    source = _BAD_WRITE.replace(
+        '"w") as fh:', '"w") as fh:  # repro: allow REP001 -- wrong rule'
+    )
+    ctx = FileContext("scripts/a.py", source)
+    analyzer = Analyzer(ALL_CHECKERS)
+    findings = [
+        f for f in analyzer.analyze_context(ctx) if not ctx.is_suppressed(f)
+    ]
+    assert [f.rule for f in findings] == ["REP002"]
+
+
+def test_fingerprints_survive_line_shifts(tmp_path):
+    _write_tree(tmp_path, {"scripts/a.py": _BAD_WRITE})
+    analyzer = Analyzer(ALL_CHECKERS)
+    first = analyzer.analyze_paths([tmp_path / "scripts"], tmp_path)
+    # prepend unrelated lines: position moves, fingerprint must not
+    _write_tree(tmp_path, {"scripts/a.py": "import os\n\nX = 1\n\n" + _BAD_WRITE})
+    second = analyzer.analyze_paths([tmp_path / "scripts"], tmp_path)
+    assert len(first.findings) == len(second.findings) == 1
+    assert first.findings[0].line != second.findings[0].line
+    assert first.findings[0].fingerprint == second.findings[0].fingerprint
+
+
+def test_duplicate_lines_get_distinct_fingerprints(tmp_path):
+    body = (
+        "def f(p):\n"
+        '    p.write_text("x")\n'
+        "\n"
+        "def g(p):\n"
+        '    p.write_text("x")\n'
+    )
+    _write_tree(tmp_path, {"scripts/a.py": body})
+    result = Analyzer(ALL_CHECKERS).analyze_paths([tmp_path / "scripts"], tmp_path)
+    prints = [f.fingerprint for f in result.findings]
+    assert len(prints) == 2 and len(set(prints)) == 2
+
+
+def test_baseline_round_trip(tmp_path):
+    _write_tree(tmp_path, {"scripts/a.py": _BAD_WRITE})
+    analyzer = Analyzer(ALL_CHECKERS)
+    result = analyzer.analyze_paths([tmp_path / "scripts"], tmp_path)
+    baseline_path = tmp_path / "analysis-baseline.json"
+    save_baseline(baseline_path, result.findings)
+
+    loaded = load_baseline(baseline_path)
+    new, baselined, stale = loaded.split(result.findings)
+    assert new == [] and len(baselined) == 1 and stale == []
+
+    # fix the violation: the entry goes stale, nothing is new
+    _write_tree(tmp_path, {"scripts/a.py": "def f(path):\n    return path\n"})
+    result2 = analyzer.analyze_paths([tmp_path / "scripts"], tmp_path)
+    new2, baselined2, stale2 = loaded.split(result2.findings)
+    assert new2 == [] and baselined2 == [] and len(stale2) == 1
+
+    doc = json.loads(baseline_path.read_text())
+    assert doc["version"] == 1
+    assert doc["findings"][0]["rule"] == "REP002"
+
+
+def test_missing_baseline_is_empty(tmp_path):
+    loaded = load_baseline(tmp_path / "nope.json")
+    assert loaded.entries == []
+
+
+def test_syntax_error_becomes_rep000(tmp_path):
+    _write_tree(tmp_path, {"scripts/broken.py": "def f(:\n"})
+    result = Analyzer(ALL_CHECKERS).analyze_paths([tmp_path / "scripts"], tmp_path)
+    assert [f.rule for f in result.findings] == ["REP000"]
+
+
+def test_select_narrows_rules():
+    source = _BAD_WRITE + "\nimport time\nasync def g():\n    time.sleep(1)\n"
+    ctx = FileContext("scripts/a.py", source)
+    only_async = Analyzer(ALL_CHECKERS, select=["REP003"])
+    assert {f.rule for f in only_async.analyze_context(ctx)} == {"REP003"}
+
+
+def test_iter_python_files_skips_pycache(tmp_path):
+    _write_tree(
+        tmp_path,
+        {
+            "pkg/mod.py": "x = 1\n",
+            "pkg/__pycache__/mod.cpython-311.py": "x = 1\n",
+            "pkg/data.txt": "not python\n",
+        },
+    )
+    found = [p.name for p in iter_python_files([tmp_path])]
+    assert found == ["mod.py"]

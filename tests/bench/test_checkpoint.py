@@ -59,7 +59,7 @@ class TestJournal:
         cid, msize, time = fresh.get((2, 1))
         assert cid == rows[0] and msize == rows[1]
         # bit-identical float recovery (json round-trips IEEE doubles)
-        assert all(a == b for a, b in zip(time, rows[2]))
+        assert all(a == b for a, b in zip(time, rows[2], strict=True))
 
     def test_missing_file_is_fresh(self, tmp_path):
         journal = CampaignJournal(tmp_path / "nope.json", self.FP)

@@ -74,7 +74,7 @@ class TestReduceScatterHalving:
         pof2 = 1 << (p.bit_length() - 1)
         core = rounds[1:] if p != pof2 else rounds
         sizes = [int(np.max(np.asarray(r.nbytes))) for r in core]
-        for a, b in zip(sizes, sizes[1:]):
+        for a, b in zip(sizes, sizes[1:], strict=False):
             assert b == -(-a // 2) or b == a // 2
 
 
@@ -104,7 +104,7 @@ class TestPairwiseRounds:
         assert len(rounds) == p - 1
         seen = set()
         for rnd in rounds:
-            for s, d in zip(rnd.srcs, rnd.dsts):
+            for s, d in zip(rnd.srcs, rnd.dsts, strict=True):
                 seen.add((int(s), int(d)))
         assert seen == {(s, d) for s in range(p) for d in range(p) if s != d}
 
@@ -141,6 +141,6 @@ class TestBinomialScatterRounds:
         topo = Topology(1, 8)
         rounds0 = patterns.binomial_scatter_rounds(topo, 0, 8 * 64)
         rounds3 = patterns.binomial_scatter_rounds(topo, 3, 8 * 64)
-        for r0, r3 in zip(rounds0, rounds3):
+        for r0, r3 in zip(rounds0, rounds3, strict=True):
             np.testing.assert_array_equal((r0.srcs + 3) % 8, r3.srcs)
             np.testing.assert_array_equal((r0.dsts + 3) % 8, r3.dsts)

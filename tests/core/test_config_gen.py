@@ -85,7 +85,7 @@ class TestParseRoundTrip:
         assert str(kind) == "bcast"
         assert comm_size == 32
         assert [r[0] for r in rules] == list(msizes)
-        for (m, cfg), (rm, algid, fanout, seg) in zip(table, rules):
+        for (m, cfg), (rm, algid, _fanout, seg) in zip(table, rules, strict=True):
             assert rm == m and algid == cfg.algid
             params = cfg.param_dict
             assert seg == (params.get("segsize") or 0)

@@ -98,7 +98,7 @@ class TestTable3Splits:
 
     @pytest.mark.parametrize("scale", list(Scale))
     def test_train_test_disjoint(self, scale):
-        for (machine, s), spec in SPLITS.items():
+        for (_machine, s), spec in SPLITS.items():
             if s is not scale:
                 continue
             assert not set(spec.full_train) & set(spec.test)

@@ -119,7 +119,7 @@ class TestTables:
         small = tables.table4(Scale.CI, dids=("d1",), small=True)
         # The paper's Table IVb finding: little is lost with the small
         # training set.
-        for row_l, row_s in zip(large.rows, small.rows):
+        for row_l, row_s in zip(large.rows, small.rows, strict=True):
             assert row_s[-1] > row_l[-1] * 0.7
 
 

@@ -50,7 +50,7 @@ class TestLearning:
         losses = model.train_losses_
         assert losses[-1] < losses[0]
         # Mostly monotone: allow tiny numerical wiggles.
-        worsening = sum(b > a + 1e-12 for a, b in zip(losses, losses[1:]))
+        worsening = sum(b > a + 1e-12 for a, b in zip(losses, losses[1:], strict=False))
         assert worsening < len(losses) / 4
 
     def test_beats_mean_baseline(self):

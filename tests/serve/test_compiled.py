@@ -60,7 +60,7 @@ class TestRulesLowering:
         want = model.select_configs(
             None, None, np.asarray(probes, dtype=np.int64)
         )
-        for msize, expected in zip(probes, want):
+        for msize, expected in zip(probes, want, strict=True):
             cid = table.lookup(0, 0, msize)
             assert cid >= 0, f"rules bucket uncovered at msize={msize}"
             assert table.configs[cid] == expected, f"msize={msize}"
@@ -129,7 +129,7 @@ class TestRulesLowering:
         want = model.select_configs(
             None, None, np.asarray(probes, dtype=np.int64)
         )
-        for msize, expected in zip(probes, want):
+        for msize, expected in zip(probes, want, strict=True):
             cid = table.lookup(0, 0, msize)
             if cid >= 0:
                 assert table.configs[cid] == expected, f"msize={msize}"
@@ -231,7 +231,7 @@ class TestCompiledService:
         registry.publish(tuner.servable(), tag="oracle")
         service = PredictionService(registry, compiled=True)
         expected = [tuner.recommend(n, p, m) for n, p, m in queries]
-        for (n, p, m), want in zip(queries, expected):
+        for (n, p, m), want in zip(queries, expected, strict=True):
             assert service.recommend("bcast", n, p, m).config == want
         batch = service.recommend_many(
             [("bcast", n, p, m) for n, p, m in queries]

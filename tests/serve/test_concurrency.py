@@ -196,7 +196,8 @@ class TestCoalescing:
         n_threads = 8
         queries = [(4, 2, int(m) + tid) for tid, m in
                    zip(range(n_threads), [0, 10, 2000, 3000, 70000,
-                                          80000, 2 << 20, 3 << 20])]
+                                          80000, 2 << 20, 3 << 20],
+                       strict=True)]
         barrier = threading.Barrier(n_threads)
         results: dict[int, object] = {}
         errors: list[BaseException] = []

@@ -118,7 +118,7 @@ class TestRecommendManyParity:
         assert batch["ok"]
         fields = ("algid", "algorithm", "params", "label", "msize",
                   "source", "version")
-        for inst, got in zip(instances, batch["results"]):
+        for inst, got in zip(instances, batch["results"], strict=True):
             scalar = handle_request(service, dict(inst))
             assert scalar["ok"]
             assert {f: got[f] for f in fields} == {

@@ -73,11 +73,11 @@ def test_service_bit_identical_to_cold_tuner(grid_idx, seed, queries):
     expected = [tuner.recommend(n, p, m) for n, p, m in queries]
 
     # serial, cold cache (first touch = miss)
-    for (n, p, m), want in zip(queries, expected):
+    for (n, p, m), want in zip(queries, expected, strict=True):
         assert service.recommend("bcast", n, p, m).config == want
 
     # serial, warm cache (hits must not change the answer)
-    for (n, p, m), want in zip(queries, expected):
+    for (n, p, m), want in zip(queries, expected, strict=True):
         rec = service.recommend("bcast", n, p, m)
         assert rec.cached
         assert rec.config == want

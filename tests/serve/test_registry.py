@@ -115,7 +115,7 @@ class TestSelectorModelProtocol:
         ppn = np.asarray([1, 2, 1])
         msize = np.asarray([64, 4096, 262144])
         picks = model.select_configs(nodes, ppn, msize)
-        for n, p, m, config in zip(nodes, ppn, msize, picks):
+        for n, p, m, config in zip(nodes, ppn, msize, picks, strict=True):
             assert config == tuned_bcast.selector_.select(
                 int(n), int(p), int(m)
             )

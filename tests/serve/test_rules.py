@@ -112,7 +112,7 @@ class TestBracketLookup:
             None, None, np.asarray(msizes, dtype=np.int64)
         )
         for (_, algid, fanout, seg), config in zip(
-            model.rule_set.rules, picks
+            model.rule_set.rules, picks, strict=True
         ):
             assert config_rule_key(config) == (algid, fanout, seg)
 
@@ -167,7 +167,7 @@ class TestCompiledBracketEdges:
         want = model.select_configs(
             None, None, np.asarray(msizes, dtype=np.int64)
         )
-        for msize, expected in zip(msizes, want):
+        for msize, expected in zip(msizes, want, strict=True):
             cid = table.lookup(0, 0, msize)
             if cid >= 0:
                 assert table.configs[cid] == expected, f"msize={msize}"

@@ -79,7 +79,7 @@ class TestRecommendMany:
         ]
         recs = service.recommend_many(instances)
         assert len(recs) == len(instances)
-        for (coll, n, p, m), rec in zip(instances, recs):
+        for (_coll, n, p, m), rec in zip(instances, recs, strict=True):
             assert (rec.nodes, rec.ppn, rec.msize) == (n, p, m)
             assert rec.config == tuned_bcast.recommend(n, p, m)
 

@@ -162,7 +162,7 @@ class TestPipelineTreeTime:
             pipeline_tree_time(QUIET, topo, parent, children, m, 4096)
             for m in (0, 100, 10**4, 10**6)
         ]
-        assert all(a < b for a, b in zip(times, times[1:]))
+        assert all(a < b for a, b in zip(times, times[1:], strict=False))
 
     def test_reduce_up_includes_gamma(self):
         topo = Topology(4, 1)

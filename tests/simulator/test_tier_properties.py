@@ -72,7 +72,7 @@ class TestRandomRoundEquivalence:
 
         def factory(rank):
             def prog():
-                for tag, (srcs, dsts, nbytes) in enumerate(rounds):
+                for tag, (_srcs, dsts, nbytes) in enumerate(rounds):
                     send_to = int(dsts[rank])
                     recv_from = int(np.flatnonzero(dsts == rank)[0])
                     yield from exchange(
