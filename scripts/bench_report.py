@@ -157,6 +157,7 @@ def direct_metrics() -> dict[str, float]:
     )
 
     out.update(fleet_metrics(tuner))
+    out.update(retrain_metrics())
     return out
 
 
@@ -263,6 +264,116 @@ def fleet_metrics(tuner) -> dict[str, float]:
                 mid_round=lambda: os.kill(victim, signal.SIGKILL)
             )
             out["fleet_degraded_req_per_s"] = len(flat) / elapsed
+    return out
+
+
+def retrain_metrics() -> dict[str, float]:
+    """Closed-loop retrain cost: active sampling vs naive full refit.
+
+    Reproduces the ISSUE-10 acceptance scenario deterministically: a
+    GAM selector trained on the tiny testbed serves a traffic mix whose
+    hot path (the dominant chosen algorithm family) silently slows down
+    2x. The feedback log picks up the drift, and the retrainer refits —
+    once with active sampling (measure only instances where the
+    analytical prior calibrated on feedback disagrees with the learned
+    model) and once exhaustively. ``retrain_budget_frac`` is the gated
+    headline: measured samples / full-grid samples, which must stay at
+    most half the naive refit while final selection agreement against
+    the shifted oracle matches the exhaustive run.
+    """
+    from collections import Counter
+
+    from repro.bench.repro_mpi import BenchmarkSpec
+    from repro.bench.runner import GridSpec
+    from repro.core.feedback import (
+        FeedbackConfig,
+        FeedbackLogger,
+        WorldShift,
+        read_feedback,
+    )
+    from repro.core.retrain import (
+        Retrainer,
+        RetrainPolicy,
+        selection_agreement,
+    )
+    from repro.core.tuner import AutoTuner
+    from repro.machine.zoo import tiny_testbed
+    from repro.mpilib import get_library
+    from repro.serve.service import Recommendation
+
+    margin = 0.10
+    library = get_library("Open MPI")
+    msizes = (64, 1024, 4096, 65536, 262144, 1048576)
+    tuner = AutoTuner(
+        tiny_testbed, library, "bcast",
+        learner="GAM", bench_spec=BenchmarkSpec(max_nreps=30), seed=1,
+    )
+    base = tuner.benchmark(
+        GridSpec(nodes=(2, 4, 8), ppns=(1, 2), msizes=msizes)
+    )
+    selector = tuner.train()
+    configs = library.config_space("bcast").configs
+    instances = [
+        (n, p, m) for n in (2, 4, 8) for p in (1, 2) for m in msizes
+    ]
+    chosen = {
+        inst: int(selector.select_ids(*inst)[0]) for inst in instances
+    }
+    dominant = Counter(
+        configs[cid].algid for cid in chosen.values() if cid >= 0
+    ).most_common(1)[0][0]
+    shift = WorldShift(factor=2.0, algids=(dominant,))
+    hot = [
+        inst for inst in instances
+        if configs[chosen[inst]].algid == dominant
+    ]
+
+    out: dict[str, float] = {}
+    t0 = time.perf_counter()
+    with tempfile.TemporaryDirectory() as tmp:
+        feedback = FeedbackLogger(
+            FeedbackConfig(
+                path=str(Path(tmp) / "feedback.jsonl"),
+                seed=3, shift=2.0, shift_algids=(dominant,),
+            ),
+            tiny_testbed, library,
+        )
+        # traffic mix: every instance once, the drifting hot path 3x
+        for n, p, m in list(instances) + 3 * hot:
+            feedback.record(Recommendation(
+                collective="bcast", nodes=n, ppn=p, msize=m,
+                config=configs[chosen[(n, p, m)]],
+                source="model", version=1,
+            ))
+        feedback.close()
+        rows = read_feedback(feedback.path)
+    out["retrain_feedback_rows"] = float(len(rows))
+
+    active = Retrainer(
+        tiny_testbed, library, "bcast", base,
+        seed=1, learner="GAM", shift=shift,
+        policy=RetrainPolicy(margin=margin),
+    )
+    assert active.scan(rows), "drift must fire on the 2x hot-path shift"
+    result = active.retrain(rows)
+    out["retrain_s"] = time.perf_counter() - t0
+    out["retrain_budget_frac"] = result.budget_frac
+    out["retrain_agreement"] = selection_agreement(
+        result.selector, tiny_testbed, library, "bcast", instances,
+        shift=shift, margin=margin,
+    )
+
+    exhaustive = Retrainer(
+        tiny_testbed, library, "bcast", base,
+        seed=1, learner="GAM", shift=shift,
+        policy=RetrainPolicy(exhaustive=True, margin=margin),
+    )
+    full = exhaustive.retrain(rows)
+    out["retrain_exhaustive_budget_frac"] = full.budget_frac
+    out["retrain_exhaustive_agreement"] = selection_agreement(
+        full.selector, tiny_testbed, library, "bcast", instances,
+        shift=shift, margin=margin,
+    )
     return out
 
 

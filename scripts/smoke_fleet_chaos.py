@@ -45,7 +45,13 @@ from pathlib import Path
 ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(ROOT / "src"))
 
-from repro.serve.chaos import build_plan  # noqa: E402
+from repro.serve.chaos import (  # noqa: E402
+    build_plan,
+    strip_provenance,
+    verify_bit_identity,
+    verify_chaos_invariants,
+    verify_reload_contract,
+)
 
 SEED = 8
 WORKERS = 3
@@ -58,10 +64,6 @@ HEAL_TIMEOUT_S = 60.0
 NODES = (2, 4, 8, 16, 34)
 PPNS = (1, 2, 16, 32)
 MSIZES = (64, 1024, 16384, 65536, 262144, 1 << 20)
-
-#: cache-tier provenance differs legitimately after a respawn (a fresh
-#: worker's L1 is cold); the *answer* must not
-PROVENANCE_FIELDS = ("cached", "compiled")
 
 
 def request_at(index: int) -> dict:
@@ -166,13 +168,6 @@ def wait_for_healthy(port: int, failures: list) -> None:
     failures.append(f"fleet never re-healed: {healthz(port)}")
 
 
-def strip_provenance(response: dict) -> dict:
-    return {
-        key: value for key, value in response.items()
-        if key not in PROVENANCE_FIELDS
-    }
-
-
 def run_campaign(
     port: int, plan, failures: list, chaos: bool
 ) -> tuple[list[dict], dict]:
@@ -245,22 +240,12 @@ def main() -> int:
           f"{time.time() - t0:.1f}s; restarts={restarts:.0f} "
           f"garbage={garbage:.0f} failovers={failovers:.0f}")
 
-    if restarts < WORKERS:
-        failures.append(
-            f"fleet_worker_restarts_total {restarts} < {WORKERS}: "
-            "not every killed worker was respawned"
+    failures.extend(
+        verify_chaos_invariants(
+            n_workers=WORKERS, restarts=restarts, garbage=garbage,
+            health=health, stats=stats,
         )
-    if garbage < 1:
-        failures.append("no garbage stdout line was ever skipped")
-    if health.get("status") != "ok":
-        failures.append(f"final healthz not ok: {health}")
-    if stats.get("committed_reloads") != 1:
-        failures.append(
-            f"reload committed {stats.get('committed_reloads')} times, "
-            "expected exactly 1"
-        )
-    if not stats.get("versions_consistent"):
-        failures.append(f"version skew after the campaign: {stats}")
+    )
 
     # -- the fault-free oracle ----------------------------------------
     proc, port = boot_fleet(chaos_ops=False)
@@ -283,31 +268,8 @@ def main() -> int:
           f"{time.time() - t0:.1f}s")
 
     # -- bit-identity -------------------------------------------------
-    mismatches = 0
-    for index, (chaotic, clean) in enumerate(
-        zip(chaos_answers, clean_answers, strict=True)
-    ):
-        if chaotic != clean:
-            mismatches += 1
-            if mismatches <= 3:
-                failures.append(
-                    {f"answer {index} diverged": {
-                        "chaos": chaotic, "clean": clean,
-                    }}
-                )
-    if mismatches:
-        failures.append(
-            f"{mismatches}/{N_REQUESTS} answers diverged from the "
-            "fault-free oracle"
-        )
-    # the wedged worker legitimately sits out the chaos commit, so the
-    # reload responses compare on the version contract only
-    for key in ("ok", "version", "collective", "tag"):
-        if chaos_reload.get(key) != clean_reload.get(key):
-            failures.append(
-                f"reload {key!r} diverged: chaos={chaos_reload.get(key)!r} "
-                f"clean={clean_reload.get(key)!r}"
-            )
+    failures.extend(verify_bit_identity(chaos_answers, clean_answers))
+    failures.extend(verify_reload_contract(chaos_reload, clean_reload))
 
     if failures:
         for failure in failures[:20]:

@@ -30,6 +30,7 @@ REGISTERED_PREFIXES = (
     "campaign",
     "dataset",
     "fleet",
+    "retrain",
     "selector",
     "serve",
     "surface",

@@ -174,6 +174,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             max_worker_restarts=args.max_worker_restarts,
             call_timeout_s=args.call_timeout,
             chaos_ops=args.chaos_ops,
+            feedback_dir=args.feedback_dir or "",
+            feedback_seed=args.feedback_seed,
+            feedback_shift=args.feedback_shift,
+            feedback_shift_algids=_parse_algids(args.feedback_shift_algids),
         )
         return run_fleet(spec, host=args.host, port=args.port)
 
@@ -215,9 +219,26 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             "requests will fall back to the library default",
             file=sys.stderr,
         )
+    feedback = None
+    if args.feedback_dir:
+        from pathlib import Path
+
+        from repro.core.feedback import FeedbackConfig, FeedbackLogger
+
+        feedback = FeedbackLogger(
+            FeedbackConfig(
+                path=str(Path(args.feedback_dir) / "feedback.jsonl"),
+                seed=args.feedback_seed,
+                shift=args.feedback_shift,
+                shift_algids=_parse_algids(args.feedback_shift_algids),
+            ),
+            machine,
+            library,
+        )
+        print(f"feedback log: {feedback.path}", file=sys.stderr)
     service = PredictionService(
         registry, mode=args.mode, cache_size=args.cache_size,
-        compiled=args.compiled,
+        compiled=args.compiled, feedback=feedback,
     )
     source = open(args.requests) if args.requests else sys.stdin
     try:
@@ -229,7 +250,112 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     finally:
         if args.requests:
             source.close()
+        if feedback is not None:
+            feedback.close()
     print(f"served {served} request(s)", file=sys.stderr)
+    return 0
+
+
+def _parse_algids(text: str | None) -> tuple[int, ...]:
+    """'1,7' -> (1, 7); empty/None -> () (shift applies to all algids)."""
+    if not text:
+        return ()
+    return tuple(int(part) for part in text.split(",") if part.strip())
+
+
+def _fleet_reload(endpoint: str, rules_path: str) -> dict:
+    """Poke a running fleet's two-phase reload with a new rules file."""
+    import json
+    import socket
+
+    host, _, port = endpoint.rpartition(":")
+    with socket.create_connection((host or "127.0.0.1", int(port))) as sock:
+        with sock.makefile("rw", encoding="utf-8", newline="\n") as stream:
+            stream.write(
+                json.dumps({"op": "reload", "path": rules_path}) + "\n"
+            )
+            stream.flush()
+            return json.loads(stream.readline())
+
+
+def _cmd_retrain(args: argparse.Namespace) -> int:
+    from repro.core.dataset import PerfDataset
+    from repro.core.feedback import WorldShift, read_feedback
+    from repro.core.retrain import Retrainer, RetrainPolicy, RetrainResult
+    from repro.machine.zoo import get_machine
+    from repro.mpilib import get_library
+
+    machine = get_machine(args.machine)
+    library = get_library(args.library)
+    base = PerfDataset.load(args.dataset)
+    retrainer = Retrainer(
+        machine,
+        library,
+        args.collective,
+        base,
+        seed=args.seed,
+        learner=args.learner,
+        policy=RetrainPolicy(
+            threshold=args.threshold,
+            min_samples=args.min_samples,
+            window=args.window,
+            exhaustive=args.exhaustive,
+            margin=args.margin,
+        ),
+        shift=WorldShift(
+            factor=args.shift, algids=_parse_algids(args.shift_algids)
+        ),
+    )
+
+    def publish(result: RetrainResult) -> None:
+        print(
+            f"retrained {result.collective}: measured "
+            f"{result.measured_samples}/{result.full_grid_samples} samples "
+            f"(budget_frac={result.budget_frac:.3f}, "
+            f"{result.disagreements}/{result.instances} instances flagged, "
+            f"log_shift={result.log_shift:+.3f})",
+            file=sys.stderr,
+        )
+        if args.rules_out:
+            msizes = tuple(sorted(set(result.dataset.msize.tolist())))
+            result.tuner.write_rules(
+                args.rules_out, args.nodes, args.ppn,
+                msizes=msizes or (1,),
+            )
+            result.rules_path = args.rules_out
+            print(f"wrote rules -> {args.rules_out}", file=sys.stderr)
+            if args.fleet:
+                answer = _fleet_reload(args.fleet, args.rules_out)
+                print(
+                    f"fleet reload @{args.fleet}: {answer}", file=sys.stderr
+                )
+
+    with _telemetry_to(args.telemetry):
+        if args.watch:
+            try:
+                results = retrainer.watch(
+                    args.feedback,
+                    interval_s=args.interval,
+                    max_rounds=args.max_rounds,
+                    on_result=publish,
+                )
+            except KeyboardInterrupt:
+                print("retrain: interrupted", file=sys.stderr)
+                return 130
+            print(f"watch loop exited after {len(results)} retrain(s)",
+                  file=sys.stderr)
+            return 0
+        rows = read_feedback(args.feedback)
+        drifting = retrainer.scan(rows)
+        if not drifting and not args.force:
+            print(
+                f"no drift over {len(rows)} feedback row(s) "
+                f"(threshold {args.threshold}); pass --force to retrain "
+                "anyway",
+                file=sys.stderr,
+            )
+            return 0
+        publish(retrainer.retrain(rows))
     return 0
 
 
@@ -422,6 +548,98 @@ def build_parser() -> argparse.ArgumentParser:
         help="admit seeded fault-injection ops (kill/wedge/garbage/"
         "crash) over the socket — chaos harness only, never production",
     )
+    p.add_argument(
+        "--feedback-dir", metavar="DIR", default=None,
+        help="append served recommendations + simulated observations "
+        "as JSONL under DIR (per-worker files in fleet mode) — the "
+        "closed loop's measure step (see docs/online-learning.md)",
+    )
+    p.add_argument("--feedback-seed", type=int, default=0,
+                   help="seed of the simulated observation RNG")
+    p.add_argument(
+        "--feedback-shift", type=float, default=1.0, metavar="FACTOR",
+        help="injected world shift: scale observed times by FACTOR "
+        "(drift drills; 1.0 = stationary)",
+    )
+    p.add_argument(
+        "--feedback-shift-algids", metavar="IDS", default=None,
+        help="comma-separated algids the shift applies to (default all)",
+    )
+
+    p = sub.add_parser(
+        "retrain",
+        help="drift-triggered refit on base + feedback rows with active "
+        "sampling; publishes rules for the fleet's two-phase reload "
+        "(see docs/online-learning.md)",
+    )
+    p.add_argument(
+        "--feedback", metavar="PATH", required=True,
+        help="feedback JSONL file, or a directory of per-worker files",
+    )
+    p.add_argument(
+        "--dataset", metavar="PATH", required=True,
+        help="base campaign dataset (.npz written by generate/tune)",
+    )
+    p.add_argument("--collective", default="bcast",
+                   choices=["bcast", "allreduce", "alltoall", "reduce",
+                            "allgather"])
+    p.add_argument("--machine", default="Hydra")
+    p.add_argument("--library", default="Open MPI")
+    p.add_argument("--learner", default="GAM")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--threshold", type=float, default=0.25,
+        help="drift trigger: |median log-residual - baseline| above this",
+    )
+    p.add_argument("--min-samples", type=int, default=30,
+                   help="residuals required before the trigger may fire")
+    p.add_argument("--window", type=int, default=512,
+                   help="bounded residual window per (collective, version)")
+    p.add_argument(
+        "--margin", type=float, default=0.05,
+        help="relative regret under which model families count as "
+        "agreeing (active-sampling flag + agreement grading)",
+    )
+    p.add_argument(
+        "--exhaustive", action="store_true",
+        help="measure every feedback instance (the naive full-grid "
+        "refit active sampling is graded against)",
+    )
+    p.add_argument(
+        "--shift", type=float, default=1.0, metavar="FACTOR",
+        help="simulated world shift applied when measuring (stands in "
+        "for the drifted machine; match the serve-side drill)",
+    )
+    p.add_argument("--shift-algids", metavar="IDS", default=None,
+                   help="comma-separated algids the shift applies to")
+    p.add_argument(
+        "--force", action="store_true",
+        help="one-shot mode: retrain even when the detector is quiet",
+    )
+    p.add_argument("--watch", action="store_true",
+                   help="poll the feedback log and retrain on every "
+                   "drift trigger instead of one-shot")
+    p.add_argument("--interval", type=float, default=0.5, metavar="SECONDS",
+                   help="poll interval for --watch")
+    p.add_argument(
+        "--max-rounds", type=int, default=0, metavar="N",
+        help="exit --watch after N retrains (0 = run until interrupted)",
+    )
+    p.add_argument(
+        "--rules-out", metavar="PATH", default=None,
+        help="write the refitted selection table as a rules file here",
+    )
+    p.add_argument("--nodes", type=int, default=4,
+                   help="allocation nodes for --rules-out")
+    p.add_argument("--ppn", type=int, default=2,
+                   help="allocation ppn for --rules-out")
+    p.add_argument(
+        "--fleet", metavar="HOST:PORT", default=None,
+        help="after writing --rules-out, trigger this fleet's "
+        "coordinated two-phase reload over its socket",
+    )
+    p.add_argument("--telemetry", metavar="PATH", default=None,
+                   help="write JSONL telemetry events to PATH")
 
     p = sub.add_parser(
         "lint",
@@ -461,6 +679,7 @@ _COMMANDS = {
     "predict": _cmd_predict,
     "experiment": _cmd_experiment,
     "serve": _cmd_serve,
+    "retrain": _cmd_retrain,
     "lint": _cmd_lint,
     "report": _cmd_report,
 }

@@ -1,0 +1,544 @@
+"""Serve-side feedback logging: the *measure* step of the closed loop.
+
+The offline pipeline trains once on a benchmark campaign and never
+hears back from serving. This module closes that gap: a
+:class:`~repro.serve.service.PredictionService` (or each fleet worker)
+configured with a :class:`FeedbackLogger` appends one JSONL row per
+served recommendation::
+
+    {"schema": 1, "collective": "bcast", "nodes": 8, "ppn": 2,
+     "msize": 65536, "config_id": 7, "config": "chain[...]",
+     "observed_time": 1.2e-4, "predicted_time": 1.1e-4,
+     "version": 1, "source": "model"}
+
+``observed_time`` is the (simulated) runtime the recommendation
+actually achieved — sampled from the machine's noise model around the
+analytical base time, optionally scaled by an injected
+:class:`WorldShift` standing in for a genuinely drifting machine.
+``predicted_time`` is the analytical prediction for the *chosen*
+configuration, so ``log(observed/predicted)`` is the residual the
+drift detector (:mod:`repro.obs.drift`) watches.
+
+Durability discipline mirrors :mod:`repro.obs`: the writer emits one
+flushed line per row (append-only — a crash can tear at most the last
+line), and :func:`read_feedback` skips torn/garbage lines with a
+``feedback_skipped_lines`` event and a ``serve.feedback.skipped_lines``
+counter instead of ever raising — the same reader contract as
+:func:`repro.obs.report.load_events`.
+
+Rows convert back into training data through :func:`feedback_dataset`
+(a :class:`~repro.core.dataset.PerfDataset` over the library's config
+space, ``validate()``-checked) and :func:`merge_feedback` (merged into
+a base campaign via the existing ``PerfDataset.merge`` path) — which
+is what the background retrainer (:mod:`repro.core.retrain`) refits
+on.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from typing import IO, Iterable, Sequence
+
+import numpy as np
+
+from repro.collectives.base import AlgorithmConfig, CollectiveKind
+from repro.collectives.registry import algorithm_from_config
+from repro.core.dataset import PerfDataset
+from repro.machine.model import MachineModel
+from repro.machine.topology import Topology
+from repro.mpilib.base import MPILibrary
+from repro.obs import get_telemetry
+from repro.utils.rng import as_generator, stable_seed
+
+#: bump when the row shape changes; readers skip unknown schemas
+FEEDBACK_SCHEMA = 1
+
+
+@dataclass(frozen=True)
+class WorldShift:
+    """Injected drift: scale observed times of selected algorithms.
+
+    A pure simulation stand-in for a machine whose behaviour changed
+    under the served model's feet (a degraded link, a fabric firmware
+    update). ``factor`` multiplies the base time of every algorithm in
+    ``algids`` (all algorithms when empty). A per-``algid`` shift
+    changes the *ranking* of configurations — which is what makes the
+    served model stale and retraining necessary; a uniform shift only
+    moves the residual gauges.
+    """
+
+    factor: float = 1.0
+    algids: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not (self.factor > 0 and math.isfinite(self.factor)):
+            raise ValueError(
+                f"shift factor must be finite and > 0, got {self.factor!r}"
+            )
+        object.__setattr__(self, "algids", tuple(int(a) for a in self.algids))
+
+    def scale(self, algid: int) -> float:
+        """The factor applied to ``algid``'s observed times."""
+        if self.factor == 1.0:
+            return 1.0
+        if self.algids and int(algid) not in self.algids:
+            return 1.0
+        return self.factor
+
+    @property
+    def identity(self) -> bool:
+        return self.factor == 1.0
+
+
+@dataclass(frozen=True)
+class FeedbackRow:
+    """One served recommendation plus its measured outcome."""
+
+    collective: str
+    nodes: int
+    ppn: int
+    msize: int
+    #: index into the library config space (== PerfDataset config_id)
+    config_id: int
+    #: configuration label — human-readable, cross-checked on merge
+    config: str
+    observed_time: float
+    predicted_time: float
+    #: registry model version that made the choice
+    version: int
+    source: str = "model"
+
+    def __post_init__(self) -> None:
+        if self.nodes < 1 or self.ppn < 1:
+            raise ValueError(
+                f"nodes/ppn must be >= 1, got {self.nodes}/{self.ppn}"
+            )
+        if self.msize < 0:
+            raise ValueError(f"msize must be >= 0, got {self.msize}")
+        if self.config_id < 0:
+            raise ValueError(f"config_id must be >= 0, got {self.config_id}")
+        if self.version < 0:
+            raise ValueError(f"version must be >= 0, got {self.version}")
+        for name in ("observed_time", "predicted_time"):
+            value = getattr(self, name)
+            if not (value > 0 and math.isfinite(value)):
+                raise ValueError(
+                    f"{name} must be finite and > 0, got {value!r}"
+                )
+
+    @property
+    def residual(self) -> float:
+        """``log(observed / predicted)`` — what the drift detector eats."""
+        return math.log(self.observed_time / self.predicted_time)
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": FEEDBACK_SCHEMA,
+            "collective": self.collective,
+            "nodes": self.nodes,
+            "ppn": self.ppn,
+            "msize": self.msize,
+            "config_id": self.config_id,
+            "config": self.config,
+            "observed_time": self.observed_time,
+            "predicted_time": self.predicted_time,
+            "version": self.version,
+            "source": self.source,
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @staticmethod
+    def from_dict(payload: dict) -> "FeedbackRow":
+        """Strict parse: raises ``ValueError``/``KeyError`` on bad rows
+        (the reader turns those into skip-counted lines)."""
+        if not isinstance(payload, dict):
+            raise ValueError("feedback row must be a JSON object")
+        if payload.get("schema") != FEEDBACK_SCHEMA:
+            raise ValueError(
+                f"unknown feedback schema {payload.get('schema')!r}"
+            )
+        return FeedbackRow(
+            collective=str(payload["collective"]),
+            nodes=int(payload["nodes"]),
+            ppn=int(payload["ppn"]),
+            msize=int(payload["msize"]),
+            config_id=int(payload["config_id"]),
+            config=str(payload["config"]),
+            observed_time=float(payload["observed_time"]),
+            predicted_time=float(payload["predicted_time"]),
+            version=int(payload["version"]),
+            source=str(payload.get("source", "model")),
+        )
+
+
+class FeedbackWriter:
+    """Append-only JSONL feedback log; one flushed line per row.
+
+    Appending (never rewriting) is the same durability contract as
+    :class:`repro.obs.sinks.FileSink`: a crash mid-write can tear at
+    most the final line, and the reader skips torn lines by design.
+    Thread-safe — request threads log concurrently.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        self._fh: IO[str] | None = self.path.open("a")
+
+    def append(self, row: FeedbackRow) -> None:
+        line = row.to_json() + "\n"
+        with self._lock:
+            if self._fh is None:
+                raise ValueError(f"FeedbackWriter {self.path} is closed")
+            self._fh.write(line)
+            self._fh.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
+
+    def __enter__(self) -> "FeedbackWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def read_feedback(path: str | Path) -> list[FeedbackRow]:
+    """Load a feedback log, skipping torn/garbage lines — never raises.
+
+    Same reader discipline as :func:`repro.obs.report.load_events`: a
+    line that fails to parse or validate is counted and skipped, the
+    tally surfaces as a ``serve.feedback.skipped_lines`` counter plus a
+    ``feedback_skipped_lines`` event. A missing file is an empty log.
+    ``path`` may also be a directory: every ``*.jsonl`` inside is read
+    in sorted order (the fleet writes one file per worker).
+    """
+    path = Path(path)
+    if path.is_dir():
+        rows: list[FeedbackRow] = []
+        for child in sorted(path.glob("*.jsonl")):
+            rows.extend(read_feedback(child))
+        return rows
+    if not path.exists():
+        return []
+    rows = []
+    skipped = 0
+    with path.open("r", encoding="utf-8", errors="replace") as fh:
+        for raw in fh:
+            line = raw.strip()
+            if not line:
+                continue
+            try:
+                rows.append(FeedbackRow.from_dict(json.loads(line)))
+            except (ValueError, KeyError, TypeError):
+                skipped += 1
+    if skipped:
+        telemetry = get_telemetry()
+        telemetry.add("serve.feedback.skipped_lines", skipped)
+        telemetry.event(
+            "feedback_skipped_lines", path=str(path), value=skipped
+        )
+    return rows
+
+
+def feedback_dataset(
+    rows: Iterable[FeedbackRow],
+    *,
+    library: MPILibrary,
+    collective: CollectiveKind | str,
+    machine: str = "",
+    name: str = "feedback",
+) -> PerfDataset:
+    """Convert feedback rows into a validated :class:`PerfDataset`.
+
+    Rows of other collectives are ignored; rows whose ``config_id``
+    falls outside the library's config space or whose label no longer
+    matches it (a library change under an old log) are skipped and
+    counted as ``serve.feedback.stale_rows``.
+    """
+    kind = CollectiveKind(collective)
+    configs = library.config_space(kind).configs
+    keep: list[FeedbackRow] = []
+    stale = 0
+    for row in rows:
+        if row.collective != str(kind):
+            continue
+        if (
+            row.config_id >= len(configs)
+            or configs[row.config_id].label != row.config
+        ):
+            stale += 1
+            continue
+        keep.append(row)
+    if stale:
+        telemetry = get_telemetry()
+        telemetry.add("serve.feedback.stale_rows", stale)
+        telemetry.event(
+            "feedback_stale_rows", collective=str(kind), value=stale
+        )
+    dataset = PerfDataset(
+        name=name,
+        collective=kind,
+        library=library.name,
+        machine=machine,
+        configs=configs,
+        config_id=np.asarray([r.config_id for r in keep], dtype=np.int64),
+        nodes=np.asarray([r.nodes for r in keep], dtype=np.int64),
+        ppn=np.asarray([r.ppn for r in keep], dtype=np.int64),
+        msize=np.asarray([r.msize for r in keep], dtype=np.int64),
+        time=np.asarray([r.observed_time for r in keep], dtype=float),
+    )
+    dataset.validate()
+    return dataset
+
+
+def merge_feedback(
+    base: PerfDataset, rows: Iterable[FeedbackRow], *, library: MPILibrary
+) -> PerfDataset:
+    """Merge feedback rows into a base campaign dataset.
+
+    Goes through the existing ``validate()``/``merge()`` path, so the
+    merged dataset carries every invariant the offline pipeline
+    enforces. Returns ``base`` unchanged when no row survives
+    validation.
+    """
+    feedback = feedback_dataset(
+        rows, library=library, collective=base.collective,
+        machine=base.machine, name=f"{base.name}+feedback",
+    )
+    if not len(feedback):
+        return base
+    return base.merge(feedback, name=f"{base.name}+feedback")
+
+
+@dataclass(frozen=True)
+class FeedbackConfig:
+    """JSON-shippable knobs for serve-side feedback logging.
+
+    Travels inside the fleet worker spec, so every field is plain data.
+    ``seed`` keys the per-site observation RNG
+    (``stable_seed("feedback", seed, site...)``) — a respawned worker
+    replays identical observations, which keeps chaos campaigns
+    bit-identical to their fault-free twins. ``shift``/``shift_algids``
+    describe the injected :class:`WorldShift`.
+    """
+
+    path: str
+    seed: int = 0
+    shift: float = 1.0
+    shift_algids: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.path:
+            raise ValueError("feedback path must be non-empty")
+        object.__setattr__(
+            self, "shift_algids", tuple(int(a) for a in self.shift_algids)
+        )
+
+    def world_shift(self) -> WorldShift:
+        return WorldShift(factor=self.shift, algids=self.shift_algids)
+
+    def to_spec(self) -> dict:
+        """The worker-spec JSON fragment."""
+        return {
+            "path": self.path,
+            "seed": self.seed,
+            "shift": self.shift,
+            "shift_algids": list(self.shift_algids),
+        }
+
+    @staticmethod
+    def from_spec(spec: dict) -> "FeedbackConfig":
+        return FeedbackConfig(
+            path=str(spec["path"]),
+            seed=int(spec.get("seed", 0)),
+            shift=float(spec.get("shift", 1.0)),
+            shift_algids=tuple(spec.get("shift_algids", ())),
+        )
+
+
+class FeedbackLogger:
+    """Measures (simulated) and logs every served recommendation.
+
+    Owned by a :class:`~repro.serve.service.PredictionService`; `record`
+    is called once per resolved recommendation. Besides appending the
+    JSONL row it feeds the in-process
+    :class:`~repro.obs.drift.DriftDetector` (exported as labelled
+    gauges by the fleet) and runs Hunold's performance-guideline check
+    once per *distinct* instance as a semantic tripwire
+    (``serve.feedback.guideline_violations``).
+
+    Observation determinism: the RNG for one observation is keyed by
+    ``stable_seed("feedback", seed, collective, nodes, ppn, msize,
+    algid, version)`` — a pure function of the site, so a respawned
+    worker re-serving the same instance logs a bit-identical row.
+
+    Failure posture: feedback is telemetry, not the request path. Any
+    error inside :meth:`record` is swallowed after counting
+    (``serve.feedback.errors``) and emitting a ``feedback_error``
+    event — a full disk can never fail a recommendation.
+    """
+
+    def __init__(
+        self,
+        config: FeedbackConfig,
+        machine: MachineModel,
+        library: MPILibrary,
+        detector=None,
+    ) -> None:
+        from repro.obs.drift import DriftDetector
+
+        self.config = config
+        self.machine = machine
+        self.library = library
+        self.detector = detector if detector is not None else DriftDetector()
+        self._writer = FeedbackWriter(config.path)
+        self._shift = config.world_shift()
+        self._lock = threading.Lock()
+        #: collective -> {AlgorithmConfig: config-space index}
+        self._cids: dict[str, dict[AlgorithmConfig, int]] = {}
+        #: instances already guideline-checked (the tripwire runs once
+        #: per distinct instance, not once per request)
+        self._checked: set[tuple[int, int, int]] = set()
+
+    @property
+    def path(self) -> Path:
+        return self._writer.path
+
+    def close(self) -> None:
+        self._writer.close()
+
+    # ------------------------------------------------------------------
+    def record(self, rec) -> None:
+        """Log one served recommendation (never raises)."""
+        try:
+            self._record(rec)
+        except Exception as exc:
+            telemetry = get_telemetry()
+            telemetry.add("serve.feedback.errors")
+            telemetry.event(
+                "feedback_error", error=f"{type(exc).__name__}: {exc}"
+            )
+
+    def record_many(self, recs: Sequence) -> None:
+        for rec in recs:
+            self.record(rec)
+
+    def _config_id(self, collective: str, config: AlgorithmConfig) -> int:
+        with self._lock:
+            table = self._cids.get(collective)
+            if table is None:
+                space = self.library.config_space(collective)
+                table = self._cids[collective] = {
+                    cfg: cid for cid, cfg in enumerate(space.configs)
+                }
+        cid = table.get(config, -1)
+        if cid < 0:
+            raise ValueError(
+                f"served config {config.label!r} is not in the "
+                f"{collective} config space"
+            )
+        return cid
+
+    def observe(
+        self,
+        config: AlgorithmConfig,
+        nodes: int,
+        ppn: int,
+        msize: int,
+        *,
+        version: int = 0,
+    ) -> tuple[float, float]:
+        """(observed, predicted) for one site — the simulated measure.
+
+        ``predicted`` is the analytical base time of the chosen
+        configuration; ``observed`` samples the machine's noise model
+        around that base scaled by the injected world shift. Pure
+        function of ``(config.seed, site)``.
+        """
+        topo = Topology(nodes, ppn)
+        predicted = float(
+            algorithm_from_config(config).base_time(self.machine, topo, msize)
+        )
+        rng = as_generator(
+            stable_seed(
+                "feedback", self.config.seed, str(config.collective),
+                nodes, ppn, msize, config.algid, version,
+            )
+        )
+        observed = float(
+            self.machine.noise.sample(
+                predicted * self._shift.scale(config.algid), rng
+            )
+        )
+        return observed, predicted
+
+    def _record(self, rec) -> None:
+        collective = str(rec.collective)
+        cid = self._config_id(collective, rec.config)
+        observed, predicted = self.observe(
+            rec.config, rec.nodes, rec.ppn, rec.msize, version=rec.version,
+        )
+        row = FeedbackRow(
+            collective=collective,
+            nodes=rec.nodes,
+            ppn=rec.ppn,
+            msize=rec.msize,
+            config_id=cid,
+            config=rec.config.label,
+            observed_time=observed,
+            predicted_time=predicted,
+            version=rec.version,
+            source=rec.source,
+        )
+        self._writer.append(row)
+        self.detector.observe(collective, rec.version, observed, predicted)
+        telemetry = get_telemetry()
+        telemetry.add("serve.feedback.rows")
+        self._check_guidelines(rec.nodes, rec.ppn, rec.msize, collective)
+
+    def _check_guidelines(
+        self, nodes: int, ppn: int, msize: int, collective: str
+    ) -> None:
+        """Hunold's self-consistency tripwire, once per distinct instance."""
+        instance = (nodes, ppn, msize)
+        with self._lock:
+            if instance in self._checked:
+                return
+            self._checked.add(instance)
+        # local import: experiments sits above core in the layer stack
+        from repro.experiments.guidelines import check_guidelines
+
+        checks = check_guidelines(self.machine, self.library, [instance])
+        violated = sum(1 for check in checks if check.violated)
+        if violated:
+            telemetry = get_telemetry()
+            telemetry.add("serve.feedback.guideline_violations", violated)
+            telemetry.event(
+                "feedback_guideline_violation", nodes=nodes, ppn=ppn,
+                msize=msize, value=violated,
+            )
+            self.detector.record_violations(collective, violated)
+
+
+__all__ = [
+    "FEEDBACK_SCHEMA",
+    "FeedbackConfig",
+    "FeedbackLogger",
+    "FeedbackRow",
+    "FeedbackWriter",
+    "WorldShift",
+    "feedback_dataset",
+    "merge_feedback",
+    "read_feedback",
+]

@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.core.evaluation import evaluate_selector
 from repro.core.online import OnlineSelector
+from repro.core.retrain import shifted_times
 from repro.core.selector import AlgorithmSelector
 from repro.experiments.cache import dataset_cached
 from repro.experiments.datasets import EXTENSION_DATASETS, Scale
@@ -62,8 +63,10 @@ def online_vs_offline(
     ]
     table_lookup = test.instance_table()
 
-    offline_norm, online_norm = [], []
-    offline_waste, online_waste = [], []
+    margin = 0.10
+    offline_norm, online_norm, closed_norm = [], [], []
+    offline_waste, online_waste, closed_waste = [], [], []
+    explored_calls = 0
     for n, ppn, m in instances:
         measured = table_lookup[(n, ppn, m)]
         oracle = min(measured.values())
@@ -84,25 +87,66 @@ def online_vs_offline(
         result = tuner.run(Topology(n, ppn), m, num_calls)
         online_norm.append(result.total_time / (oracle * num_calls))
         online_waste.append(result.regret)
+        # Closed loop: serve the offline pick, but re-measure the
+        # candidate column (one call per config) only where the
+        # analytical prior disagrees with the learned pick — the same
+        # active-sampling rule the background retrainer applies
+        # (repro/core/retrain.py). Everywhere the families agree the
+        # offline pick runs untouched, so the exploration budget stays
+        # a fraction of what full online tuning spends.
+        analytical = shifted_times(machine, library, "bcast", (n, ppn, m))
+        candidates = sorted(measured)
+        prior = {cid: float(analytical[cid]) for cid in candidates}
+        finite = [t for t in prior.values() if np.isfinite(t)]
+        disagree = (
+            not finite
+            or not np.isfinite(prior[pred_id])
+            or prior[pred_id] > min(finite) * (1.0 + margin)
+        )
+        if disagree and num_calls > len(candidates):
+            explored_calls += len(candidates)
+            t_closed = (
+                sum(measured.values())
+                + (num_calls - len(candidates)) * oracle
+            )
+        else:
+            t_closed = t_off * num_calls
+        closed_norm.append(t_closed / (oracle * num_calls))
+        closed_waste.append(t_closed - oracle * num_calls)
+    total_waste = max(
+        float(
+            np.sum(online_waste) + np.sum(offline_waste)
+            + np.sum(closed_waste)
+        ),
+        1e-30,
+    )
     table.rows.append(
         (
             "offline ML (paper)",
             float(np.mean(offline_norm)),
-            100.0 * float(np.sum(offline_waste))
-            / max(float(np.sum(online_waste) + np.sum(offline_waste)), 1e-30),
+            100.0 * float(np.sum(offline_waste)) / total_waste,
         )
     )
     table.rows.append(
         (
             "online STAR-MPI",
             float(np.mean(online_norm)),
-            100.0 * float(np.sum(online_waste))
-            / max(float(np.sum(online_waste) + np.sum(offline_waste)), 1e-30),
+            100.0 * float(np.sum(online_waste)) / total_waste,
         )
     )
+    table.rows.append(
+        (
+            "closed loop (feedback retrain)",
+            float(np.mean(closed_norm)),
+            100.0 * float(np.sum(closed_waste)) / total_waste,
+        )
+    )
+    budget_frac = explored_calls / float(num_calls * max(len(instances), 1))
     table.note = (
         "mean per-call runtime normalised by the per-instance oracle; "
-        "waste shares sum to 100%"
+        "waste shares sum to 100%; closed loop explored "
+        f"{100.0 * budget_frac:.1f}% of its calls (active sampling "
+        "where the analytical prior disagrees with the learned pick)"
     )
     return table
 

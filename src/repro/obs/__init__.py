@@ -17,6 +17,7 @@ Typical wiring (what the CLI does for ``--telemetry run.jsonl``)::
     telemetry.flush()  # counters -> events
 """
 
+from repro.obs.drift import DriftDetector, ResidualStats
 from repro.obs.events import TelemetryEvent
 from repro.obs.gate import (
     GATE_METRICS,
@@ -67,4 +68,6 @@ __all__ = [
     "compare_metrics",
     "compare_reports",
     "gate_verdict",
+    "DriftDetector",
+    "ResidualStats",
 ]

@@ -1,0 +1,274 @@
+"""MAD-robust drift detection over serve-side feedback residuals.
+
+The serving layer optionally logs every recommendation it hands out
+together with a (simulated) observed runtime and the analytical
+prediction for the chosen configuration (:mod:`repro.core.feedback`).
+The *residual* of one observation is::
+
+    r = log(observed / predicted)
+
+On a stationary machine the residuals concentrate around a constant
+(the calibration offset between the analytical model and reality, ~0
+in the simulator); when the machine drifts — a degraded link, a
+firmware change, an injected :class:`~repro.core.feedback.WorldShift`
+— the residual distribution shifts by ``log(shift)``.
+
+:class:`DriftDetector` keeps one bounded residual window per
+``(collective, version)`` and summarises each with **median** and
+**normalised MAD** (median absolute deviation x 1.4826, the robust
+sigma estimate) — a handful of straggler spikes cannot fire the
+trigger, a genuine mean shift always does. A group is *drifting* when
+it holds at least ``min_samples`` residuals and its median sits more
+than ``threshold`` away from the group's *baseline* — the log-shift
+the last retrain already corrected for (:meth:`DriftDetector.rebase`),
+so a completed retrain quiets the detector instead of re-triggering on
+the same shift forever.
+
+The detector is deliberately pure observability machinery: it consumes
+floats, exposes summaries, and never touches models, files or RNGs.
+The serving fleet exports its state as labelled Prometheus gauges
+(``serve_drift_residual_median{collective=...,version=...}``); the
+background retrainer (:mod:`repro.core.retrain`) polls
+:meth:`drifting` to decide when to refit.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from collections import deque
+from dataclasses import dataclass
+
+#: consistency constant: MAD x 1.4826 estimates sigma under normality
+MAD_SCALE = 1.4826
+
+#: defaults: |median residual| > 0.25 is a ~1.28x sustained shift
+DEFAULT_THRESHOLD = 0.25
+DEFAULT_MIN_SAMPLES = 30
+DEFAULT_WINDOW = 512
+
+
+def _median(values: list[float]) -> float:
+    ordered = sorted(values)
+    n = len(ordered)
+    mid = n // 2
+    if n % 2:
+        return ordered[mid]
+    return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
+@dataclass(frozen=True)
+class ResidualStats:
+    """Robust summary of one ``(collective, version)`` residual window."""
+
+    collective: str
+    version: int
+    n: int
+    #: median log-residual of the window
+    median: float
+    #: normalised MAD (x1.4826) of the window — the robust sigma
+    mad: float
+    #: the log-shift already corrected for by the last retrain
+    baseline: float
+    #: trigger threshold the detector graded this group against
+    threshold: float
+    #: ``n >= min_samples`` and ``|median - baseline| > threshold``
+    drifting: bool
+
+    @property
+    def excess(self) -> float:
+        """How far the median sits beyond the corrected baseline."""
+        return abs(self.median - self.baseline)
+
+    def to_dict(self) -> dict:
+        """JSON-safe rendering (the fleet's worker ``drift`` op)."""
+        return {
+            "collective": self.collective,
+            "version": self.version,
+            "n": self.n,
+            "median": self.median,
+            "mad": self.mad,
+            "baseline": self.baseline,
+            "threshold": self.threshold,
+            "drifting": self.drifting,
+        }
+
+    @staticmethod
+    def from_dict(payload: dict) -> "ResidualStats":
+        return ResidualStats(
+            collective=str(payload["collective"]),
+            version=int(payload["version"]),
+            n=int(payload["n"]),
+            median=float(payload["median"]),
+            mad=float(payload["mad"]),
+            baseline=float(payload["baseline"]),
+            threshold=float(payload["threshold"]),
+            drifting=bool(payload["drifting"]),
+        )
+
+
+class DriftDetector:
+    """Per-(collective, version) residual windows with a robust trigger.
+
+    Thread-safe: the serving layer observes from request threads while
+    the exporter snapshots concurrently.
+    """
+
+    def __init__(
+        self,
+        *,
+        threshold: float = DEFAULT_THRESHOLD,
+        min_samples: int = DEFAULT_MIN_SAMPLES,
+        window: int = DEFAULT_WINDOW,
+    ) -> None:
+        if not (threshold > 0 and math.isfinite(threshold)):
+            raise ValueError(f"threshold must be finite and > 0, got {threshold!r}")
+        if min_samples < 2:
+            raise ValueError(f"min_samples must be >= 2, got {min_samples!r}")
+        if window < min_samples:
+            raise ValueError(
+                f"window ({window}) must hold at least min_samples "
+                f"({min_samples}) residuals"
+            )
+        self.threshold = float(threshold)
+        self.min_samples = int(min_samples)
+        self.window = int(window)
+        self._lock = threading.Lock()
+        self._windows: dict[tuple[str, int], deque[float]] = {}
+        #: collective -> log-shift the last retrain corrected for
+        self._baselines: dict[str, float] = {}
+        #: collective -> guideline violations recorded against it
+        self._violations: dict[str, int] = {}
+
+    # -- feeding -------------------------------------------------------
+    def observe(
+        self, collective: str, version: int, observed: float, predicted: float
+    ) -> float:
+        """Record one observation; returns the log-residual."""
+        if not (observed > 0 and math.isfinite(observed)):
+            raise ValueError(f"observed time must be finite and > 0: {observed!r}")
+        if not (predicted > 0 and math.isfinite(predicted)):
+            raise ValueError(f"predicted time must be finite and > 0: {predicted!r}")
+        residual = math.log(observed / predicted)
+        key = (str(collective), int(version))
+        with self._lock:
+            window = self._windows.get(key)
+            if window is None:
+                window = self._windows[key] = deque(maxlen=self.window)
+            window.append(residual)
+        return residual
+
+    def observe_rows(self, rows) -> int:
+        """Feed feedback rows (anything with the FeedbackRow fields)."""
+        fed = 0
+        for row in rows:
+            self.observe(
+                row.collective, row.version, row.observed_time,
+                row.predicted_time,
+            )
+            fed += 1
+        return fed
+
+    def record_violations(self, collective: str, count: int = 1) -> None:
+        """Count guideline violations (the semantic tripwire) per collective."""
+        if count < 0:
+            raise ValueError(f"violation count must be >= 0, got {count!r}")
+        with self._lock:
+            key = str(collective)
+            self._violations[key] = self._violations.get(key, 0) + int(count)
+
+    # -- retrain hand-off ----------------------------------------------
+    def rebase(self, collective: str, log_shift: float) -> None:
+        """Mark ``log_shift`` as corrected-for (called after a retrain).
+
+        Subsequent observations of ``collective`` only count as drift
+        when their median moves beyond ``log_shift`` by more than the
+        threshold — a *further* shift, not the one already fixed.
+        """
+        if not math.isfinite(log_shift):
+            raise ValueError(f"log_shift must be finite, got {log_shift!r}")
+        with self._lock:
+            self._baselines[str(collective)] = float(log_shift)
+
+    def baseline(self, collective: str) -> float:
+        with self._lock:
+            return self._baselines.get(str(collective), 0.0)
+
+    # -- summaries -----------------------------------------------------
+    def stats(self) -> list[ResidualStats]:
+        """One robust summary per (collective, version), sorted."""
+        with self._lock:
+            snapshot = {
+                key: list(window) for key, window in self._windows.items()
+            }
+            baselines = dict(self._baselines)
+        out = []
+        for (collective, version) in sorted(snapshot):
+            residuals = snapshot[(collective, version)]
+            median = _median(residuals)
+            mad = MAD_SCALE * _median([abs(r - median) for r in residuals])
+            baseline = baselines.get(collective, 0.0)
+            out.append(
+                ResidualStats(
+                    collective=collective,
+                    version=version,
+                    n=len(residuals),
+                    median=median,
+                    mad=mad,
+                    baseline=baseline,
+                    threshold=self.threshold,
+                    drifting=(
+                        len(residuals) >= self.min_samples
+                        and abs(median - baseline) > self.threshold
+                    ),
+                )
+            )
+        return out
+
+    def drifting(self) -> list[ResidualStats]:
+        """The groups currently past the trigger."""
+        return [s for s in self.stats() if s.drifting]
+
+    def violations(self) -> dict[str, int]:
+        with self._lock:
+            return dict(self._violations)
+
+    def payload(self) -> dict:
+        """JSON-safe snapshot (the fleet worker ``drift`` op answer)."""
+        return {
+            "stats": [s.to_dict() for s in self.stats()],
+            "violations": self.violations(),
+        }
+
+    def gauges(self, *, labels: str = "") -> dict[str, dict[str, float]]:
+        """Labelled Prometheus gauge series for the exporter.
+
+        ``labels`` appends extra label pairs (e.g. ``worker="3"``) to
+        every series. Keys are label bodies as
+        :func:`repro.serve.exporter.render_gauge` expects them.
+        """
+        median: dict[str, float] = {}
+        mad: dict[str, float] = {}
+        samples: dict[str, float] = {}
+        for s in self.stats():
+            body = f'collective="{s.collective}",version="{s.version}"'
+            if labels:
+                body = f"{body},{labels}"
+            median[body] = s.median
+            mad[body] = s.mad
+            samples[body] = float(s.n)
+        return {
+            "serve.drift.residual_median": median,
+            "serve.drift.residual_mad": mad,
+            "serve.drift.samples": samples,
+        }
+
+
+__all__ = [
+    "DEFAULT_MIN_SAMPLES",
+    "DEFAULT_THRESHOLD",
+    "DEFAULT_WINDOW",
+    "MAD_SCALE",
+    "DriftDetector",
+    "ResidualStats",
+]

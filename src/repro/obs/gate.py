@@ -28,6 +28,10 @@ GATE_METRICS: dict[str, bool] = {
     "fleet_req_per_s": True,
     "fleet_p99_us": False,
     "fleet_degraded_req_per_s": True,
+    # active-sampling retrain cost: measured / full-grid samples at
+    # equal final selection agreement — lower is better, must not creep
+    # back toward the naive full refit (1.0)
+    "retrain_budget_frac": False,
 }
 
 #: default thresholds (fractions of the baseline)

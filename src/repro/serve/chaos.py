@@ -216,9 +216,109 @@ def build_plan(
     )
 
 
+# -- campaign verification ---------------------------------------------
+# The assertion core shared by the CI smoke harness
+# (scripts/smoke_fleet_chaos.py) and the in-process fleet unit tests:
+# pure functions over collected campaign evidence, so the same contract
+# is checked whether the fleet ran behind the real CLI or in a thread.
+
+#: cache-tier provenance differs legitimately after a respawn (a fresh
+#: worker's L1 is cold); the *answer* must not
+PROVENANCE_FIELDS = ("cached", "compiled")
+
+
+def strip_provenance(response: dict) -> dict:
+    """Drop the response fields a respawn may legitimately change."""
+    return {
+        key: value for key, value in response.items()
+        if key not in PROVENANCE_FIELDS
+    }
+
+
+def verify_chaos_invariants(
+    *,
+    n_workers: int,
+    restarts: float,
+    garbage: float,
+    health: dict,
+    stats: dict,
+    expected_reloads: int = 1,
+) -> list[str]:
+    """The campaign-level self-healing contract; returns violations.
+
+    ``stats`` is the fleet block of ``{"op": "stats"}``; ``restarts``/
+    ``garbage`` are the scraped ``fleet_worker_restarts_total`` /
+    ``fleet_worker_garbage_lines_total`` metric values.
+    """
+    failures: list[str] = []
+    if restarts < n_workers:
+        failures.append(
+            f"fleet_worker_restarts_total {restarts} < {n_workers}: "
+            "not every killed worker was respawned"
+        )
+    if garbage < 1:
+        failures.append("no garbage stdout line was ever skipped")
+    if health.get("status") != "ok":
+        failures.append(f"final healthz not ok: {health}")
+    if stats.get("committed_reloads") != expected_reloads:
+        failures.append(
+            f"reload committed {stats.get('committed_reloads')} times, "
+            f"expected exactly {expected_reloads}"
+        )
+    if not stats.get("versions_consistent"):
+        failures.append(f"version skew after the campaign: {stats}")
+    return failures
+
+
+def verify_bit_identity(
+    chaos_answers: list[dict],
+    clean_answers: list[dict],
+    *,
+    max_reported: int = 3,
+) -> list[str]:
+    """Chaos answers must equal the fault-free twin's, provenance aside."""
+    failures: list[str] = []
+    mismatches = 0
+    for index, (chaotic, clean) in enumerate(
+        zip(chaos_answers, clean_answers, strict=True)
+    ):
+        if strip_provenance(chaotic) != strip_provenance(clean):
+            mismatches += 1
+            if mismatches <= max_reported:
+                failures.append(
+                    f"answer {index} diverged: chaos={chaotic!r} "
+                    f"clean={clean!r}"
+                )
+    if mismatches:
+        failures.append(
+            f"{mismatches}/{len(chaos_answers)} answers diverged from "
+            "the fault-free oracle"
+        )
+    return failures
+
+
+def verify_reload_contract(
+    chaos_reload: dict, clean_reload: dict,
+    keys: tuple[str, ...] = ("ok", "version", "collective", "tag"),
+) -> list[str]:
+    """Reload responses compare on the version contract only (a wedged
+    worker legitimately sits out the chaos commit)."""
+    return [
+        f"reload {key!r} diverged: chaos={chaos_reload.get(key)!r} "
+        f"clean={clean_reload.get(key)!r}"
+        for key in keys
+        if chaos_reload.get(key) != clean_reload.get(key)
+    ]
+
+
 __all__ = [
     "CHAOS_KINDS",
+    "PROVENANCE_FIELDS",
     "ChaosEvent",
     "FleetChaosPlan",
     "build_plan",
+    "strip_provenance",
+    "verify_bit_identity",
+    "verify_chaos_invariants",
+    "verify_reload_contract",
 ]

@@ -73,6 +73,7 @@ import threading
 import time
 from collections import deque
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable, Iterable, Mapping, Sequence
 
 from repro.obs import get_telemetry
@@ -134,6 +135,15 @@ HELP_TEXTS = {
     "serve.compiled.hit": "requests answered by the compiled L0 table",
     "serve.l1.hits": "requests answered by the L1 recommendation LRU",
     "serve.requests": "recommend requests across all workers",
+    "serve.feedback.rows": "feedback rows appended by the serve loop",
+    "serve.feedback.skipped_lines": "torn/garbage feedback lines skipped",
+    "serve.feedback.guideline_violations":
+        "performance-guideline violations seen at served instances",
+    "serve.drift.residual_median":
+        "median log(observed/predicted) residual per (collective, version)",
+    "serve.drift.residual_mad":
+        "normalised MAD of the residual window per (collective, version)",
+    "serve.drift.samples": "residual window size per (collective, version)",
 }
 
 
@@ -171,9 +181,19 @@ class FleetSpec:
     #: admit deterministic fault-injection ops (kill/wedge/garbage/
     #: crash) over the socket — chaos harness only, default off
     chaos_ops: bool = False
+    #: directory for per-worker feedback JSONL logs ("" disables the
+    #: closed loop); each worker appends to feedback-w<id>.jsonl
+    feedback_dir: str = ""
+    #: seed of the simulated observation RNG (pure function of the
+    #: site, so respawned workers replay identical rows)
+    feedback_seed: int = 0
+    #: injected world shift for drift drills: observed times of the
+    #: listed algids (all when empty) are scaled by this factor
+    feedback_shift: float = 1.0
+    feedback_shift_algids: tuple[int, ...] = ()
 
     def worker_spec(self, worker_id: int) -> dict:
-        return {
+        spec = {
             "worker_id": worker_id,
             "machine": self.machine,
             "library": self.library,
@@ -183,6 +203,15 @@ class FleetSpec:
             "compiled": self.compiled,
             "chaos_ops": self.chaos_ops,
         }
+        if self.feedback_dir:
+            path = Path(self.feedback_dir) / f"feedback-w{worker_id}.jsonl"
+            spec["feedback"] = {
+                "path": str(path),
+                "seed": self.feedback_seed,
+                "shift": self.feedback_shift,
+                "shift_algids": list(self.feedback_shift_algids),
+            }
+        return spec
 
 
 def _stable_hash(text: str) -> int:
@@ -1206,6 +1235,49 @@ class Fleet:
                 merged[name] = merged.get(name, 0) + int(value)
         return merged
 
+    async def _worker_drift(self) -> dict[str, dict[str, float]]:
+        """Per-worker drift gauges, labelled with the worker id.
+
+        Residual windows live in each worker's feedback logger, so the
+        series stay per-worker (no cross-worker median of medians —
+        that would be statistically meaningless); the ``worker`` label
+        keeps them distinct on the scrape surface.
+        """
+        live = [worker for worker in self.workers if worker.alive]
+        for worker in live:
+            self._admit(worker)
+        responses = await asyncio.gather(
+            *(
+                worker.call({"op": "drift"}, timeout=self.spec.call_timeout_s)
+                for worker in live
+            ),
+            return_exceptions=True,
+        )
+        from repro.obs.drift import ResidualStats
+
+        merged: dict[str, dict[str, float]] = {}
+        for worker, response in zip(live, responses, strict=True):
+            if isinstance(response, BaseException) or not response.get("ok"):
+                continue
+            drift = response.get("drift", {})
+            for payload in drift.get("stats", ()):
+                stats = ResidualStats.from_dict(payload)
+                body = (
+                    f'collective="{stats.collective}",'
+                    f'version="{stats.version}",'
+                    f'worker="{worker.worker_id}"'
+                )
+                merged.setdefault(
+                    "serve.drift.residual_median", {}
+                )[body] = stats.median
+                merged.setdefault(
+                    "serve.drift.residual_mad", {}
+                )[body] = stats.mad
+                merged.setdefault(
+                    "serve.drift.samples", {}
+                )[body] = float(stats.n)
+        return merged
+
     def _health(self) -> dict:
         """The shared health snapshot behind /healthz and stats."""
         alive = [w.worker_id for w in self.workers if w.alive]
@@ -1310,6 +1382,8 @@ class Fleet:
             },
             "fleet.uptime_seconds": time.monotonic() - self._stats.started_at,
         }
+        if self.spec.feedback_dir:
+            gauges.update(await self._worker_drift())
         return render_prometheus(
             counters, gauges, telemetry.histograms_snapshot(),
             help_texts=HELP_TEXTS,

@@ -210,12 +210,17 @@ class PredictionService:
         mode: str = "exact",
         cache_size: int = 4096,
         compiled: bool = False,
+        feedback=None,
     ) -> None:
         if mode not in ("exact", "surface"):
             raise ValueError(f"mode must be 'exact' or 'surface', not {mode!r}")
         self.registry = registry
         self.mode = mode
         self.compiled = compiled
+        #: optional FeedbackLogger — measures + logs every served
+        #: recommendation (the closed loop's measure step); never on
+        #: the error path of a request
+        self.feedback = feedback
         self._interner = KeyInterner()
         self._l1 = LRUCache(cache_size, namespace="serve.l1")
         self._batchers: dict[CollectiveKind, _Batcher] = {}
@@ -240,13 +245,17 @@ class PredictionService:
             rec = self._compiled_lookup(collective, nodes, ppn, msize)
             if rec is not None:
                 telemetry.add("serve.compiled.hit")
+                self._note(rec)
                 return rec
             telemetry.add("serve.compiled.fallthrough")
         key = self._interner.key(str(collective), nodes, ppn, msize)
         cached = self._l1_lookup(key, collective)
         if cached is not None:
+            self._note(cached)
             return cached
-        return self._batcher(collective).submit(key)
+        rec = self._batcher(collective).submit(key)
+        self._note(rec)
+        return rec
 
     def recommend_many(
         self,
@@ -279,7 +288,13 @@ class PredictionService:
             computed = self._compute_batch(coll, [key for _, key in group])
             for (pos, _), rec in zip(group, computed, strict=True):
                 results[pos] = rec
+        if self.feedback is not None:
+            self.feedback.record_many([r for r in results if r is not None])
         return results  # type: ignore[return-value]
+
+    def _note(self, rec: Recommendation) -> None:
+        if self.feedback is not None:
+            self.feedback.record(rec)
 
     def stats(self) -> dict:
         """Cache + version snapshot (what ``{"op": "stats"}`` returns)."""

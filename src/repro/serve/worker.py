@@ -23,6 +23,10 @@ coordination ops:
 * ``versions`` — the registry's live version number per collective
   (the fleet-chaos harness asserts these stay lockstep across
   respawns and reloads).
+* ``drift`` — the feedback logger's drift-detector snapshot
+  (per-(collective, version) residual stats + guideline violations),
+  merged into labelled ``/metrics`` gauges by the front-end. Workers
+  without feedback configured answer an empty snapshot.
 * ``ping`` — liveness probe.
 * ``chaos_garbage`` / ``chaos_crash`` — deterministic fault injection
   (:mod:`repro.serve.chaos`), only honoured when the worker spec sets
@@ -85,11 +89,19 @@ def build_state(spec: dict) -> WorkerState:
     registry = ModelRegistry(machine, library)
     for path in spec.get("rules", ()):
         registry.load_rules(path)
+    feedback = None
+    if spec.get("feedback"):
+        from repro.core.feedback import FeedbackConfig, FeedbackLogger
+
+        feedback = FeedbackLogger(
+            FeedbackConfig.from_spec(spec["feedback"]), machine, library
+        )
     service = PredictionService(
         registry,
         mode=spec.get("mode", "exact"),
         cache_size=int(spec.get("cache_size", 4096)),
         compiled=bool(spec.get("compiled", True)),
+        feedback=feedback,
     )
     return WorkerState(
         worker_id=int(spec.get("worker_id", 0)),
@@ -154,6 +166,14 @@ def handle_worker_request(state: WorkerState, payload: dict) -> dict:
             "worker": state.worker_id,
             "versions": state.registry.live_versions(),
         }
+    if op == "drift":
+        feedback = state.service.feedback
+        drift = (
+            feedback.detector.payload()
+            if feedback is not None
+            else {"stats": [], "violations": {}}
+        )
+        return {"ok": True, "worker": state.worker_id, "drift": drift}
     if op == "ping":
         return {"ok": True, "worker": state.worker_id, "pid": os.getpid()}
     return handle_request(state.service, payload)

@@ -29,6 +29,7 @@ BASE = {
     "fleet_req_per_s": 3000.0,
     "fleet_p99_us": 5000.0,
     "fleet_degraded_req_per_s": 1500.0,
+    "retrain_budget_frac": 0.42,
 }
 
 

@@ -51,6 +51,11 @@ def _snapshot():
         "fleet.requests": 2162,
         "fleet.shed": 12,
         "fleet.worker_restarts": 3,
+        "serve.feedback.rows": 180,
+        "serve.feedback.skipped_lines": 1,
+        "serve.feedback.stale_rows": 4,
+        "serve.feedback.errors": 0,
+        "serve.feedback.guideline_violations": 2,
     }
     gauges = {
         "fleet.workers": 4,
@@ -63,6 +68,18 @@ def _snapshot():
             'worker="3"': 0,
         },
         "serve.l1.fill_ratio": 0.625,
+        "serve.drift.residual_median": {
+            'collective="bcast",version="1"': 0.71,
+            'collective="bcast",version="2"': 0.02,
+        },
+        "serve.drift.residual_mad": {
+            'collective="bcast",version="1"': 0.09,
+            'collective="bcast",version="2"': 0.05,
+        },
+        "serve.drift.samples": {
+            'collective="bcast",version="1"': 512,
+            'collective="bcast",version="2"': 36,
+        },
     }
     histograms = {
         "fleet.request_latency_us": latency.snapshot(),
@@ -74,6 +91,10 @@ def _snapshot():
         "fleet.shed": "requests shed at the queue high-water mark",
         "fleet.worker_restarts": "dead workers respawned and warm-restored",
         "fleet.queue_depth": "in-flight requests per worker",
+        "serve.feedback.rows": "feedback rows appended by the serve loop",
+        "serve.drift.residual_median": (
+            "median log(observed/predicted) per (collective, version)"
+        ),
     }
     return counters, gauges, histograms, help_texts
 
@@ -186,6 +207,68 @@ class TestLabeledGauges:
             "fleet.queue_depth", {'worker="0"': 1}, help_text="depth"
         )
         assert lines[0] == "# HELP fleet_queue_depth depth"
+
+
+class TestDriftGaugeSeries:
+    """DriftDetector.gauges() must plug straight into render_gauge."""
+
+    @pytest.fixture()
+    def detector(self):
+        from repro.obs.drift import DriftDetector
+
+        det = DriftDetector(min_samples=2, window=8)
+        for obs in (2.0, 2.2, 1.9, 2.1):
+            det.observe("bcast", 1, obs * 1e-4, 1e-4)
+        for obs in (1.0, 1.01):
+            det.observe("bcast", 2, obs * 1e-4, 1e-4)
+        return det
+
+    def test_label_bodies_key_collective_and_version(self, detector):
+        series = detector.gauges()
+        assert set(series) == {
+            "serve.drift.residual_median",
+            "serve.drift.residual_mad",
+            "serve.drift.samples",
+        }
+        for family in series.values():
+            assert set(family) == {
+                'collective="bcast",version="1"',
+                'collective="bcast",version="2"',
+            }
+
+    def test_extra_labels_append_to_every_series(self, detector):
+        series = detector.gauges(labels='worker="3"')
+        body = 'collective="bcast",version="1",worker="3"'
+        assert body in series["serve.drift.samples"]
+        assert series["serve.drift.samples"][body] == 4.0
+
+    def test_rendered_lines_are_wellformed_and_labelled(self, detector):
+        text = render_prometheus({}, detector.gauges(labels='worker="0"'))
+        lines = parse_metric_lines(text)
+        assert any(
+            line.startswith(
+                'serve_drift_residual_median{collective="bcast"'
+            )
+            and ',worker="0"}' in line
+            for line in lines
+        )
+        # one sample per (collective, version) per family
+        assert sum(
+            line.startswith("serve_drift_samples{") for line in lines
+        ) == 2
+
+    def test_median_value_round_trips_through_exposition(self, detector):
+        import math
+
+        text = render_prometheus({}, detector.gauges())
+        line = next(
+            line for line in text.splitlines()
+            if line.startswith(
+                'serve_drift_residual_median{collective="bcast",version="1"}'
+            )
+        )
+        rendered = float(line.rsplit(" ", 1)[1])
+        assert rendered == pytest.approx(math.log(2.05), abs=0.1)
 
 
 class TestFullRender:

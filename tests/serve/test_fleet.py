@@ -24,6 +24,12 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.obs import get_telemetry
+from repro.serve.chaos import (
+    strip_provenance,
+    verify_bit_identity,
+    verify_chaos_invariants,
+    verify_reload_contract,
+)
 from repro.serve.fleet import (
     Fleet,
     FleetSpec,
@@ -757,6 +763,205 @@ class TestFleetEndToEnd:
             assert client.reader.readline() == ""  # connection closed
         finally:
             client.close()
+
+
+# -- chaos verification helpers (the smoke script's assertion core) ------
+
+
+class TestChaosVerifyHelpers:
+    """Unit coverage of the invariants scripts/smoke_fleet_chaos.py runs.
+
+    The smoke script is the CI driver; the *contract* lives in
+    repro.serve.chaos so it is testable without booting a 3-worker
+    fleet through the CLI.
+    """
+
+    def clean_inputs(self):
+        return dict(
+            n_workers=3, restarts=4.0, garbage=2.0,
+            health={"status": "ok", "alive": 3},
+            stats={"committed_reloads": 1, "versions_consistent": True},
+        )
+
+    def test_clean_campaign_has_no_violations(self):
+        assert verify_chaos_invariants(**self.clean_inputs()) == []
+
+    def test_every_broken_invariant_is_reported(self):
+        failures = verify_chaos_invariants(
+            n_workers=3, restarts=2.0, garbage=0.0,
+            health={"status": "degraded", "alive": 2},
+            stats={"committed_reloads": 2, "versions_consistent": False},
+        )
+        assert len(failures) == 5
+        text = "\n".join(failures)
+        for fragment in ("respawned", "garbage", "healthz", "reload",
+                         "version skew"):
+            assert fragment in text
+
+    def test_expected_reloads_is_exact_not_minimum(self):
+        inputs = self.clean_inputs()
+        inputs["stats"] = {"committed_reloads": 2,
+                           "versions_consistent": True}
+        assert verify_chaos_invariants(**inputs)  # 2 != 1 fails
+        assert verify_chaos_invariants(
+            **{**inputs, "expected_reloads": 2}
+        ) == []
+
+    def test_strip_provenance_removes_cache_tier_fields_only(self):
+        answer = {"ok": True, "label": "chain", "version": 2,
+                  "cached": True, "compiled": False}
+        stripped = strip_provenance(answer)
+        assert stripped == {"ok": True, "label": "chain", "version": 2}
+        assert "cached" in answer  # input not mutated
+
+    def test_bit_identity_ignores_which_cache_answered(self):
+        chaos = [{"ok": True, "label": "chain", "cached": True}]
+        clean = [{"ok": True, "label": "chain", "compiled": True}]
+        assert verify_bit_identity(chaos, clean) == []
+
+    def test_bit_identity_reports_divergence_with_tally(self):
+        chaos = [{"ok": True, "label": "chain"}] * 5
+        clean = [{"ok": True, "label": "chain"}] * 4 + [
+            {"ok": True, "label": "linear"}
+        ]
+        failures = verify_bit_identity(chaos, clean)
+        assert any("answer 4 diverged" in f for f in failures)
+        assert any("1/5 answers diverged" in f for f in failures)
+
+    def test_bit_identity_caps_reported_examples(self):
+        chaos = [{"label": f"c{i}"} for i in range(10)]
+        clean = [{"label": "x"}] * 10
+        failures = verify_bit_identity(chaos, clean, max_reported=3)
+        assert len(failures) == 4  # 3 examples + the tally line
+
+    def test_bit_identity_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            verify_bit_identity([{}, {}], [{}])
+
+    def test_reload_contract_compares_version_keys_only(self):
+        chaos = {"ok": True, "version": 2, "collective": "bcast",
+                 "tag": "r", "workers": 2}
+        clean = {"ok": True, "version": 2, "collective": "bcast",
+                 "tag": "r", "workers": 3}  # wedged worker sat out
+        assert verify_reload_contract(chaos, clean) == []
+        assert verify_reload_contract(
+            chaos, {**clean, "version": 3}
+        ) == ["reload 'version' diverged: chaos=2 clean=3"]
+
+
+# -- feedback through the fleet: kill mid-flush, reload survives ---------
+
+
+@pytest.mark.slow
+class TestFleetFeedbackClosedLoop:
+    """The serve side of the closed loop under a worker kill.
+
+    Every worker appends feedback rows with per-row flushes, so a
+    SIGKILL can tear at most the final line of its log — the reader
+    must hand back only complete rows, the committed reload must
+    survive the respawn, and the drift gauges must appear in the
+    Prometheus scrape.
+    """
+
+    @pytest.fixture
+    def feedback_fleet(self, rules_pair, tmp_path):
+        feedback_dir = tmp_path / "feedback"
+        spec = FleetSpec(
+            rules=(rules_pair[0],), workers=2,
+            feedback_dir=str(feedback_dir), feedback_seed=3,
+            feedback_shift=2.0,
+        )
+        with FleetThread(spec) as running:
+            yield running, feedback_dir, rules_pair[0]
+
+    def _requests(self, start, count):
+        for i in range(start, start + count):
+            yield {
+                "op": "recommend", "collective": "bcast",
+                "nodes": (2, 4, 8, 16)[i % 4], "ppn": (1, 2, 16)[i % 3],
+                "msize": 1024 << (i % 6),
+            }
+
+    def _wait_healthy(self, port, n_workers, timeout_s=30.0):
+        deadline = time.time() + timeout_s
+        while time.time() < deadline:
+            status, body = http_get("127.0.0.1", port, "/healthz")
+            health = json.loads(body)
+            if (
+                status == 200
+                and health.get("alive") == n_workers
+                and not health.get("restarting")
+            ):
+                return
+            time.sleep(0.05)
+        pytest.fail(f"fleet never re-healed: {health}")
+
+    def test_kill_during_feedback_flush(self, feedback_fleet):
+        import os
+        import signal
+
+        from repro.core.feedback import read_feedback
+
+        running, feedback_dir, rules_path = feedback_fleet
+        get_telemetry().reset()
+        client = _Client(running.port)
+        try:
+            # commit one reload up front: the respawned worker must
+            # warm-restore it, not lose it
+            reload_response = client.ask(
+                {"op": "reload", "path": rules_path}
+            )
+            assert reload_response["ok"]
+            for request in self._requests(0, 40):
+                assert client.ask(request)["ok"]
+            # SIGKILL one worker while its feedback stream is hot; the
+            # hammer keeps running through the outage (failover)
+            os.kill(running.worker_pids()[0], signal.SIGKILL)
+            for request in self._requests(40, 40):
+                assert client.ask(request)["ok"]
+            self._wait_healthy(running.port, n_workers=2)
+            for request in self._requests(80, 20):
+                assert client.ask(request)["ok"]
+            stats = client.ask({"op": "stats"})["stats"]["fleet"]
+        finally:
+            client.close()
+
+        # the committed reload survived the kill: exactly one commit,
+        # no version skew between the survivor and the respawn
+        assert stats["committed_reloads"] == 1
+        assert stats["versions_consistent"] is True
+
+        # every accepted feedback row is complete and valid; a torn
+        # final line in the killed worker's log is skipped, not fatal
+        rows = read_feedback(feedback_dir)
+        assert rows, "the fleet never flushed a feedback row"
+        skipped = get_telemetry().counters_snapshot().get(
+            "serve.feedback.skipped_lines", 0
+        )
+        assert skipped <= 1  # at most the torn tail of the killed log
+        # observation determinism: the same (site, version) logs a
+        # bit-identical row no matter which worker (or respawn) served
+        by_site: dict = {}
+        for row in rows:
+            site = (row.nodes, row.ppn, row.msize, row.config_id,
+                    row.version)
+            assert by_site.setdefault(site, row) == row
+        get_telemetry().reset()
+
+    def test_drift_gauges_reach_the_metrics_scrape(self, feedback_fleet):
+        running, _, _ = feedback_fleet
+        client = _Client(running.port)
+        try:
+            for request in self._requests(0, 30):
+                assert client.ask(request)["ok"]
+        finally:
+            client.close()
+        status, body = http_get("127.0.0.1", running.port, "/metrics")
+        assert status == 200
+        parse_metric_lines(body)  # per-line wellformedness
+        assert 'serve_drift_residual_median{collective="bcast"' in body
+        assert ',worker="' in body  # per-worker series, not merged
+        assert "serve_feedback_rows_total" in body
 
 
 class TestStopLifecycle:
